@@ -1,0 +1,91 @@
+"""Shared driver for the Figure 4 per-application benchmarks.
+
+Each ``test_fig4_<app>.py`` regenerates one row of Figure 4 (three
+panels: FOM, MCDRAM HWM, ΔFOM/MByte, plus the four baseline lines) and
+asserts that application's paper-reported shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps import get_app
+from repro.pipeline.experiment import run_figure4_experiment
+from repro.pipeline.results import ExperimentResult
+from repro.reporting.tables import format_figure4
+from repro.units import MIB
+
+
+@dataclass(frozen=True)
+class Fig4Expectation:
+    """The paper's qualitative claims for one application."""
+
+    app: str
+    #: Who wins overall: "framework", "Cache" or "MCDRAM*".
+    winner: str
+    #: Best-framework gain over DDR: (lo, hi) fractional bounds.
+    framework_gain: tuple[float, float]
+    #: ΔFOM/MByte sweet-spot budget in MB (None: not asserted).
+    sweet_spot_mb: int | None = None
+    #: Winner's margin over the runner-up must stay below this (for
+    #: the paper's "marginally better" cases).
+    marginal_within: float | None = None
+    #: Extra checks: callables taking the ExperimentResult.
+    extra: tuple = field(default=())
+
+
+def run_and_render(name: str, benchmark) -> ExperimentResult:
+    app = get_app(name)
+    result = benchmark.pedantic(
+        lambda: run_figure4_experiment(app), rounds=1, iterations=1
+    )
+    print()
+    print(format_figure4(result))
+    return result
+
+
+def contenders(result: ExperimentResult) -> dict[str, float]:
+    return {
+        "framework": result.best_framework().fom,
+        "Cache": result.baselines["Cache"].fom,
+        "MCDRAM*": result.baselines["MCDRAM*"].fom,
+        "autohbw/1m": result.baselines["autohbw/1m"].fom,
+    }
+
+
+def assert_expectation(result: ExperimentResult, exp: Fig4Expectation) -> None:
+    foms = contenders(result)
+    winner = max(foms, key=foms.get)
+    assert winner == exp.winner, f"winner {winner}, expected {exp.winner}"
+    assert winner != "autohbw/1m"
+
+    gain = result.best_framework().fom / result.fom_ddr - 1.0
+    lo, hi = exp.framework_gain
+    assert lo <= gain <= hi, f"framework gain {gain:.2f} outside [{lo},{hi}]"
+
+    if exp.sweet_spot_mb is not None:
+        spot = result.sweet_spot() // MIB
+        assert spot == exp.sweet_spot_mb, (
+            f"sweet spot {spot} MB, expected {exp.sweet_spot_mb} MB"
+        )
+
+    if exp.marginal_within is not None:
+        ranked = sorted(foms.values(), reverse=True)
+        margin = ranked[0] / ranked[1] - 1.0
+        assert margin <= exp.marginal_within, (
+            f"winner margin {margin:.3f} not marginal"
+        )
+
+    # FOM columns are monotone non-decreasing in budget for every
+    # strategy ("the more data placed in fast memory, the higher the
+    # performance") — CGPOP-style flatness included.
+    for strategy in result.strategies():
+        foms_by_budget = [
+            result.row(budget, strategy).fom for budget in result.budgets()
+        ]
+        assert all(
+            b >= a * 0.98 for a, b in zip(foms_by_budget, foms_by_budget[1:])
+        ), f"{strategy}: FOM not monotone in budget"
+
+    for check in exp.extra:
+        check(result)

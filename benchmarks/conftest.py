@@ -1,0 +1,33 @@
+"""Benchmark harness fixtures.
+
+Each benchmark regenerates one table or figure of the paper: it runs
+the corresponding experiment under ``pytest-benchmark`` (so the cost
+of the pipeline itself is tracked) and prints the same rows/series the
+paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.config import xeon_phi_7250
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): which paper artifact a benchmark regenerates"
+    )
+
+
+@pytest.fixture(scope="session")
+def machine():
+    return xeon_phi_7250()
+
+
+@pytest.fixture(scope="session")
+def report_sink(pytestconfig):
+    """Collects the printed figures so -s shows them grouped."""
+    lines: list[str] = []
+    yield lines
+    if lines:
+        print("\n".join(lines))

@@ -1,0 +1,63 @@
+"""Ablation D1: the Lulesh "virtual 512 MB" advisor budget.
+
+Section IV-C: Lulesh's allocation churn misleads hmem_advisor, which
+"considers data objects alive for the whole execution". The paper's
+workaround forces the advisor to plan with 512 MB per process while
+auto-hbwmalloc still enforces 256 MB: since the extra selections are
+transient scratch, the run-time budget is never actually violated and
+the gap to cache mode shortens (12.68 % -> 5.33 % on their testbed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import get_app
+from repro.pipeline.framework import HybridMemoryFramework
+from repro.placement.policies import run_cache_mode
+from repro.reporting.tables import AsciiTable
+from repro.units import MIB
+
+
+def _run():
+    app = get_app("lulesh")
+    fw = HybridMemoryFramework(app)
+    standard = fw.run(256 * MIB, "density")
+    virtual = fw.run(256 * MIB, "density", advisor_budget_real=512 * MIB)
+    cache = run_cache_mode(app, fw.machine, fw.profile())
+    return standard, virtual, cache
+
+
+def test_ablation_lulesh_virtual_budget(benchmark):
+    standard, virtual, cache = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+
+    table = AsciiTable(
+        ["configuration", "FOM (z/s)", "HWM MB", "gap to cache %"]
+    )
+    for label, outcome in (
+        ("advisor 256 MB / runtime 256 MB", standard.outcome),
+        ("advisor 512 MB / runtime 256 MB", virtual.outcome),
+    ):
+        gap = (cache.fom / outcome.fom - 1.0) * 100.0
+        table.add_row(label, outcome.fom, outcome.hwm_bytes / MIB, gap)
+    table.add_row("cache mode", cache.fom, 16384, 0.0)
+    print("\n== Ablation D1: Lulesh virtual advisor budget ==")
+    print(table.render())
+
+    # The virtual budget selects more transients and improves the FOM.
+    assert virtual.outcome.fom > standard.outcome.fom
+
+    # The run-time budget is still enforced.
+    assert virtual.outcome.hwm_bytes <= 256 * MIB * 1.01
+
+    # The gap to cache mode shortens (paper: 12.68 % -> 5.33 %).
+    gap_std = cache.fom / standard.outcome.fom - 1.0
+    gap_virtual = cache.fom / virtual.outcome.fom - 1.0
+    assert gap_virtual < gap_std
+
+    # The advisor planned beyond the enforcement budget.
+    assert virtual.report.tier_bytes("MCDRAM") > standard.report.tier_bytes(
+        "MCDRAM"
+    )

@@ -1,0 +1,118 @@
+"""Ablation D6: dimensioning a future three-tier node (Section IV-D).
+
+"Our framework may help processor architects to dimension memory
+tiers on forthcoming processors." This study replaces the KNL's DDR
+bulk with NVM and asks how much HBM + how much DDR a miniFE-class
+workload needs: the advisor's multi-knapsack cascade places hot
+objects on HBM, warm on DDR, cold bulk on NVM, and the replay
+predictor prices each configuration — the architect's sweep, with no
+re-executions. The density strategy is used: with tier budgets this
+large, the raw miss ranking can burn a whole HBM budget on one big
+moderately-hot array (greedy non-monotonicity), while profit density
+stays monotone across the sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisor.advisor import HmemAdvisor
+from repro.advisor.report import PlacementReport
+from repro.advisor.spec import MemorySpec, TierSpec
+from repro.advisor.strategies import DensityStrategy
+from repro.apps import get_app
+from repro.machine.config import hbm_ddr_nvm_machine
+from repro.pipeline.framework import HybridMemoryFramework
+from repro.predict.replay import PredictorCalibration, TraceReplayPredictor
+from repro.reporting.tables import AsciiTable
+from repro.units import GIB, MIB
+
+#: (HBM MB/rank, DDR MB/rank) configurations of the sweep.
+CONFIGS = [
+    (0, 0),          # everything on NVM
+    (32, 0),         # tiny HBM only
+    (32, 512),       # tiny HBM + fat-enough DDR
+    (128, 512),
+    (256, 1024),     # roomy
+    (512, 2048),     # past the working set
+]
+
+
+def _run():
+    app = get_app("minife")
+    fw = HybridMemoryFramework(app)
+    profiles = fw.analyze()
+    cal = app.calibration
+    machine = hbm_ddr_nvm_machine()
+    predictor = TraceReplayPredictor(
+        machine,
+        PredictorCalibration(cal.fom_ddr, cal.ddr_time,
+                             cal.memory_bound_fraction),
+    )
+
+    rows = []
+    for hbm_mb, ddr_mb in CONFIGS:
+        if hbm_mb == 0 and ddr_mb == 0:
+            report = PlacementReport(application=app.name, strategy="none")
+        else:
+            tiers = []
+            if hbm_mb:
+                tiers.append(
+                    TierSpec("HBM", budget=app.scaled(hbm_mb * MIB),
+                             relative_performance=5.2)
+                )
+            if ddr_mb:
+                tiers.append(
+                    TierSpec("DDR", budget=app.scaled(ddr_mb * MIB),
+                             relative_performance=1.0)
+                )
+            tiers.append(
+                TierSpec("NVM", budget=1024 * GIB,
+                         relative_performance=0.25)
+            )
+            advisor = HmemAdvisor(MemorySpec(tiers=tuple(tiers)))
+            report = advisor.advise(profiles, DensityStrategy())
+        outcome = predictor.predict_tiered(profiles, report)
+        rows.append(((hbm_mb, ddr_mb), report, outcome))
+    return app, rows
+
+
+def test_ablation_three_tier_sizing(benchmark):
+    app, rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = AsciiTable(
+        ["HBM MB/rank", "DDR MB/rank", "FOM (MFLOPS)", "vs all-NVM %",
+         "HBM traffic %", "NVM traffic %"]
+    )
+    base = rows[0][2].fom
+    outcomes = {}
+    for (hbm_mb, ddr_mb), report, outcome in rows:
+        total = outcome.traffic.total_bytes
+        hbm_pct = 100 * outcome.traffic.by_tier.get("HBM", 0.0) / total
+        nvm_pct = 100 * outcome.traffic.by_tier.get("NVM", 0.0) / total
+        outcomes[(hbm_mb, ddr_mb)] = outcome
+        table.add_row(hbm_mb, ddr_mb, outcome.fom,
+                      (outcome.fom / base - 1) * 100, hbm_pct, nvm_pct)
+    print("\n== Ablation D6: HBM/DDR/NVM dimensioning (miniFE) ==")
+    print(table.render())
+
+    # Everything-on-NVM is the floor; each added tier helps.
+    foms = [o.fom for _, _, o in rows]
+    assert foms == sorted(foms)
+
+    # A tiny HBM plus a modest DDR already recovers well over half of
+    # the all-NVM loss: miniFE's critical set is ~80 MB/rank, so
+    # 32 MB HBM + 512 MB DDR drags the bulk of the traffic off NVM
+    # (NVM share drops below 30 %).
+    assert outcomes[(32, 512)].fom > 1.5 * base
+    nvm_share = (
+        outcomes[(32, 512)].traffic.by_tier["NVM"]
+        / outcomes[(32, 512)].traffic.total_bytes
+    )
+    assert nvm_share < 0.30
+
+    # Diminishing returns: once the whole ~1 GB/rank working set is
+    # off NVM, doubling both tiers again gains almost nothing.
+    past = outcomes[(512, 2048)].fom
+    roomy = outcomes[(256, 1024)].fom
+    assert past < 1.05 * roomy

@@ -1,0 +1,78 @@
+"""Figure 1: STREAM Triad bandwidth vs core count.
+
+Regenerates the three curves (DDR, MCDRAM/flat, MCDRAM/cache) on the
+Xeon Phi 7250 model and asserts the shape the rest of the paper leans
+on: tiers indistinguishable at low core counts, DDR saturating near
+90 GB/s by ~8 cores, flat MCDRAM approaching ~470 GB/s, cache mode in
+between.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.stream_triad import StreamTriad
+from repro.reporting.ascii_plot import line_chart
+from repro.reporting.series import LabelledSeries
+from repro.reporting.tables import AsciiTable
+from repro.units import MIB
+
+#: The paper's x-axis.
+CORE_COUNTS = [1, 2, 4, 8, 16, 32, 34, 64, 68]
+
+
+def test_fig1_stream_bandwidth(benchmark, machine):
+    triad = StreamTriad(array_bytes=16 * MIB, sweeps=4)
+
+    results = benchmark.pedantic(
+        lambda: triad.bandwidth_sweep(machine, CORE_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+
+    ddr = LabelledSeries("DDR")
+    flat = LabelledSeries("MCDRAM/Flat")
+    cache = LabelledSeries("MCDRAM/Cache")
+    table = AsciiTable(["cores", "DDR GB/s", "MCDRAM/Flat GB/s",
+                        "MCDRAM/Cache GB/s"])
+    for r in results:
+        ddr.add(r.cores, r.ddr_gbps)
+        flat.add(r.cores, r.mcdram_flat_gbps)
+        cache.add(r.cores, r.mcdram_cache_gbps)
+        table.add_row(r.cores, r.ddr_gbps, r.mcdram_flat_gbps,
+                      r.mcdram_cache_gbps)
+    print("\n== Figure 1: Triad bandwidth on Xeon Phi 7250 ==")
+    print(table.render())
+    print()
+    print(
+        line_chart(
+            [ddr, flat, cache],
+            title="Triad bandwidth (GB/s) vs cores",
+            y_label="GB/s",
+            x_label="cores",
+        )
+    )
+
+    by_cores = {r.cores: r for r in results}
+
+    # Few cores: all three within 25 %.
+    one = by_cores[1]
+    assert one.mcdram_flat_gbps < 1.25 * one.ddr_gbps
+    assert one.mcdram_cache_gbps < 1.25 * one.ddr_gbps
+
+    # DDR saturates by ~8 cores near 90 GB/s.
+    assert by_cores[8].ddr_gbps == pytest.approx(90.0, rel=0.15)
+    assert by_cores[68].ddr_gbps == pytest.approx(by_cores[8].ddr_gbps,
+                                                  rel=0.05)
+
+    # Flat MCDRAM approaches ~470 GB/s at full core count.
+    assert by_cores[68].mcdram_flat_gbps == pytest.approx(470.0, rel=0.1)
+
+    # Cache mode lands between DDR and flat, well above DDR.
+    full = by_cores[68]
+    assert full.ddr_gbps * 2 < full.mcdram_cache_gbps < full.mcdram_flat_gbps
+
+    # Crossover ordering holds at every core count.
+    for r in results:
+        assert r.ddr_gbps <= r.mcdram_cache_gbps * 1.05
+        assert r.mcdram_cache_gbps <= r.mcdram_flat_gbps * 1.01

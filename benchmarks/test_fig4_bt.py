@@ -1,0 +1,42 @@
+"""Figure 4g-4i: NAS BT (OpenMP-only; budgets 32 MB .. 16 GB).
+
+Paper: the whole ~11 GB working set fits the 16 GB MCDRAM, so
+``numactl -p 1`` is marginally the best (it also captures the
+remaining statics and the stack); the framework converges to nearly
+the same performance at the 16 GB budget.
+"""
+
+from benchmarks._fig4 import Fig4Expectation, assert_expectation, run_and_render
+from repro.units import GIB
+
+
+def _framework_converges_to_numactl(result):
+    best = result.best_framework()
+    numactl = result.baselines["MCDRAM*"].fom
+    assert best.fom > 0.90 * numactl
+
+    # The 16 GB column is where the framework peaks (everything fits).
+    by_budget = [
+        max(result.row(b, s).fom for s in result.strategies())
+        for b in result.budgets()
+    ]
+    assert by_budget[-1] == max(by_budget)
+
+
+def _large_budget_hwm_is_working_set(result):
+    row = result.row(16 * GIB, "misses-0%")
+    assert 9_000 <= row.hwm_mb <= 11_500  # ~10.9 GB of dynamics
+
+
+EXPECTATION = Fig4Expectation(
+    app="nas-bt",
+    winner="MCDRAM*",
+    framework_gain=(0.7, 1.5),
+    marginal_within=0.12,
+    extra=(_framework_converges_to_numactl, _large_budget_hwm_is_working_set),
+)
+
+
+def test_fig4_bt(benchmark):
+    result = run_and_render("nas-bt", benchmark)
+    assert_expectation(result, EXPECTATION)

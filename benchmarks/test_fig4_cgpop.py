@@ -1,0 +1,40 @@
+"""Figure 4m-4o: CGPOP.
+
+Paper: the converted critical arrays already fit the smallest 32 MB
+budget, so the FOM columns are flat across budgets; only ~80 MB/rank
+is ever used; numactl is marginally better than the framework (the
+leftover statics ride along, and the 10 GB working set fits MCDRAM);
+the ΔFOM/MByte sweet spot is 32 MB/rank.
+"""
+
+from benchmarks._fig4 import Fig4Expectation, assert_expectation, run_and_render
+from repro.units import MIB
+
+
+def _columns_flat_across_budgets(result):
+    """Adding memory beyond 32 MB provides (almost) no benefit."""
+    for strategy in result.strategies():
+        at_32 = result.row(32 * MIB, strategy).fom
+        at_256 = result.row(256 * MIB, strategy).fom
+        assert at_256 <= at_32 * 1.06
+
+
+def _hwm_capped_at_80mb(result):
+    for budget in result.budgets():
+        for strategy in result.strategies():
+            assert result.row(budget, strategy).hwm_mb <= 90
+
+
+EXPECTATION = Fig4Expectation(
+    app="cgpop",
+    winner="MCDRAM*",
+    framework_gain=(0.8, 1.6),  # paper: ~2.2x over DDR
+    sweet_spot_mb=32,
+    marginal_within=0.10,
+    extra=(_columns_flat_across_budgets, _hwm_capped_at_80mb),
+)
+
+
+def test_fig4_cgpop(benchmark):
+    result = run_and_render("cgpop", benchmark)
+    assert_expectation(result, EXPECTATION)

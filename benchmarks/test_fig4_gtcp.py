@@ -1,0 +1,35 @@
+"""Figure 4v-4x: GTC-P.
+
+Paper: the framework wins and the density strategy beats the miss
+ranking (the particle push hammers small grid arrays; density spends
+the budget there instead of on a fraction of one huge particle array);
+numactl is poor because the particle arrays are allocated first; sweet
+spot at 32 MB.
+"""
+
+from benchmarks._fig4 import Fig4Expectation, assert_expectation, run_and_render
+from repro.units import MIB
+
+
+def _density_beats_misses(result):
+    density = result.row(256 * MIB, "density").fom
+    misses = result.row(256 * MIB, "misses-0%").fom
+    assert density > misses
+
+
+def _numactl_poor(result):
+    assert result.baselines["MCDRAM*"].fom < 1.10 * result.fom_ddr
+
+
+EXPECTATION = Fig4Expectation(
+    app="gtc-p",
+    winner="framework",
+    framework_gain=(0.20, 0.50),  # paper: ~+39 %
+    sweet_spot_mb=32,
+    extra=(_density_beats_misses, _numactl_poor),
+)
+
+
+def test_fig4_gtcp(benchmark):
+    result = run_and_render("gtc-p", benchmark)
+    assert_expectation(result, EXPECTATION)

@@ -1,0 +1,44 @@
+"""Figure 4a-4c: HPCG.
+
+Paper: the framework is the best placement — +78.88 % over DDR and
++24.82 % over the second-best (cache mode); numactl is near-useless
+because the sparse matrix is allocated first; the ΔFOM/MByte sweet
+spot sits at 256 MB/rank and keeps rising (HPCG "will benefit from
+having more MCDRAM"); 2 data objects deliver the bulk of the gain.
+"""
+
+from benchmarks._fig4 import Fig4Expectation, assert_expectation, run_and_render
+from repro.units import MIB
+
+
+def _framework_beats_cache_by_double_digits(result):
+    ratio = result.best_framework().fom / result.baselines["Cache"].fom - 1.0
+    assert 0.10 <= ratio <= 0.45  # paper: +24.82 %
+
+
+def _numactl_near_ddr(result):
+    assert result.baselines["MCDRAM*"].fom < 1.10 * result.fom_ddr
+
+
+def _two_objects_carry_the_gain(result):
+    """The 256 MB selection is just a handful of objects (paper: 2)."""
+    best = result.best_framework()
+    assert best.hwm_mb <= 260
+
+
+EXPECTATION = Fig4Expectation(
+    app="hpcg",
+    winner="framework",
+    framework_gain=(0.60, 1.00),  # paper: +78.88 %
+    sweet_spot_mb=256,
+    extra=(
+        _framework_beats_cache_by_double_digits,
+        _numactl_near_ddr,
+        _two_objects_carry_the_gain,
+    ),
+)
+
+
+def test_fig4_hpcg(benchmark):
+    result = run_and_render("hpcg", benchmark)
+    assert_expectation(result, EXPECTATION)

@@ -1,0 +1,39 @@
+"""Figure 4d-4f: Lulesh.
+
+Paper: cache mode wins (+46.98 % over DDR, +12.68 % over the
+framework's best); the framework is misled by allocation churn; the
+density strategy beats the miss ranking; autohbw *decreases*
+performance by ~8 %; the ΔFOM/MByte sweet spot is 32 MB/rank.
+"""
+
+from benchmarks._fig4 import Fig4Expectation, assert_expectation, run_and_render
+from repro.units import MIB
+
+
+def _cache_gain_shape(result):
+    gain = result.baselines["Cache"].fom / result.fom_ddr - 1.0
+    assert 0.30 <= gain <= 0.65  # paper: +46.98 %
+
+
+def _autohbw_hurts(result):
+    assert result.baselines["autohbw/1m"].fom < result.fom_ddr  # paper: -8 %
+
+
+def _density_beats_misses(result):
+    density = result.row(256 * MIB, "density").fom
+    misses = result.row(256 * MIB, "misses-0%").fom
+    assert density > misses
+
+
+EXPECTATION = Fig4Expectation(
+    app="lulesh",
+    winner="Cache",
+    framework_gain=(0.05, 0.40),
+    sweet_spot_mb=32,
+    extra=(_cache_gain_shape, _autohbw_hurts, _density_beats_misses),
+)
+
+
+def test_fig4_lulesh(benchmark):
+    result = run_and_render("lulesh", benchmark)
+    assert_expectation(result, EXPECTATION)

@@ -1,0 +1,34 @@
+"""Figure 4s-4u: MAXW-DGTD.
+
+Paper: cache mode is slightly superior to the framework's best — the
+18 GB total working set barely exceeds the 16 GB MCDRAM, accesses are
+regular, and the Fortran element kernels keep automatic arrays on the
+stack where only numactl/cache mode can help.
+"""
+
+from benchmarks._fig4 import Fig4Expectation, assert_expectation, run_and_render
+
+
+def _cache_slightly_above_framework(result):
+    cache = result.baselines["Cache"].fom
+    best = result.best_framework().fom
+    assert cache > best
+    assert cache / best - 1.0 < 0.10  # "slightly superior"
+
+
+def _everything_beats_ddr(result):
+    for row in result.baselines.values():
+        assert row.fom >= result.fom_ddr * 0.999
+
+
+EXPECTATION = Fig4Expectation(
+    app="maxw-dgtd",
+    winner="Cache",
+    framework_gain=(0.15, 0.45),  # paper: ~+30 %
+    extra=(_cache_slightly_above_framework, _everything_beats_ddr),
+)
+
+
+def test_fig4_maxw_dgtd(benchmark):
+    result = run_and_render("maxw-dgtd", benchmark)
+    assert_expectation(result, EXPECTATION)

@@ -1,0 +1,34 @@
+"""Figure 4j-4l: miniFE.
+
+Paper: the framework wins; miniFE only ever uses ~80 MB/rank even when
+allowed 256 (the 3 critical objects are small); the ΔFOM/MByte sweet
+spot sits at 128 MB/rank.
+"""
+
+from benchmarks._fig4 import Fig4Expectation, assert_expectation, run_and_render
+from repro.units import MIB
+
+
+def _hwm_plateaus_around_80mb(result):
+    row = result.row(256 * MIB, "misses-5%")
+    assert 60 <= row.hwm_mb <= 100  # paper: ~80 MB/rank
+
+    # No growth from 128 to 256 MB budgets.
+    for strategy in result.strategies():
+        at_128 = result.row(128 * MIB, strategy).hwm_mb
+        at_256 = result.row(256 * MIB, strategy).hwm_mb
+        assert at_256 <= at_128 * 1.05
+
+
+EXPECTATION = Fig4Expectation(
+    app="minife",
+    winner="framework",
+    framework_gain=(0.15, 0.45),  # paper: ~+35 %
+    sweet_spot_mb=128,
+    extra=(_hwm_plateaus_around_80mb,),
+)
+
+
+def test_fig4_minife(benchmark):
+    result = run_and_render("minife", benchmark)
+    assert_expectation(result, EXPECTATION)

@@ -1,0 +1,38 @@
+"""Figure 4p-4r: SNAP.
+
+Paper: ``numactl -p 1`` wins marginally (the outer_src_calc register
+spills live on the stack, which only numactl places in MCDRAM); the
+density strategy allocates far *less* memory (~64 MB) in the 128/256
+MB cases because it favours the small chunks and then the one large
+~256 MB angular-flux buffer no longer fits; sweet spot at 32 MB.
+"""
+
+from benchmarks._fig4 import Fig4Expectation, assert_expectation, run_and_render
+from repro.units import MIB
+
+
+def _density_strands_the_big_buffer(result):
+    """The paper's Figure 4q observation."""
+    for budget in (128 * MIB, 256 * MIB):
+        assert result.row(budget, "density").hwm_mb <= 80
+    assert result.row(256 * MIB, "misses-0%").hwm_mb >= 200
+
+
+def _framework_still_beats_ddr(result):
+    for budget in result.budgets():
+        assert result.row(budget, "misses-0%").fom > result.fom_ddr
+
+
+EXPECTATION = Fig4Expectation(
+    app="snap",
+    winner="MCDRAM*",
+    framework_gain=(0.04, 0.20),
+    sweet_spot_mb=32,
+    marginal_within=0.06,
+    extra=(_density_strands_the_big_buffer, _framework_still_beats_ddr),
+)
+
+
+def test_fig4_snap(benchmark):
+    result = run_and_render("snap", benchmark)
+    assert_expectation(result, EXPECTATION)

@@ -1,0 +1,115 @@
+"""Table I: explored applications and their characteristics.
+
+Regenerates the paper's application-characteristics table from the
+simulated profiling runs: geometry, FOM name, allocation statements,
+allocations/s, HWM per process and total, monitoring overhead, samples
+per process and per second.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import get_app, iter_apps
+from repro.parallel.job import SPMDJob
+from repro.reporting.tables import AsciiTable
+from repro.units import MIB
+
+#: Paper values for the comparison columns (per process).
+PAPER = {
+    "hpcg": dict(samples=13629, hwm_mb=928, overhead_pct=0.42),
+    "lulesh": dict(samples=3201, hwm_mb=859, overhead_pct=0.29),
+    "nas-bt": dict(samples=38215, hwm_mb=11136, overhead_pct=0.32),
+    "minife": dict(samples=3194, hwm_mb=1022, overhead_pct=4.10),
+    "cgpop": dict(samples=8258, hwm_mb=158, overhead_pct=0.88),
+    "snap": dict(samples=3194, hwm_mb=1022, overhead_pct=0.15),
+    "maxw-dgtd": dict(samples=2072, hwm_mb=285, overhead_pct=0.65),
+    "gtc-p": dict(samples=17254, hwm_mb=1329, overhead_pct=0.78),
+}
+
+
+def _characterize_all():
+    rows = []
+    for app in iter_apps():
+        run = app.run_profiling(seed=0)
+        hwm_mb = run.process.posix.stats.hwm_bytes / app.scale / MIB
+        static_mb = sum(
+            o.size for o in app.objects if o.static
+        ) / MIB
+        samples = run.tracer.n_samples
+        overhead_pct = (
+            run.tracer.monitoring_overhead(app.calibration.ddr_time) * 100
+        )
+        rows.append(
+            dict(
+                app=app,
+                samples=samples,
+                hwm_mb=hwm_mb + static_mb,
+                overhead_pct=overhead_pct,
+                samples_per_s=samples / app.calibration.ddr_time,
+            )
+        )
+    return rows
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(_characterize_all, rounds=1, iterations=1)
+
+    table = AsciiTable(
+        [
+            "Application", "Lang", "Parallelism", "Geometry", "FOM",
+            "Alloc stmts", "Allocs/s", "HWM MB/proc [total GB]",
+            "Overhead %", "Samples/proc", "Samples/s",
+        ]
+    )
+    for row in rows:
+        app = row["app"]
+        geom = (
+            f"{app.geometry.ranks}r x {app.geometry.threads_per_rank}t"
+            if app.geometry.ranks > 1
+            else f"{app.geometry.total_threads} threads"
+        )
+        total_gb = row["hwm_mb"] * app.geometry.ranks / 1024
+        table.add_row(
+            app.title,
+            app.language,
+            app.parallelism,
+            geom,
+            app.calibration.fom_units,
+            app.allocation_statements,
+            app.allocs_per_second_declared,
+            f"{row['hwm_mb']:.0f} [{total_gb:.1f}]",
+            row["overhead_pct"],
+            row["samples"],
+            row["samples_per_s"],
+        )
+    print("\n== Table I: application characteristics ==")
+    print(table.render())
+
+    # Shape assertions against the paper's Table I.
+    for row in rows:
+        paper = PAPER[row["app"].name]
+        assert row["samples"] == pytest.approx(paper["samples"], rel=0.12), (
+            row["app"].name
+        )
+        assert row["hwm_mb"] == pytest.approx(paper["hwm_mb"], rel=0.15), (
+            row["app"].name
+        )
+        # Monitoring overhead stays small, like the paper's <= ~4 %.
+        assert row["overhead_pct"] < 5.0
+
+
+def test_table1_rank_symmetry(benchmark):
+    """The 64-rank jobs are rank-symmetric, which is what justifies the
+    representative-rank methodology (run several actual ranks)."""
+    app = get_app("minife")
+
+    def run():
+        _, summary = SPMDJob(app, n_simulated_ranks=3).run()
+        return summary
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert summary.rank_symmetry() < 0.05
+    assert summary.total_samples_estimate == pytest.approx(
+        summary.mean_samples * 64
+    )

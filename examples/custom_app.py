@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Model *your* application and let the framework place its data.
+
+The framework never looks at application code — only at allocation
+events and sampled LLC misses. To study a new workload you describe
+its allocation sites (call-stacks, sizes, lifetimes), how its misses
+distribute over them, and its phase structure. This example models a
+small graph-analytics kernel (BFS-like: a huge edge array streamed,
+a hot frontier, per-iteration scratch) and runs the whole evaluation
+against the baselines.
+
+Run:  python examples/custom_app.py
+"""
+
+from repro.apps.base import (
+    AccessPattern,
+    AppCalibration,
+    AppGeometry,
+    ObjectSpec,
+    PhaseSpec,
+    SimApplication,
+)
+from repro.pipeline.experiment import ExperimentGrid, run_figure4_experiment
+from repro.reporting.tables import format_figure4
+from repro.units import MIB
+
+
+class GraphBFS(SimApplication):
+    """A BFS-flavoured graph kernel on the Xeon Phi node."""
+
+    name = "graph-bfs"
+    title = "Graph BFS (custom)"
+    language = "C++"
+    parallelism = "MPI+OpenMP"
+    problem_size = "scale-26 RMAT"
+    geometry = AppGeometry(ranks=64, threads_per_rank=4)
+    calibration = AppCalibration(
+        fom_ddr=2.1e9,           # traversed edges per second
+        ddr_time=180.0,
+        memory_bound_fraction=0.55,
+        fom_name="TEPS",
+        fom_units="edges/s",
+    )
+    n_iterations = 12
+    stream_misses = 40_000
+    sampling_period = 11
+    stack_miss_fraction = 0.02
+
+    phases = (
+        PhaseSpec("expand_frontier", 0.6, instruction_weight=1.0),
+        PhaseSpec("compact_frontier", 0.4, instruction_weight=0.8),
+    )
+
+    objects = (
+        # The edge array: enormous, streamed once per level.
+        ObjectSpec(
+            name="edge_array",
+            callstack=(("load_graph", 8),),
+            size=900 * MIB,
+            miss_weight=0.30,
+            pattern=AccessPattern("sequential", 1.0, reref_per_iteration=1.0),
+            phases=("expand_frontier",),
+        ),
+        # The frontier and visited bitmaps: small, hammered randomly.
+        ObjectSpec(
+            name="frontier",
+            callstack=(("bfs_init", 4),),
+            size=24 * MIB,
+            miss_weight=0.40,
+            pattern=AccessPattern("random", 1.0, reref_per_iteration=30.0),
+        ),
+        ObjectSpec(
+            name="visited_bitmap",
+            callstack=(("bfs_init", 9),),
+            size=12 * MIB,
+            miss_weight=0.22,
+            pattern=AccessPattern("random", 1.0, reref_per_iteration=30.0),
+        ),
+        # Per-level scratch queue (allocation churn).
+        ObjectSpec(
+            name="level_queue",
+            callstack=(("expand", 6),),
+            size=30 * MIB,
+            churn_phase="compact_frontier",
+            miss_weight=0.06,
+            pattern=AccessPattern("sequential", 1.0, reref_per_iteration=8.0),
+        ),
+    )
+
+
+def main() -> None:
+    app = GraphBFS()
+    result = run_figure4_experiment(
+        app,
+        grid=ExperimentGrid(
+            budgets=(32 * MIB, 64 * MIB, 128 * MIB, 256 * MIB)
+        ),
+    )
+    print(format_figure4(result))
+
+    best = result.best_framework()
+    print(
+        f"\nverdict: promote {best.hwm_mb:.0f} MB/rank "
+        f"({best.label} selection) for "
+        f"{(best.fom / result.fom_ddr - 1) * 100:+.1f} % over DDR — the "
+        "frontier and visited bitmap are the objects worth pinning."
+    )
+
+
+if __name__ == "__main__":
+    main()

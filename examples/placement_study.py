@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Placement study: budgets x strategies vs all baselines (one
+Figure 4 row, here for miniFE).
+
+Sweeps the paper's per-rank MCDRAM budgets (32..256 MB) across the
+four selection strategies and compares the framework against the four
+execution conditions of Section IV-B: everything-in-DDR,
+``numactl -p 1``, the autohbw library, and MCDRAM as cache.
+
+Run:  python examples/placement_study.py [app-name]
+"""
+
+import sys
+
+from repro import get_app, run_figure4_experiment
+from repro.reporting.tables import format_figure4
+from repro.units import MIB
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "minife"
+    app = get_app(name)
+    print(f"running the Figure 4 grid for {app.title} "
+          f"({app.geometry.ranks} ranks x "
+          f"{app.geometry.threads_per_rank} threads)...\n")
+
+    result = run_figure4_experiment(app)
+    print(format_figure4(result))
+
+    best = result.best_framework()
+    spot = result.sweet_spot()
+    print(
+        f"\nbest framework configuration: {best.label} at "
+        f"{best.budget_mb:.0f} MB/rank -> {best.fom:,.2f} "
+        f"{result.fom_units} using {best.hwm_mb:.0f} MB of MCDRAM"
+    )
+    print(f"dFOM/MByte sweet spot: {spot / MIB:.0f} MB/rank")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""The Section V extensions in one what-if session.
+
+Three future-work directions the paper sketches, all implemented:
+
+1. **Trace-replay prediction** — estimate any placement's FOM from the
+   sampled profile alone, no re-execution (cheap what-if loops);
+2. **Partial-object placement** — top up leftover budget with the
+   leading fraction of the best object that does not fit whole;
+3. **Latency-weighted selection** — with Xeon-style PEBS latency
+   samples, rank objects by stall cycles instead of raw miss counts.
+
+Run:  python examples/what_if_advisor.py
+"""
+
+from repro import HybridMemoryFramework, get_app
+from repro.advisor.advisor import HmemAdvisor
+from repro.advisor.strategies import get_strategy
+from repro.analysis.paramedir import Paramedir
+from repro.predict.replay import PredictorCalibration, TraceReplayPredictor
+from repro.reporting.tables import AsciiTable
+from repro.trace.tracer import TracerConfig
+from repro.units import MIB
+
+
+def main() -> None:
+    app = get_app("hpcg")
+    fw = HybridMemoryFramework(
+        app,
+        tracer_config=TracerConfig(
+            sampling_period=app.sampling_period,
+            record_latency=True,  # pretend the PMU is a Xeon
+        ),
+    )
+    profiles = Paramedir().analyze(fw.profile().trace)
+    cal = app.calibration
+    predictor = TraceReplayPredictor(
+        fw.machine,
+        PredictorCalibration(cal.fom_ddr, cal.ddr_time,
+                             cal.memory_bound_fraction),
+    )
+
+    # --- 1. cheap what-if sweep: 12 placements, zero re-executions.
+    table = AsciiTable(["budget MB", "strategy", "partial",
+                        "predicted GFLOPS", "vs DDR %"])
+    for budget in (64 * MIB, 128 * MIB, 256 * MIB):
+        advisor = HmemAdvisor(fw.memory_spec(budget))
+        for strategy in ("misses-0%", "latency-0%"):
+            for partial in (False, True):
+                report = advisor.advise(
+                    profiles, get_strategy(strategy), allow_partial=partial
+                )
+                predicted = predictor.predict(profiles, report)
+                table.add_row(
+                    budget / MIB, strategy, "yes" if partial else "no",
+                    predicted.fom,
+                    (predicted.fom / cal.fom_ddr - 1) * 100,
+                )
+    print("== predicted placements (no re-execution) ==")
+    print(table.render())
+
+    # --- 2. validate the best prediction against a real placed run.
+    best_budget = 256 * MIB
+    report = HmemAdvisor(fw.memory_spec(best_budget)).advise(
+        profiles, get_strategy("misses-0%")
+    )
+    predicted = predictor.predict(profiles, report)
+    actual = fw.run_placed(report, best_budget)
+    print(
+        f"\nvalidation at 256 MB: predicted {predicted.fom:.2f} GFLOPS, "
+        f"re-executed {actual.fom:.2f} GFLOPS "
+        f"({(predicted.fom / actual.fom - 1) * 100:+.2f} % error)"
+    )
+
+
+if __name__ == "__main__":
+    main()

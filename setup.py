@@ -1,0 +1,11 @@
+"""Shim for legacy editable installs on offline environments.
+
+The build environment has no ``wheel`` package, so PEP 660 editable
+installs (which need ``bdist_wheel``) fail; ``pip install -e .
+--no-use-pep517`` falls back to ``setup.py develop`` through this
+shim. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

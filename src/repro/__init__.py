@@ -1,0 +1,95 @@
+"""repro — reproduction of "Automating the Application Data Placement
+in Hybrid Memory Systems" (Servat, Peña, Llort, Mercadal, Hoppe,
+Labarta — IEEE CLUSTER 2017).
+
+A pure-Python, fully simulated implementation of the paper's
+four-stage profile-guided data-placement framework for hybrid-memory
+(DDR + MCDRAM) systems, together with every substrate it needs: a
+Xeon Phi 7250 machine model, a process runtime with ASLR/call-stacks/
+allocators, cache simulators, a PEBS-style sampler, the eight Table I
+application models and the evaluation harness regenerating every
+table and figure.
+
+Quickstart::
+
+    from repro import HybridMemoryFramework, get_app
+    from repro.units import MIB
+
+    app = get_app("minife")
+    fw = HybridMemoryFramework(app)
+    run = fw.run(budget_real=128 * MIB, strategy="density")
+    print(run.report.to_text())
+    print(f"FOM: {run.outcome.fom:.0f} {app.calibration.fom_units}")
+"""
+
+from repro.advisor import (
+    DensityStrategy,
+    HmemAdvisor,
+    LatencyDensityStrategy,
+    LatencyStrategy,
+    MemorySpec,
+    MissesStrategy,
+    PlacementReport,
+    get_strategy,
+)
+from repro.predict import PredictedOutcome, TraceReplayPredictor
+from repro.analysis import Paramedir, ProfileSet, fold_trace
+from repro.apps import APP_NAMES, SimApplication, get_app, iter_apps
+from repro.interpose import AutoHBW, AutoHbwMalloc
+from repro.machine import ExecutionModel, MachineConfig, xeon_phi_7250
+from repro.metrics import delta_fom_per_mbyte, percent_gain, speedup
+from repro.pipeline import (
+    ExperimentResult,
+    HybridMemoryFramework,
+    run_figure4_experiment,
+)
+from repro.placement import (
+    run_autohbw,
+    run_cache_mode,
+    run_ddr_only,
+    run_framework,
+    run_numactl_preferred,
+)
+from repro.trace import Tracer, TracerConfig, TraceFile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DensityStrategy",
+    "HmemAdvisor",
+    "LatencyDensityStrategy",
+    "LatencyStrategy",
+    "MemorySpec",
+    "MissesStrategy",
+    "PlacementReport",
+    "get_strategy",
+    "PredictedOutcome",
+    "TraceReplayPredictor",
+    "Paramedir",
+    "ProfileSet",
+    "fold_trace",
+    "APP_NAMES",
+    "SimApplication",
+    "get_app",
+    "iter_apps",
+    "AutoHBW",
+    "AutoHbwMalloc",
+    "ExecutionModel",
+    "MachineConfig",
+    "xeon_phi_7250",
+    "delta_fom_per_mbyte",
+    "percent_gain",
+    "speedup",
+    "ExperimentResult",
+    "HybridMemoryFramework",
+    "run_figure4_experiment",
+    "run_autohbw",
+    "run_cache_mode",
+    "run_ddr_only",
+    "run_framework",
+    "run_numactl_preferred",
+    "Tracer",
+    "TracerConfig",
+    "TraceFile",
+    "__version__",
+]

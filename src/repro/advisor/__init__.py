@@ -1,0 +1,41 @@
+"""hmem_advisor substitute: object-to-tier distribution.
+
+Implements the paper's Step 3: a relaxation of the 0/1 multiple
+knapsack problem, solving separate knapsacks in descending order of
+memory performance at memory-page granularity, with two greedy
+ranking strategies (LLC misses with an optional percentage threshold,
+and profit density) plus an exact DP solver used as the test oracle
+and for the ablation study.
+"""
+
+from repro.advisor.spec import MemorySpec, TierSpec
+from repro.advisor.knapsack import solve_knapsack
+from repro.advisor.strategies import (
+    SelectionStrategy,
+    MissesStrategy,
+    DensityStrategy,
+    LatencyStrategy,
+    LatencyDensityStrategy,
+    get_strategy,
+    STRATEGY_NAMES,
+    LATENCY_STRATEGY_NAMES,
+)
+from repro.advisor.report import PlacementReport, PlacementEntry
+from repro.advisor.advisor import HmemAdvisor
+
+__all__ = [
+    "MemorySpec",
+    "TierSpec",
+    "solve_knapsack",
+    "SelectionStrategy",
+    "MissesStrategy",
+    "DensityStrategy",
+    "LatencyStrategy",
+    "LatencyDensityStrategy",
+    "get_strategy",
+    "STRATEGY_NAMES",
+    "LATENCY_STRATEGY_NAMES",
+    "PlacementReport",
+    "PlacementEntry",
+    "HmemAdvisor",
+]

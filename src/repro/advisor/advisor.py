@@ -1,0 +1,142 @@
+"""hmem_advisor: pack profiled objects into memory tiers.
+
+"hmem_advisor is based on a relaxation of the 0/1 multiple knapsack
+problem (solving separate knapsacks in descending order of memory
+performance at memory page granularity), where the memory subsystems
+represent the knapsacks and the memory objects correspond to the
+items to be packed" (Section III, Step 3).
+
+Packing rules reproduced from the paper:
+
+* tiers are filled fastest-first; whatever does not fit falls through
+  to the next tier, ultimately to the default (slowest) tier whose
+  budget is never checked — it is the fall-back;
+* object sizes are page-rounded before packing;
+* the advisor "considers that the application address space is
+  static": each allocation site is charged its *maximum* observed
+  size once, for the whole run (this is exactly the assumption that
+  misleads it on allocation-churning applications like Lulesh —
+  reproduced faithfully, together with the "virtual budget" workaround
+  of Section IV-C);
+* only dynamic objects are assigned to fast tiers; hot *static*
+  variables are emitted as recommendations for manual migration.
+"""
+
+from __future__ import annotations
+
+from repro.advisor.report import PlacementEntry, PlacementReport
+from repro.advisor.spec import MemorySpec
+from repro.advisor.strategies import SelectionStrategy
+from repro.analysis.objects import ObjectKind
+from repro.analysis.profile import ObjectProfile, ProfileSet
+from repro.errors import AdvisorError
+from repro.units import page_round_up
+
+
+class HmemAdvisor:
+    """Computes an object distribution for a given memory spec."""
+
+    def __init__(self, spec: MemorySpec) -> None:
+        self.spec = spec
+
+    def advise(
+        self,
+        profiles: ProfileSet,
+        strategy: SelectionStrategy,
+        allow_partial: bool = False,
+    ) -> PlacementReport:
+        """Produce the placement report for one strategy.
+
+        Dynamic objects are packed greedily in strategy order into the
+        fast tiers; statics that *would* have been selected are listed
+        as manual recommendations instead (the interposition library
+        "cannot promote static and automatic variables", Section IV).
+
+        ``allow_partial`` enables the Section V extension: after the
+        normal whole-object packing, leftover budget is filled with
+        the leading fraction of the best remaining candidate — the
+        whole-object selection is never degraded, only topped up
+        (evaluated by the replay predictor; auto-hbwmalloc skips
+        partial entries since splitting an object needs data
+        partitioning).
+        """
+        report = PlacementReport(
+            application=profiles.application,
+            strategy=strategy.name,
+            budgets={t.name: t.budget for t in self.spec.fast_tiers},
+        )
+
+        candidates = strategy.order(list(profiles.profiles))
+        remaining = {t.name: t.budget for t in self.spec.fast_tiers}
+
+        for tier in self.spec.fast_tiers:
+            placed: list[ObjectProfile] = []
+            for profile in candidates:
+                footprint = page_round_up(profile.size, self.spec.page_size)
+                if footprint == 0 or footprint > remaining[tier.name]:
+                    continue
+                if profile.key.kind == ObjectKind.STATIC:
+                    # Recommend, but do not spend budget: the library
+                    # cannot actually move it, so reserving space would
+                    # strand budget that dynamic objects could use.
+                    report.static_recommendations.append(
+                        PlacementEntry(
+                            key=profile.key,
+                            tier=tier.name,
+                            size=profile.size,
+                            sampled_misses=profile.sampled_misses,
+                        )
+                    )
+                    placed.append(profile)
+                    continue
+                if profile.key.kind != ObjectKind.DYNAMIC:
+                    continue
+                remaining[tier.name] -= footprint
+                placed.append(profile)
+                report.entries.append(
+                    PlacementEntry(
+                        key=profile.key,
+                        tier=tier.name,
+                        size=profile.size,
+                        sampled_misses=profile.sampled_misses,
+                    )
+                )
+            candidates = [p for p in candidates if p not in placed]
+
+            if allow_partial and remaining[tier.name] >= self.spec.page_size:
+                for profile in candidates:
+                    if (
+                        profile.key.kind != ObjectKind.DYNAMIC
+                        or profile.sampled_misses == 0
+                    ):
+                        continue
+                    footprint = page_round_up(
+                        profile.size, self.spec.page_size
+                    )
+                    if footprint <= remaining[tier.name]:
+                        continue  # would have been packed whole already
+                    fraction = remaining[tier.name] / footprint
+                    report.entries.append(
+                        PlacementEntry(
+                            key=profile.key,
+                            tier=tier.name,
+                            size=profile.size,
+                            sampled_misses=profile.sampled_misses,
+                            fraction=fraction,
+                        )
+                    )
+                    remaining[tier.name] = 0
+                    placed.append(profile)
+                    break
+                candidates = [p for p in candidates if p not in placed]
+
+        report.finalize_bounds()
+        return report
+
+    def advise_all(
+        self, profiles: ProfileSet, strategies: list[SelectionStrategy]
+    ) -> dict[str, PlacementReport]:
+        """Run several strategies over the same profiles."""
+        if not strategies:
+            raise AdvisorError("need at least one strategy")
+        return {s.name: self.advise(profiles, s) for s in strategies}

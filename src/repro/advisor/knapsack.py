@@ -1,0 +1,118 @@
+"""Exact 0/1 knapsack (dynamic programming).
+
+The paper notes that "computing a pure 0/1 knapsack (with
+pseudo-polynomial computational cost) involving potentially hundreds
+of memory objects and large memory levels has proven to be
+impractical" — which is why hmem_advisor ships greedy relaxations.
+The exact solver is still valuable here as (a) the oracle the greedy
+strategies are property-tested against and (b) the ablation benchmark
+quantifying how much the relaxations give up.
+
+The DP runs over page-granular capacities with a vectorised numpy
+inner loop, so moderate instances (hundreds of objects, tens of
+thousands of pages) remain tractable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AdvisorError
+
+
+def solve_knapsack(
+    values: list[float] | np.ndarray,
+    weights: list[int] | np.ndarray,
+    capacity: int,
+) -> tuple[float, list[int]]:
+    """Maximise total value subject to total weight <= capacity.
+
+    Parameters
+    ----------
+    values:
+        Profit per item (e.g. estimated LLC misses avoided).
+    weights:
+        Integer weight per item (e.g. pages).
+    capacity:
+        Integer knapsack capacity (pages).
+
+    Returns
+    -------
+    (best_value, selected) :
+        The optimum and the indices of the chosen items (ascending).
+    """
+    values = np.asarray(values, dtype=float)
+    weights = np.asarray(weights, dtype=np.int64)
+    if values.shape != weights.shape or values.ndim != 1:
+        raise AdvisorError("values and weights must be equal-length vectors")
+    if np.any(values < 0):
+        raise AdvisorError("negative values are not supported")
+    if np.any(weights < 0):
+        raise AdvisorError("negative weights are not supported")
+    if capacity < 0:
+        raise AdvisorError(f"negative capacity: {capacity}")
+
+    n = values.size
+    if n == 0 or capacity == 0:
+        free = [i for i in range(n) if weights[i] == 0 and values[i] > 0]
+        return float(values[free].sum()) if free else 0.0, free
+
+    # dp[c] = best value with capacity c using items seen so far.
+    dp = np.zeros(capacity + 1, dtype=float)
+    # take[i] is the boolean take-decision row for item i (memoised for
+    # backtracking). Kept as packed bits to bound memory.
+    take_rows: list[np.ndarray] = []
+
+    for i in range(n):
+        w = int(weights[i])
+        v = float(values[i])
+        if w > capacity:
+            take_rows.append(np.zeros(0, dtype=np.uint8))
+            continue
+        if w == 0:
+            # Zero-weight items are always taken when beneficial.
+            row = np.zeros(capacity + 1, dtype=bool)
+            if v > 0:
+                dp += v
+                row[:] = True
+            take_rows.append(np.packbits(row))
+            continue
+        candidate = dp[:-w] + v if w > 0 else dp
+        taken = np.zeros(capacity + 1, dtype=bool)
+        taken[w:] = candidate > dp[w:]
+        dp[w:] = np.where(taken[w:], candidate, dp[w:])
+        take_rows.append(np.packbits(taken))
+
+    # Backtrack.
+    selected: list[int] = []
+    c = capacity
+    for i in range(n - 1, -1, -1):
+        row = take_rows[i]
+        if row.size == 0:
+            continue
+        unpacked = np.unpackbits(row, count=capacity + 1).astype(bool)
+        if unpacked[c]:
+            selected.append(i)
+            c -= int(weights[i])
+    selected.reverse()
+    return float(dp[capacity]), selected
+
+
+def greedy_value(
+    values: np.ndarray, weights: np.ndarray, capacity: int, order: list[int]
+) -> tuple[float, list[int]]:
+    """Value achieved by greedily packing items in ``order``.
+
+    Shared helper for comparing greedy relaxations against the DP
+    optimum in tests and the ablation bench.
+    """
+    total = 0.0
+    used = 0
+    chosen: list[int] = []
+    for i in order:
+        w = int(weights[i])
+        if used + w <= capacity:
+            used += w
+            total += float(values[i])
+            chosen.append(i)
+    return total, chosen

@@ -1,0 +1,217 @@
+"""Placement report: the advisor's human-readable output.
+
+"The output of the tool is a list of selected data objects that
+should be promoted to fast memory. This list is written in a
+human-readable format" (Section III, Step 3) — both so developers can
+apply it by hand (statics cannot be auto-migrated) and so
+auto-hbwmalloc can parse it back. The text format below is exactly
+that: readable line-oriented records that round-trip losslessly.
+
+The report also carries the ``lb_size``/``ub_size`` pre-filter bounds
+auto-hbwmalloc uses to skip unwinding for allocations that cannot
+possibly match (Section III, Step 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.objects import ObjectKey, ObjectKind
+from repro.errors import ReportError
+
+
+@dataclass(frozen=True, slots=True)
+class PlacementEntry:
+    """One selected object: where it goes and why.
+
+    ``fraction`` < 1 marks a *partial* placement — only the leading
+    fraction of the object's pages goes to the fast tier (the Section
+    V extension for objects that do not fit whole; applying it at run
+    time requires data-partitioning support, refs [33,34] of the
+    paper, so auto-hbwmalloc ignores partial entries and the replay
+    predictor evaluates them instead).
+    """
+
+    key: ObjectKey
+    tier: str
+    size: int
+    sampled_misses: int
+    fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ReportError("negative entry size")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ReportError(f"fraction must be in (0,1], got {self.fraction}")
+
+    @property
+    def placed_bytes(self) -> int:
+        return int(self.size * self.fraction)
+
+
+@dataclass
+class PlacementReport:
+    """The advisor's decision for one application/budget/strategy."""
+
+    application: str
+    strategy: str
+    entries: list[PlacementEntry] = field(default_factory=list)
+    #: Budget granted per fast tier (bytes), as given to the advisor.
+    budgets: dict[str, int] = field(default_factory=dict)
+    #: Size bounds over selected *dynamic* entries (the interposer's
+    #: cheap pre-filter); None when nothing dynamic was selected.
+    lb_size: int | None = None
+    ub_size: int | None = None
+    #: Static variables the advisor recommends migrating by hand.
+    static_recommendations: list[PlacementEntry] = field(default_factory=list)
+
+    def dynamic_entries(self, tier: str | None = None) -> list[PlacementEntry]:
+        out = [e for e in self.entries if e.key.kind == ObjectKind.DYNAMIC]
+        if tier is not None:
+            out = [e for e in out if e.tier == tier]
+        return out
+
+    def selected_keys(self, tier: str) -> set:
+        """Call-stack keys of dynamic objects *fully* promoted to
+        ``tier`` (partial entries need data partitioning the
+        interposition library does not have)."""
+        return {
+            e.key.identity
+            for e in self.entries
+            if e.tier == tier
+            and e.key.kind == ObjectKind.DYNAMIC
+            and e.fraction >= 1.0
+        }
+
+    def tier_bytes(self, tier: str) -> int:
+        return sum(e.placed_bytes for e in self.entries if e.tier == tier)
+
+    def finalize_bounds(self) -> None:
+        """Recompute lb/ub from the current dynamic entries."""
+        sizes = [e.size for e in self.dynamic_entries()]
+        self.lb_size = min(sizes) if sizes else None
+        self.ub_size = max(sizes) if sizes else None
+
+    # -- human-readable round-trip -------------------------------------------
+
+    def to_text(self) -> str:
+        lines = [
+            "# hmem_advisor placement report",
+            f"application: {self.application}",
+            f"strategy: {self.strategy}",
+        ]
+        for tier, budget in sorted(self.budgets.items()):
+            lines.append(f"budget: {tier} {budget}")
+        if self.lb_size is not None:
+            lines.append(f"lb_size: {self.lb_size}")
+        if self.ub_size is not None:
+            lines.append(f"ub_size: {self.ub_size}")
+        for e in self.entries:
+            suffix = (
+                f" fraction={e.fraction:g}" if e.fraction < 1.0 else ""
+            )
+            lines.append(
+                f"object: tier={e.tier} size={e.size} "
+                f"misses={e.sampled_misses}{suffix}"
+            )
+            lines.extend(_key_lines(e.key))
+        for e in self.static_recommendations:
+            lines.append(
+                f"static-recommendation: tier={e.tier} size={e.size} "
+                f"misses={e.sampled_misses}"
+            )
+            lines.extend(_key_lines(e.key))
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_text(cls, text: str) -> "PlacementReport":
+        report = cls(application="", strategy="")
+        current: dict | None = None
+        frames: list[tuple[str, str, int]] = []
+
+        def flush() -> None:
+            nonlocal current, frames
+            if current is None:
+                return
+            if current["kind"] == ObjectKind.DYNAMIC:
+                if not frames:
+                    raise ReportError("dynamic object with no frames")
+                key = ObjectKey(kind=ObjectKind.DYNAMIC, identity=tuple(frames))
+            else:
+                key = ObjectKey(
+                    kind=current["kind"], identity=current["name"]
+                )
+            entry = PlacementEntry(
+                key=key,
+                tier=current["tier"],
+                size=current["size"],
+                sampled_misses=current["misses"],
+                fraction=current["fraction"],
+            )
+            (report.static_recommendations if current["static"] else report.entries
+             ).append(entry)
+            current = None
+            frames = []
+
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                tag, rest = line.split(":", 1)
+                rest = rest.strip()
+                if tag == "application":
+                    report.application = rest
+                elif tag == "strategy":
+                    report.strategy = rest
+                elif tag == "budget":
+                    tier, amount = rest.split()
+                    report.budgets[tier] = int(amount)
+                elif tag == "lb_size":
+                    report.lb_size = int(rest)
+                elif tag == "ub_size":
+                    report.ub_size = int(rest)
+                elif tag in ("object", "static-recommendation"):
+                    flush()
+                    fields = dict(kv.split("=") for kv in rest.split())
+                    current = {
+                        "tier": fields["tier"],
+                        "size": int(fields["size"]),
+                        "misses": int(fields["misses"]),
+                        "fraction": float(fields.get("fraction", 1.0)),
+                        "kind": ObjectKind.DYNAMIC,
+                        "name": "",
+                        "static": tag == "static-recommendation",
+                    }
+                elif tag == "frame":
+                    if current is None:
+                        raise ReportError("frame outside an object")
+                    fn, fi, ln = rest.rsplit(" ", 2)
+                    frames.append((fn, fi, int(ln)))
+                elif tag == "static-name":
+                    if current is None:
+                        raise ReportError("static-name outside an object")
+                    current["kind"] = ObjectKind.STATIC
+                    current["name"] = rest
+                else:
+                    raise ReportError(f"unknown tag {tag!r}")
+            except (ValueError, KeyError) as exc:
+                raise ReportError(f"line {lineno}: {raw!r}: {exc}") from exc
+        flush()
+        return report
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_text())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PlacementReport":
+        return cls.from_text(Path(path).read_text())
+
+
+def _key_lines(key: ObjectKey) -> list[str]:
+    if key.kind == ObjectKind.DYNAMIC:
+        return [
+            f"frame: {fn} {fi} {ln}" for fn, fi, ln in key.identity
+        ]
+    return [f"static-name: {key.identity}"]

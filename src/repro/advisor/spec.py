@@ -1,0 +1,131 @@
+"""Memory specification consumed by hmem_advisor.
+
+"Each memory subsystem is defined by a given size and a relative
+performance in a configuration file, ensuring that we can extend this
+mechanism in the future for different memory architectures" (Section
+III, Step 3). :class:`MemorySpec` is that configuration file; it can
+be built from a :class:`~repro.machine.config.MachineConfig` with
+per-experiment budget overrides (the paper budgets 32-256 MB/rank of
+the 16 GB MCDRAM).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.machine.config import MachineConfig
+
+
+@dataclass(frozen=True, slots=True)
+class TierSpec:
+    """One knapsack: a tier name, its budget and relative performance."""
+
+    name: str
+    budget: int
+    relative_performance: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("tier spec needs a name")
+        if self.budget < 0:
+            raise ConfigError(f"tier {self.name!r}: negative budget")
+        if self.relative_performance <= 0:
+            raise ConfigError(
+                f"tier {self.name!r}: relative performance must be positive"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class MemorySpec:
+    """Ordered memory description (fastest first after construction)."""
+
+    tiers: tuple[TierSpec, ...]
+    page_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if not self.tiers:
+            raise ConfigError("memory spec needs at least one tier")
+        names = [t.name for t in self.tiers]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate tier names in spec: {names}")
+        if self.page_size <= 0:
+            raise ConfigError("page size must be positive")
+        ordered = tuple(
+            sorted(self.tiers, key=lambda t: t.relative_performance, reverse=True)
+        )
+        object.__setattr__(self, "tiers", ordered)
+
+    @property
+    def fast_tiers(self) -> tuple[TierSpec, ...]:
+        """All tiers except the slowest (the default/fall-back tier)."""
+        return self.tiers[:-1]
+
+    @property
+    def default_tier(self) -> TierSpec:
+        return self.tiers[-1]
+
+    def tier(self, name: str) -> TierSpec:
+        for t in self.tiers:
+            if t.name == name:
+                return t
+        raise ConfigError(f"no tier {name!r} in spec")
+
+    @classmethod
+    def from_machine(
+        cls,
+        machine: MachineConfig,
+        budgets: dict[str, int] | None = None,
+        page_size: int = 4096,
+    ) -> "MemorySpec":
+        """Build a spec from a machine, optionally capping tier budgets.
+
+        ``budgets`` maps tier name to the budget granted for this
+        experiment; unlisted tiers keep their full capacity.
+        """
+        budgets = budgets or {}
+        tiers = []
+        for t in machine.tiers:
+            budget = budgets.get(t.name, t.capacity)
+            if budget > t.capacity:
+                raise ConfigError(
+                    f"budget {budget} for tier {t.name!r} exceeds its "
+                    f"capacity {t.capacity}"
+                )
+            tiers.append(
+                TierSpec(
+                    name=t.name,
+                    budget=budget,
+                    relative_performance=t.relative_performance,
+                )
+            )
+        return cls(tiers=tuple(tiers), page_size=page_size)
+
+    # -- config file round-trip ---------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        data = {
+            "page_size": self.page_size,
+            "tiers": [
+                {
+                    "name": t.name,
+                    "budget": t.budget,
+                    "relative_performance": t.relative_performance,
+                }
+                for t in self.tiers
+            ],
+        }
+        Path(path).write_text(json.dumps(data, indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "MemorySpec":
+        try:
+            data = json.loads(Path(path).read_text())
+            return cls(
+                tiers=tuple(TierSpec(**t) for t in data["tiers"]),
+                page_size=data.get("page_size", 4096),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed memory spec {path}: {exc}") from exc

@@ -1,0 +1,182 @@
+"""Greedy selection strategies (the paper's two knapsack relaxations).
+
+Section III, Step 3: "The first alternative is an approach that
+selects the data objects based on the number of LLC misses and an
+optionally user-provided percentage threshold. ... The second
+alternative is a relaxation based on profit density, i.e. promoting
+those variables with higher memory access/data object size ratio.
+Either approach has a linear computational cost."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.analysis.profile import ObjectProfile
+from repro.errors import AdvisorError
+
+
+class SelectionStrategy(Protocol):
+    """Ranks candidate objects for greedy packing."""
+
+    name: str
+
+    def order(self, profiles: list[ObjectProfile]) -> list[ObjectProfile]:
+        """Candidates in packing order (best first), already filtered."""
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class MissesStrategy:
+    """Rank by LLC misses; drop objects below a share threshold.
+
+    ``threshold_pct`` "allows preventing that rarely referenced
+    objects (but that still fit in the knapsack) are promoted to
+    fast-memory".
+    """
+
+    threshold_pct: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold_pct <= 100.0:
+            raise AdvisorError(
+                f"threshold must be a percentage, got {self.threshold_pct}"
+            )
+
+    @property
+    def name(self) -> str:
+        return f"misses-{self.threshold_pct:g}%"
+
+    def order(self, profiles: list[ObjectProfile]) -> list[ObjectProfile]:
+        total = sum(p.sampled_misses for p in profiles)
+        floor = total * self.threshold_pct / 100.0
+        admitted = [
+            p
+            for p in profiles
+            if p.sampled_misses > 0 and p.sampled_misses >= floor
+        ]
+        return sorted(
+            admitted, key=lambda p: (p.sampled_misses, -p.size), reverse=True
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class DensityStrategy:
+    """Rank by profit density: misses per byte."""
+
+    @property
+    def name(self) -> str:
+        return "density"
+
+    def order(self, profiles: list[ObjectProfile]) -> list[ObjectProfile]:
+        admitted = [p for p in profiles if p.sampled_misses > 0 and p.size > 0]
+        return sorted(
+            admitted,
+            key=lambda p: (p.density, p.sampled_misses),
+            reverse=True,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyStrategy:
+    """Rank by summed sampled access latency (cycles).
+
+    The refinement the paper devises for Xeon-class PMUs: "an
+    additional refinement enabled by our approach based on the PEBS
+    metrics provided in Intel Xeon processors benefiting from
+    object-differentiated information on miss latency" (Section III,
+    Step 3). Two objects with equal miss counts are no longer equal if
+    one's misses are row-buffer-friendly streams and the other's are
+    TLB-missing gathers.
+    """
+
+    threshold_pct: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold_pct <= 100.0:
+            raise AdvisorError(
+                f"threshold must be a percentage, got {self.threshold_pct}"
+            )
+
+    @property
+    def name(self) -> str:
+        return f"latency-{self.threshold_pct:g}%"
+
+    def order(self, profiles: list[ObjectProfile]) -> list[ObjectProfile]:
+        total = sum(p.sampled_latency for p in profiles)
+        if total == 0:
+            raise AdvisorError(
+                "latency strategy needs latency samples; the modelled "
+                "Xeon Phi PMU does not provide them — profile with "
+                "TracerConfig(record_latency=True)"
+            )
+        floor = total * self.threshold_pct / 100.0
+        admitted = [
+            p
+            for p in profiles
+            if p.sampled_latency > 0 and p.sampled_latency >= floor
+        ]
+        return sorted(
+            admitted, key=lambda p: (p.sampled_latency, -p.size), reverse=True
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyDensityStrategy:
+    """Rank by latency-weighted profit density (cycles per byte)."""
+
+    @property
+    def name(self) -> str:
+        return "latency-density"
+
+    def order(self, profiles: list[ObjectProfile]) -> list[ObjectProfile]:
+        if all(p.sampled_latency == 0 for p in profiles):
+            raise AdvisorError(
+                "latency-density strategy needs latency samples; profile "
+                "with TracerConfig(record_latency=True)"
+            )
+        admitted = [p for p in profiles if p.sampled_latency > 0 and p.size > 0]
+        return sorted(
+            admitted,
+            key=lambda p: (p.latency_density, p.sampled_latency),
+            reverse=True,
+        )
+
+
+#: Strategy grid of the paper's evaluation (Section IV-B).
+STRATEGY_NAMES: tuple[str, ...] = (
+    "density",
+    "misses-0%",
+    "misses-1%",
+    "misses-5%",
+)
+
+#: The Xeon-PMU extension strategies (Section III future refinement).
+LATENCY_STRATEGY_NAMES: tuple[str, ...] = (
+    "latency-0%",
+    "latency-density",
+)
+
+
+def get_strategy(name: str) -> SelectionStrategy:
+    """Look a strategy up by its report name.
+
+    >>> get_strategy("misses-5%").threshold_pct
+    5.0
+    """
+    if name == "density":
+        return DensityStrategy()
+    if name == "latency-density":
+        return LatencyDensityStrategy()
+    for prefix, cls in (("misses-", MissesStrategy), ("latency-", LatencyStrategy)):
+        if name.startswith(prefix) and name.endswith("%"):
+            try:
+                pct = float(name[len(prefix) : -1])
+            except ValueError as exc:
+                raise AdvisorError(f"bad strategy name {name!r}") from exc
+            return cls(threshold_pct=pct)
+    raise AdvisorError(
+        f"unknown strategy {name!r}; expected 'density', 'misses-<pct>%', "
+        f"'latency-<pct>%' or 'latency-density'"
+    )

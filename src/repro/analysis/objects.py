@@ -1,0 +1,76 @@
+"""Memory-object identity.
+
+The paper identifies dynamically-allocated variables "by their
+allocation call-stack" and static variables "by their given name"
+(Section III, Step 1). Samples falling outside both are stack/
+automatic accesses, which the framework explicitly does not support
+promoting — they still need an identity so the attribution accounting
+is total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.runtime.callstack import CallStack
+
+
+class ObjectKind(Enum):
+    DYNAMIC = "dynamic"
+    STATIC = "static"
+    STACK = "stack"
+    UNRESOLVED = "unresolved"
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectKey:
+    """Hashable identity of one memory object.
+
+    ``identity`` is the call-stack key tuple for dynamic objects, the
+    variable name for statics, and a fixed sentinel for stack and
+    unresolved accesses.
+    """
+
+    kind: ObjectKind
+    identity: tuple | str
+
+    @classmethod
+    def dynamic(cls, callstack: CallStack) -> "ObjectKey":
+        return cls(kind=ObjectKind.DYNAMIC, identity=callstack.key)
+
+    @classmethod
+    def static(cls, name: str) -> "ObjectKey":
+        return cls(kind=ObjectKind.STATIC, identity=name)
+
+    @classmethod
+    def stack(cls) -> "ObjectKey":
+        return cls(kind=ObjectKind.STACK, identity="<stack>")
+
+    @classmethod
+    def unresolved(cls) -> "ObjectKey":
+        return cls(kind=ObjectKind.UNRESOLVED, identity="<unresolved>")
+
+    @property
+    def is_promotable(self) -> bool:
+        """Only dynamic allocations can be redirected by interposition
+        (Section III: "statically allocated objects cannot be migrated
+        ... without modifying the application code")."""
+        return self.kind == ObjectKind.DYNAMIC
+
+    @property
+    def label(self) -> str:
+        """Short human-readable name (leaf frame or variable name)."""
+        if self.kind == ObjectKind.DYNAMIC:
+            function, file, line = self.identity[0]
+            return f"{function}@{file}:{line}"
+        return str(self.identity)
+
+    def pretty(self) -> str:
+        """Full rendering, e.g. for the advisor's human-readable list."""
+        if self.kind == ObjectKind.DYNAMIC:
+            chain = " <- ".join(
+                f"{fn}({fi}:{ln})" for fn, fi, ln in self.identity
+            )
+            return f"dynamic: {chain}"
+        return f"{self.kind.value}: {self.identity}"

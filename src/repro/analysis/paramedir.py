@@ -1,0 +1,170 @@
+"""Paramedir substitute: trace -> per-object CSV statistics.
+
+"Paramedir is applied to compute two statistics from the trace for
+each application data object: (1) the cost of the memory accesses
+[approximated by the number of LLC misses], and (2) the size of the
+object" (Section III, Step 2). The CSV round-trip mirrors Paramedir's
+comma-separated-value output so the advisor stage can be driven from a
+file, exactly like the real toolchain.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.analysis.attribution import attribute_samples
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.objects import ObjectKey, ObjectKind
+from repro.analysis.profile import ObjectProfile, ProfileSet
+from repro.errors import AttributionError
+from repro.trace.tracefile import TraceFile
+
+
+class Paramedir:
+    """Non-graphical analysis driver.
+
+    Optionally driven by an :class:`~repro.analysis.config.AnalysisConfig`
+    ("the so-called configuration files that can be applied to any
+    trace-file", Section III, Step 2): the config narrows which
+    samples are counted (time window, ranks) and which objects are
+    reported (size floor, statics, top-N). Allocation history is
+    never filtered — live ranges must be complete for attribution.
+    """
+
+    def __init__(self, config: "AnalysisConfig | None" = None) -> None:
+        self.config = config
+
+    def analyze(self, trace: TraceFile) -> ProfileSet:
+        """Compute the per-object statistics for one trace."""
+        if self.config is not None:
+            trace = self._narrow(trace)
+        result = attribute_samples(trace)
+        profiles = ProfileSet.from_attribution(
+            result,
+            sampling_period=trace.sampling_period,
+            application=trace.application,
+        )
+        if self.config is not None:
+            profiles = self._filter_profiles(profiles)
+        return profiles
+
+    def _narrow(self, trace: TraceFile) -> TraceFile:
+        """Copy of ``trace`` with out-of-scope samples removed."""
+        from repro.trace.events import SampleEvent
+
+        narrowed = TraceFile(
+            application=trace.application,
+            ranks=trace.ranks,
+            sampling_period=trace.sampling_period,
+            statics=list(trace.statics),
+            metadata=dict(trace.metadata),
+        )
+        for event in trace.events:
+            if isinstance(event, SampleEvent) and not self.config.admits_sample(
+                event.time, event.rank
+            ):
+                continue
+            narrowed.append(event)
+        return narrowed
+
+    def _filter_profiles(self, profiles: ProfileSet) -> ProfileSet:
+        config = self.config
+        kept = [
+            p
+            for p in profiles.profiles
+            if p.size >= config.min_object_size
+            and (config.include_statics or p.key.kind != ObjectKind.STATIC)
+        ]
+        if config.top_n is not None:
+            kept = sorted(
+                kept, key=lambda p: (p.sampled_misses, p.size), reverse=True
+            )[: config.top_n]
+        return ProfileSet(
+            profiles=kept,
+            stack_samples=profiles.stack_samples,
+            unresolved_samples=profiles.unresolved_samples,
+            sampling_period=profiles.sampling_period,
+            application=profiles.application,
+        )
+
+
+_CSV_FIELDS = [
+    "kind",
+    "identity",
+    "sampled_misses",
+    "size",
+    "n_allocs",
+    "total_allocated",
+    "sampling_period",
+    "sampled_latency",
+]
+
+
+def _identity_to_str(key: ObjectKey) -> str:
+    if key.kind == ObjectKind.DYNAMIC:
+        return ";".join(f"{fn}|{fi}|{ln}" for fn, fi, ln in key.identity)
+    return str(key.identity)
+
+
+def _identity_from_str(kind: ObjectKind, text: str) -> ObjectKey:
+    if kind == ObjectKind.DYNAMIC:
+        frames = []
+        for part in text.split(";"):
+            fn, fi, ln = part.split("|")
+            frames.append((fn, fi, int(ln)))
+        return ObjectKey(kind=kind, identity=tuple(frames))
+    return ObjectKey(kind=kind, identity=text)
+
+
+def write_profiles_csv(profiles: ProfileSet, path: str | Path) -> None:
+    """Emit the Paramedir-style CSV report."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_CSV_FIELDS)
+        writer.writeheader()
+        for p in profiles:
+            writer.writerow(
+                {
+                    "kind": p.key.kind.value,
+                    "identity": _identity_to_str(p.key),
+                    "sampled_misses": p.sampled_misses,
+                    "size": p.size,
+                    "n_allocs": p.n_allocs,
+                    "total_allocated": p.total_allocated,
+                    "sampling_period": p.sampling_period,
+                    "sampled_latency": p.sampled_latency,
+                }
+            )
+
+
+def read_profiles_csv(path: str | Path) -> ProfileSet:
+    """Parse a CSV report back into a :class:`ProfileSet`."""
+    path = Path(path)
+    profiles: list[ObjectProfile] = []
+    period = 1
+    with path.open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames != _CSV_FIELDS:
+            raise AttributionError(
+                f"{path}: unexpected CSV header {reader.fieldnames}"
+            )
+        for row in reader:
+            try:
+                kind = ObjectKind(row["kind"])
+                key = _identity_from_str(kind, row["identity"])
+                period = int(row["sampling_period"])
+                profiles.append(
+                    ObjectProfile(
+                        key=key,
+                        sampled_misses=int(row["sampled_misses"]),
+                        size=int(row["size"]),
+                        n_allocs=int(row["n_allocs"]),
+                        total_allocated=int(row["total_allocated"]),
+                        sampling_period=period,
+                        sampled_latency=int(row.get("sampled_latency", 0) or 0),
+                    )
+                )
+            except (KeyError, ValueError) as exc:
+                raise AttributionError(f"{path}: malformed row {row}") from exc
+    return ProfileSet(profiles=profiles, sampling_period=period)

@@ -1,0 +1,133 @@
+"""GTC-P 160328 model (Table I, Figures 4v-4x).
+
+Princeton Gyrokinetic Toroidal Code: plasma turbulence in Tokamak
+fusion devices — particles accelerated around a toroidal cavity by a
+confining magnetic field. Table I: 8,362 LoC C, MPI+OpenMP, 64 ranks
+x 4 threads, 861,390 grid / 50 its, FOM in iterations/s, 156 malloc /
+156 free statements, 20.57 allocations/process/s, 1,329 MB/process
+HWM (85.1 GB total — the largest of the suite), 17,254
+samples/process, 0.78 % monitoring overhead.
+
+Paper results to reproduce: the framework wins, and the *density*
+strategy beats the miss ranking — the particle push/gather kernels
+hammer small grid/field arrays (high misses per byte), while the huge
+particle arrays soak up raw miss counts but cannot fit in any budget;
+ranking by density spends the budget on the grid arrays instead of
+half of one particle array. numactl is poor: the particle arrays are
+allocated first and exhaust the share. Cache mode suffers from the
+random particle->grid scatter/gather conflicts.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import (
+    AccessPattern,
+    AppCalibration,
+    AppGeometry,
+    ObjectSpec,
+    PhaseSpec,
+    SimApplication,
+)
+from repro.units import MIB
+
+
+class GTCP(SimApplication):
+    name = "gtc-p"
+    title = "GTC-P 160328"
+    language = "C"
+    parallelism = "MPI+OpenMP"
+    problem_size = "861,390 grid, 50 its"
+    lines_of_code = 8362
+    allocation_statements = "156/0/156/0/0/0/0/0"
+    allocs_per_second_declared = 20.57
+    geometry = AppGeometry(ranks=64, threads_per_rank=4)
+    calibration = AppCalibration(
+        fom_ddr=0.085,
+        ddr_time=604.0,
+        memory_bound_fraction=0.45,
+        fom_name="FOM",
+        fom_units="Iterations/s",
+    )
+    n_iterations = 15
+    stream_misses = 120_000
+    sampling_period = 7  # 120000/7 ~ 17.1k samples (Table I: 17,254)
+    stack_miss_fraction = 0.02
+
+    phases = (
+        PhaseSpec("push_particles", 0.45, instruction_weight=1.1),
+        PhaseSpec("charge_deposition", 0.35, instruction_weight=1.0),
+        PhaseSpec("field_solve", 0.20, instruction_weight=0.8),
+    )
+
+    objects = (
+        # Particle arrays: allocated first, enormous, linear sweeps.
+        ObjectSpec(
+            name="particle_coords",
+            callstack=(("setup_particles", 9),),
+            size=130 * MIB,
+            count=4,  # grown in four species chunks
+            miss_weight=0.15,
+            pattern=AccessPattern("sequential", 0.8, reref_per_iteration=2.0),
+            phases=("push_particles", "charge_deposition"),
+        ),
+        ObjectSpec(
+            name="particle_velocities",
+            callstack=(("setup_particles", 15),),
+            size=400 * MIB,
+            miss_weight=0.10,
+            pattern=AccessPattern("sequential", 0.8, reref_per_iteration=2.0),
+            phases=("push_particles",),
+        ),
+        ObjectSpec(
+            name="particle_aux",
+            callstack=(("setup_particles", 21),),
+            size=260 * MIB,
+            miss_weight=0.05,
+            pattern=AccessPattern("sequential", 0.7, reref_per_iteration=2.0),
+            phases=("charge_deposition",),
+        ),
+        # Grid/field arrays: small, hammered by gather/scatter —
+        # exactly what the density strategy promotes.
+        ObjectSpec(
+            name="field_grid",
+            callstack=(("setup_grid", 7),),
+            size=52 * MIB,
+            miss_weight=0.22,
+            pattern=AccessPattern("random", 1.0, reref_per_iteration=15.0),
+        ),
+        ObjectSpec(
+            name="charge_density_grid",
+            callstack=(("setup_grid", 13),),
+            size=40 * MIB,
+            miss_weight=0.18,
+            pattern=AccessPattern("random", 1.0, reref_per_iteration=15.0),
+            phases=("charge_deposition", "field_solve"),
+        ),
+        ObjectSpec(
+            name="poisson_workspace",
+            callstack=(("setup_poisson", 10),),
+            size=28 * MIB,
+            miss_weight=0.14,
+            pattern=AccessPattern("random", 0.9, reref_per_iteration=8.0),
+            phases=("field_solve",),
+        ),
+        # The flux-surface-averaged field: tiny and hammered by every
+        # particle — the highest-value 12 MB of the whole run, which
+        # is why the dFOM/MByte sweet spot sits at the 32 MB budget.
+        ObjectSpec(
+            name="flux_surface_avg",
+            callstack=(("setup_grid", 19),),
+            size=12 * MIB,
+            miss_weight=0.14,
+            pattern=AccessPattern("random", 1.0, reref_per_iteration=20.0),
+        ),
+        # Diagnostics: cold bulk.
+        ObjectSpec(
+            name="diagnostic_buffers",
+            callstack=(("setup_diagnostics", 8),),
+            size=22 * MIB,
+            miss_weight=0.02,
+            pattern=AccessPattern("sequential", 0.5, reref_per_iteration=2.0),
+            phases=("field_solve",),
+        ),
+    )

@@ -1,0 +1,193 @@
+"""Lulesh 2.0 model (Table I, Figures 4d-4f).
+
+Livermore Unstructured Lagrange Explicit Shock Hydrodynamics proxy.
+Table I: 7,240 LoC C++, MPI+OpenMP, 64 ranks x 4 threads, 96^3 for 50
+iterations, FOM in z/s, 1 malloc / 35 new / 23 delete statements,
+29.48 allocations/process/s, 859 MB/process HWM (55.0 GB total),
+3,201 samples/process, 0.29 % monitoring overhead. The paper
+compiles it with ``-fno-inline`` because aggressive inlining merges
+allocation call-stacks.
+
+Paper results to reproduce: **cache mode wins** (+46.98 % over DDR,
++12.68 % over the framework's best, density at 256 MB); the framework
+is *misled* by allocation churn — "it allocates and deallocates many
+objects during the application run ... hmem_advisor considers data
+objects alive for the whole execution" — and forcing a virtual 512 MB
+advisor budget while enforcing 256 MB shortens the gap. autohbw
+*decreases* performance by ~8 %: it promotes non-critical objects
+(limiting its impact) and pays the slow 1-2 MiB memkind path for the
+per-element transients it promotes inside the timed loop. The
+density strategy beats the miss ranking.
+
+Inventory rationale:
+
+* persistent mesh arrays have small per-iteration hot sets with heavy
+  re-reference — which is why the memory-side cache works so well;
+* per-phase scratch arrays (three nodal + four element, 25-30 MB)
+  churn every iteration; their *summed* max sizes exceed any budget
+  although the instantaneous footprint is one phase's worth —
+  reproducing the advisor's static-address-space blind spot;
+* fifteen ~1.7 MiB per-element temporaries churn in the constraint
+  phase: 96^3/64 ranks is 45^3 elements x 8 B ~ 0.7-1.7 MiB per
+  field — these are the allocations Table I's 29.48 allocs/s counts,
+  nearly valueless for placement (tiny miss share) yet promoted by
+  any size-threshold policy, which then pays memkind's slow path;
+* cold tables (material EOS, connectivity) are allocated *first*, so
+  FCFS policies (numactl, autohbw) spend MCDRAM on them.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import (
+    AccessPattern,
+    AppCalibration,
+    AppGeometry,
+    ObjectSpec,
+    PhaseSpec,
+    SimApplication,
+)
+from repro.units import KIB, MIB
+
+#: Persistent arrays: ~1/3 of each array is hot per iteration and each
+#: hot line is re-touched ~12x (gather/scatter inside the kernels).
+_PERSIST = AccessPattern("sequential", 0.30, reref_per_iteration=12.0)
+#: Phase scratch: written and re-read many times within its phase.
+_SCRATCH = AccessPattern("sequential", 1.0, reref_per_iteration=24.0)
+
+
+def _scratch(name, fn, line, size, weight, phase):
+    return ObjectSpec(
+        name=name,
+        callstack=((fn, line),),
+        size=size,
+        churn_phase=phase,
+        miss_weight=weight,
+        pattern=_SCRATCH,
+    )
+
+
+def _tiny(index: int) -> ObjectSpec:
+    """One ~1.7 MiB per-element transient in the constraint phase."""
+    return ObjectSpec(
+        name=f"elem_tmp_{index:02d}",
+        callstack=(("CalcTimeConstraintsForElems", 4 + index),),
+        size=1740 * KIB,
+        churn_phase="CalcTimeConstraints",
+        # Effectively never sampled: these transients are written once
+        # and consumed immediately (they live in the LLC), so no
+        # placement strategy ever selects them — but any size-threshold
+        # library still promotes them and pays the slow memkind path.
+        miss_weight=0.0,
+        pattern=AccessPattern("sequential", 1.0, reref_per_iteration=24.0),
+    )
+
+
+class Lulesh(SimApplication):
+    name = "lulesh"
+    title = "Lulesh 2.0"
+    language = "C++"
+    parallelism = "MPI+OpenMP"
+    problem_size = "96^3, 50 its"
+    lines_of_code = 7240
+    allocation_statements = "1/0/1/35/23/0/0"
+    allocs_per_second_declared = 29.48
+    geometry = AppGeometry(ranks=64, threads_per_rank=4)
+    calibration = AppCalibration(
+        fom_ddr=7000.0,
+        ddr_time=352.0,
+        memory_bound_fraction=0.50,
+        fom_name="FOM",
+        fom_units="z/s",
+    )
+    n_iterations = 20
+    stream_misses = 64_000
+    sampling_period = 20  # 64000/20 = 3.2k samples (Table I: 3,201)
+    stack_miss_fraction = 0.02
+    #: Table I reports 29.48 allocs/s (~10.4k over the run); the
+    #: simulation replays 20 iterations x ~22 churn sites, so each
+    #: simulated allocation stands for ~24 real ones when scaling
+    #: interposition/memkind overhead.
+    alloc_count_multiplier = 24.0
+
+    phases = (
+        PhaseSpec("LagrangeNodal", 0.35, instruction_weight=1.0),
+        PhaseSpec("LagrangeElements", 0.45, instruction_weight=1.1),
+        PhaseSpec("CalcTimeConstraints", 0.20, instruction_weight=0.7),
+    )
+
+    objects = (
+        # Cold tables allocated first: FCFS policies burn MCDRAM here.
+        ObjectSpec(
+            name="material_tables",
+            callstack=(("Domain_ctor", 31),),
+            size=120 * MIB,
+            miss_weight=0.04,
+            pattern=AccessPattern("random", 0.6, reref_per_iteration=3.0),
+            phases=("LagrangeElements",),
+        ),
+        ObjectSpec(
+            name="elem_connectivity",
+            callstack=(("Domain_ctor", 22), ("AllocateElemPersistent", 5)),
+            size=120 * MIB,
+            miss_weight=0.05,
+            pattern=AccessPattern("sequential", 0.25, reref_per_iteration=12.0),
+            phases=("LagrangeElements",),
+        ),
+        # Persistent mesh state.
+        ObjectSpec(
+            name="node_coords",
+            callstack=(("Domain_ctor", 10), ("AllocateNodalPersistent", 4)),
+            size=130 * MIB,
+            miss_weight=0.12,
+            pattern=_PERSIST,
+        ),
+        ObjectSpec(
+            name="node_velocities",
+            callstack=(("Domain_ctor", 10), ("AllocateNodalPersistent", 9)),
+            size=80 * MIB,
+            miss_weight=0.09,
+            pattern=_PERSIST,
+            phases=("LagrangeNodal", "CalcTimeConstraints"),
+        ),
+        ObjectSpec(
+            name="node_forces",
+            callstack=(("Domain_ctor", 10), ("AllocateNodalPersistent", 14)),
+            size=80 * MIB,
+            miss_weight=0.08,
+            pattern=_PERSIST,
+            phases=("LagrangeNodal",),
+        ),
+        ObjectSpec(
+            name="elem_volumes",
+            callstack=(("Domain_ctor", 22), ("AllocateElemPersistent", 11)),
+            size=90 * MIB,
+            miss_weight=0.07,
+            pattern=_PERSIST,
+            phases=("LagrangeElements", "CalcTimeConstraints"),
+        ),
+        ObjectSpec(
+            name="elem_pressure_energy",
+            callstack=(("Domain_ctor", 22), ("AllocateElemPersistent", 17)),
+            size=110 * MIB,
+            miss_weight=0.06,
+            pattern=_PERSIST,
+            phases=("LagrangeElements",),
+        ),
+        # Per-phase scratch churn (25-30 MB each, staggered by phase).
+        _scratch("grad_scratch_a", "CalcForceForNodes", 8, 30 * MIB, 0.12,
+                 "LagrangeNodal"),
+        _scratch("grad_scratch_b", "CalcForceForNodes", 13, 40 * MIB, 0.06,
+                 "LagrangeNodal"),
+        _scratch("accel_scratch", "CalcAccelForNodes", 6, 40 * MIB, 0.06,
+                 "LagrangeNodal"),
+        _scratch("strain_scratch_a", "CalcKinematics", 9, 45 * MIB, 0.055,
+                 "LagrangeElements"),
+        _scratch("strain_scratch_b", "CalcKinematics", 14, 45 * MIB, 0.055,
+                 "LagrangeElements"),
+        _scratch("q_scratch_a", "CalcQForElems", 7, 45 * MIB, 0.055,
+                 "LagrangeElements"),
+        _scratch("q_scratch_b", "CalcQForElems", 12, 45 * MIB, 0.055,
+                 "LagrangeElements"),
+        # The 1-2 MiB per-element transients of the constraint phase.
+        *[_tiny(i) for i in range(15)],
+    )

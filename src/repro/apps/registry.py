@@ -1,0 +1,47 @@
+"""Application registry: name -> model factory."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.apps.base import SimApplication
+from repro.apps.cgpop import CGPOP
+from repro.apps.gtcp import GTCP
+from repro.apps.hpcg import HPCG
+from repro.apps.lulesh import Lulesh
+from repro.apps.maxw_dgtd import MaxwDGTD
+from repro.apps.minife import MiniFE
+from repro.apps.nas_bt import NasBT
+from repro.apps.snap import SNAP
+from repro.errors import WorkloadError
+
+_REGISTRY: dict[str, Callable[[], SimApplication]] = {
+    "hpcg": HPCG,
+    "lulesh": Lulesh,
+    "nas-bt": NasBT,
+    "minife": MiniFE,
+    "cgpop": CGPOP,
+    "snap": SNAP,
+    "maxw-dgtd": MaxwDGTD,
+    "gtc-p": GTCP,
+}
+
+#: Table I order.
+APP_NAMES: tuple[str, ...] = tuple(_REGISTRY)
+
+
+def get_app(name: str) -> SimApplication:
+    """Instantiate an application model by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown application {name!r}; have {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def iter_apps() -> Iterator[SimApplication]:
+    """All Table I applications, in Table I order."""
+    for name in APP_NAMES:
+        yield get_app(name)

@@ -1,0 +1,121 @@
+"""SNAP 1.0.7 model (Table I, Figures 4p-4r, Figure 5).
+
+Discrete-ordinates neutral-particle transport proxy (LANL). Table I:
+8,583 LoC Fortran, MPI+OpenMP, 64 ranks x 4 threads, 32x64x64 for 20
+iterations, FOM in iterations/s, 5 allocate / 1 deallocate
+statements, 1,006.55 allocations/process/s, 1,022 MB/process HWM
+(65.4 GB total), 3,194 samples/process, 0.15 % monitoring overhead.
+
+Paper results to reproduce:
+
+* ``numactl -p 1`` wins marginally: the ``outer_src_calc`` routine
+  spills registers to the *stack* under pressure, and only numactl
+  places the stack on MCDRAM — the framework cannot promote automatic
+  variables (Figure 5 shows the MIPS dip during ``outer_src_calc``
+  under the framework, absent under numactl);
+* the density strategy allocates far *less* memory (~64 MB) in the
+  128/256 MB cases: SNAP has "few small chunks of memory and one
+  large (256 Mbytes) buffer, and the selection mechanism favors the
+  placement of the small chunks in MCDRAM but then the large buffer
+  does not fit" (Section IV-C).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import (
+    AccessPattern,
+    AppCalibration,
+    AppGeometry,
+    ObjectSpec,
+    PhaseSpec,
+    SimApplication,
+)
+from repro.units import MIB
+
+
+class SNAP(SimApplication):
+    name = "snap"
+    title = "SNAP 1.0.7"
+    language = "Fortran"
+    parallelism = "MPI+OpenMP"
+    problem_size = "32x64x64, 20 its"
+    lines_of_code = 8583
+    allocation_statements = "0/0/0/5/1/0/0"
+    allocs_per_second_declared = 1006.55
+    geometry = AppGeometry(ranks=64, threads_per_rank=4)
+    calibration = AppCalibration(
+        fom_ddr=0.066,
+        ddr_time=261.0,
+        memory_bound_fraction=0.26,
+        fom_name="FOM",
+        fom_units="Iterations/s",
+    )
+    n_iterations = 12
+    stream_misses = 48_000
+    sampling_period = 15  # 48000/15 = 3.2k samples (Table I: 3,194)
+    #: The register-spill traffic of ``outer_src_calc``: a sizeable
+    #: share of misses lands on the stack, where only numactl (and
+    #: cache mode) can help. The spills happen in that one routine
+    #: (Figure 5's MIPS dip).
+    stack_miss_fraction = 0.20
+    stack_phases = ("outer_src_calc",)
+
+    # outer_src_calc is short but memory-hungry (the spills), which is
+    # exactly what produces Figure 5's MIPS dip under the framework.
+    phases = (
+        PhaseSpec("outer_src_calc", 0.12, instruction_weight=1.3),
+        PhaseSpec("octsweep", 0.88, instruction_weight=1.0),
+    )
+
+    objects = (
+        # The one large angular-flux buffer (~256 MB/rank).
+        ObjectSpec(
+            name="angular_flux",
+            callstack=(("allocate_flux", 6),),
+            size=248 * MIB,
+            miss_weight=0.42,
+            pattern=AccessPattern("sequential", 0.55, reref_per_iteration=1.0),
+            phases=("octsweep",),
+        ),
+        # The small hot chunks the density strategy favours.
+        ObjectSpec(
+            name="scalar_flux_moments",
+            callstack=(("allocate_flux", 12),),
+            size=22 * MIB,
+            miss_weight=0.13,
+            pattern=AccessPattern("random", 1.0, reref_per_iteration=10.0),
+        ),
+        ObjectSpec(
+            name="cross_sections",
+            callstack=(("allocate_xs", 8),),
+            size=18 * MIB,
+            miss_weight=0.07,
+            pattern=AccessPattern("random", 1.0, reref_per_iteration=10.0),
+            phases=("outer_src_calc",),
+        ),
+        ObjectSpec(
+            name="source_moments",
+            callstack=(("allocate_src", 9),),
+            size=16 * MIB,
+            miss_weight=0.07,
+            pattern=AccessPattern("sequential", 1.0, reref_per_iteration=6.0),
+            phases=("outer_src_calc",),
+        ),
+        ObjectSpec(
+            name="sweep_workspace",
+            callstack=(("allocate_sweep", 7),),
+            size=10 * MIB,
+            miss_weight=0.09,
+            pattern=AccessPattern("sequential", 1.0, reref_per_iteration=6.0),
+            phases=("octsweep",),
+        ),
+        # Cold geometry/bookkeeping filling out the 1 GB footprint.
+        ObjectSpec(
+            name="geometry_tables",
+            callstack=(("allocate_geom", 5),),
+            size=700 * MIB,
+            miss_weight=0.10,
+            pattern=AccessPattern("sequential", 0.25, reref_per_iteration=1.0),
+            phases=("octsweep",),
+        ),
+    )

@@ -1,0 +1,101 @@
+"""STREAM Triad kernel (Figure 1's workload).
+
+``a[i] = b[i] + s * c[i]`` over three large arrays. Figure 1 measures
+the delivered bandwidth as a function of core count with the data in
+DDR, in flat MCDRAM, and with MCDRAM in cache mode. Here the tier
+curves come from the machine's bandwidth-saturation model and the
+cache-mode curve from an actual direct-mapped simulation of the triad
+access stream (the arrays fit in MCDRAM, so after the first sweep the
+cache serves nearly everything — at the reduced cache-mode peak).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cache.directmap import DirectMappedCache
+from repro.errors import WorkloadError
+from repro.machine.bandwidth import BandwidthModel
+from repro.machine.config import MachineConfig
+from repro.units import CACHE_LINE, MIB
+
+
+@dataclass(frozen=True, slots=True)
+class TriadResult:
+    """Delivered bandwidth per placement for one core count."""
+
+    cores: int
+    ddr_gbps: float
+    mcdram_flat_gbps: float
+    mcdram_cache_gbps: float
+
+
+class StreamTriad:
+    """The triad kernel over three ``array_bytes``-sized arrays."""
+
+    def __init__(self, array_bytes: int = 16 * MIB, sweeps: int = 4) -> None:
+        if array_bytes < CACHE_LINE:
+            raise WorkloadError("array too small for one cache line")
+        if sweeps < 2:
+            raise WorkloadError("need >= 2 sweeps to expose cache reuse")
+        self.array_bytes = array_bytes
+        self.sweeps = sweeps
+
+    def access_stream(self, stride: int = CACHE_LINE) -> np.ndarray:
+        """Line-granular triad access stream: b, c, a interleaved, per
+        sweep (write-allocate on a)."""
+        n_lines = self.array_bytes // stride
+        base_a = 0
+        base_b = self.array_bytes * 2  # spaced so arrays do not overlap
+        base_c = self.array_bytes * 4
+        idx = np.arange(n_lines, dtype=np.int64) * stride
+        one_sweep = np.empty(3 * n_lines, dtype=np.uint64)
+        one_sweep[0::3] = (base_b + idx).astype(np.uint64)
+        one_sweep[1::3] = (base_c + idx).astype(np.uint64)
+        one_sweep[2::3] = (base_a + idx).astype(np.uint64)
+        return np.tile(one_sweep, self.sweeps)
+
+    def cache_mode_hit_ratio(self, mcdram_cache_bytes: int) -> float:
+        """Measured hit ratio of the triad in an MCDRAM-sized
+        direct-mapped cache (cold first sweep included)."""
+        cache = DirectMappedCache(mcdram_cache_bytes, CACHE_LINE)
+        hits = cache.access_stream(self.access_stream())
+        return float(np.count_nonzero(hits)) / hits.size
+
+    def bandwidth_sweep(
+        self,
+        machine: MachineConfig,
+        core_counts: list[int],
+        cache_capacity_bytes: int | None = None,
+    ) -> list[TriadResult]:
+        """Figure 1: the three bandwidth curves.
+
+        ``cache_capacity_bytes`` sizes the simulated direct-mapped
+        MCDRAM cache (defaults to a cache comfortably larger than the
+        working set, as on the real machine where 3 STREAM arrays fit
+        in 16 GiB).
+        """
+        model = BandwidthModel(machine)
+        if cache_capacity_bytes is None:
+            cache_capacity_bytes = 8 * self.array_bytes
+        hit_ratio = self.cache_mode_hit_ratio(cache_capacity_bytes)
+        results = []
+        for cores in core_counts:
+            results.append(
+                TriadResult(
+                    cores=cores,
+                    ddr_gbps=model.tier_bandwidth(machine.slow_tier, cores)
+                    / 1e9,
+                    mcdram_flat_gbps=model.tier_bandwidth(
+                        machine.fast_tier, cores
+                    )
+                    / 1e9,
+                    mcdram_cache_gbps=model.cache_mode_bandwidth(
+                        cores, hit_ratio=hit_ratio
+                    )
+                    / 1e9,
+                )
+            )
+        return results

@@ -1,0 +1,22 @@
+"""Cache simulators.
+
+The framework's input signal is LLC (L2 on KNL) miss samples, so the
+reproduction includes an actual cache model rather than assuming miss
+counts: a reference set-associative LRU simulator
+(:class:`SetAssociativeCache`), a fast vectorised direct-mapped
+simulator (:func:`simulate_direct_mapped`) used both as an LLC fast
+path and as the MCDRAM cache-mode model, and a two-level hierarchy.
+"""
+
+from repro.cache.stats import CacheStats
+from repro.cache.setassoc import SetAssociativeCache
+from repro.cache.directmap import DirectMappedCache, simulate_direct_mapped
+from repro.cache.hierarchy import CacheHierarchy
+
+__all__ = [
+    "CacheStats",
+    "SetAssociativeCache",
+    "DirectMappedCache",
+    "simulate_direct_mapped",
+    "CacheHierarchy",
+]

@@ -1,0 +1,86 @@
+"""Two-level cache hierarchy (L1 -> L2/LLC).
+
+On KNL the L2 is the last-level cache; PEBS there tracks L2 load
+references and misses (Section III, Step 1). The hierarchy filters an
+access stream through an L1 model and forwards L1 misses to the LLC;
+the LLC miss stream is what the PEBS sampler draws from.
+
+For long streams the LLC can optionally run on the vectorised
+direct-mapped model; the set-associative reference model remains the
+default because KNL's L2 is 16-way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cache.setassoc import SetAssociativeCache
+from repro.cache.stats import CacheStats
+from repro.errors import ConfigError
+from repro.units import KIB, MIB
+
+
+@dataclass(frozen=True, slots=True)
+class CacheLevelSpec:
+    """Geometry of one cache level."""
+
+    capacity: int
+    line_size: int = 64
+    ways: int = 8
+
+
+#: KNL per-tile geometry scaled per-thread: 32 KiB 8-way L1D and a
+#: 1 MiB 16-way L2 shared by two cores. Simulated application streams
+#: are per-rank, so the per-rank slice of the shared L2 is what the
+#: stream sees.
+KNL_L1 = CacheLevelSpec(capacity=32 * KIB, line_size=64, ways=8)
+KNL_L2 = CacheLevelSpec(capacity=512 * KIB, line_size=64, ways=16)
+
+
+class CacheHierarchy:
+    """An inclusive L1 -> LLC filter for address streams.
+
+    :meth:`feed` returns the indices of accesses that missed the LLC —
+    exactly the events main memory (and therefore the placement
+    decision) has to serve.
+    """
+
+    def __init__(
+        self,
+        l1: CacheLevelSpec = KNL_L1,
+        llc: CacheLevelSpec = KNL_L2,
+    ) -> None:
+        if l1.capacity >= llc.capacity:
+            raise ConfigError(
+                f"L1 ({l1.capacity}) must be smaller than the LLC "
+                f"({llc.capacity})"
+            )
+        if l1.line_size != llc.line_size:
+            raise ConfigError("mixed line sizes are not supported")
+        self.l1 = SetAssociativeCache(l1.capacity, l1.line_size, l1.ways)
+        self.llc = SetAssociativeCache(llc.capacity, llc.line_size, llc.ways)
+
+    def feed(self, addresses: np.ndarray) -> np.ndarray:
+        """Run a stream through L1 then LLC.
+
+        Returns the positions (indices into ``addresses``) whose access
+        missed in the LLC.
+        """
+        addresses = np.asarray(addresses, dtype=np.uint64)
+        llc_miss_positions: list[int] = []
+        for i, addr in enumerate(addresses.tolist()):
+            if self.l1.access(addr):
+                continue
+            if not self.llc.access(addr):
+                llc_miss_positions.append(i)
+        return np.asarray(llc_miss_positions, dtype=np.int64)
+
+    @property
+    def l1_stats(self) -> CacheStats:
+        return self.l1.stats
+
+    @property
+    def llc_stats(self) -> CacheStats:
+        return self.llc.stats

@@ -1,0 +1,54 @@
+"""Hit/miss accounting shared by the cache simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Counters a cache simulator maintains.
+
+    ``evictions`` counts replacements of a *valid* line (so cold fills
+    into empty ways are not evictions).
+    """
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits / accesses; 0.0 for an untouched cache."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def miss_ratio(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def record_hit(self) -> None:
+        self.accesses += 1
+        self.hits += 1
+
+    def record_miss(self, evicted_valid: bool = False) -> None:
+        self.accesses += 1
+        self.misses += 1
+        if evicted_valid:
+            self.evictions += 1
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Aggregate two counters (e.g. across ranks)."""
+        return CacheStats(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+        )
+
+    def reset(self) -> None:
+        self.accesses = self.hits = self.misses = self.evictions = 0

@@ -1,0 +1,32 @@
+"""Command-line tools mirroring the paper's toolchain.
+
+One command per framework stage, file formats identical to the
+library's round-trip formats, so the whole flow can be driven from a
+shell exactly like the real Extrae/Paramedir/hmem_advisor/
+auto-hbwmalloc pipeline:
+
+.. code-block:: shell
+
+    repro-profile hpcg -o hpcg.trace
+    repro-analyze hpcg.trace -o hpcg.csv
+    repro-advise hpcg.csv --app hpcg --budget 256M \
+        --strategy density -o hpcg.report
+    repro-place hpcg hpcg.report --budget 256M
+    repro-experiment hpcg          # the whole Figure 4 row at once
+"""
+
+from repro.cli.main import (
+    advise_main,
+    analyze_main,
+    experiment_main,
+    place_main,
+    profile_main,
+)
+
+__all__ = [
+    "profile_main",
+    "analyze_main",
+    "advise_main",
+    "place_main",
+    "experiment_main",
+]

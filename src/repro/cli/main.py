@@ -1,0 +1,268 @@
+"""Entry points for the repro-* commands."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.advisor.advisor import HmemAdvisor
+from repro.advisor.report import PlacementReport
+from repro.advisor.strategies import STRATEGY_NAMES, get_strategy
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.paramedir import (
+    Paramedir,
+    read_profiles_csv,
+    write_profiles_csv,
+)
+from repro.apps import APP_NAMES, get_app
+from repro.errors import ReproError
+from repro.machine.config import xeon_phi_7250
+from repro.metrics import percent_gain
+from repro.pipeline.experiment import run_figure4_experiment
+from repro.pipeline.framework import HybridMemoryFramework
+from repro.placement.policies import run_ddr_only, run_framework
+from repro.reporting.tables import AsciiTable, format_figure4
+from repro.trace.tracefile import TraceFile
+from repro.trace.tracer import TracerConfig
+from repro.units import GIB, KIB, MIB
+
+
+def parse_size(text: str) -> int:
+    """Parse ``"256M"``/``"16G"``/``"4096"``-style sizes (binary units)."""
+    text = text.strip()
+    multipliers = {"K": KIB, "M": MIB, "G": GIB}
+    suffix = text[-1:].upper()
+    try:
+        if suffix in multipliers:
+            return int(float(text[:-1]) * multipliers[suffix])
+        return int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"bad size {text!r}; use e.g. 4096, 256M, 16G"
+        ) from exc
+
+
+def _app_argument(parser: argparse.ArgumentParser, positional: bool = True):
+    kwargs = dict(
+        choices=APP_NAMES,
+        help=f"application model ({', '.join(APP_NAMES)})",
+    )
+    if positional:
+        parser.add_argument("app", **kwargs)
+    else:
+        parser.add_argument("--app", required=True, **kwargs)
+
+
+def _run(parser: argparse.ArgumentParser, fn, argv) -> int:
+    args = parser.parse_args(argv)
+    try:
+        fn(args)
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+# ---------------------------------------------------------------------------
+# repro-profile
+# ---------------------------------------------------------------------------
+
+
+def profile_main(argv: list[str] | None = None) -> int:
+    """Stage 1: instrumented run -> trace file."""
+    parser = argparse.ArgumentParser(
+        prog="repro-profile",
+        description="Run the instrumented (Extrae-substitute) execution "
+        "of one application model and write its trace.",
+    )
+    _app_argument(parser)
+    parser.add_argument("-o", "--output", type=Path, required=True,
+                        help="trace file to write (JSON lines)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--period", type=int, default=None,
+                        help="PEBS sampling period (default: the "
+                        "application's calibrated period)")
+    parser.add_argument("--latency", action="store_true",
+                        help="record per-sample access latency "
+                        "(Xeon-style PMU)")
+
+    def run(args) -> None:
+        app = get_app(args.app)
+        config = TracerConfig(
+            sampling_period=args.period or app.sampling_period,
+            record_latency=args.latency,
+        )
+        profiling = app.run_profiling(seed=args.seed, tracer_config=config)
+        profiling.trace.save(args.output)
+        print(
+            f"{args.app}: {len(profiling.trace.alloc_events)} allocations, "
+            f"{len(profiling.trace.sample_events)} samples -> {args.output}"
+        )
+
+    return _run(parser, run, argv)
+
+
+# ---------------------------------------------------------------------------
+# repro-analyze
+# ---------------------------------------------------------------------------
+
+
+def analyze_main(argv: list[str] | None = None) -> int:
+    """Stage 2: trace file -> per-object CSV."""
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Reduce a trace to per-object statistics "
+        "(Paramedir substitute).",
+    )
+    parser.add_argument("trace", type=Path)
+    parser.add_argument("-o", "--output", type=Path, required=True,
+                        help="CSV file to write")
+    parser.add_argument("--top", type=int, default=10,
+                        help="print the N hottest objects")
+    parser.add_argument("--config", type=Path, default=None,
+                        help="stored analysis configuration (JSON; the "
+                        "Paramedir cfg mechanism)")
+    parser.add_argument("--window", nargs=2, type=float, default=None,
+                        metavar=("T0", "T1"),
+                        help="restrict samples to a time window")
+    parser.add_argument("--min-size", type=parse_size, default=None,
+                        help="drop objects smaller than this")
+
+    def run(args) -> None:
+        trace = TraceFile.load(args.trace)
+        config = AnalysisConfig.load(args.config) if args.config else None
+        if args.window is not None or args.min_size is not None:
+            base = config or AnalysisConfig()
+            config = AnalysisConfig(
+                time_window=tuple(args.window)
+                if args.window is not None
+                else base.time_window,
+                ranks=base.ranks,
+                min_object_size=args.min_size
+                if args.min_size is not None
+                else base.min_object_size,
+                top_n=base.top_n,
+                include_statics=base.include_statics,
+            )
+        profiles = Paramedir(config).analyze(trace)
+        write_profiles_csv(profiles, args.output)
+        table = AsciiTable(["object", "misses", "est. misses", "size MB",
+                            "density"])
+        for p in profiles.by_misses()[: args.top]:
+            table.add_row(
+                p.key.label, p.sampled_misses, p.estimated_misses,
+                p.size / MIB, p.density,
+            )
+        print(table.render())
+        print(
+            f"\n{len(profiles)} objects, {profiles.total_samples} samples "
+            f"({profiles.stack_samples} on the stack, "
+            f"{profiles.unresolved_samples} unresolved) -> {args.output}"
+        )
+
+    return _run(parser, run, argv)
+
+
+# ---------------------------------------------------------------------------
+# repro-advise
+# ---------------------------------------------------------------------------
+
+
+def advise_main(argv: list[str] | None = None) -> int:
+    """Stage 3: CSV + budget + strategy -> placement report."""
+    parser = argparse.ArgumentParser(
+        prog="repro-advise",
+        description="Compute an object-to-tier distribution "
+        "(hmem_advisor substitute).",
+    )
+    parser.add_argument("csv", type=Path)
+    _app_argument(parser, positional=False)
+    parser.add_argument("--budget", type=parse_size, required=True,
+                        help="fast-memory budget per rank, real bytes "
+                        "(e.g. 256M)")
+    parser.add_argument("--strategy", default="misses-0%",
+                        help=f"one of {', '.join(STRATEGY_NAMES)}, "
+                        "latency-<pct>% or latency-density")
+    parser.add_argument("--partial", action="store_true",
+                        help="allow partial-object placement "
+                        "(Section V extension)")
+    parser.add_argument("-o", "--output", type=Path, required=True)
+
+    def run(args) -> None:
+        app = get_app(args.app)
+        profiles = read_profiles_csv(args.csv)
+        profiles.application = args.app
+        fw = HybridMemoryFramework(app)
+        advisor = HmemAdvisor(fw.memory_spec(args.budget))
+        report = advisor.advise(
+            profiles, get_strategy(args.strategy), allow_partial=args.partial
+        )
+        report.save(args.output)
+        print(report.to_text())
+        print(f"-> {args.output}")
+
+    return _run(parser, run, argv)
+
+
+# ---------------------------------------------------------------------------
+# repro-place
+# ---------------------------------------------------------------------------
+
+
+def place_main(argv: list[str] | None = None) -> int:
+    """Stage 4: re-execute under auto-hbwmalloc honoring a report."""
+    parser = argparse.ArgumentParser(
+        prog="repro-place",
+        description="Re-run an application with auto-hbwmalloc honoring "
+        "a placement report, and compare against the all-DDR run.",
+    )
+    _app_argument(parser)
+    parser.add_argument("report", type=Path)
+    parser.add_argument("--budget", type=parse_size, required=True)
+    parser.add_argument("--seed", type=int, default=0)
+
+    def run(args) -> None:
+        app = get_app(args.app)
+        machine = xeon_phi_7250()
+        fw = HybridMemoryFramework(app, machine, seed=args.seed)
+        profiling = fw.profile()
+        report = PlacementReport.load(args.report)
+        outcome = run_framework(
+            app, machine, profiling, report, budget_real=args.budget
+        )
+        ddr = run_ddr_only(app, machine, profiling)
+        units = app.calibration.fom_units
+        print(f"DDR baseline : {ddr.fom:12,.4g} {units}")
+        print(
+            f"framework    : {outcome.fom:12,.4g} {units} "
+            f"({percent_gain(outcome.fom, ddr.fom):+.1f} %)"
+        )
+        print(
+            f"MCDRAM HWM   : {outcome.hwm_bytes / MIB:.0f} MB/rank of the "
+            f"{args.budget / MIB:.0f} MB budget"
+        )
+
+    return _run(parser, run, argv)
+
+
+# ---------------------------------------------------------------------------
+# repro-experiment
+# ---------------------------------------------------------------------------
+
+
+def experiment_main(argv: list[str] | None = None) -> int:
+    """The full Figure 4 row: budgets x strategies + baselines."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Run one application's full evaluation grid "
+        "(one Figure 4 row).",
+    )
+    _app_argument(parser)
+    parser.add_argument("--seed", type=int, default=0)
+
+    def run(args) -> None:
+        result = run_figure4_experiment(get_app(args.app), seed=args.seed)
+        print(format_figure4(result))
+
+    return _run(parser, run, argv)

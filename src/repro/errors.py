@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A machine/memory specification is malformed or inconsistent."""
+
+
+class AllocationError(ReproError):
+    """A simulated allocator could not satisfy a request."""
+
+
+class OutOfMemoryError(AllocationError):
+    """A capacity-limited arena (e.g. MCDRAM) is exhausted."""
+
+
+class InvalidFreeError(AllocationError):
+    """``free`` of a pointer the allocator does not own."""
+
+
+class AddressSpaceError(ReproError):
+    """Virtual address-space carving failed (overlap/exhaustion)."""
+
+
+class SymbolError(ReproError):
+    """Call-stack translation failed to resolve an address."""
+
+
+class TraceError(ReproError):
+    """A trace file is malformed or events arrive out of order."""
+
+
+class AttributionError(ReproError):
+    """A sample could not be processed during object attribution."""
+
+
+class AdvisorError(ReproError):
+    """hmem_advisor received inconsistent inputs."""
+
+
+class ReportError(ReproError):
+    """A placement report could not be emitted or parsed."""
+
+
+class WorkloadError(ReproError):
+    """A simulated application was configured inconsistently."""

@@ -1,0 +1,24 @@
+"""Interposition libraries (Step 4 of the framework).
+
+:class:`AutoHbwMalloc` is the paper's auto-hbwmalloc: an
+``LD_PRELOAD``-style allocator wrapper that redirects report-selected
+allocation sites to the memkind (MCDRAM) allocator, with call-stack
+translation, a decision cache, size-range pre-filtering and strict
+budget bookkeeping. :class:`AutoHBW` is the memkind package's
+``autohbw`` baseline the paper compares against (pure size
+threshold).
+"""
+
+from repro.interpose.alloc_cache import AllocCache
+from repro.interpose.matching import CallStackMatcher
+from repro.interpose.stats import InterposerStats
+from repro.interpose.hbwmalloc import AutoHbwMalloc
+from repro.interpose.autohbw import AutoHBW
+
+__all__ = [
+    "AllocCache",
+    "CallStackMatcher",
+    "InterposerStats",
+    "AutoHbwMalloc",
+    "AutoHBW",
+]

@@ -1,0 +1,53 @@
+"""Decision cache keyed by unwound (raw) call-stacks.
+
+Section III, Step 4: "we include a small cache indexed by the unwound
+addresses that keep whether an allocation invoked in that position
+shall or shall not be allocated using the alternate allocator" — this
+skips the (more expensive, Figure 3) translation for repeated
+allocation sites. Raw addresses are stable *within* one process, so
+the cache is per-process, exactly like the paper's.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.runtime.callstack import RawCallStack
+
+
+class AllocCache:
+    """Bounded LRU map: raw call-stack -> promote decision."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValueError("cache needs at least one entry")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple[int, ...], bool] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, callstack: RawCallStack) -> bool | None:
+        """Cached decision for this call site, or None on a miss."""
+        key = callstack.addresses
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return None
+
+    def annotate(self, callstack: RawCallStack, promote: bool) -> None:
+        """Record the decision for this call site."""
+        key = callstack.addresses
+        self._entries[key] = promote
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

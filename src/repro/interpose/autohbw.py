@@ -1,0 +1,101 @@
+"""The autohbw baseline (memkind package).
+
+"This library is injected into the application before process
+execution and it forwards dynamic allocations into MCDRAM if the
+requested memory is within a user-given size range (as long as it
+fits)" (Section II). No profiling, no call-stacks — a pure size
+threshold, which is exactly why it promotes non-critical objects and
+can even hurt (the Lulesh −8% result, Section IV-C).
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidFreeError
+from repro.interpose.stats import InterposerStats
+from repro.runtime.allocator import Allocation
+from repro.runtime.callstack import RawCallStack
+from repro.runtime.process import SimProcess
+from repro.units import MIB
+
+
+class AutoHBW:
+    """Size-threshold interposition hook (the paper uses >= 1 MiB)."""
+
+    def __init__(
+        self,
+        process: SimProcess,
+        min_size: int = 1 * MIB,
+        max_size: int | None = None,
+    ) -> None:
+        if min_size < 0:
+            raise ValueError(f"negative threshold: {min_size}")
+        if max_size is not None and max_size < min_size:
+            raise ValueError("max_size below min_size")
+        self.process = process
+        self.min_size = min_size
+        self.max_size = max_size
+        self.stats = InterposerStats()
+        self._hbw_addresses: dict[int, int] = {}
+
+    def _eligible(self, size: int) -> bool:
+        if size < self.min_size:
+            return False
+        if self.max_size is not None and size > self.max_size:
+            return False
+        return True
+
+    def malloc(self, size: int, callstack: RawCallStack) -> Allocation:
+        self.stats.calls_intercepted += 1
+        if self._eligible(size):
+            self.stats.calls_size_eligible += 1
+            if self.process.memkind.fits(size):
+                alloc = self.process.memkind.malloc(size, callstack)
+                self._hbw_addresses[alloc.address] = size
+                self.stats.on_promote(size, self.process.memkind.name)
+                return alloc
+            self.stats.calls_did_not_fit += 1
+        alloc = self.process.posix.malloc(size, callstack)
+        self.stats.on_fallback(self.process.posix.name)
+        return alloc
+
+    def free(self, address: int) -> Allocation:
+        size = self._hbw_addresses.pop(address, None)
+        if size is not None:
+            self.stats.on_hbw_free(size)
+            return self.process.memkind.free(address)
+        if self.process.posix.owns(address):
+            return self.process.posix.free(address)
+        raise InvalidFreeError(f"autohbw: free of unknown pointer {address:#x}")
+
+    def realloc(
+        self, address: int, new_size: int, callstack: RawCallStack
+    ) -> Allocation:
+        self.free(address)
+        return self.malloc(new_size, callstack)
+
+    def memalign(
+        self, alignment: int, size: int, callstack: RawCallStack
+    ) -> Allocation:
+        """``posix_memalign`` wrapper (same size-threshold decision)."""
+        self.stats.calls_intercepted += 1
+        if self._eligible(size):
+            self.stats.calls_size_eligible += 1
+            if self.process.memkind.fits(size):
+                alloc = self.process.memkind.posix_memalign(
+                    alignment, size, callstack
+                )
+                self._hbw_addresses[alloc.address] = size
+                self.stats.on_promote(size, self.process.memkind.name)
+                return alloc
+            self.stats.calls_did_not_fit += 1
+        alloc = self.process.posix.posix_memalign(alignment, size, callstack)
+        self.stats.on_fallback(self.process.posix.name)
+        return alloc
+
+    @property
+    def hbw_hwm_bytes(self) -> int:
+        return self.stats.hbw_hwm_bytes
+
+    @property
+    def overhead_seconds(self) -> float:
+        return self.stats.overhead_seconds + self.process.memkind.penalty_seconds

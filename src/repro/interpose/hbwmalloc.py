@@ -1,0 +1,182 @@
+"""auto-hbwmalloc: the profile-guided interposition library.
+
+Faithful implementation of the paper's Algorithm 1 against the
+simulated runtime:
+
+1. size pre-filter: only allocations within ``[lb_size, ub_size]``
+   (bounds provided by hmem_advisor) are even unwound;
+2. decision cache lookup keyed by the raw (unwound) call-stack;
+3. on a cache miss, translate the call-stack (binutils substitute)
+   and match it against the selected sites, then annotate the cache;
+4. on a positive match, check the advisor budget (``FITS``) and, if it
+   fits, serve the allocation from memkind and annotate the alternate
+   region bookkeeping;
+5. otherwise fall back to the posix allocator.
+
+``free``/``realloc`` route through the same bookkeeping so allocations
+are always returned to the allocator that produced them.
+"""
+
+from __future__ import annotations
+
+from repro.advisor.report import PlacementReport
+from repro.errors import InvalidFreeError, OutOfMemoryError
+from repro.interpose.alloc_cache import AllocCache
+from repro.interpose.matching import CallStackMatcher
+from repro.interpose.stats import InterposerStats
+from repro.runtime.allocator import Allocation
+from repro.runtime.callstack import RawCallStack
+from repro.runtime.process import SimProcess
+from repro.runtime.symbols import translate_cost_us, unwind_cost_us
+from repro.units import MICROSECOND
+
+
+class AutoHbwMalloc:
+    """The interposition hook; install with
+    ``process.install_malloc_hook(AutoHbwMalloc(process, report))``.
+
+    Parameters
+    ----------
+    process:
+        The simulated process whose allocators are wrapped.
+    report:
+        hmem_advisor's placement report.
+    tier:
+        Which report tier memkind serves (default the fast tier named
+        in the report budgets).
+    budget:
+        Advisor budget in bytes; the library never requests more than
+        this from memkind even if the physical tier has room. Defaults
+        to the report's budget for ``tier``.
+    size_filter:
+        Apply the lb/ub pre-filter (can be disabled "upon user
+        request", Section III, Step 4).
+    """
+
+    def __init__(
+        self,
+        process: SimProcess,
+        report: PlacementReport,
+        tier: str | None = None,
+        budget: int | None = None,
+        size_filter: bool = True,
+        cache_entries: int = 4096,
+    ) -> None:
+        if tier is None:
+            if not report.budgets:
+                raise OutOfMemoryError("report names no fast tier")
+            tier = next(iter(sorted(report.budgets)))
+        self.process = process
+        self.report = report
+        self.tier = tier
+        self.budget = budget if budget is not None else report.budgets[tier]
+        self.size_filter = size_filter
+        self.matcher = CallStackMatcher(report, tier)
+        self.cache = AllocCache(max_entries=cache_entries)
+        self.stats = InterposerStats()
+        #: Alternate-region bookkeeping: addresses served by memkind.
+        self._hbw_addresses: dict[int, int] = {}  # address -> size
+
+    # -- Algorithm 1 -----------------------------------------------------
+
+    def _size_eligible(self, size: int) -> bool:
+        if not self.size_filter:
+            return True
+        lb = self.report.lb_size
+        ub = self.report.ub_size
+        if lb is None or ub is None:
+            return False
+        return lb <= size <= ub
+
+    def _fits(self, size: int) -> bool:
+        return (
+            self.stats.hbw_current_bytes + size <= self.budget
+            and self.process.memkind.fits(size)
+        )
+
+    def malloc(self, size: int, callstack: RawCallStack) -> Allocation:
+        self.stats.calls_intercepted += 1
+        if self._size_eligible(size):
+            self.stats.calls_size_eligible += 1
+            depth = len(callstack)
+            self.stats.overhead_seconds += unwind_cost_us(depth) * MICROSECOND
+            promote = self.cache.lookup(callstack)
+            if promote is None:
+                self.stats.overhead_seconds += (
+                    translate_cost_us(depth) * MICROSECOND
+                )
+                translated = self.process.symbols.translate(callstack)
+                promote = self.matcher.match(translated)
+                self.cache.annotate(callstack, promote)
+            if promote:
+                self.stats.calls_matched += 1
+                if self._fits(size):
+                    alloc = self.process.memkind.malloc(size, callstack)
+                    self._hbw_addresses[alloc.address] = size
+                    self.stats.on_promote(size, self.process.memkind.name)
+                    return alloc
+                self.stats.calls_did_not_fit += 1
+        alloc = self.process.posix.malloc(size, callstack)
+        self.stats.on_fallback(self.process.posix.name)
+        return alloc
+
+    def free(self, address: int) -> Allocation:
+        size = self._hbw_addresses.pop(address, None)
+        if size is not None:
+            self.stats.on_hbw_free(size)
+            return self.process.memkind.free(address)
+        if self.process.posix.owns(address):
+            return self.process.posix.free(address)
+        raise InvalidFreeError(
+            f"auto-hbwmalloc: free of unknown pointer {address:#x}"
+        )
+
+    def realloc(
+        self, address: int, new_size: int, callstack: RawCallStack
+    ) -> Allocation:
+        self.free(address)
+        return self.malloc(new_size, callstack)
+
+    def memalign(
+        self, alignment: int, size: int, callstack: RawCallStack
+    ) -> Allocation:
+        """``posix_memalign`` wrapper: same decision path as malloc,
+        aligned service from whichever allocator wins."""
+        self.stats.calls_intercepted += 1
+        if self._size_eligible(size):
+            self.stats.calls_size_eligible += 1
+            depth = len(callstack)
+            self.stats.overhead_seconds += unwind_cost_us(depth) * MICROSECOND
+            promote = self.cache.lookup(callstack)
+            if promote is None:
+                self.stats.overhead_seconds += (
+                    translate_cost_us(depth) * MICROSECOND
+                )
+                translated = self.process.symbols.translate(callstack)
+                promote = self.matcher.match(translated)
+                self.cache.annotate(callstack, promote)
+            if promote:
+                self.stats.calls_matched += 1
+                if self._fits(size):
+                    alloc = self.process.memkind.posix_memalign(
+                        alignment, size, callstack
+                    )
+                    self._hbw_addresses[alloc.address] = size
+                    self.stats.on_promote(size, self.process.memkind.name)
+                    return alloc
+                self.stats.calls_did_not_fit += 1
+        alloc = self.process.posix.posix_memalign(alignment, size, callstack)
+        self.stats.on_fallback(self.process.posix.name)
+        return alloc
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def hbw_hwm_bytes(self) -> int:
+        """Observed MCDRAM high-water mark (Figure 4's middle column)."""
+        return self.stats.hbw_hwm_bytes
+
+    @property
+    def overhead_seconds(self) -> float:
+        """Interposition cost plus the memkind slow-path penalty."""
+        return self.stats.overhead_seconds + self.process.memkind.penalty_seconds

@@ -1,0 +1,27 @@
+"""Run-time call-stack matching against an advisor report.
+
+The interposer translates the unwound call-stack (ASLR makes raw
+addresses meaningless across runs) and compares the symbolic frame
+sequence against the call-stacks hmem_advisor selected.
+"""
+
+from __future__ import annotations
+
+from repro.advisor.report import PlacementReport
+from repro.runtime.callstack import CallStack
+
+
+class CallStackMatcher:
+    """Matches translated call-stacks against selected allocation sites."""
+
+    def __init__(self, report: PlacementReport, tier: str) -> None:
+        self.tier = tier
+        self._selected: set[tuple] = report.selected_keys(tier)
+
+    def match(self, callstack: CallStack) -> bool:
+        """True iff this exact allocation call-stack was selected."""
+        return callstack.key in self._selected
+
+    @property
+    def n_sites(self) -> int:
+        return len(self._selected)

@@ -1,0 +1,55 @@
+"""Interposer execution statistics.
+
+"The auto-hbwmalloc component also captures several application
+metrics upon user request ... the number of allocations, the average
+allocation size, the observed High-Water Mark (HWM) and whether any
+variable did not fit into memory due to user size limitations given
+to hmem_advisor" (Section III, Step 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class InterposerStats:
+    """What auto-hbwmalloc observed during one run."""
+
+    #: malloc/realloc/posix_memalign calls seen.
+    calls_intercepted: int = 0
+    #: Calls that passed the lb/ub size pre-filter.
+    calls_size_eligible: int = 0
+    #: Calls whose (translated) call-stack matched the report.
+    calls_matched: int = 0
+    #: Matched calls actually served from the alternate allocator.
+    calls_promoted: int = 0
+    #: Matched calls refused because the advisor budget was exhausted
+    #: ("whether any variable did not fit into memory due to user size
+    #: limitations").
+    calls_did_not_fit: int = 0
+    #: Bytes currently live in the alternate allocator.
+    hbw_current_bytes: int = 0
+    #: High-water mark of alternate-allocator usage.
+    hbw_hwm_bytes: int = 0
+    #: Seconds spent unwinding/translating/matching.
+    overhead_seconds: float = 0.0
+    #: Per-allocator allocation counts.
+    allocs_by_allocator: dict[str, int] = field(default_factory=dict)
+
+    def on_promote(self, size: int, allocator: str) -> None:
+        self.calls_promoted += 1
+        self.hbw_current_bytes += size
+        if self.hbw_current_bytes > self.hbw_hwm_bytes:
+            self.hbw_hwm_bytes = self.hbw_current_bytes
+        self.allocs_by_allocator[allocator] = (
+            self.allocs_by_allocator.get(allocator, 0) + 1
+        )
+
+    def on_hbw_free(self, size: int) -> None:
+        self.hbw_current_bytes -= size
+
+    def on_fallback(self, allocator: str) -> None:
+        self.allocs_by_allocator[allocator] = (
+            self.allocs_by_allocator.get(allocator, 0) + 1
+        )

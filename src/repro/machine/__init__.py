@@ -1,0 +1,24 @@
+"""Hybrid-memory machine model.
+
+Simulated substitute for the paper's Intel Xeon Phi 7250 testbed: memory
+tiers with capacity/bandwidth/latency, a core-count bandwidth-saturation
+model (Figure 1), a direct-mapped MCDRAM cache-mode model, and the
+roofline-style execution-time model used to score placements.
+"""
+
+from repro.machine.tier import MemoryTier
+from repro.machine.config import MachineConfig, xeon_phi_7250
+from repro.machine.bandwidth import BandwidthModel
+from repro.machine.cachemode import CacheModeModel
+from repro.machine.performance import ExecutionModel, PlacedTraffic, RunCost
+
+__all__ = [
+    "MemoryTier",
+    "MachineConfig",
+    "xeon_phi_7250",
+    "BandwidthModel",
+    "CacheModeModel",
+    "ExecutionModel",
+    "PlacedTraffic",
+    "RunCost",
+]

@@ -1,0 +1,94 @@
+"""Core-count bandwidth-saturation model (substrate for Figure 1).
+
+The paper's Figure 1 measures the STREAM Triad bandwidth on a Xeon Phi
+7250 as the number of cores grows, for data placed in DDR, in flat
+MCDRAM, and with MCDRAM in cache mode. The qualitative behaviour the
+rest of the evaluation leans on is:
+
+* each core can draw only a limited bandwidth, so few-core runs see no
+  difference between tiers;
+* DDR saturates early (~8 cores at ~90 GB/s);
+* flat MCDRAM keeps scaling to ~470 GB/s;
+* cache-mode MCDRAM saturates below flat because misses are filled
+  through DDR and the direct-mapped organisation adds conflict traffic.
+
+This module turns a :class:`~repro.machine.tier.MemoryTier` into that
+curve. A mild soft-knee correction makes the transition realistic
+instead of piecewise-linear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.config import MachineConfig, mcdram_cache_peak_bandwidth
+from repro.machine.tier import MemoryTier
+
+
+def _soft_min(linear: np.ndarray, peak: float, sharpness: float = 8.0) -> np.ndarray:
+    """Smooth approximation of ``min(linear, peak)``.
+
+    Uses the p-norm soft-minimum so the knee of the saturation curve is
+    rounded the way measured STREAM curves are.
+    """
+    linear = np.asarray(linear, dtype=float)
+    return (linear ** -sharpness + peak ** -sharpness) ** (-1.0 / sharpness)
+
+
+@dataclass(frozen=True)
+class BandwidthModel:
+    """Delivered bandwidth as a function of active cores.
+
+    Parameters
+    ----------
+    machine:
+        The node whose tiers are being modelled.
+    cache_mode_efficiency:
+        Fraction of flat-MCDRAM peak that cache mode can reach on a
+        cache-friendly kernel (STREAM fits in MCDRAM, so its cache-mode
+        curve is flat-like but lower).
+    """
+
+    machine: MachineConfig
+
+    def tier_bandwidth(self, tier: MemoryTier, cores: int) -> float:
+        """Bytes/s tier ``tier`` delivers with ``cores`` active cores."""
+        if cores < 1:
+            raise ValueError(f"need at least one core, got {cores}")
+        if cores > self.machine.cores:
+            raise ValueError(
+                f"{cores} cores requested but machine has {self.machine.cores}"
+            )
+        linear = np.array([cores * tier.per_core_bandwidth])
+        return float(_soft_min(linear, tier.peak_bandwidth)[0])
+
+    def cache_mode_bandwidth(self, cores: int, hit_ratio: float = 1.0) -> float:
+        """Bytes/s delivered with MCDRAM as cache.
+
+        Hits are served at the (reduced) cache-mode MCDRAM bandwidth;
+        misses pay a DDR fill *plus* occupy MCDRAM for the line fill,
+        so the effective bandwidth interpolates harmonically.
+        """
+        if not 0.0 <= hit_ratio <= 1.0:
+            raise ValueError(f"hit ratio must be in [0,1], got {hit_ratio}")
+        mcdram = self.machine.fast_tier
+        ddr = self.machine.slow_tier
+        cache_peak = mcdram_cache_peak_bandwidth()
+        hit_bw = float(
+            _soft_min(
+                np.array([cores * mcdram.per_core_bandwidth * 0.95]), cache_peak
+            )[0]
+        )
+        miss_bw = self.tier_bandwidth(ddr, cores)
+        # Harmonic mix: a stream of accesses alternating hit/miss is
+        # time-additive, not bandwidth-additive.
+        inv = hit_ratio / hit_bw + (1.0 - hit_ratio) / miss_bw
+        return 1.0 / inv
+
+    def sweep(self, tier: MemoryTier, core_counts: list[int]) -> np.ndarray:
+        """Vector of bandwidths for a list of core counts (GB/s units)."""
+        return np.array(
+            [self.tier_bandwidth(tier, c) for c in core_counts], dtype=float
+        )

@@ -1,0 +1,96 @@
+"""Memory-tier specification.
+
+hmem_advisor (Section III, Step 3 of the paper) describes each memory
+subsystem by a size and a relative performance read from a
+configuration file, "ensuring that we can extend this mechanism in the
+future for different memory architectures". :class:`MemoryTier` is that
+description plus the physical parameters the machine model needs to
+turn a placement into a time estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.units import GIB
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryTier:
+    """One memory subsystem of a hybrid-memory machine.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in specs and reports (e.g. ``"MCDRAM"``).
+    capacity:
+        Usable capacity in bytes.
+    peak_bandwidth:
+        Saturated node-level bandwidth in bytes/second.
+    per_core_bandwidth:
+        Bandwidth a single core can draw, in bytes/second; with ``n``
+        cores the tier delivers ``min(n * per_core, peak)`` (the
+        saturation behaviour of Figure 1).
+    latency_ns:
+        Unloaded access latency in nanoseconds (MCDRAM on KNL is
+        *higher* latency than DDR despite the bandwidth advantage).
+    relative_performance:
+        The dimensionless knob hmem_advisor reads: tiers are packed in
+        descending order of this value.
+    """
+
+    name: str
+    capacity: int
+    peak_bandwidth: float
+    per_core_bandwidth: float
+    latency_ns: float
+    relative_performance: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("memory tier needs a non-empty name")
+        if self.capacity <= 0:
+            raise ConfigError(f"tier {self.name!r}: capacity must be positive")
+        if self.peak_bandwidth <= 0 or self.per_core_bandwidth <= 0:
+            raise ConfigError(f"tier {self.name!r}: bandwidths must be positive")
+        if self.latency_ns <= 0:
+            raise ConfigError(f"tier {self.name!r}: latency must be positive")
+        if self.relative_performance <= 0:
+            raise ConfigError(
+                f"tier {self.name!r}: relative performance must be positive"
+            )
+
+    def bandwidth_at(self, cores: int) -> float:
+        """Delivered bandwidth (bytes/s) with ``cores`` active cores."""
+        if cores < 1:
+            raise ValueError(f"need at least one core, got {cores}")
+        return min(cores * self.per_core_bandwidth, self.peak_bandwidth)
+
+    @property
+    def capacity_gib(self) -> float:
+        return self.capacity / GIB
+
+
+@dataclass(frozen=True, slots=True)
+class TierBudget:
+    """A tier together with the budget the experiment grants on it.
+
+    The paper sweeps MCDRAM budgets of 32..256 MB/rank while the
+    physical tier stays 16 GB; the advisor packs against the *budget*,
+    the machine stays unchanged.
+    """
+
+    tier: MemoryTier
+    budget: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.budget == -1:
+            object.__setattr__(self, "budget", self.tier.capacity)
+        if self.budget < 0:
+            raise ConfigError(f"tier {self.tier.name!r}: negative budget")
+        if self.budget > self.tier.capacity:
+            raise ConfigError(
+                f"tier {self.tier.name!r}: budget {self.budget} exceeds "
+                f"capacity {self.tier.capacity}"
+            )

@@ -1,0 +1,43 @@
+"""Evaluation metrics, including the paper's novel ΔFOM/MByte.
+
+Equation 1: ``ΔFOM/mbyte_x(y) = (FOM_x(y) - FOM_ddr(y)) / MEM_x`` —
+"the performance increase achieved when using a given amount of fast
+memory", used to find the sweet-spot MCDRAM size per application.
+"""
+
+from __future__ import annotations
+
+from repro.units import MIB
+
+
+def delta_fom_per_mbyte(
+    fom_x: float, fom_ddr: float, mem_bytes: float
+) -> float:
+    """Equation 1 of the paper.
+
+    Parameters
+    ----------
+    fom_x:
+        FOM of experiment ``x``.
+    fom_ddr:
+        FOM of the all-DDR reference run.
+    mem_bytes:
+        MCDRAM used by experiment ``x``; the paper charges the full
+        16 GiB for the numactl and cache-mode conditions since their
+        exact usage is unknown.
+    """
+    if mem_bytes <= 0:
+        raise ValueError(f"memory used must be positive, got {mem_bytes}")
+    return (fom_x - fom_ddr) / (mem_bytes / MIB)
+
+
+def speedup(fom_x: float, fom_ref: float) -> float:
+    """FOM ratio (>1 means ``x`` is faster)."""
+    if fom_ref <= 0:
+        raise ValueError(f"reference FOM must be positive, got {fom_ref}")
+    return fom_x / fom_ref
+
+
+def percent_gain(fom_x: float, fom_ref: float) -> float:
+    """Percentage improvement of ``x`` over the reference."""
+    return (speedup(fom_x, fom_ref) - 1.0) * 100.0

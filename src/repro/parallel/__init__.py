@@ -1,0 +1,5 @@
+"""SPMD execution substrate (MPI substitute)."""
+
+from repro.parallel.job import SPMDJob, JobSummary
+
+__all__ = ["SPMDJob", "JobSummary"]

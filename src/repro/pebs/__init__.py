@@ -1,0 +1,6 @@
+"""PEBS substitute: hardware-style sampling of LLC misses."""
+
+from repro.pebs.event import MemorySample
+from repro.pebs.sampler import PebsSampler
+
+__all__ = ["MemorySample", "PebsSampler"]

@@ -1,0 +1,27 @@
+"""The record a PEBS-style sample carries.
+
+On Xeon Phi the PEBS mechanism "tracks L2 (LLC) cache load references
+... and provides information regarding the address being referenced"
+(Section III, Step 1); richer Xeon parts add latency and data source.
+The sample record carries the common fields plus the optional
+Xeon-only ones so the advisor extension the paper "devises as future
+refinement" (weighting by miss latency) stays expressible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class MemorySample:
+    """One sampled LLC miss."""
+
+    time: float
+    address: int
+    #: Which overflowed event produced the sample.
+    event: str = "MEM_UOPS_RETIRED.L2_MISS_LOADS"
+    #: Access latency in cycles (Xeon only; None on Xeon Phi).
+    latency_cycles: int | None = None
+    #: Memory-hierarchy level that served the access (Xeon only).
+    data_source: str | None = None

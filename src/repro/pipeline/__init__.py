@@ -1,0 +1,13 @@
+"""End-to-end pipeline: the four framework stages plus experiment sweeps."""
+
+from repro.pipeline.framework import HybridMemoryFramework
+from repro.pipeline.experiment import ExperimentGrid, run_figure4_experiment
+from repro.pipeline.results import ExperimentResult, ResultRow
+
+__all__ = [
+    "HybridMemoryFramework",
+    "ExperimentGrid",
+    "run_figure4_experiment",
+    "ExperimentResult",
+    "ResultRow",
+]

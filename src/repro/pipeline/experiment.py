@@ -1,0 +1,109 @@
+"""Experiment sweeps: the full Figure 4 grid for one application.
+
+"We applied the hmem_advisor tool with a range of memory sizes and
+several allocation strategies. ... MPI applications ... from 32 to
+256 Mbytes per rank. [For] OpenMP-only applications (i.e. NAS BT) the
+exploration size ranges from 32 Mbytes to 16 Gbytes." (Section IV-B.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.advisor.strategies import STRATEGY_NAMES
+from repro.apps.base import SimApplication
+from repro.machine.config import MachineConfig, xeon_phi_7250
+from repro.pipeline.framework import HybridMemoryFramework
+from repro.pipeline.results import ExperimentResult, ResultRow
+from repro.placement.policies import (
+    PlacementOutcome,
+    run_autohbw,
+    run_cache_mode,
+    run_ddr_only,
+    run_numactl_preferred,
+)
+from repro.units import GIB, MIB
+
+#: The per-rank budget axis of Figure 4 for MPI applications.
+MPI_BUDGETS: tuple[int, ...] = (32 * MIB, 64 * MIB, 128 * MIB, 256 * MIB)
+#: Budget axis for OpenMP-only applications (NAS BT).
+OPENMP_BUDGETS: tuple[int, ...] = (32 * MIB, 256 * MIB, 2 * GIB, 16 * GIB)
+
+
+@dataclass
+class ExperimentGrid:
+    """Sweep configuration."""
+
+    budgets: tuple[int, ...] = MPI_BUDGETS
+    strategies: tuple[str, ...] = STRATEGY_NAMES
+    #: Advisor-budget override per enforcement budget (the Lulesh
+    #: "virtual 512 MB" trick): enforcement budget -> advisor budget.
+    virtual_advisor_budgets: dict[int, int] = field(default_factory=dict)
+
+
+def default_budgets(app: SimApplication) -> tuple[int, ...]:
+    """Per-paper budget axis for an application's parallelism."""
+    if app.geometry.ranks == 1:
+        return OPENMP_BUDGETS
+    return MPI_BUDGETS
+
+
+def _to_row(
+    app: SimApplication, outcome: PlacementOutcome, budget: int
+) -> ResultRow:
+    return ResultRow(
+        application=app.name,
+        label=outcome.label,
+        budget_bytes=budget,
+        fom=outcome.fom,
+        hwm_bytes=outcome.hwm_bytes,
+        total_time=outcome.cost.total_time,
+        alloc_overhead=outcome.cost.alloc_overhead,
+    )
+
+
+def run_figure4_experiment(
+    app: SimApplication,
+    machine: MachineConfig | None = None,
+    grid: ExperimentGrid | None = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """All execution conditions of one Figure 4 row.
+
+    One profiling run feeds every placement (LLC misses do not depend
+    on placement, so the trace is placement-invariant — the property
+    the whole profile-guided approach rests on).
+    """
+    machine = machine or xeon_phi_7250()
+    if grid is None:
+        grid = ExperimentGrid(budgets=default_budgets(app))
+
+    framework = HybridMemoryFramework(app, machine, seed=seed)
+    profiling = framework.profile()
+
+    result = ExperimentResult(
+        application=app.name,
+        fom_name=app.calibration.fom_name,
+        fom_units=app.calibration.fom_units,
+    )
+
+    result.baselines["DDR"] = _to_row(
+        app, run_ddr_only(app, machine, profiling), 0
+    )
+    result.baselines["MCDRAM*"] = _to_row(
+        app, run_numactl_preferred(app, machine, profiling), 0
+    )
+    result.baselines["Cache"] = _to_row(
+        app, run_cache_mode(app, machine, profiling), 0
+    )
+    result.baselines["autohbw/1m"] = _to_row(
+        app, run_autohbw(app, machine, profiling), 0
+    )
+
+    for budget in grid.budgets:
+        advisor_budget = grid.virtual_advisor_budgets.get(budget, budget)
+        for strategy in grid.strategies:
+            report = framework.advise(advisor_budget, strategy)
+            outcome = framework.run_placed(report, budget, label=strategy)
+            result.grid[(budget, strategy)] = _to_row(app, outcome, budget)
+    return result

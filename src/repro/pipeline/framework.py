@@ -1,0 +1,164 @@
+"""The four-stage framework of Figure 2, glued end to end.
+
+``HybridMemoryFramework`` drives one application through:
+
+1. **profile** — instrumented run (Extrae substitute): allocation
+   events + PEBS-sampled LLC misses into a trace;
+2. **analyze** — Paramedir substitute: per-object miss/size profiles;
+3. **advise** — hmem_advisor: pack objects into the memory spec under
+   a selection strategy, emit the placement report;
+4. **run_placed** — re-execution with auto-hbwmalloc honoring the
+   report, scored by the execution model.
+
+Each stage can also be used standalone (the CSV and report files
+round-trip), exactly like the real toolchain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.advisor.advisor import HmemAdvisor
+from repro.advisor.report import PlacementReport
+from repro.advisor.spec import MemorySpec, TierSpec
+from repro.advisor.strategies import SelectionStrategy, get_strategy
+from repro.analysis.paramedir import Paramedir
+from repro.analysis.profile import ProfileSet
+from repro.apps.base import ProfilingRun, SimApplication
+from repro.machine.config import MachineConfig, xeon_phi_7250
+from repro.placement.policies import PlacementOutcome, run_framework
+from repro.trace.tracer import TracerConfig
+
+
+@dataclass
+class FrameworkRun:
+    """Everything one full pass produced (kept for inspection)."""
+
+    profiling: ProfilingRun
+    profiles: ProfileSet
+    report: PlacementReport
+    outcome: PlacementOutcome
+
+
+class HybridMemoryFramework:
+    """End-to-end driver for one application on one machine."""
+
+    def __init__(
+        self,
+        app: SimApplication,
+        machine: MachineConfig | None = None,
+        tracer_config: TracerConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.app = app
+        self.machine = machine or xeon_phi_7250()
+        self.tracer_config = tracer_config or TracerConfig(
+            sampling_period=app.sampling_period
+        )
+        self.seed = seed
+        self._profiling: ProfilingRun | None = None
+        self._profiles: ProfileSet | None = None
+
+    # -- step 1 ---------------------------------------------------------
+
+    def profile(self, force: bool = False) -> ProfilingRun:
+        """Run the instrumented execution (cached; placement-invariant)."""
+        if self._profiling is None or force:
+            self._profiling = self.app.run_profiling(
+                seed=self.seed, tracer_config=self.tracer_config
+            )
+            self._profiles = None
+        return self._profiling
+
+    # -- step 2 ---------------------------------------------------------
+
+    def analyze(self, force: bool = False) -> ProfileSet:
+        """Reduce the trace to per-object statistics."""
+        if self._profiles is None or force:
+            run = self.profile()
+            self._profiles = Paramedir().analyze(run.trace)
+        return self._profiles
+
+    # -- step 3 ---------------------------------------------------------
+
+    def memory_spec(self, budget_real: int) -> MemorySpec:
+        """Memory spec with the fast tier capped at ``budget_real``
+        bytes per rank (expressed in the simulation's scaled world,
+        where the trace's sizes live)."""
+        budget_scaled = self.app.scaled(budget_real)
+        tiers = []
+        for t in self.machine.tiers:
+            budget = (
+                budget_scaled
+                if t is self.machine.fast_tier
+                else t.capacity
+            )
+            tiers.append(
+                TierSpec(
+                    name=t.name,
+                    budget=budget,
+                    relative_performance=t.relative_performance,
+                )
+            )
+        return MemorySpec(tiers=tuple(tiers))
+
+    def advise(
+        self,
+        budget_real: int,
+        strategy: SelectionStrategy | str,
+    ) -> PlacementReport:
+        """Produce the placement report for one budget and strategy."""
+        if isinstance(strategy, str):
+            strategy = get_strategy(strategy)
+        profiles = self.analyze()
+        advisor = HmemAdvisor(self.memory_spec(budget_real))
+        return advisor.advise(profiles, strategy)
+
+    # -- step 4 ---------------------------------------------------------
+
+    def run_placed(
+        self,
+        report: PlacementReport,
+        budget_real: int,
+        label: str | None = None,
+    ) -> PlacementOutcome:
+        """Re-execute under auto-hbwmalloc honoring ``report``."""
+        return run_framework(
+            self.app,
+            self.machine,
+            self.profile(),
+            report,
+            budget_real=budget_real,
+            label=label,
+        )
+
+    # -- convenience ------------------------------------------------------
+
+    def run(
+        self,
+        budget_real: int,
+        strategy: SelectionStrategy | str = "misses-0%",
+        advisor_budget_real: int | None = None,
+    ) -> FrameworkRun:
+        """One full pass: profile, analyze, advise, re-execute.
+
+        ``advisor_budget_real`` decouples the budget the advisor plans
+        with from the budget auto-hbwmalloc enforces — the Section
+        IV-C "virtual 512 MB" experiment for allocation-churning
+        applications.
+        """
+        profiling = self.profile()
+        profiles = self.analyze()
+        report = self.advise(
+            advisor_budget_real
+            if advisor_budget_real is not None
+            else budget_real,
+            strategy,
+        )
+        outcome = self.run_placed(report, budget_real)
+        return FrameworkRun(
+            profiling=profiling,
+            profiles=profiles,
+            report=report,
+            outcome=outcome,
+        )

@@ -1,0 +1,117 @@
+"""Per-phase performance breakdown (the Figure 5 MIPS model).
+
+The Folding technique correlates code regions with achieved
+performance over time. The simulated equivalent computes, for a given
+placement, how fast each phase of the iteration body runs: a phase's
+time is its share of compute plus the memory time of the objects (and
+stack traffic) it touches, served by whichever tier the placement put
+them on. The resulting per-function MIPS annotate the folded timeline
+— reproducing SNAP's ``outer_src_calc`` dip under the framework
+(stack spills stay in DDR) and its absence under ``numactl -p 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import ProfilingRun, SimApplication
+from repro.machine.config import MachineConfig
+from repro.machine.performance import ExecutionModel
+
+#: Instructions represented by one unit of phase instruction weight
+#: over a whole run — an arbitrary scale that puts the MIPS axis in
+#: the paper's 0..1600 range.
+_INSTRUCTIONS_PER_WEIGHT = 3.0e11
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseCost:
+    """Time and rate breakdown of one phase under one placement."""
+
+    function: str
+    compute_time: float
+    memory_time: float
+    instructions: float
+
+    @property
+    def total_time(self) -> float:
+        return self.compute_time + self.memory_time
+
+    @property
+    def mips(self) -> float:
+        return self.instructions / self.total_time / 1e6
+
+
+def phase_costs(
+    app: SimApplication,
+    machine: MachineConfig,
+    profiling: ProfilingRun,
+    fast_fraction_by_site: dict[str, float],
+    stack_fast: bool = False,
+) -> dict[str, PhaseCost]:
+    """Per-phase cost under a placement.
+
+    ``fast_fraction_by_site`` is the same mapping
+    :func:`repro.placement.policies.compute_traffic` consumes.
+    """
+    model = ExecutionModel(machine)
+    bw_fast = model.bandwidth.tier_bandwidth(machine.fast_tier, machine.cores)
+    bw_slow = model.bandwidth.tier_bandwidth(machine.slow_tier, machine.cores)
+    cal = app.calibration
+    total_traffic = cal.memory_bound_fraction * cal.ddr_time * bw_slow
+    truth = profiling.ground_truth
+
+    out: dict[str, PhaseCost] = {}
+    for phase in app.phases:
+        fast_bytes = 0.0
+        slow_bytes = 0.0
+        for spec in app.objects:
+            if not spec.touches(phase.function):
+                continue
+            share = truth.miss_share(spec.name) / max(
+                app._touching_phase_count(spec), 1
+            )
+            nbytes = total_traffic * share
+            frac = fast_fraction_by_site.get(spec.name, 0.0)
+            fast_bytes += nbytes * frac
+            slow_bytes += nbytes * (1.0 - frac)
+        stack_bytes = (
+            total_traffic
+            * truth.miss_share("<stack>")
+            * app._stack_share_of_phase(phase)
+        )
+        if stack_fast:
+            fast_bytes += stack_bytes
+        else:
+            slow_bytes += stack_bytes
+
+        # Accumulate over same-named phases (none in the current suite,
+        # but the spec allows repeated functions).
+        cost = PhaseCost(
+            function=phase.function,
+            compute_time=cal.compute_time * phase.duration_fraction,
+            memory_time=fast_bytes / bw_fast + slow_bytes / bw_slow,
+            instructions=(
+                phase.instruction_weight
+                * phase.duration_fraction
+                * _INSTRUCTIONS_PER_WEIGHT
+            ),
+        )
+        out[phase.function] = cost
+    return out
+
+
+def phase_mips(
+    app: SimApplication,
+    machine: MachineConfig,
+    profiling: ProfilingRun,
+    fast_fraction_by_site: dict[str, float],
+    stack_fast: bool = False,
+) -> dict[str, float]:
+    """Convenience wrapper: function -> MIPS for the folding overlay."""
+    return {
+        fn: cost.mips
+        for fn, cost in phase_costs(
+            app, machine, profiling, fast_fraction_by_site, stack_fast
+        ).items()
+    }

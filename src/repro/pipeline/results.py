@@ -1,0 +1,88 @@
+"""Experiment result records for the Figure 4 grids."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics import delta_fom_per_mbyte
+from repro.units import MIB
+
+
+@dataclass(frozen=True, slots=True)
+class ResultRow:
+    """One (budget, selection) cell or one baseline line."""
+
+    application: str
+    label: str
+    #: Budget per rank in real bytes; 0 for baselines without one.
+    budget_bytes: int
+    fom: float
+    #: MCDRAM used (HWM), real bytes (16 GiB charged for numactl/cache).
+    hwm_bytes: int
+    total_time: float
+    alloc_overhead: float = 0.0
+
+    @property
+    def budget_mb(self) -> float:
+        return self.budget_bytes / MIB
+
+    @property
+    def hwm_mb(self) -> float:
+        return self.hwm_bytes / MIB
+
+    def delta_fom_per_mb(self, fom_ddr: float) -> float:
+        """Equation 1, charged on the memory actually used."""
+        if self.hwm_bytes <= 0:
+            return 0.0
+        return delta_fom_per_mbyte(self.fom, fom_ddr, self.hwm_bytes)
+
+
+@dataclass
+class ExperimentResult:
+    """All execution conditions of one application (one Figure 4 row)."""
+
+    application: str
+    fom_name: str
+    fom_units: str
+    #: Framework grid: (budget_bytes, strategy) -> ResultRow.
+    grid: dict[tuple[int, str], ResultRow] = field(default_factory=dict)
+    #: Baselines keyed by label: DDR, MCDRAM*, Cache, autohbw/1m.
+    baselines: dict[str, ResultRow] = field(default_factory=dict)
+
+    @property
+    def fom_ddr(self) -> float:
+        return self.baselines["DDR"].fom
+
+    def best_framework(self) -> ResultRow:
+        return max(self.grid.values(), key=lambda r: r.fom)
+
+    def best_overall(self) -> ResultRow:
+        rows = list(self.grid.values()) + [
+            r for label, r in self.baselines.items() if label != "DDR"
+        ]
+        return max(rows, key=lambda r: r.fom)
+
+    def budgets(self) -> list[int]:
+        return sorted({b for b, _ in self.grid})
+
+    def strategies(self) -> list[str]:
+        seen: list[str] = []
+        for _, s in self.grid:
+            if s not in seen:
+                seen.append(s)
+        return seen
+
+    def row(self, budget_bytes: int, strategy: str) -> ResultRow:
+        return self.grid[(budget_bytes, strategy)]
+
+    def sweet_spot(self, strategy: str | None = None) -> int:
+        """Budget maximising ΔFOM/MB (per strategy, or over all)."""
+        fom_ddr = self.fom_ddr
+        best_budget, best_value = 0, float("-inf")
+        for (budget, strat), row in self.grid.items():
+            if strategy is not None and strat != strategy:
+                continue
+            value = row.delta_fom_per_mb(fom_ddr)
+            if value > best_value:
+                best_value, best_budget = value, budget
+        return best_budget

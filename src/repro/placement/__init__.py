@@ -1,0 +1,21 @@
+"""Placement policies: the framework and the paper's four baselines."""
+
+from repro.placement.policies import (
+    PlacementOutcome,
+    compute_traffic,
+    run_ddr_only,
+    run_numactl_preferred,
+    run_autohbw,
+    run_cache_mode,
+    run_framework,
+)
+
+__all__ = [
+    "PlacementOutcome",
+    "compute_traffic",
+    "run_ddr_only",
+    "run_numactl_preferred",
+    "run_autohbw",
+    "run_cache_mode",
+    "run_framework",
+]

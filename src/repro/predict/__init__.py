@@ -1,0 +1,5 @@
+"""Performance prediction by trace replay (Section V future work)."""
+
+from repro.predict.replay import PredictedOutcome, TraceReplayPredictor
+
+__all__ = ["PredictedOutcome", "TraceReplayPredictor"]

@@ -1,0 +1,6 @@
+"""Plain-text reporting helpers for the benchmark harness."""
+
+from repro.reporting.tables import AsciiTable, format_figure4, format_baselines
+from repro.reporting.series import LabelledSeries
+
+__all__ = ["AsciiTable", "format_figure4", "format_baselines", "LabelledSeries"]

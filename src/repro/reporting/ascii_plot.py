@@ -1,0 +1,172 @@
+"""Terminal plots for the benchmark harness.
+
+The paper's figures are line charts and time-lines; the benches print
+text tables *and* these ASCII renderings so the shape (saturation
+knees, crossovers, the Figure 5 MIPS dip) is visible straight from
+``pytest benchmarks/ --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+from repro.reporting.series import LabelledSeries
+
+#: Per-series plot markers, assigned in order.
+_MARKERS = "*o+x#@%&"
+
+
+def line_chart(
+    series: list[LabelledSeries],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render one or more (x, y) series on a shared-axis ASCII grid.
+
+    X positions are mapped by *value* (not by index), so saturation
+    knees land where they belong even with log-ish sample spacing.
+    """
+    if not series or all(not s.points for s in series):
+        raise ValueError("nothing to plot")
+    xs = [x for s in series for x in s.xs]
+    ys = [y for s in series for y in s.ys]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    # Breathe a little at the top so peaks are not clipped to the edge.
+    y_hi += (y_hi - y_lo) * 0.05
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        return height - 1 - row, col
+
+    for index, s in enumerate(series):
+        marker = _MARKERS[index % len(_MARKERS)]
+        points = sorted(s.points)
+        # Linear interpolation between adjacent samples: one marker
+        # per column the segment crosses.
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            c0 = cell(x0, y0)[1]
+            c1 = cell(x1, y1)[1]
+            for col in range(c0, c1 + 1):
+                if c1 == c0:
+                    y = y0
+                else:
+                    frac = (col - c0) / (c1 - c0)
+                    y = y0 + (y1 - y0) * frac
+                row, _ = cell(x0, y)
+                grid[row][col] = marker
+        for x, y in points:
+            row, col = cell(x, y)
+            grid[row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title.center(width + 12))
+    top_label = f"{y_hi:.4g}".rjust(10)
+    bottom_label = f"{y_lo:.4g}".rjust(10)
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label
+        elif i == height - 1:
+            prefix = bottom_label
+        elif i == height // 2 and y_label:
+            prefix = y_label[:10].rjust(10)
+        else:
+            prefix = " " * 10
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * 10 + "+" + "-" * width)
+    x_axis = f"{x_lo:.4g}".ljust(width // 2) + f"{x_hi:.4g}".rjust(
+        width - width // 2
+    )
+    lines.append(" " * 11 + x_axis)
+    if x_label:
+        lines.append(" " * 11 + x_label.center(width))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {s.label}"
+        for i, s in enumerate(series)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)
+
+
+def strip_chart(
+    labels: list[str],
+    values: list[float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bars — one per label (Figure 4 column style)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must pair up")
+    if not values:
+        raise ValueError("nothing to plot")
+    peak = max(values)
+    if peak <= 0:
+        raise ValueError("values must contain something positive")
+    label_width = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(value / peak * width))
+        lines.append(
+            f"{label.rjust(label_width)} | {bar} {value:,.4g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def timeline_chart(
+    spans: list[tuple[float, float, str]],
+    values: list[tuple[float, float]],
+    width: int = 72,
+    title: str = "",
+) -> str:
+    """A Figure 5-style two-strip plot: which function is executing
+    (top strip, one letter per function) and a value series (bottom,
+    vertical bars scaled to the peak).
+    """
+    if not spans or not values:
+        raise ValueError("nothing to plot")
+    t_lo = min(t0 for t0, _, _ in spans)
+    t_hi = max(t1 for _, t1, _ in spans)
+    if t_hi <= t_lo:
+        raise ValueError("empty timeline")
+
+    def col(t: float) -> int:
+        return min(width - 1, int((t - t_lo) / (t_hi - t_lo) * width))
+
+    functions: list[str] = []
+    strip = [" "] * width
+    for t0, t1, fn in spans:
+        if fn not in functions:
+            functions.append(fn)
+        letter = chr(ord("A") + functions.index(fn) % 26)
+        for c in range(col(t0), max(col(t0) + 1, col(t1))):
+            strip[c] = letter
+
+    peak = max(v for _, v in values) or 1.0
+    levels = " .:-=+*#%@"
+    value_strip = [" "] * width
+    for t, v in values:
+        value_strip[col(t)] = levels[
+            min(len(levels) - 1, int(v / peak * (len(levels) - 1)))
+        ]
+
+    lines = [title] if title else []
+    lines.append("code   |" + "".join(strip))
+    lines.append("value  |" + "".join(value_strip))
+    lines.append("       +" + "-" * width)
+    lines.append(f"        {t_lo:.4g}".ljust(width // 2)
+                 + f"{t_hi:.4g}".rjust(width // 2))
+    legend = "   ".join(
+        f"{chr(ord('A') + i)}={fn}" for i, fn in enumerate(functions)
+    )
+    lines.append("        " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Labelled numeric series (figure data in text form)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LabelledSeries:
+    """One plotted line: a label plus (x, y) points."""
+
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    @property
+    def xs(self) -> list[float]:
+        return [p[0] for p in self.points]
+
+    @property
+    def ys(self) -> list[float]:
+        return [p[1] for p in self.points]
+
+    def render(self, x_fmt: str = "{:g}", y_fmt: str = "{:.2f}") -> str:
+        head = f"{self.label}:"
+        body = "  ".join(
+            f"({x_fmt.format(x)}, {y_fmt.format(y)})" for x, y in self.points
+        )
+        return f"{head} {body}"
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,110 @@
+"""ASCII tables in the shape of the paper's figures and tables.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.pipeline.results import ExperimentResult
+from repro.units import MIB
+
+
+class AsciiTable:
+    """Minimal fixed-width table renderer."""
+
+    def __init__(self, headers: Sequence[str]) -> None:
+        self.headers = list(headers)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        row = [self._fmt(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)}"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1000:
+                return f"{cell:,.0f}"
+            if abs(cell) >= 1:
+                return f"{cell:.2f}"
+            return f"{cell:.4g}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        sep = "-+-".join("-" * w for w in widths)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(
+                " | ".join(c.rjust(w) for c, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_figure4(result: ExperimentResult) -> str:
+    """The three panels of one Figure 4 row, as text tables."""
+    fom_ddr = result.fom_ddr
+    out = [f"== {result.application}: {result.fom_name} ({result.fom_units}) =="]
+
+    fom = AsciiTable(
+        ["budget"] + result.strategies()
+    )
+    hwm = AsciiTable(["budget"] + result.strategies())
+    eff = AsciiTable(["budget"] + result.strategies())
+    for budget in result.budgets():
+        label = f"{budget // MIB} MB"
+        fom.add_row(
+            label,
+            *[result.row(budget, s).fom for s in result.strategies()],
+        )
+        hwm.add_row(
+            label,
+            *[result.row(budget, s).hwm_mb for s in result.strategies()],
+        )
+        eff.add_row(
+            label,
+            *[
+                result.row(budget, s).delta_fom_per_mb(fom_ddr)
+                for s in result.strategies()
+            ],
+        )
+    out.append("-- FOM --")
+    out.append(fom.render())
+    out.append("-- MCDRAM HWM (MB) --")
+    out.append(hwm.render())
+    out.append("-- dFOM/MByte --")
+    out.append(eff.render())
+    out.append(format_baselines(result))
+    return "\n".join(out)
+
+
+def format_baselines(result: ExperimentResult) -> str:
+    table = AsciiTable(["condition", result.fom_name, "vs DDR %"])
+    fom_ddr = result.fom_ddr
+    for label, row in result.baselines.items():
+        gain = (row.fom / fom_ddr - 1.0) * 100.0
+        table.add_row(label, row.fom, gain)
+    best = result.best_framework()
+    table.add_row(
+        f"framework best ({best.label}, {best.budget_mb:.0f} MB)",
+        best.fom,
+        (best.fom / fom_ddr - 1.0) * 100.0,
+    )
+    return "-- baselines --\n" + table.render()

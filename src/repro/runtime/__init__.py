@@ -1,0 +1,42 @@
+"""Simulated process runtime.
+
+Substitute for the OS/libc facilities the paper's framework interposes
+on: a virtual address space with ASLR, glibc-style ``backtrace()``
+call-stacks, binutils-style symbol translation, a default (posix)
+allocator and a capacity-limited memkind allocator, all owned by a
+:class:`SimProcess` that exposes the ``malloc``/``free`` surface the
+interposition libraries wrap.
+"""
+
+from repro.runtime.callstack import Frame, CallStack, RawCallStack
+from repro.runtime.symbols import (
+    FunctionSymbol,
+    ModuleImage,
+    SymbolTable,
+    unwind_cost_us,
+    translate_cost_us,
+)
+from repro.runtime.address_space import Region, VirtualAddressSpace
+from repro.runtime.heap import LiveRangeIndex
+from repro.runtime.allocator import Allocation, AllocatorStats, PosixAllocator
+from repro.runtime.memkind import MemkindAllocator
+from repro.runtime.process import SimProcess
+
+__all__ = [
+    "Frame",
+    "CallStack",
+    "RawCallStack",
+    "FunctionSymbol",
+    "ModuleImage",
+    "SymbolTable",
+    "unwind_cost_us",
+    "translate_cost_us",
+    "Region",
+    "VirtualAddressSpace",
+    "LiveRangeIndex",
+    "Allocation",
+    "AllocatorStats",
+    "PosixAllocator",
+    "MemkindAllocator",
+    "SimProcess",
+]

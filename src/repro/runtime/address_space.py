@@ -1,0 +1,120 @@
+"""Virtual address space with ASLR region carving.
+
+Provides the address ranges everything else lives in: module text
+segments (randomized — this is why call-stack translation is needed at
+all), the static data segment, the stack, and one heap arena per
+allocator. Regions never overlap; attribution of sampled addresses
+relies on that invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AddressSpaceError
+from repro.units import PAGE_SIZE, page_round_up
+
+
+@dataclass(frozen=True, slots=True)
+class Region:
+    """One carved address range ``[base, base + size)``."""
+
+    name: str
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise AddressSpaceError(f"region {self.name!r}: size must be positive")
+        if self.base < 0:
+            raise AddressSpaceError(f"region {self.name!r}: negative base")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+    def overlaps(self, other: "Region") -> bool:
+        return self.base < other.end and other.base < self.end
+
+
+class VirtualAddressSpace:
+    """A 47-bit user address space carved into named regions.
+
+    ``carve`` hands out page-aligned regions bottom-up from a moving
+    break; ``carve_randomized`` adds an ASLR slide drawn from ``rng``
+    so module bases differ between processes — the property that forces
+    the interposition library to translate call-stacks at run time.
+    """
+
+    #: Canonical user-space span on x86-64.
+    SPAN: int = 1 << 47
+
+    def __init__(self, rng: np.random.Generator | None = None) -> None:
+        self._rng = rng or np.random.default_rng(0)
+        self._regions: list[Region] = []
+        self._break = 0x400000  # traditional ELF load floor
+
+    @property
+    def regions(self) -> tuple[Region, ...]:
+        return tuple(self._regions)
+
+    def region(self, name: str) -> Region:
+        for r in self._regions:
+            if r.name == name:
+                return r
+        raise AddressSpaceError(f"no region named {name!r}")
+
+    def _admit(self, region: Region) -> Region:
+        if region.end > self.SPAN:
+            raise AddressSpaceError(
+                f"region {region.name!r} exceeds the address space"
+            )
+        for existing in self._regions:
+            if existing.overlaps(region):
+                raise AddressSpaceError(
+                    f"region {region.name!r} overlaps {existing.name!r}"
+                )
+            if existing.name == region.name:
+                raise AddressSpaceError(f"duplicate region name {region.name!r}")
+        self._regions.append(region)
+        return region
+
+    def _advance_break(self, region: Region) -> None:
+        if region.end > self._break:
+            self._break = page_round_up(region.end)
+
+    def carve(self, name: str, size: int) -> Region:
+        """Carve the next page-aligned region of at least ``size`` bytes."""
+        region = Region(name=name, base=self._break, size=page_round_up(size))
+        self._admit(region)
+        self._advance_break(region)
+        return region
+
+    def carve_randomized(
+        self, name: str, size: int, max_slide_pages: int = 1 << 20
+    ) -> Region:
+        """Carve with a random page-granular ASLR slide."""
+        slide = int(self._rng.integers(1, max_slide_pages)) * PAGE_SIZE
+        region = Region(
+            name=name, base=self._break + slide, size=page_round_up(size)
+        )
+        self._admit(region)
+        self._advance_break(region)
+        return region
+
+    def carve_at(self, name: str, base: int, size: int) -> Region:
+        """Carve a region at a fixed base (e.g. the stack near the top)."""
+        region = Region(name=name, base=base, size=page_round_up(size))
+        return self._admit(region)
+
+    def owner_of(self, address: int) -> Region | None:
+        """The region containing ``address``, or None."""
+        for r in self._regions:
+            if r.contains(address):
+                return r
+        return None

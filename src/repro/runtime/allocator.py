@@ -1,0 +1,179 @@
+"""Simulated dynamic-memory allocators.
+
+:class:`PosixAllocator` stands in for the regular libc heap: a bump
+pointer over its arena region plus size-segregated free lists, 16-byte
+alignment, and the bookkeeping auto-hbwmalloc relies on (Section III,
+Step 4 items 1-3: allocated regions per allocator, memory used per
+allocator, execution statistics including the high-water mark).
+
+The paper stresses that "memory allocations and deallocations need to
+be handled by their specific memory allocation package and cannot be
+mixed with others"; simulated allocators enforce exactly that by
+refusing to free pointers they do not own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import AllocationError, InvalidFreeError, OutOfMemoryError
+from repro.runtime.address_space import Region
+from repro.runtime.callstack import RawCallStack
+from repro.runtime.heap import LiveRangeIndex
+
+_ALIGNMENT = 16
+
+
+def _align_up(value: int, alignment: int = _ALIGNMENT) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+@dataclass(frozen=True, slots=True)
+class Allocation:
+    """One live (or historical) dynamic allocation."""
+
+    address: int
+    size: int
+    allocator: str
+    alloc_id: int
+    callstack: Optional[RawCallStack] = None
+
+
+@dataclass(slots=True)
+class AllocatorStats:
+    """Execution statistics one allocator maintains.
+
+    These are the metrics auto-hbwmalloc "captures upon user request"
+    (number of allocations, average allocation size, observed HWM).
+    """
+
+    n_allocs: int = 0
+    n_frees: int = 0
+    bytes_allocated: int = 0
+    current_bytes: int = 0
+    hwm_bytes: int = 0
+
+    def on_alloc(self, size: int) -> None:
+        self.n_allocs += 1
+        self.bytes_allocated += size
+        self.current_bytes += size
+        if self.current_bytes > self.hwm_bytes:
+            self.hwm_bytes = self.current_bytes
+
+    def on_free(self, size: int) -> None:
+        self.n_frees += 1
+        self.current_bytes -= size
+
+    @property
+    def average_alloc_size(self) -> float:
+        if self.n_allocs == 0:
+            return 0.0
+        return self.bytes_allocated / self.n_allocs
+
+
+class PosixAllocator:
+    """The default heap: bump allocation + size-segregated free lists."""
+
+    name = "posix"
+
+    def __init__(self, arena: Region) -> None:
+        self.arena = arena
+        self._brk = arena.base
+        self._free_lists: dict[int, list[int]] = {}
+        self.live: LiveRangeIndex[Allocation] = LiveRangeIndex()
+        self.stats = AllocatorStats()
+        self._next_id = 0
+
+    # -- core operations ------------------------------------------------
+
+    def malloc(
+        self, size: int, callstack: RawCallStack | None = None
+    ) -> Allocation:
+        """Allocate ``size`` bytes; returns the allocation record."""
+        if size <= 0:
+            raise AllocationError(f"malloc of non-positive size {size}")
+        rounded = _align_up(size)
+        address = self._take_block(rounded)
+        alloc = Allocation(
+            address=address,
+            size=size,
+            allocator=self.name,
+            alloc_id=self._next_id,
+            callstack=callstack,
+        )
+        self._next_id += 1
+        self.live.insert(address, rounded, alloc)
+        self.stats.on_alloc(size)
+        return alloc
+
+    def posix_memalign(
+        self, alignment: int, size: int, callstack: RawCallStack | None = None
+    ) -> Allocation:
+        """Aligned allocation; alignment must be a power of two >= 16."""
+        if alignment < _ALIGNMENT or alignment & (alignment - 1) != 0:
+            raise AllocationError(f"bad alignment {alignment}")
+        if size <= 0:
+            raise AllocationError(f"posix_memalign of non-positive size {size}")
+        rounded = _align_up(size, alignment)
+        # Over-allocate from the bump pointer so the aligned base fits.
+        raw_base = self._bump(rounded + alignment)
+        address = _align_up(raw_base, alignment)
+        alloc = Allocation(
+            address=address,
+            size=size,
+            allocator=self.name,
+            alloc_id=self._next_id,
+            callstack=callstack,
+        )
+        self._next_id += 1
+        self.live.insert(address, rounded, alloc)
+        self.stats.on_alloc(size)
+        return alloc
+
+    def free(self, address: int) -> Allocation:
+        """Free a pointer previously returned by this allocator."""
+        alloc = self.live.lookup_base(address)
+        if alloc is None:
+            raise InvalidFreeError(
+                f"{self.name}: free of unowned pointer {address:#x}"
+            )
+        self.live.remove(address)
+        rounded = _align_up(alloc.size)
+        self._free_lists.setdefault(rounded, []).append(address)
+        self.stats.on_free(alloc.size)
+        return alloc
+
+    def realloc(
+        self, address: int, new_size: int, callstack: RawCallStack | None = None
+    ) -> Allocation:
+        """Grow/shrink an allocation (always moves, like a worst case)."""
+        old = self.free(address)
+        del old
+        return self.malloc(new_size, callstack)
+
+    def owns(self, address: int) -> bool:
+        """True if ``address`` is the base of one of our live blocks."""
+        return self.live.lookup_base(address) is not None
+
+    # -- internals -------------------------------------------------------
+
+    def _take_block(self, rounded: int) -> int:
+        free = self._free_lists.get(rounded)
+        if free:
+            return free.pop()
+        return self._bump(rounded)
+
+    def _bump(self, rounded: int) -> int:
+        address = self._brk
+        if address + rounded > self.arena.end:
+            raise OutOfMemoryError(
+                f"{self.name}: arena {self.arena.name!r} exhausted "
+                f"(brk={address:#x}, need {rounded} bytes)"
+            )
+        self._brk += rounded
+        return address
+
+    @property
+    def live_bytes(self) -> int:
+        return self.stats.current_bytes

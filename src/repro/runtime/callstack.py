@@ -1,0 +1,115 @@
+"""Call-stacks: raw (addresses) and translated (symbolic frames).
+
+The paper identifies dynamically-allocated objects "by their allocation
+call-stack" captured with glibc's ``backtrace()`` (Section III, Step
+1). ``backtrace()`` yields raw return addresses, which — because of
+ASLR — only become comparable across runs after translation to
+function/file/line symbols (Section III, Step 4). Both forms live
+here:
+
+* :class:`RawCallStack` — the tuple of runtime addresses ``backtrace``
+  returns, leaf-most frame first;
+* :class:`Frame` / :class:`CallStack` — the translated, symbolic form
+  that placement reports are written in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Frame:
+    """One translated stack frame."""
+
+    module: str
+    function: str
+    file: str
+    line: int
+
+    def __str__(self) -> str:
+        return f"{self.function} ({self.file}:{self.line}) [{self.module}]"
+
+    @property
+    def key(self) -> tuple[str, str, int]:
+        """Identity used for report matching (module-independent).
+
+        Reports must match across runs even if a library is rebuilt at
+        a different base, so the module name is not part of the key.
+        """
+        return (self.function, self.file, self.line)
+
+
+@dataclass(frozen=True, slots=True)
+class RawCallStack:
+    """Raw return addresses, leaf first (what ``backtrace()`` yields)."""
+
+    addresses: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.addresses:
+            raise ValueError("a call-stack needs at least one frame")
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.addresses)
+
+    def __hash__(self) -> int:
+        return hash(self.addresses)
+
+
+@dataclass(frozen=True, slots=True)
+class CallStack:
+    """A translated call-stack, leaf-most frame first."""
+
+    frames: tuple[Frame, ...]
+
+    def __post_init__(self) -> None:
+        if not self.frames:
+            raise ValueError("a call-stack needs at least one frame")
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __iter__(self) -> Iterator[Frame]:
+        return iter(self.frames)
+
+    @property
+    def leaf(self) -> Frame:
+        return self.frames[0]
+
+    @property
+    def root(self) -> Frame:
+        return self.frames[-1]
+
+    @property
+    def key(self) -> tuple[tuple[str, str, int], ...]:
+        """Match key: the sequence of frame keys, leaf first."""
+        return tuple(f.key for f in self.frames)
+
+    def pretty(self, indent: str = "  ") -> str:
+        """Multi-line rendering, leaf first, for reports and logs."""
+        return "\n".join(f"{indent}#{i} {f}" for i, f in enumerate(self.frames))
+
+    @classmethod
+    def from_frames(cls, frames: list[Frame]) -> "CallStack":
+        return cls(frames=tuple(frames))
+
+
+def common_prefix_depth(a: CallStack, b: CallStack) -> int:
+    """Number of identical frames from the *root* end of two stacks.
+
+    Useful to cluster allocation sites that share outer structure
+    (e.g. everything under ``SetupProblem``).
+    """
+    ra = list(reversed(a.frames))
+    rb = list(reversed(b.frames))
+    depth = 0
+    for fa, fb in zip(ra, rb):
+        if fa.key != fb.key:
+            break
+        depth += 1
+    return depth

@@ -1,0 +1,205 @@
+"""Program images, ASLR and symbol translation (binutils substitute).
+
+Section III, Step 4: "Due to the inclusion of the ASLR security
+features that randomize the position of library symbols in the
+application address space, it is necessary not only to unwind the
+call-stack but also to translate it at run-time (using the binutils
+package)."
+
+The substitute models a program as a set of :class:`ModuleImage`
+objects (executable + libraries), each holding function symbols at
+static offsets. A process maps every module at a randomized base
+(the ASLR slide); ``backtrace()`` therefore yields slid addresses and
+:class:`SymbolTable.translate` undoes the slide and resolves the
+function/file/line — a real binary search over symbol offsets, so the
+translation cost grows with the work performed exactly as in the
+paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SymbolError
+from repro.runtime.callstack import CallStack, Frame, RawCallStack
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionSymbol:
+    """One function inside a module image.
+
+    ``offset`` is the static offset of the function's first byte from
+    the module base; ``size`` bounds it. Call sites inside the function
+    are addressed as ``offset + line - start_line`` so distinct source
+    lines produce distinct return addresses.
+    """
+
+    name: str
+    offset: int
+    size: int
+    file: str
+    start_line: int = 1
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.size <= 0:
+            raise SymbolError(f"bad symbol geometry for {self.name!r}")
+
+    def contains(self, offset: int) -> bool:
+        return self.offset <= offset < self.offset + self.size
+
+    def line_of(self, offset: int) -> int:
+        return self.start_line + (offset - self.offset)
+
+    def offset_of_line(self, line: int) -> int:
+        delta = line - self.start_line
+        if not 0 <= delta < self.size:
+            raise SymbolError(
+                f"line {line} outside {self.name!r} "
+                f"(lines {self.start_line}..{self.start_line + self.size - 1})"
+            )
+        return self.offset + delta
+
+
+@dataclass
+class ModuleImage:
+    """Static image of one executable or shared library."""
+
+    name: str
+    size: int
+    functions: list[FunctionSymbol] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.functions.sort(key=lambda f: f.offset)
+        self._offsets = [f.offset for f in self.functions]
+        prev_end = 0
+        for f in self.functions:
+            if f.offset < prev_end:
+                raise SymbolError(
+                    f"overlapping symbols in module {self.name!r} at {f.name!r}"
+                )
+            prev_end = f.offset + f.size
+        if prev_end > self.size:
+            raise SymbolError(
+                f"module {self.name!r} too small for its symbols "
+                f"({prev_end} > {self.size})"
+            )
+
+    def function(self, name: str) -> FunctionSymbol:
+        for f in self.functions:
+            if f.name == name:
+                return f
+        raise SymbolError(f"no function {name!r} in module {self.name!r}")
+
+    def resolve_offset(self, offset: int) -> FunctionSymbol:
+        """Binary search for the symbol covering a static offset."""
+        idx = bisect.bisect_right(self._offsets, offset) - 1
+        if idx >= 0 and self.functions[idx].contains(offset):
+            return self.functions[idx]
+        raise SymbolError(
+            f"offset {offset:#x} resolves to no symbol in {self.name!r}"
+        )
+
+
+class SymbolTable:
+    """Per-process view: modules mapped at ASLR-slid bases."""
+
+    def __init__(self, rng: np.random.Generator | None = None) -> None:
+        self._modules: list[tuple[int, ModuleImage]] = []  # (base, image)
+        self._bases: list[int] = []
+        self._rng = rng or np.random.default_rng(0)
+        self.translations = 0  # instrumentation for the Fig. 3 study
+
+    def map_module(self, image: ModuleImage, base: int) -> None:
+        """Map ``image`` at runtime address ``base``."""
+        for existing_base, existing in self._modules:
+            if base < existing_base + existing.size and existing_base < base + image.size:
+                raise SymbolError(
+                    f"module {image.name!r} at {base:#x} overlaps "
+                    f"{existing.name!r} at {existing_base:#x}"
+                )
+        self._modules.append((base, image))
+        self._modules.sort(key=lambda pair: pair[0])
+        self._bases = [b for b, _ in self._modules]
+
+    def module_base(self, name: str) -> int:
+        for base, image in self._modules:
+            if image.name == name:
+                return base
+        raise SymbolError(f"module {name!r} is not mapped")
+
+    def module(self, name: str) -> ModuleImage:
+        for _, image in self._modules:
+            if image.name == name:
+                return image
+        raise SymbolError(f"module {name!r} is not mapped")
+
+    def address_of(self, module: str, function: str, line: int) -> int:
+        """Runtime address of a call site (module base + line offset)."""
+        base = self.module_base(module)
+        sym = self.module(module).function(function)
+        return base + sym.offset_of_line(line)
+
+    def translate_address(self, address: int) -> Frame:
+        """Resolve one runtime address to a symbolic frame."""
+        self.translations += 1
+        idx = bisect.bisect_right(self._bases, address) - 1
+        if idx < 0:
+            raise SymbolError(f"address {address:#x} maps to no module")
+        base, image = self._modules[idx]
+        offset = address - base
+        if offset >= image.size:
+            raise SymbolError(f"address {address:#x} maps to no module")
+        sym = image.resolve_offset(offset)
+        return Frame(
+            module=image.name,
+            function=sym.name,
+            file=sym.file,
+            line=sym.line_of(offset),
+        )
+
+    def translate(self, raw: RawCallStack) -> CallStack:
+        """Translate a whole raw call-stack (binutils substitute)."""
+        return CallStack(frames=tuple(self.translate_address(a) for a in raw))
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 cost model
+# ---------------------------------------------------------------------------
+#
+# Measured on the paper's Xeon Phi 7250 (glibc 2.17, binutils 2.23):
+# unwinding has a large fixed cost (capturing the register context and
+# priming the unwind tables) and a small per-frame cost, while
+# translation is almost free to start but pays a larger per-frame cost
+# (address-to-symbol search plus formatting). The curves cross at a
+# call-stack depth of about 6. The constants below reproduce that
+# shape; the simulated monitoring-overhead accounting consumes them.
+
+UNWIND_FIXED_US: float = 14.0
+UNWIND_PER_FRAME_US: float = 1.0
+TRANSLATE_FIXED_US: float = 2.0
+TRANSLATE_PER_FRAME_US: float = 3.0
+
+
+def unwind_cost_us(depth: int) -> float:
+    """Modelled ``backtrace()`` cost in microseconds for ``depth`` frames."""
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    return UNWIND_FIXED_US + UNWIND_PER_FRAME_US * depth
+
+def translate_cost_us(depth: int) -> float:
+    """Modelled translation cost in microseconds for ``depth`` frames."""
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    return TRANSLATE_FIXED_US + TRANSLATE_PER_FRAME_US * depth
+
+
+def crossover_depth() -> int:
+    """Smallest depth at which translation costs at least as much as
+    unwinding (the paper reports ~6)."""
+    depth = 1
+    while translate_cost_us(depth) < unwind_cost_us(depth):
+        depth += 1
+    return depth

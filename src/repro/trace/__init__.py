@@ -1,0 +1,22 @@
+"""Tracing layer (Extrae/Paraver substitute)."""
+
+from repro.trace.events import (
+    AllocEvent,
+    FreeEvent,
+    SampleEvent,
+    PhaseEvent,
+    StaticVarRecord,
+)
+from repro.trace.tracefile import TraceFile
+from repro.trace.tracer import Tracer, TracerConfig
+
+__all__ = [
+    "AllocEvent",
+    "FreeEvent",
+    "SampleEvent",
+    "PhaseEvent",
+    "StaticVarRecord",
+    "TraceFile",
+    "Tracer",
+    "TracerConfig",
+]

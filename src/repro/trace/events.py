@@ -1,0 +1,163 @@
+"""Trace event records.
+
+A Paraver trace-file is "a sequence of time-stamped events reflecting
+the actual application execution" (Section III, Step 2). The
+simulated trace keeps the same information content in typed records:
+allocations/deallocations with their translated call-stacks and sizes,
+sampled memory references, phase (function) markers, and the static
+variables Extrae identifies "by their given name".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.callstack import CallStack, Frame
+
+
+@dataclass(frozen=True, slots=True)
+class AllocEvent:
+    """A dynamic allocation, as Extrae records it."""
+
+    time: float
+    rank: int
+    address: int
+    size: int
+    callstack: CallStack
+    allocator: str = "posix"
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "alloc",
+            "time": self.time,
+            "rank": self.rank,
+            "address": self.address,
+            "size": self.size,
+            "allocator": self.allocator,
+            "callstack": [
+                [f.module, f.function, f.file, f.line] for f in self.callstack
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AllocEvent":
+        frames = tuple(
+            Frame(module=m, function=fn, file=fi, line=ln)
+            for m, fn, fi, ln in data["callstack"]
+        )
+        return cls(
+            time=data["time"],
+            rank=data["rank"],
+            address=data["address"],
+            size=data["size"],
+            allocator=data.get("allocator", "posix"),
+            callstack=CallStack(frames=frames),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FreeEvent:
+    """A deallocation."""
+
+    time: float
+    rank: int
+    address: int
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "free",
+            "time": self.time,
+            "rank": self.rank,
+            "address": self.address,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FreeEvent":
+        return cls(time=data["time"], rank=data["rank"], address=data["address"])
+
+
+@dataclass(frozen=True, slots=True)
+class SampleEvent:
+    """A PEBS sample folded into the trace.
+
+    ``latency_cycles`` is only populated when the PMU provides it —
+    Intel Xeon parts report the access cost per sampled load, Xeon Phi
+    does not (Section III, Step 1). The latency-weighted advisor
+    refinement of Section III consumes it when present.
+    """
+
+    time: float
+    rank: int
+    address: int
+    latency_cycles: int | None = None
+
+    def to_dict(self) -> dict:
+        data = {
+            "type": "sample",
+            "time": self.time,
+            "rank": self.rank,
+            "address": self.address,
+        }
+        if self.latency_cycles is not None:
+            data["latency_cycles"] = self.latency_cycles
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SampleEvent":
+        return cls(
+            time=data["time"],
+            rank=data["rank"],
+            address=data["address"],
+            latency_cycles=data.get("latency_cycles"),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseEvent:
+    """Entry into a code phase (function) — the Folding signal."""
+
+    time: float
+    rank: int
+    function: str
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "phase",
+            "time": self.time,
+            "rank": self.rank,
+            "function": self.function,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PhaseEvent":
+        return cls(
+            time=data["time"], rank=data["rank"], function=data["function"]
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class StaticVarRecord:
+    """A named static variable and its address range."""
+
+    name: str
+    rank: int
+    address: int
+    size: int
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "static",
+            "name": self.name,
+            "rank": self.rank,
+            "address": self.address,
+            "size": self.size,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StaticVarRecord":
+        return cls(
+            name=data["name"],
+            rank=data["rank"],
+            address=data["address"],
+            size=data["size"],
+        )

@@ -1,0 +1,132 @@
+"""Trace-file container with JSONL round-trip.
+
+The real framework persists Paraver trace-files on disk between stage
+1 (Extrae) and stage 2 (Paramedir); the simulated trace does the same
+through JSON-lines so each stage can run in a separate process if
+desired.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Union
+
+from repro.errors import TraceError
+from repro.trace.events import (
+    AllocEvent,
+    FreeEvent,
+    PhaseEvent,
+    SampleEvent,
+    StaticVarRecord,
+)
+
+TraceEvent = Union[AllocEvent, FreeEvent, SampleEvent, PhaseEvent]
+
+_EVENT_TYPES = {
+    "alloc": AllocEvent,
+    "free": FreeEvent,
+    "sample": SampleEvent,
+    "phase": PhaseEvent,
+}
+
+
+@dataclass
+class TraceFile:
+    """An ordered collection of trace events plus run metadata."""
+
+    application: str = ""
+    ranks: int = 1
+    sampling_period: int = 1
+    events: list[TraceEvent] = field(default_factory=list)
+    statics: list[StaticVarRecord] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def append(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def extend(self, events: list[TraceEvent]) -> None:
+        self.events.extend(events)
+
+    def sorted_events(self) -> list[TraceEvent]:
+        """Events in time order (stable for equal timestamps)."""
+        return sorted(self.events, key=lambda e: e.time)
+
+    def iter_type(self, event_type: type) -> Iterator[TraceEvent]:
+        return (e for e in self.events if isinstance(e, event_type))
+
+    @property
+    def alloc_events(self) -> list[AllocEvent]:
+        return [e for e in self.events if isinstance(e, AllocEvent)]
+
+    @property
+    def free_events(self) -> list[FreeEvent]:
+        return [e for e in self.events if isinstance(e, FreeEvent)]
+
+    @property
+    def sample_events(self) -> list[SampleEvent]:
+        return [e for e in self.events if isinstance(e, SampleEvent)]
+
+    @property
+    def phase_events(self) -> list[PhaseEvent]:
+        return [e for e in self.events if isinstance(e, PhaseEvent)]
+
+    @property
+    def duration(self) -> float:
+        if not self.events:
+            return 0.0
+        return max(e.time for e in self.events)
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write as JSON lines: a header record, then one event per line."""
+        path = Path(path)
+        with path.open("w") as fh:
+            header = {
+                "type": "header",
+                "application": self.application,
+                "ranks": self.ranks,
+                "sampling_period": self.sampling_period,
+                "metadata": self.metadata,
+            }
+            fh.write(json.dumps(header) + "\n")
+            for static in self.statics:
+                fh.write(json.dumps(static.to_dict()) + "\n")
+            for event in self.events:
+                fh.write(json.dumps(event.to_dict()) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TraceFile":
+        path = Path(path)
+        trace: TraceFile | None = None
+        with path.open() as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise TraceError(f"{path}:{lineno}: bad JSON: {exc}") from exc
+                kind = data.get("type")
+                if kind == "header":
+                    trace = cls(
+                        application=data.get("application", ""),
+                        ranks=data.get("ranks", 1),
+                        sampling_period=data.get("sampling_period", 1),
+                        metadata=data.get("metadata", {}),
+                    )
+                    continue
+                if trace is None:
+                    raise TraceError(f"{path}: first record must be the header")
+                if kind == "static":
+                    trace.statics.append(StaticVarRecord.from_dict(data))
+                elif kind in _EVENT_TYPES:
+                    trace.events.append(_EVENT_TYPES[kind].from_dict(data))
+                else:
+                    raise TraceError(f"{path}:{lineno}: unknown event {kind!r}")
+        if trace is None:
+            raise TraceError(f"{path}: empty trace file")
+        return trace

@@ -1,0 +1,60 @@
+"""Size and time units shared across the simulator.
+
+The paper works in a mix of units: MCDRAM budgets are given in
+MBytes/rank, page granularity drives the advisor's packing, and
+bandwidths are quoted in GB/s. Centralising the constants avoids the
+classic KiB-vs-KB calibration bugs.
+"""
+
+from __future__ import annotations
+
+KIB: int = 1024
+MIB: int = 1024 * KIB
+GIB: int = 1024 * MIB
+
+#: Size of a virtual-memory page. hmem_advisor packs objects into
+#: tiers at page granularity, so partial pages round up.
+PAGE_SIZE: int = 4096
+
+#: Size of a cache line; each LLC miss moves one line from memory.
+CACHE_LINE: int = 64
+
+MICROSECOND: float = 1e-6
+MILLISECOND: float = 1e-3
+
+
+def pages(nbytes: int, page_size: int = PAGE_SIZE) -> int:
+    """Number of whole pages needed to hold ``nbytes``.
+
+    >>> pages(1)
+    1
+    >>> pages(4096)
+    1
+    >>> pages(4097)
+    2
+    """
+    if nbytes < 0:
+        raise ValueError(f"negative size: {nbytes}")
+    if nbytes == 0:
+        return 0
+    return -(-nbytes // page_size)
+
+
+def page_round_up(nbytes: int, page_size: int = PAGE_SIZE) -> int:
+    """Round ``nbytes`` up to a whole number of pages (in bytes)."""
+    return pages(nbytes, page_size) * page_size
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable size, e.g. ``fmt_bytes(3 * MIB) == '3.0 MiB'``."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def mbytes(nbytes: float) -> float:
+    """Bytes expressed in MiB (the unit of the paper's budget axis)."""
+    return nbytes / MIB

@@ -1,0 +1,179 @@
+"""hmem_advisor: tier packing at page granularity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.advisor.advisor import HmemAdvisor
+from repro.advisor.spec import MemorySpec, TierSpec
+from repro.advisor.strategies import DensityStrategy, MissesStrategy
+from repro.analysis.objects import ObjectKey
+from repro.analysis.profile import ObjectProfile, ProfileSet
+from repro.errors import AdvisorError
+from repro.runtime.callstack import CallStack, Frame
+from repro.units import GIB, KIB, MIB, page_round_up
+
+
+def _profile(name, misses, size, static=False):
+    if static:
+        key = ObjectKey.static(name)
+    else:
+        key = ObjectKey.dynamic(
+            CallStack(frames=(Frame("app", name, "app.c", 1),))
+        )
+    return ObjectProfile(key=key, sampled_misses=misses, size=size)
+
+
+def _spec(budget=10 * MIB):
+    return MemorySpec(
+        tiers=(
+            TierSpec("MCDRAM", budget=budget, relative_performance=5.0),
+            TierSpec("DDR", budget=96 * GIB, relative_performance=1.0),
+        )
+    )
+
+
+class TestPacking:
+    def test_budget_respected_with_page_rounding(self):
+        profiles = ProfileSet(
+            profiles=[
+                _profile("a", 100, 6 * MIB),
+                _profile("b", 90, 6 * MIB),
+                _profile("c", 80, 3 * MIB),
+            ],
+            application="t",
+        )
+        report = HmemAdvisor(_spec(10 * MIB)).advise(profiles, MissesStrategy())
+        selected = {e.key.label for e in report.entries}
+        assert selected == {"a@app.c:1", "c@app.c:1"}  # b does not fit
+        packed = sum(page_round_up(e.size) for e in report.entries)
+        assert packed <= 10 * MIB
+
+    def test_page_rounding_matters(self):
+        # Two 3-page-minus-epsilon objects in a 5-page budget: only one
+        # fits once each is rounded to 3 pages.
+        budget = 5 * 4096
+        profiles = ProfileSet(
+            profiles=[
+                _profile("a", 10, 3 * 4096 - 1),
+                _profile("b", 9, 3 * 4096 - 1),
+            ]
+        )
+        report = HmemAdvisor(_spec(budget)).advise(profiles, MissesStrategy())
+        assert len(report.entries) == 1
+
+    def test_statics_recommended_not_packed(self):
+        profiles = ProfileSet(
+            profiles=[
+                _profile("grid", 100, 4 * MIB, static=True),
+                _profile("vec", 50, 4 * MIB),
+            ]
+        )
+        report = HmemAdvisor(_spec(5 * MIB)).advise(profiles, MissesStrategy())
+        assert [e.key.label for e in report.entries] == ["vec@app.c:1"]
+        assert [e.key.label for e in report.static_recommendations] == ["grid"]
+
+    def test_size_bounds_computed(self):
+        profiles = ProfileSet(
+            profiles=[
+                _profile("a", 100, 2 * MIB),
+                _profile("b", 90, 512 * KIB),
+            ]
+        )
+        report = HmemAdvisor(_spec()).advise(profiles, MissesStrategy())
+        assert report.lb_size == 512 * KIB
+        assert report.ub_size == 2 * MIB
+
+    def test_no_selection_no_bounds(self):
+        profiles = ProfileSet(profiles=[_profile("a", 0, MIB)])
+        report = HmemAdvisor(_spec()).advise(profiles, MissesStrategy())
+        assert report.entries == []
+        assert report.lb_size is None
+
+    def test_density_vs_misses_differ(self):
+        """The SNAP pattern: density favours small chunks, the miss
+        ranking favours the one big buffer."""
+        profiles = ProfileSet(
+            profiles=[
+                _profile("big_buffer", 420, 9 * MIB),
+                _profile("small_a", 140, 1 * MIB),
+                _profile("small_b", 130, 1 * MIB),
+                _profile("small_c", 120, 1 * MIB),
+            ]
+        )
+        advisor = HmemAdvisor(_spec(10 * MIB))
+        by_misses = advisor.advise(profiles, MissesStrategy())
+        by_density = advisor.advise(profiles, DensityStrategy())
+        assert by_misses.tier_bytes("MCDRAM") >= 9 * MIB
+        assert by_density.tier_bytes("MCDRAM") <= 3 * MIB
+
+    def test_three_tier_cascade(self):
+        spec = MemorySpec(
+            tiers=(
+                TierSpec("HBM", budget=1 * MIB, relative_performance=5.0),
+                TierSpec("DDR", budget=2 * MIB, relative_performance=1.0),
+                TierSpec("NVM", budget=100 * GIB, relative_performance=0.2),
+            )
+        )
+        profiles = ProfileSet(
+            profiles=[
+                _profile("hot", 100, 1 * MIB),
+                _profile("warm", 50, 2 * MIB),
+            ]
+        )
+        report = HmemAdvisor(spec).advise(profiles, MissesStrategy())
+        tiers = {e.key.label.split("@")[0]: e.tier for e in report.entries}
+        assert tiers == {"hot": "HBM", "warm": "DDR"}
+
+    def test_budgets_in_report(self):
+        report = HmemAdvisor(_spec(7 * MIB)).advise(
+            ProfileSet(profiles=[_profile("a", 1, 1 * MIB)]), MissesStrategy()
+        )
+        assert report.budgets == {"MCDRAM": 7 * MIB}
+
+    def test_advise_all(self):
+        profiles = ProfileSet(profiles=[_profile("a", 10, MIB)])
+        reports = HmemAdvisor(_spec()).advise_all(
+            profiles, [MissesStrategy(), DensityStrategy()]
+        )
+        assert set(reports) == {"misses-0%", "density"}
+
+    def test_advise_all_needs_strategies(self):
+        with pytest.raises(AdvisorError):
+            HmemAdvisor(_spec()).advise_all(ProfileSet(), [])
+
+
+class TestPackingInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1000),
+                st.integers(min_value=1, max_value=64 * 4096),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        st.integers(min_value=0, max_value=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_never_exceeds_budget(self, items, budget_pages):
+        budget = budget_pages * 4096
+        profiles = ProfileSet(
+            profiles=[
+                _profile(f"o{i}", misses, size)
+                for i, (misses, size) in enumerate(items)
+            ]
+        )
+        spec = MemorySpec(
+            tiers=(
+                TierSpec("MCDRAM", budget=budget, relative_performance=5.0),
+                TierSpec("DDR", budget=GIB, relative_performance=1.0),
+            )
+        )
+        for strategy in (MissesStrategy(), DensityStrategy(),
+                         MissesStrategy(5.0)):
+            report = HmemAdvisor(spec).advise(profiles, strategy)
+            used = sum(page_round_up(e.size) for e in report.entries)
+            assert used <= budget
+            # Only sampled, dynamic objects are ever selected.
+            assert all(e.sampled_misses > 0 for e in report.entries)

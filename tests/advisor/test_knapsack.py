@@ -1,0 +1,121 @@
+"""Exact 0/1 knapsack and greedy comparison helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.advisor.knapsack import greedy_value, solve_knapsack
+from repro.errors import AdvisorError
+
+
+class TestSolveKnapsack:
+    def test_classic_instance(self):
+        # values 60,100,120 / weights 1,2,3 / cap 5 -> 220 (items 1,2)
+        best, chosen = solve_knapsack([60, 100, 120], [1, 2, 3], 5)
+        assert best == 220
+        assert chosen == [1, 2]
+
+    def test_all_fit(self):
+        best, chosen = solve_knapsack([1, 2, 3], [1, 1, 1], 10)
+        assert best == 6
+        assert chosen == [0, 1, 2]
+
+    def test_nothing_fits(self):
+        best, chosen = solve_knapsack([5], [10], 3)
+        assert best == 0
+        assert chosen == []
+
+    def test_zero_capacity(self):
+        best, chosen = solve_knapsack([5, 1], [1, 1], 0)
+        assert best == 0.0
+        assert chosen == []
+
+    def test_empty_instance(self):
+        best, chosen = solve_knapsack([], [], 10)
+        assert best == 0.0 and chosen == []
+
+    def test_zero_weight_items_always_taken(self):
+        best, chosen = solve_knapsack([5, 7], [0, 3], 2)
+        assert best == 5
+        assert 0 in chosen
+
+    def test_validation(self):
+        with pytest.raises(AdvisorError):
+            solve_knapsack([1], [1, 2], 5)
+        with pytest.raises(AdvisorError):
+            solve_knapsack([-1], [1], 5)
+        with pytest.raises(AdvisorError):
+            solve_knapsack([1], [-1], 5)
+        with pytest.raises(AdvisorError):
+            solve_knapsack([1], [1], -5)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.integers(min_value=0, max_value=30),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        st.integers(min_value=0, max_value=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, items, capacity):
+        values = [v for v, _ in items]
+        weights = [w for _, w in items]
+        best, chosen = solve_knapsack(values, weights, capacity)
+        # Selection feasibility and value consistency.
+        assert sum(weights[i] for i in chosen) <= capacity
+        assert best == pytest.approx(sum(values[i] for i in chosen))
+        # Exhaustive optimum for small n.
+        n = len(items)
+        brute = 0.0
+        for mask in range(1 << n):
+            w = sum(weights[i] for i in range(n) if mask >> i & 1)
+            if w <= capacity:
+                v = sum(values[i] for i in range(n) if mask >> i & 1)
+                brute = max(brute, v)
+        assert best == pytest.approx(brute)
+
+
+class TestGreedyValue:
+    def test_greedy_order_respected(self):
+        values = np.array([10.0, 50.0, 30.0])
+        weights = np.array([5, 5, 5])
+        total, chosen = greedy_value(values, weights, 10, order=[1, 2, 0])
+        assert total == 80.0
+        assert chosen == [1, 2]
+
+    def test_skips_what_does_not_fit(self):
+        values = np.array([10.0, 50.0])
+        weights = np.array([8, 5])
+        total, chosen = greedy_value(values, weights, 10, order=[0, 1])
+        assert chosen == [0]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.integers(min_value=1, max_value=30),
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+        st.integers(min_value=0, max_value=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_never_beats_exact(self, items, capacity):
+        """The paper's relaxations are bounded by the DP optimum."""
+        values = np.array([v for v, _ in items])
+        weights = np.array([w for _, w in items])
+        best, _ = solve_knapsack(values, weights, capacity)
+        by_value = sorted(range(len(items)), key=lambda i: -values[i])
+        by_density = sorted(
+            range(len(items)), key=lambda i: -(values[i] / weights[i])
+        )
+        for order in (by_value, by_density):
+            greedy, chosen = greedy_value(values, weights, capacity, order)
+            assert greedy <= best + 1e-9
+            assert sum(weights[i] for i in chosen) <= capacity

@@ -1,0 +1,101 @@
+"""Placement report: human-readable round-trip."""
+
+import pytest
+
+from repro.advisor.report import PlacementEntry, PlacementReport
+from repro.analysis.objects import ObjectKey, ObjectKind
+from repro.errors import ReportError
+from repro.units import MIB
+
+
+def _dyn_key(name="site", depth=2):
+    frames = tuple(
+        (f"{name}_f{i}", "app.c", 10 + i) for i in range(depth)
+    )
+    return ObjectKey(kind=ObjectKind.DYNAMIC, identity=frames)
+
+
+def _report():
+    report = PlacementReport(application="demo", strategy="density")
+    report.budgets["MCDRAM"] = 64 * MIB
+    report.entries.append(
+        PlacementEntry(key=_dyn_key("a"), tier="MCDRAM", size=4096,
+                       sampled_misses=120)
+    )
+    report.entries.append(
+        PlacementEntry(key=_dyn_key("b", depth=3), tier="MCDRAM",
+                       size=8192, sampled_misses=60)
+    )
+    report.static_recommendations.append(
+        PlacementEntry(key=ObjectKey.static("grid"), tier="MCDRAM",
+                       size=100, sampled_misses=30)
+    )
+    report.finalize_bounds()
+    return report
+
+
+class TestReport:
+    def test_bounds(self):
+        report = _report()
+        assert report.lb_size == 4096
+        assert report.ub_size == 8192
+
+    def test_selected_keys(self):
+        keys = _report().selected_keys("MCDRAM")
+        assert _dyn_key("a").identity in keys
+        assert len(keys) == 2
+
+    def test_tier_bytes(self):
+        assert _report().tier_bytes("MCDRAM") == 4096 + 8192
+
+    def test_dynamic_entries_filter(self):
+        report = _report()
+        assert len(report.dynamic_entries()) == 2
+        assert len(report.dynamic_entries(tier="DDR")) == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ReportError):
+            PlacementEntry(key=_dyn_key(), tier="MCDRAM", size=-1,
+                           sampled_misses=0)
+
+
+class TestTextRoundTrip:
+    def test_round_trip(self):
+        report = _report()
+        clone = PlacementReport.from_text(report.to_text())
+        assert clone.application == "demo"
+        assert clone.strategy == "density"
+        assert clone.budgets == report.budgets
+        assert clone.lb_size == report.lb_size
+        assert clone.ub_size == report.ub_size
+        assert clone.entries == report.entries
+        assert clone.static_recommendations == report.static_recommendations
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "placement.report"
+        _report().save(path)
+        assert PlacementReport.load(path).entries == _report().entries
+
+    def test_human_readable(self):
+        text = _report().to_text()
+        assert "# hmem_advisor placement report" in text
+        assert "a_f0" in text  # frame names visible to a human
+
+    def test_frame_outside_object_rejected(self):
+        with pytest.raises(ReportError):
+            PlacementReport.from_text("frame: f app.c 1\n")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ReportError):
+            PlacementReport.from_text("mystery: 42\n")
+
+    def test_empty_report_round_trip(self):
+        empty = PlacementReport(application="x", strategy="density")
+        clone = PlacementReport.from_text(empty.to_text())
+        assert clone.entries == []
+        assert clone.lb_size is None
+
+    def test_comments_ignored(self):
+        text = "# a comment\napplication: x\nstrategy: s\n"
+        report = PlacementReport.from_text(text)
+        assert report.application == "x"

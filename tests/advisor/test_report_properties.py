@@ -1,0 +1,122 @@
+"""Property tests: placement reports round-trip for arbitrary content."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.advisor.report import PlacementEntry, PlacementReport
+from repro.analysis.objects import ObjectKey, ObjectKind
+
+# Identifier-ish tokens without whitespace or the separators the text
+# format uses.
+_token = st.from_regex(r"[A-Za-z_][A-Za-z0-9_.]{0,15}", fullmatch=True)
+
+_frame = st.tuples(
+    _token,                                         # function
+    _token.map(lambda t: t + ".c"),                 # file
+    st.integers(min_value=1, max_value=100_000),    # line
+)
+
+_dynamic_key = st.lists(_frame, min_size=1, max_size=6).map(
+    lambda frames: ObjectKey(
+        kind=ObjectKind.DYNAMIC, identity=tuple(frames)
+    )
+)
+
+_static_key = _token.map(ObjectKey.static)
+
+
+def _entry(key, tier, size, misses, fraction):
+    return PlacementEntry(
+        key=key, tier=tier, size=size, sampled_misses=misses,
+        fraction=fraction,
+    )
+
+
+_dynamic_entry = st.builds(
+    _entry,
+    key=_dynamic_key,
+    tier=st.sampled_from(["MCDRAM", "HBM", "DDR"]),
+    size=st.integers(min_value=0, max_value=2**40),
+    misses=st.integers(min_value=0, max_value=10**9),
+    fraction=st.one_of(
+        st.just(1.0),
+        st.floats(min_value=0.001, max_value=1.0, allow_nan=False),
+    ),
+)
+
+_static_entry = st.builds(
+    _entry,
+    key=_static_key,
+    tier=st.sampled_from(["MCDRAM", "HBM"]),
+    size=st.integers(min_value=0, max_value=2**40),
+    misses=st.integers(min_value=0, max_value=10**9),
+    fraction=st.just(1.0),
+)
+
+
+@st.composite
+def reports(draw):
+    report = PlacementReport(
+        application=draw(_token),
+        strategy=draw(st.sampled_from(["density", "misses-0%", "latency-5%"])),
+        entries=draw(st.lists(_dynamic_entry, max_size=8)),
+        budgets=draw(
+            st.dictionaries(
+                st.sampled_from(["MCDRAM", "HBM", "DDR"]),
+                st.integers(min_value=0, max_value=2**44),
+                max_size=3,
+            )
+        ),
+        static_recommendations=draw(st.lists(_static_entry, max_size=4)),
+    )
+    report.finalize_bounds()
+    return report
+
+
+class TestReportRoundTrip:
+    @given(reports())
+    @settings(max_examples=120, deadline=None)
+    def test_text_round_trip_lossless(self, report):
+        clone = PlacementReport.from_text(report.to_text())
+        assert clone.application == report.application
+        assert clone.strategy == report.strategy
+        assert clone.budgets == report.budgets
+        assert clone.lb_size == report.lb_size
+        assert clone.ub_size == report.ub_size
+        assert len(clone.entries) == len(report.entries)
+        for a, b in zip(clone.entries, report.entries):
+            assert a.key == b.key
+            assert a.tier == b.tier
+            assert a.size == b.size
+            assert a.sampled_misses == b.sampled_misses
+            # fractions survive to the printed precision
+            assert abs(a.fraction - b.fraction) < 1e-4
+        assert clone.static_recommendations == report.static_recommendations
+
+    @given(reports())
+    @settings(max_examples=60, deadline=None)
+    def test_selected_keys_only_full_entries(self, report):
+        for tier in ("MCDRAM", "HBM", "DDR"):
+            keys = report.selected_keys(tier)
+            for e in report.entries:
+                if e.tier == tier and e.fraction >= 1.0:
+                    assert e.key.identity in keys
+                elif e.fraction < 1.0:
+                    assert e.key.identity not in keys or any(
+                        o is not e
+                        and o.key == e.key
+                        and o.tier == tier
+                        and o.fraction >= 1.0
+                        for o in report.entries
+                    )
+
+    @given(reports())
+    @settings(max_examples=60, deadline=None)
+    def test_tier_bytes_counts_fractions(self, report):
+        for tier in ("MCDRAM", "HBM", "DDR"):
+            expected = sum(
+                int(e.size * e.fraction)
+                for e in report.entries
+                if e.tier == tier
+            )
+            assert report.tier_bytes(tier) == expected

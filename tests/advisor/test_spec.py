@@ -1,0 +1,84 @@
+"""Memory specification (the advisor's config file)."""
+
+import pytest
+
+from repro.advisor.spec import MemorySpec, TierSpec
+from repro.errors import ConfigError
+from repro.units import GIB, MIB
+
+
+def _spec():
+    return MemorySpec(
+        tiers=(
+            TierSpec("DDR", budget=96 * GIB, relative_performance=1.0),
+            TierSpec("MCDRAM", budget=256 * MIB, relative_performance=5.0),
+        )
+    )
+
+
+class TestTierSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TierSpec("", budget=1, relative_performance=1.0)
+        with pytest.raises(ConfigError):
+            TierSpec("x", budget=-1, relative_performance=1.0)
+        with pytest.raises(ConfigError):
+            TierSpec("x", budget=1, relative_performance=0.0)
+
+
+class TestMemorySpec:
+    def test_ordered_fastest_first(self):
+        spec = _spec()
+        assert spec.tiers[0].name == "MCDRAM"
+        assert spec.default_tier.name == "DDR"
+        assert [t.name for t in spec.fast_tiers] == ["MCDRAM"]
+
+    def test_lookup(self):
+        assert _spec().tier("DDR").budget == 96 * GIB
+        with pytest.raises(ConfigError):
+            _spec().tier("NVM")
+
+    def test_needs_tiers(self):
+        with pytest.raises(ConfigError):
+            MemorySpec(tiers=())
+
+    def test_duplicate_names(self):
+        t = TierSpec("X", 1, 1.0)
+        with pytest.raises(ConfigError):
+            MemorySpec(tiers=(t, t))
+
+    def test_three_tier_spec(self):
+        spec = MemorySpec(
+            tiers=(
+                TierSpec("NVM", budget=1024 * GIB, relative_performance=0.3),
+                TierSpec("DDR", budget=96 * GIB, relative_performance=1.0),
+                TierSpec("HBM", budget=16 * GIB, relative_performance=5.0),
+            )
+        )
+        assert [t.name for t in spec.tiers] == ["HBM", "DDR", "NVM"]
+        assert [t.name for t in spec.fast_tiers] == ["HBM", "DDR"]
+
+
+class TestFromMachine:
+    def test_budget_override(self, machine):
+        spec = MemorySpec.from_machine(machine, budgets={"MCDRAM": 64 * MIB})
+        assert spec.tier("MCDRAM").budget == 64 * MIB
+        assert spec.tier("DDR").budget == machine.tier("DDR").capacity
+
+    def test_budget_exceeding_capacity_rejected(self, machine):
+        with pytest.raises(ConfigError):
+            MemorySpec.from_machine(machine, budgets={"MCDRAM": 1024 * GIB})
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "memspec.json"
+        _spec().save(path)
+        clone = MemorySpec.load(path)
+        assert clone == _spec()
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"tiers": "nope"}')
+        with pytest.raises(ConfigError):
+            MemorySpec.load(path)

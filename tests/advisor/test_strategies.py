@@ -1,0 +1,98 @@
+"""Selection strategies: miss ranking with thresholds, profit density."""
+
+import pytest
+
+from repro.advisor.strategies import (
+    STRATEGY_NAMES,
+    DensityStrategy,
+    MissesStrategy,
+    get_strategy,
+)
+from repro.analysis.objects import ObjectKey
+from repro.analysis.profile import ObjectProfile
+from repro.errors import AdvisorError
+from repro.runtime.callstack import CallStack, Frame
+
+
+def _profile(name, misses, size):
+    key = ObjectKey.dynamic(
+        CallStack(frames=(Frame("app", name, "app.c", 1),))
+    )
+    return ObjectProfile(key=key, sampled_misses=misses, size=size)
+
+
+PROFILES = [
+    _profile("huge", misses=1000, size=10_000),
+    _profile("dense", misses=500, size=100),
+    _profile("rare", misses=5, size=50),
+    _profile("silent", misses=0, size=999),
+]
+
+
+class TestMissesStrategy:
+    def test_orders_by_misses(self):
+        order = MissesStrategy().order(PROFILES)
+        assert [p.sampled_misses for p in order] == [1000, 500, 5]
+
+    def test_unsampled_excluded(self):
+        order = MissesStrategy().order(PROFILES)
+        assert all(p.sampled_misses > 0 for p in order)
+
+    def test_threshold_drops_rare_objects(self):
+        # total 1505; 1% floor = 15.05 -> "rare" (5) excluded.
+        order = MissesStrategy(threshold_pct=1.0).order(PROFILES)
+        assert [p.sampled_misses for p in order] == [1000, 500]
+
+    def test_zero_threshold_keeps_all_sampled(self):
+        assert len(MissesStrategy(0.0).order(PROFILES)) == 3
+
+    def test_high_threshold_keeps_only_top(self):
+        order = MissesStrategy(threshold_pct=50.0).order(PROFILES)
+        assert [p.sampled_misses for p in order] == [1000]
+
+    def test_names(self):
+        assert MissesStrategy(0.0).name == "misses-0%"
+        assert MissesStrategy(5.0).name == "misses-5%"
+        assert MissesStrategy(1.5).name == "misses-1.5%"
+
+    def test_bad_threshold(self):
+        with pytest.raises(AdvisorError):
+            MissesStrategy(threshold_pct=120.0)
+        with pytest.raises(AdvisorError):
+            MissesStrategy(threshold_pct=-1.0)
+
+    def test_tie_break_smaller_size_first(self):
+        tied = [_profile("big", 10, 100), _profile("small", 10, 10)]
+        order = MissesStrategy().order(tied)
+        assert order[0].size == 10
+
+
+class TestDensityStrategy:
+    def test_orders_by_density(self):
+        order = DensityStrategy().order(PROFILES)
+        assert order[0].key.label.startswith("dense")
+
+    def test_excludes_unsampled(self):
+        assert all(
+            p.sampled_misses > 0 for p in DensityStrategy().order(PROFILES)
+        )
+
+    def test_name(self):
+        assert DensityStrategy().name == "density"
+
+
+class TestRegistry:
+    def test_paper_grid(self):
+        assert STRATEGY_NAMES == (
+            "density", "misses-0%", "misses-1%", "misses-5%",
+        )
+
+    @pytest.mark.parametrize("name", STRATEGY_NAMES)
+    def test_round_trip_by_name(self, name):
+        assert get_strategy(name).name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(AdvisorError):
+            get_strategy("magic")
+        with pytest.raises(AdvisorError):
+            get_strategy("misses-abc%")

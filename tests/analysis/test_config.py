@@ -1,0 +1,134 @@
+"""Analysis configuration files (the Paramedir cfg mechanism)."""
+
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.paramedir import Paramedir
+from repro.errors import ConfigError
+from repro.runtime.callstack import CallStack, Frame
+from repro.trace.events import AllocEvent, SampleEvent
+from repro.trace.tracefile import TraceFile
+from repro.units import MIB
+
+
+def _cs(name):
+    return CallStack(frames=(Frame("app", name, "app.c", 1),))
+
+
+def _trace():
+    trace = TraceFile(application="t", sampling_period=3)
+    trace.append(AllocEvent(0.0, 0, 0x1000, 2 * MIB, _cs("big")))
+    trace.append(AllocEvent(0.0, 0, 0x800000, 4096, _cs("small")))
+    # rank-0 samples: 3 early on big, 2 late on small.
+    for i in range(3):
+        trace.append(SampleEvent(1.0 + i, 0, 0x1000 + i))
+    for i in range(2):
+        trace.append(SampleEvent(10.0 + i, 0, 0x800000 + i))
+    # one rank-1 sample on big.
+    trace.append(SampleEvent(2.0, 1, 0x1010))
+    return trace
+
+
+class TestValidation:
+    def test_empty_window_rejected(self):
+        with pytest.raises(ConfigError):
+            AnalysisConfig(time_window=(5.0, 5.0))
+
+    def test_negative_floor_rejected(self):
+        with pytest.raises(ConfigError):
+            AnalysisConfig(min_object_size=-1)
+
+    def test_bad_top_n_rejected(self):
+        with pytest.raises(ConfigError):
+            AnalysisConfig(top_n=0)
+
+
+class TestFiltering:
+    def test_no_config_counts_everything(self):
+        profiles = Paramedir().analyze(_trace())
+        assert profiles.total_samples == 6
+
+    def test_time_window_restricts_samples(self):
+        config = AnalysisConfig(time_window=(0.0, 5.0))
+        profiles = Paramedir(config).analyze(_trace())
+        # Only the 4 early samples (3 rank-0 + 1 rank-1) remain.
+        assert profiles.total_samples == 4
+        small = next(p for p in profiles if p.key.label.startswith("small"))
+        assert small.sampled_misses == 0  # its samples were late
+
+    def test_rank_filter(self):
+        config = AnalysisConfig(ranks=(1,))
+        profiles = Paramedir(config).analyze(_trace())
+        assert profiles.total_samples == 1
+
+    def test_window_keeps_allocation_history(self):
+        """Allocations before the window still resolve samples inside
+        it — the window restricts samples, not live ranges."""
+        config = AnalysisConfig(time_window=(9.0, 20.0))
+        profiles = Paramedir(config).analyze(_trace())
+        small = next(p for p in profiles if p.key.label.startswith("small"))
+        assert small.sampled_misses == 2
+        assert profiles.unresolved_samples == 0
+
+    def test_min_size_drops_small_objects(self):
+        config = AnalysisConfig(min_object_size=1 * MIB)
+        profiles = Paramedir(config).analyze(_trace())
+        assert [p.key.label.split("@")[0] for p in profiles] == ["big"]
+
+    def test_top_n(self):
+        config = AnalysisConfig(top_n=1)
+        profiles = Paramedir(config).analyze(_trace())
+        assert len(profiles) == 1
+        assert profiles.profiles[0].key.label.startswith("big")
+
+    def test_exclude_statics(self, tiny_profiling):
+        from repro.analysis.objects import ObjectKind
+
+        with_statics = Paramedir().analyze(tiny_profiling.trace)
+        without = Paramedir(
+            AnalysisConfig(include_statics=False)
+        ).analyze(tiny_profiling.trace)
+        assert any(
+            p.key.kind == ObjectKind.STATIC for p in with_statics
+        )
+        assert not any(p.key.kind == ObjectKind.STATIC for p in without)
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        config = AnalysisConfig(
+            time_window=(1.0, 9.0),
+            ranks=(0, 2),
+            min_object_size=4096,
+            top_n=5,
+            include_statics=False,
+        )
+        path = tmp_path / "analysis.cfg"
+        config.save(path)
+        assert AnalysisConfig.load(path) == config
+
+    def test_defaults_round_trip(self, tmp_path):
+        path = tmp_path / "default.cfg"
+        AnalysisConfig().save(path)
+        assert AnalysisConfig.load(path) == AnalysisConfig()
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "bad.cfg"
+        path.write_text("not json")
+        with pytest.raises(ConfigError):
+            AnalysisConfig.load(path)
+
+    def test_same_config_applies_to_any_trace(self, tmp_path, tiny_app):
+        """The paper's point: a stored analysis replays on other
+        traces that contain the necessary data."""
+        # Trace sizes live in the scaled world; this floor keeps only
+        # TinyApp's 100 MB matrix (scaled ~1.6 MB).
+        config = AnalysisConfig(min_object_size=tiny_app.scaled(50 * MIB))
+        path = tmp_path / "shared.cfg"
+        config.save(path)
+        loaded = AnalysisConfig.load(path)
+        for seed in (0, 1):
+            run = tiny_app.run_profiling(seed=seed)
+            profiles = Paramedir(loaded).analyze(run.trace)
+            labels = {p.key.label.split("@")[0] for p in profiles}
+            assert labels == {"alloc_matrix"}

@@ -1,0 +1,74 @@
+"""Folding-style time binning (Figure 5 substrate)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.analysis.folding import fold_trace
+from repro.trace.events import PhaseEvent, SampleEvent
+from repro.trace.tracefile import TraceFile
+
+
+def _trace():
+    trace = TraceFile(application="snap")
+    # Two iterations of outer_src_calc -> octsweep.
+    for it in range(2):
+        t0 = it * 10.0
+        trace.append(PhaseEvent(t0, 0, "outer_src_calc"))
+        trace.append(PhaseEvent(t0 + 3.0, 0, "octsweep"))
+        for k in range(5):
+            trace.append(SampleEvent(t0 + k * 2.0 + 0.5, 0, 0x1000 + k))
+    return trace
+
+
+class TestFolding:
+    def test_needs_phases(self):
+        with pytest.raises(TraceError):
+            fold_trace(TraceFile(), n_bins=4)
+
+    def test_bin_count_and_span(self):
+        timeline = fold_trace(_trace(), n_bins=10, t_start=0.0, t_end=20.0)
+        assert len(timeline.bins) == 10
+        assert timeline.bins[0].t0 == 0.0
+        assert timeline.bins[-1].t1 == pytest.approx(20.0)
+
+    def test_function_attribution(self):
+        timeline = fold_trace(_trace(), n_bins=20, t_start=0.0, t_end=20.0)
+        # Bin covering t=1 is outer_src_calc; bin covering t=5 is octsweep.
+        by_mid = {round(b.midpoint, 1): b.function for b in timeline.bins}
+        assert by_mid[0.5] == "outer_src_calc"
+        assert by_mid[4.5] == "octsweep"
+
+    def test_samples_land_in_bins(self):
+        timeline = fold_trace(_trace(), n_bins=4, t_start=0.0, t_end=20.0)
+        total = sum(len(b.addresses) for b in timeline.bins)
+        assert total == 10
+
+    def test_mips_annotation(self):
+        timeline = fold_trace(
+            _trace(), n_bins=4, t_start=0.0, t_end=20.0,
+            mips_by_function={"outer_src_calc": 400.0, "octsweep": 1200.0},
+        )
+        mips = {b.function: b.mips for b in timeline.bins}
+        assert mips["outer_src_calc"] == 400.0
+        assert mips["octsweep"] == 1200.0
+
+    def test_min_mips_by_function(self):
+        timeline = fold_trace(
+            _trace(), n_bins=4, t_start=0.0, t_end=20.0,
+            mips_by_function={"outer_src_calc": 400.0, "octsweep": 1200.0},
+        )
+        mins = timeline.min_mips_by_function()
+        assert mins["outer_src_calc"] == 400.0
+
+    def test_functions_in_first_seen_order(self):
+        timeline = fold_trace(_trace(), n_bins=10, t_start=0.0, t_end=20.0)
+        assert timeline.functions == ["outer_src_calc", "octsweep"]
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(TraceError):
+            fold_trace(_trace(), n_bins=4, t_start=5.0, t_end=5.0)
+
+    def test_series_accessors(self):
+        timeline = fold_trace(_trace(), n_bins=4, t_start=0.0, t_end=20.0)
+        assert len(timeline.mips_series()) == 4
+        assert len(timeline.function_series()) == 4

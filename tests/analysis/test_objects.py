@@ -1,0 +1,48 @@
+"""Memory-object identity."""
+
+from repro.analysis.objects import ObjectKey, ObjectKind
+from repro.runtime.callstack import CallStack, Frame
+
+
+def _callstack():
+    return CallStack(
+        frames=(
+            Frame("app", "alloc_site", "app.c", 12),
+            Frame("app", "main", "app.c", 1),
+        )
+    )
+
+
+class TestObjectKey:
+    def test_dynamic_identity_is_callstack_key(self):
+        key = ObjectKey.dynamic(_callstack())
+        assert key.kind == ObjectKind.DYNAMIC
+        assert key.identity == _callstack().key
+
+    def test_dynamic_promotable(self):
+        assert ObjectKey.dynamic(_callstack()).is_promotable
+
+    def test_static_not_promotable(self):
+        assert not ObjectKey.static("grid").is_promotable
+
+    def test_stack_not_promotable(self):
+        assert not ObjectKey.stack().is_promotable
+
+    def test_labels(self):
+        assert ObjectKey.dynamic(_callstack()).label == "alloc_site@app.c:12"
+        assert ObjectKey.static("grid").label == "grid"
+        assert ObjectKey.stack().label == "<stack>"
+        assert ObjectKey.unresolved().label == "<unresolved>"
+
+    def test_pretty_dynamic_lists_chain(self):
+        text = ObjectKey.dynamic(_callstack()).pretty()
+        assert "alloc_site" in text and "main" in text
+
+    def test_hashable_and_equal(self):
+        assert ObjectKey.dynamic(_callstack()) == ObjectKey.dynamic(
+            _callstack()
+        )
+        assert hash(ObjectKey.static("x")) == hash(ObjectKey.static("x"))
+
+    def test_static_vs_dynamic_distinct(self):
+        assert ObjectKey.static("x") != ObjectKey.stack()

@@ -1,0 +1,88 @@
+"""Paramedir substitute: trace analysis and CSV round-trip."""
+
+import pytest
+
+from repro.analysis.objects import ObjectKey
+from repro.analysis.paramedir import (
+    Paramedir,
+    read_profiles_csv,
+    write_profiles_csv,
+)
+from repro.analysis.profile import ObjectProfile, ProfileSet
+from repro.errors import AttributionError
+from repro.runtime.callstack import CallStack, Frame
+from repro.trace.events import AllocEvent, SampleEvent
+from repro.trace.tracefile import TraceFile
+
+
+def _cs(name):
+    return CallStack(
+        frames=(
+            Frame("app", name, "app.c", 9),
+            Frame("app", "main", "app.c", 1),
+        )
+    )
+
+
+class TestAnalyze:
+    def test_end_to_end_counts(self):
+        trace = TraceFile(application="demo", sampling_period=7)
+        trace.append(AllocEvent(0.0, 0, 0x1000, 256, _cs("site_a")))
+        trace.append(AllocEvent(0.0, 0, 0x2000, 512, _cs("site_b")))
+        for i in range(3):
+            trace.append(SampleEvent(0.1 + i * 0.1, 0, 0x1000 + i))
+        trace.append(SampleEvent(0.5, 0, 0x2000))
+        profiles = Paramedir().analyze(trace)
+        assert profiles.application == "demo"
+        assert profiles.sampling_period == 7
+        a = profiles.get(ObjectKey.dynamic(_cs("site_a")))
+        assert a.sampled_misses == 3
+        assert a.estimated_misses == 21
+
+    def test_ordering_by_misses(self):
+        trace = TraceFile(application="demo")
+        trace.append(AllocEvent(0.0, 0, 0x1000, 256, _cs("cold")))
+        trace.append(AllocEvent(0.0, 0, 0x2000, 512, _cs("hot")))
+        for i in range(5):
+            trace.append(SampleEvent(0.1, 0, 0x2000 + i))
+        profiles = Paramedir().analyze(trace)
+        assert profiles.profiles[0].key.label.startswith("hot")
+
+
+class TestCsv:
+    def _profiles(self):
+        return ProfileSet(
+            profiles=[
+                ObjectProfile(key=ObjectKey.dynamic(_cs("x")),
+                              sampled_misses=12, size=4096, n_allocs=3,
+                              total_allocated=12288, sampling_period=7),
+                ObjectProfile(key=ObjectKey.static("grid"),
+                              sampled_misses=4, size=100,
+                              sampling_period=7),
+            ],
+            sampling_period=7,
+        )
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "paramedir.csv"
+        write_profiles_csv(self._profiles(), path)
+        clone = read_profiles_csv(path)
+        assert len(clone) == 2
+        original = {p.key: p for p in self._profiles()}
+        for p in clone:
+            assert p == original[p.key]
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("foo,bar\n1,2\n")
+        with pytest.raises(AttributionError):
+            read_profiles_csv(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        write_profiles_csv(self._profiles(), path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace("12", "not-a-number", 1)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(AttributionError):
+            read_profiles_csv(path)

@@ -1,0 +1,106 @@
+"""Object profiles and profile sets."""
+
+import pytest
+
+from repro.analysis.attribution import AttributionResult
+from repro.analysis.objects import ObjectKey
+from repro.analysis.profile import ObjectProfile, ProfileSet
+from repro.errors import AttributionError
+from repro.runtime.callstack import CallStack, Frame
+
+
+def _key(name="site"):
+    return ObjectKey.dynamic(
+        CallStack(frames=(Frame("app", name, "app.c", 1),))
+    )
+
+
+class TestObjectProfile:
+    def test_estimated_misses(self):
+        p = ObjectProfile(key=_key(), sampled_misses=10, size=100,
+                          sampling_period=37)
+        assert p.estimated_misses == 370
+
+    def test_density(self):
+        p = ObjectProfile(key=_key(), sampled_misses=50, size=100)
+        assert p.density == pytest.approx(0.5)
+
+    def test_zero_size_density(self):
+        p = ObjectProfile(key=_key(), sampled_misses=50, size=0)
+        assert p.density == 0.0
+
+    def test_validation(self):
+        with pytest.raises(AttributionError):
+            ObjectProfile(key=_key(), sampled_misses=-1, size=10)
+        with pytest.raises(AttributionError):
+            ObjectProfile(key=_key(), sampled_misses=1, size=-10)
+
+    def test_promotable_passthrough(self):
+        assert ObjectProfile(key=_key(), sampled_misses=1, size=1).is_promotable
+        static = ObjectProfile(key=ObjectKey.static("s"), sampled_misses=1,
+                               size=1)
+        assert not static.is_promotable
+
+
+class TestProfileSet:
+    def _set(self):
+        return ProfileSet(
+            profiles=[
+                ObjectProfile(key=_key("big"), sampled_misses=100, size=1000),
+                ObjectProfile(key=_key("dense"), sampled_misses=80, size=10),
+                ObjectProfile(key=ObjectKey.static("tbl"), sampled_misses=5,
+                              size=50),
+            ],
+            stack_samples=7,
+            unresolved_samples=3,
+        )
+
+    def test_by_misses(self):
+        ordered = self._set().by_misses()
+        assert ordered[0].key.label == "big@app.c:1"
+
+    def test_by_density(self):
+        ordered = self._set().by_density()
+        assert ordered[0].key.label == "dense@app.c:1"
+
+    def test_total_samples(self):
+        assert self._set().total_samples == 100 + 80 + 5 + 7 + 3
+
+    def test_dynamic_and_static_views(self):
+        ps = self._set()
+        assert len(ps.dynamic_profiles) == 2
+        assert len(ps.static_profiles) == 1
+
+    def test_get(self):
+        ps = self._set()
+        assert ps.get(_key("big")).sampled_misses == 100
+        assert ps.get(_key("ghost")) is None
+
+
+class TestFromAttribution:
+    def test_builds_profiles_including_unsampled(self):
+        result = AttributionResult()
+        key_hot, key_cold = _key("hot"), _key("cold")
+        result.misses[key_hot] = 9
+        result.max_size[key_hot] = 100
+        result.max_size[key_cold] = 500  # allocated, never sampled
+        result.n_allocs[key_hot] = 1
+        result.n_allocs[key_cold] = 2
+        result.total_allocated[key_hot] = 100
+        result.total_allocated[key_cold] = 1000
+        result.stack_samples = 4
+        ps = ProfileSet.from_attribution(result, sampling_period=7)
+        assert len(ps) == 2
+        cold = ps.get(key_cold)
+        assert cold.sampled_misses == 0
+        assert cold.size == 500
+        assert ps.stack_samples == 4
+        assert ps.sampling_period == 7
+
+    def test_stack_key_excluded_from_profiles(self):
+        result = AttributionResult()
+        result.misses[ObjectKey.stack()] = 10
+        result.stack_samples = 10
+        ps = ProfileSet.from_attribution(result)
+        assert len(ps) == 0
+        assert ps.stack_samples == 10

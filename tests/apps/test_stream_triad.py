@@ -1,0 +1,66 @@
+"""STREAM Triad kernel (Figure 1 workload)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.stream_triad import StreamTriad
+from repro.errors import WorkloadError
+from repro.units import MIB
+
+
+class TestAccessStream:
+    def test_three_arrays_interleaved(self):
+        triad = StreamTriad(array_bytes=1 * MIB, sweeps=2)
+        stream = triad.access_stream()
+        lines = 1 * MIB // 64
+        assert stream.size == 3 * lines * 2
+        # b, c, a pattern within one element.
+        assert stream[0] == 2 * MIB  # base_b
+        assert stream[1] == 4 * MIB  # base_c
+        assert stream[2] == 0        # base_a
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            StreamTriad(array_bytes=10)
+        with pytest.raises(WorkloadError):
+            StreamTriad(sweeps=1)
+
+
+class TestCacheHitRatio:
+    def test_fitting_working_set_mostly_hits(self):
+        triad = StreamTriad(array_bytes=1 * MIB, sweeps=4)
+        h = triad.cache_mode_hit_ratio(mcdram_cache_bytes=64 * MIB)
+        assert h > 0.70  # only the cold sweep misses
+
+    def test_thrashing_when_cache_too_small(self):
+        triad = StreamTriad(array_bytes=4 * MIB, sweeps=4)
+        h = triad.cache_mode_hit_ratio(mcdram_cache_bytes=1 * MIB)
+        assert h < 0.2
+
+
+class TestBandwidthSweep:
+    def test_figure1_shape(self, machine):
+        triad = StreamTriad(array_bytes=4 * MIB)
+        cores = [1, 2, 4, 8, 16, 32, 34, 64, 68]
+        results = triad.bandwidth_sweep(machine, cores)
+        assert len(results) == len(cores)
+        last = results[-1]
+        # Flat MCDRAM ~5x DDR at full core count.
+        assert last.mcdram_flat_gbps > 4.5 * last.ddr_gbps
+        # Cache mode between DDR and flat.
+        assert last.ddr_gbps < last.mcdram_cache_gbps < last.mcdram_flat_gbps
+        # At one core the three are close.
+        first = results[0]
+        assert first.mcdram_flat_gbps < 1.3 * first.ddr_gbps
+
+    def test_ddr_saturates_early(self, machine):
+        triad = StreamTriad(array_bytes=4 * MIB)
+        results = triad.bandwidth_sweep(machine, [8, 68])
+        assert results[1].ddr_gbps < 1.05 * results[0].ddr_gbps
+
+    def test_curves_monotone(self, machine):
+        triad = StreamTriad(array_bytes=4 * MIB)
+        results = triad.bandwidth_sweep(machine, [1, 2, 4, 8, 16, 32, 64])
+        for attr in ("ddr_gbps", "mcdram_flat_gbps", "mcdram_cache_gbps"):
+            series = [getattr(r, attr) for r in results]
+            assert all(b >= a * 0.999 for a, b in zip(series, series[1:]))

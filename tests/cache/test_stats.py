@@ -1,0 +1,50 @@
+"""Cache statistics accounting."""
+
+from repro.cache.stats import CacheStats
+
+
+class TestCacheStats:
+    def test_initial(self):
+        s = CacheStats()
+        assert s.hit_ratio == 0.0
+        assert s.miss_ratio == 0.0
+
+    def test_record_hit(self):
+        s = CacheStats()
+        s.record_hit()
+        assert (s.accesses, s.hits, s.misses) == (1, 1, 0)
+        assert s.hit_ratio == 1.0
+
+    def test_record_miss(self):
+        s = CacheStats()
+        s.record_miss()
+        assert (s.accesses, s.hits, s.misses) == (1, 0, 1)
+        assert s.miss_ratio == 1.0
+
+    def test_eviction_only_on_valid_victim(self):
+        s = CacheStats()
+        s.record_miss(evicted_valid=False)
+        s.record_miss(evicted_valid=True)
+        assert s.evictions == 1
+
+    def test_ratios_sum_to_one(self):
+        s = CacheStats()
+        for i in range(10):
+            s.record_hit() if i % 3 else s.record_miss()
+        assert s.hit_ratio + s.miss_ratio == 1.0
+
+    def test_merge(self):
+        a, b = CacheStats(), CacheStats()
+        a.record_hit()
+        b.record_miss(evicted_valid=True)
+        merged = a.merge(b)
+        assert merged.accesses == 2
+        assert merged.hits == 1
+        assert merged.misses == 1
+        assert merged.evictions == 1
+
+    def test_reset(self):
+        s = CacheStats()
+        s.record_hit()
+        s.reset()
+        assert s.accesses == 0

@@ -1,0 +1,100 @@
+"""Shared fixtures: a small fast application model and machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.base import (
+    AccessPattern,
+    AppCalibration,
+    AppGeometry,
+    ObjectSpec,
+    PhaseSpec,
+    SimApplication,
+)
+from repro.machine.config import xeon_phi_7250
+from repro.units import MIB
+
+
+class TinyApp(SimApplication):
+    """A minimal two-phase application used across the test suite.
+
+    Four objects: one hot small vector, one big cold matrix, one
+    per-iteration scratch churn site and one static table. Footprint
+    160 MB/rank with a 256 MB MCDRAM share, so placement decisions are
+    non-trivial but everything simulates in milliseconds.
+    """
+
+    name = "tinyapp"
+    title = "TinyApp"
+    language = "C"
+    parallelism = "MPI"
+    problem_size = "unit-test"
+    lines_of_code = 100
+    geometry = AppGeometry(ranks=64, threads_per_rank=1)
+    calibration = AppCalibration(
+        fom_ddr=100.0,
+        ddr_time=100.0,
+        memory_bound_fraction=0.5,
+        fom_name="FOM",
+        fom_units="units/s",
+    )
+    n_iterations = 5
+    stream_misses = 5_000
+    sampling_period = 5
+    stack_miss_fraction = 0.05
+
+    phases = (
+        PhaseSpec("compute", 0.7, instruction_weight=1.0),
+        PhaseSpec("exchange", 0.3, instruction_weight=0.5),
+    )
+
+    objects = (
+        ObjectSpec(
+            name="big_matrix",
+            callstack=(("setup", 5), ("alloc_matrix", 3)),
+            size=100 * MIB,
+            miss_weight=0.2,
+            pattern=AccessPattern("sequential", 1.0, reref_per_iteration=1.0),
+            phases=("compute",),
+        ),
+        ObjectSpec(
+            name="hot_vector",
+            callstack=(("setup", 9),),
+            size=20 * MIB,
+            miss_weight=0.6,
+            pattern=AccessPattern("random", 1.0, reref_per_iteration=20.0),
+        ),
+        ObjectSpec(
+            name="scratch",
+            callstack=(("kernel", 4),),
+            size=10 * MIB,
+            churn_phase="compute",
+            miss_weight=0.1,
+            pattern=AccessPattern("sequential", 1.0, reref_per_iteration=8.0),
+        ),
+        ObjectSpec(
+            name="lookup_table",
+            callstack=(),
+            size=30 * MIB,
+            static=True,
+            miss_weight=0.1,
+            pattern=AccessPattern("random", 0.5, reref_per_iteration=4.0),
+        ),
+    )
+
+
+@pytest.fixture()
+def tiny_app() -> TinyApp:
+    return TinyApp()
+
+
+@pytest.fixture(scope="session")
+def machine():
+    return xeon_phi_7250()
+
+
+@pytest.fixture(scope="session")
+def tiny_profiling():
+    """A cached profiling run of TinyApp (placement-invariant)."""
+    return TinyApp().run_profiling(seed=0)

@@ -1,0 +1,137 @@
+"""Property tests over randomly generated application models.
+
+Hypothesis builds arbitrary (but valid) inventories and the whole
+pipeline must uphold its invariants on every one of them: attribution
+conserves samples, the advisor never exceeds its budget, the
+interposer never promotes past the budget, bigger budgets never hurt,
+and the trace round-trips losslessly.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.base import (
+    AccessPattern,
+    AppCalibration,
+    AppGeometry,
+    ObjectSpec,
+    PhaseSpec,
+    SimApplication,
+)
+from repro.analysis.paramedir import Paramedir
+from repro.machine.config import xeon_phi_7250
+from repro.pipeline.framework import HybridMemoryFramework
+from repro.trace.tracefile import TraceFile
+from repro.units import MIB
+
+MACHINE = xeon_phi_7250()
+
+_object_strategy = st.tuples(
+    st.integers(min_value=2, max_value=200),   # size MiB
+    st.floats(min_value=0.01, max_value=1.0),  # miss weight
+    st.sampled_from(["sequential", "random"]),
+    st.booleans(),                              # churn?
+)
+
+
+def _build_app(object_params, stack_fraction, seed):
+    objects = []
+    for i, (size_mb, weight, kind, churn) in enumerate(object_params):
+        objects.append(
+            ObjectSpec(
+                name=f"obj_{i}",
+                callstack=((f"site_{i}", 2 + i),),
+                size=size_mb * MIB,
+                churn_phase="loop" if churn else None,
+                miss_weight=weight,
+                pattern=AccessPattern(kind, 1.0, reref_per_iteration=4.0),
+            )
+        )
+
+    class RandomApp(SimApplication):
+        name = "random-app"
+        title = "Random property-test app"
+        geometry = AppGeometry(ranks=64, threads_per_rank=1)
+        calibration = AppCalibration(
+            fom_ddr=100.0, ddr_time=50.0, memory_bound_fraction=0.5
+        )
+        n_iterations = 4
+        stream_misses = 4_000
+        sampling_period = 4
+        stack_miss_fraction = stack_fraction
+        phases = (PhaseSpec("loop", 1.0),)
+
+    RandomApp.objects = tuple(objects)
+    return RandomApp()
+
+
+@st.composite
+def random_apps(draw):
+    params = draw(st.lists(_object_strategy, min_size=1, max_size=6))
+    stack = draw(st.floats(min_value=0.0, max_value=0.3))
+    seed = draw(st.integers(min_value=0, max_value=3))
+    return _build_app(params, stack, seed), seed
+
+
+class TestPipelineInvariants:
+    @given(random_apps())
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_invariants_hold(self, app_and_seed):
+        app, seed = app_and_seed
+        fw = HybridMemoryFramework(app, MACHINE, seed=seed)
+
+        # 1. Attribution conserves samples.
+        profiles = fw.analyze()
+        trace = fw.profile().trace
+        assert profiles.total_samples == len(trace.sample_events)
+
+        # 2. Estimated misses approximate the ground truth globally.
+        truth = fw.profile().ground_truth
+        estimated = profiles.total_samples * trace.sampling_period
+        assert estimated == pytest.approx(truth.total_misses, rel=0.02)
+
+        # 3. Advisor never exceeds its budget; placed run never
+        #    promotes beyond it; FOM never drops below the DDR run.
+        from repro.units import page_round_up
+
+        previous_fom = 0.0
+        for budget in (16 * MIB, 64 * MIB, 256 * MIB):
+            report = fw.advise(budget, "misses-0%")
+            packed = sum(
+                page_round_up(e.size) for e in report.entries
+            )
+            assert packed <= app.scaled(budget)
+            outcome = fw.run_placed(report, budget)
+            assert outcome.hwm_bytes <= budget * 1.01
+            assert outcome.fom >= app.calibration.fom_ddr * 0.999
+            # 4. Bigger budgets never hurt (same strategy).
+            assert outcome.fom >= previous_fom * 0.999
+            previous_fom = outcome.fom
+
+    @given(random_apps())
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_trace_round_trip_lossless(self, tmp_path_factory, app_and_seed):
+        app, seed = app_and_seed
+        run = app.run_profiling(seed=seed)
+        path = tmp_path_factory.mktemp("traces") / "random.trace"
+        run.trace.save(path)
+        clone = TraceFile.load(path)
+        assert clone.events == run.trace.events
+        assert clone.statics == run.trace.statics
+        # The analysis of the loaded trace matches the in-memory one.
+        a = Paramedir().analyze(run.trace)
+        b = Paramedir().analyze(clone)
+        assert {p.key: p.sampled_misses for p in a} == {
+            p.key: p.sampled_misses for p in b
+        }

@@ -1,0 +1,81 @@
+"""Sampling robustness: the paper's statistical-approximation premise.
+
+"This approach enables exploring in-production executions with a
+reduced overhead at the cost of providing statistical approximations,
+even though approximations for long runs resemble the actual results"
+(Section I). Concretely: the advisor's *selection* must not depend on
+which 1-in-N misses the sampler happened to catch, and coarser
+sampling periods must reach the same decisions.
+"""
+
+import pytest
+
+from repro import HybridMemoryFramework, get_app
+from repro.trace.tracer import TracerConfig
+from repro.units import MIB
+
+
+def _selection(app, seed=0, period=None, budget=128 * MIB,
+               strategy="density"):
+    config = TracerConfig(
+        sampling_period=period or app.sampling_period
+    )
+    fw = HybridMemoryFramework(app, tracer_config=config, seed=seed)
+    report = fw.advise(budget, strategy)
+    return {e.key.identity for e in report.entries}
+
+
+class TestSeedStability:
+    @pytest.mark.parametrize("name", ["minife", "hpcg", "gtc-p"])
+    def test_selection_stable_across_profiling_seeds(self, name):
+        """Different runs (different ASLR, different sampler phase)
+        select the same objects."""
+        app = get_app(name)
+        selections = [
+            _selection(get_app(name), seed=s) for s in range(3)
+        ]
+        assert selections[0] == selections[1] == selections[2]
+
+    def test_fom_stable_across_seeds(self):
+        app_name = "minife"
+        foms = []
+        for seed in range(3):
+            fw = HybridMemoryFramework(get_app(app_name), seed=seed)
+            foms.append(fw.run(128 * MIB, "density").outcome.fom)
+        spread = (max(foms) - min(foms)) / min(foms)
+        assert spread < 0.02
+
+
+class TestPeriodStability:
+    def test_coarser_sampling_same_decision(self):
+        """Doubling or quadrupling the PEBS period (fewer samples)
+        still identifies the same critical set."""
+        app = get_app("minife")
+        base = _selection(app, period=app.sampling_period)
+        for factor in (2, 4):
+            coarse = _selection(
+                get_app("minife"),
+                period=app.sampling_period * factor,
+            )
+            assert coarse == base
+
+    def test_estimates_scale_with_period(self):
+        """Estimated miss counts are period-invariant even though
+        sampled counts shrink."""
+        app = get_app("minife")
+        fine_fw = HybridMemoryFramework(
+            get_app("minife"),
+            tracer_config=TracerConfig(sampling_period=app.sampling_period),
+        )
+        coarse_fw = HybridMemoryFramework(
+            get_app("minife"),
+            tracer_config=TracerConfig(
+                sampling_period=app.sampling_period * 4
+            ),
+        )
+        fine = {p.key: p.estimated_misses for p in fine_fw.analyze()}
+        coarse = {p.key: p.estimated_misses for p in coarse_fw.analyze()}
+        for key, estimate in fine.items():
+            if estimate < 500:
+                continue  # tiny counts are statistically noisy
+            assert coarse[key] == pytest.approx(estimate, rel=0.25)

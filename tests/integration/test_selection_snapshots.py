@@ -1,0 +1,118 @@
+"""Selection snapshots: which objects each strategy promotes, per app.
+
+These pin the qualitative placement decisions the paper narrates
+(Section IV-C) so a refactor that silently changes a selection fails
+loudly. Identities are the human-visible site names, not internals.
+"""
+
+import pytest
+
+from repro import HybridMemoryFramework, get_app
+from repro.units import MIB
+
+
+def _selected_site_names(app_name, budget, strategy):
+    app = get_app(app_name)
+    fw = HybridMemoryFramework(app)
+    report = fw.advise(budget, strategy)
+    name_by_key = app.key_to_site_name()
+    return {
+        name_by_key[e.key.identity]
+        for e in report.entries
+        if e.key.identity in name_by_key
+    }
+
+
+class TestHpcgSelections:
+    def test_256mb_selects_the_two_critical_objects(self):
+        selected = _selected_site_names("hpcg", 256 * MIB, "misses-0%")
+        assert {"residual_vectors", "mg_levels"} <= selected
+        assert "matrix_values" not in selected  # streamed bulk stays out
+
+    def test_64mb_cannot_fit_them(self):
+        selected = _selected_site_names("hpcg", 64 * MIB, "misses-0%")
+        assert "residual_vectors" not in selected
+        assert "mg_levels" in selected
+
+
+class TestMinifeSelections:
+    def test_framework_promotes_the_three_small_critical_objects(self):
+        selected = _selected_site_names("minife", 128 * MIB, "density")
+        assert {"cg_vectors", "halo_exchange_buffers",
+                "mesh_coordinates"} <= selected
+        assert "fe_matrix_values" not in selected
+
+    def test_graph_buffers_never_worth_it(self):
+        """The early cold buffers autohbw wastes MCDRAM on are never
+        *selected* by any profile-guided strategy."""
+        for strategy in ("density", "misses-0%", "misses-5%"):
+            selected = _selected_site_names("minife", 256 * MIB, strategy)
+            assert "fe_graph_buffers" not in selected
+
+
+class TestSnapSelections:
+    def test_misses_ranking_takes_the_big_buffer_at_256(self):
+        selected = _selected_site_names("snap", 256 * MIB, "misses-0%")
+        assert "angular_flux" in selected
+
+    def test_density_prefers_the_small_chunks(self):
+        selected = _selected_site_names("snap", 256 * MIB, "density")
+        assert "angular_flux" not in selected
+        assert {"scalar_flux_moments", "cross_sections",
+                "source_moments", "sweep_workspace"} <= selected
+
+
+class TestGtcpSelections:
+    def test_density_takes_grids_not_particles(self):
+        selected = _selected_site_names("gtc-p", 256 * MIB, "density")
+        assert {"field_grid", "charge_density_grid",
+                "flux_surface_avg"} <= selected
+        assert "particle_velocities" not in selected
+
+
+class TestLuleshSelections:
+    def test_density_selects_per_phase_scratch(self):
+        selected = _selected_site_names("lulesh", 256 * MIB, "density")
+        assert "grad_scratch_a" in selected
+        assert any(name.startswith("strain_scratch") for name in selected)
+
+    def test_tiny_transients_never_selected(self):
+        """They carry no misses; only size-threshold policies promote
+        them (and pay memkind's slow path)."""
+        for strategy in ("density", "misses-0%", "misses-1%"):
+            selected = _selected_site_names("lulesh", 256 * MIB, strategy)
+            assert not any(n.startswith("elem_tmp_") for n in selected)
+
+
+class TestCgpopSelections:
+    def test_critical_set_fits_every_budget(self):
+        for budget in (32 * MIB, 256 * MIB):
+            selected = _selected_site_names("cgpop", budget, "misses-0%")
+            assert {"pcg_vectors", "matrix_diagonals",
+                    "halo_buffers"} <= selected
+
+
+class TestGroundTruthAgreement:
+    @pytest.mark.parametrize(
+        "name",
+        ["hpcg", "lulesh", "nas-bt", "minife", "cgpop", "snap",
+         "maxw-dgtd", "gtc-p"],
+    )
+    def test_estimates_track_ground_truth(self, name):
+        """Sampled estimates approximate the full miss counts for every
+        object with a meaningful share — across the whole suite."""
+        app = get_app(name)
+        fw = HybridMemoryFramework(app)
+        truth = fw.profile().ground_truth
+        profiles = fw.analyze()
+        name_by_key = app.key_to_site_name()
+        for p in profiles.dynamic_profiles:
+            site = name_by_key.get(p.key.identity)
+            if site is None:
+                continue
+            actual = truth.misses_by_site.get(site, 0)
+            if actual < 1000:
+                continue
+            assert p.estimated_misses == pytest.approx(actual, rel=0.15), (
+                f"{name}:{site}"
+            )

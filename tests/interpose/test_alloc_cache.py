@@ -1,0 +1,54 @@
+"""Decision cache keyed by raw call-stacks."""
+
+import pytest
+
+from repro.interpose.alloc_cache import AllocCache
+from repro.runtime.callstack import RawCallStack
+
+
+def _raw(*addresses):
+    return RawCallStack(addresses=addresses)
+
+
+class TestAllocCache:
+    def test_miss_then_hit(self):
+        cache = AllocCache()
+        assert cache.lookup(_raw(1, 2)) is None
+        cache.annotate(_raw(1, 2), promote=True)
+        assert cache.lookup(_raw(1, 2)) is True
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_negative_decision_cached(self):
+        cache = AllocCache()
+        cache.annotate(_raw(5), promote=False)
+        assert cache.lookup(_raw(5)) is False
+
+    def test_different_stacks_distinct(self):
+        cache = AllocCache()
+        cache.annotate(_raw(1, 2), promote=True)
+        assert cache.lookup(_raw(1, 3)) is None
+
+    def test_lru_eviction(self):
+        cache = AllocCache(max_entries=2)
+        cache.annotate(_raw(1), True)
+        cache.annotate(_raw(2), True)
+        cache.lookup(_raw(1))          # refresh 1
+        cache.annotate(_raw(3), True)  # evicts 2
+        assert cache.lookup(_raw(2)) is None
+        assert cache.lookup(_raw(1)) is True
+        assert len(cache) == 2
+
+    def test_hit_ratio(self):
+        cache = AllocCache()
+        cache.annotate(_raw(1), True)
+        cache.lookup(_raw(1))
+        cache.lookup(_raw(2))
+        assert cache.hit_ratio == pytest.approx(0.5)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            AllocCache(max_entries=0)
+
+    def test_hit_ratio_empty(self):
+        assert AllocCache().hit_ratio == 0.0

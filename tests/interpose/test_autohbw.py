@@ -1,0 +1,108 @@
+"""autohbw baseline: pure size-threshold promotion."""
+
+import pytest
+
+from repro.interpose.autohbw import AutoHBW
+from repro.runtime.process import SimProcess
+from repro.runtime.symbols import FunctionSymbol, ModuleImage
+from repro.units import KIB, MIB
+
+
+def _process(hbw_capacity=4 * MIB):
+    modules = [
+        ModuleImage(
+            name="app",
+            size=200,
+            functions=[FunctionSymbol("main", 0, 64, "app.c")],
+        )
+    ]
+    return SimProcess(modules=modules, heap_size=64 * MIB,
+                      hbw_size=16 * MIB, hbw_capacity=hbw_capacity)
+
+
+def _install(process, **kwargs):
+    hook = AutoHBW(process, **kwargs)
+    process.install_malloc_hook(hook)
+    return hook
+
+
+class TestThreshold:
+    def test_large_promoted(self):
+        process = _process()
+        _install(process, min_size=1 * MIB)
+        with process.in_function("app", "main", 1):
+            address = process.malloc(2 * MIB)
+        assert process.memkind.owns(address)
+
+    def test_small_not_promoted(self):
+        process = _process()
+        _install(process, min_size=1 * MIB)
+        with process.in_function("app", "main", 1):
+            address = process.malloc(512 * KIB)
+        assert process.posix.owns(address)
+
+    def test_max_size_band(self):
+        process = _process()
+        _install(process, min_size=64 * KIB, max_size=1 * MIB)
+        with process.in_function("app", "main", 1):
+            address = process.malloc(2 * MIB)
+        assert process.posix.owns(address)
+
+    def test_zero_threshold_promotes_everything(self):
+        process = _process()
+        _install(process, min_size=0)
+        with process.in_function("app", "main", 1):
+            address = process.malloc(128)
+        assert process.memkind.owns(address)
+
+    def test_validation(self):
+        process = _process()
+        with pytest.raises(ValueError):
+            AutoHBW(process, min_size=-1)
+        with pytest.raises(ValueError):
+            AutoHBW(process, min_size=10, max_size=5)
+
+
+class TestFCFS:
+    def test_first_come_first_served_until_full(self):
+        """The paper's criticism: autohbw fills MCDRAM with whatever
+        comes first, regardless of value."""
+        process = _process(hbw_capacity=3 * MIB)
+        hook = _install(process, min_size=1 * MIB)
+        with process.in_function("app", "main", 1):
+            first = process.malloc(2 * MIB)   # cold but early
+            second = process.malloc(2 * MIB)  # does not fit anymore
+        assert process.memkind.owns(first)
+        assert process.posix.owns(second)
+        assert hook.stats.calls_did_not_fit == 1
+
+    def test_free_then_refit(self):
+        process = _process(hbw_capacity=3 * MIB)
+        _install(process, min_size=1 * MIB)
+        with process.in_function("app", "main", 1):
+            first = process.malloc(2 * MIB)
+            process.free(first)
+            second = process.malloc(2 * MIB)
+        assert process.memkind.owns(second)
+
+    def test_memkind_penalty_charged(self):
+        process = _process()
+        hook = _install(process, min_size=1 * MIB)
+        with process.in_function("app", "main", 1):
+            process.malloc(1536 * KIB)
+        assert hook.overhead_seconds > 0
+
+    def test_realloc(self):
+        process = _process()
+        _install(process, min_size=1 * MIB)
+        with process.in_function("app", "main", 1):
+            a = process.malloc(2 * MIB)
+            b = process.realloc(a, 256 * KIB)  # now below threshold
+        assert process.posix.owns(b)
+
+    def test_hwm(self):
+        process = _process()
+        hook = _install(process, min_size=1 * MIB)
+        with process.in_function("app", "main", 1):
+            process.malloc(2 * MIB)
+        assert hook.hbw_hwm_bytes == 2 * MIB

@@ -1,0 +1,237 @@
+"""auto-hbwmalloc: Algorithm 1 against the simulated runtime."""
+
+import pytest
+
+from repro.advisor.report import PlacementEntry, PlacementReport
+from repro.analysis.objects import ObjectKey, ObjectKind
+from repro.errors import InvalidFreeError
+from repro.interpose.hbwmalloc import AutoHbwMalloc
+from repro.runtime.process import SimProcess
+from repro.runtime.symbols import FunctionSymbol, ModuleImage
+from repro.units import KIB, MIB
+
+
+def _process():
+    modules = [
+        ModuleImage(
+            name="app",
+            size=400,
+            functions=[
+                FunctionSymbol("main", offset=0, size=64, file="app.c"),
+                FunctionSymbol("hot_site", offset=96, size=64, file="app.c"),
+                FunctionSymbol("cold_site", offset=192, size=64, file="app.c"),
+            ],
+        )
+    ]
+    return SimProcess(modules=modules, seed=3, heap_size=64 * MIB,
+                      hbw_size=32 * MIB, hbw_capacity=16 * MIB)
+
+
+def _report(lb=4 * KIB, ub=1 * MIB, budget=8 * MIB):
+    key = ObjectKey(
+        kind=ObjectKind.DYNAMIC,
+        identity=(("hot_site", "app.c", 5), ("main", "app.c", 1)),
+    )
+    report = PlacementReport(application="t", strategy="misses-0%")
+    report.budgets["MCDRAM"] = budget
+    report.entries.append(
+        PlacementEntry(key=key, tier="MCDRAM", size=ub, sampled_misses=10)
+    )
+    report.lb_size = lb
+    report.ub_size = ub
+    return report
+
+
+def _install(process, **kwargs):
+    hook = AutoHbwMalloc(process, _report(**kwargs), tier="MCDRAM")
+    process.install_malloc_hook(hook)
+    return hook
+
+
+class TestPromotion:
+    def test_matching_site_promoted(self):
+        process = _process()
+        hook = _install(process)
+        with process.in_function("app", "main", 1):
+            with process.in_function("app", "hot_site", 5):
+                address = process.malloc(64 * KIB)
+        assert process.memkind.owns(address)
+        assert hook.stats.calls_promoted == 1
+        assert hook.hbw_hwm_bytes == 64 * KIB
+
+    def test_non_matching_site_falls_back(self):
+        process = _process()
+        hook = _install(process)
+        with process.in_function("app", "main", 1):
+            with process.in_function("app", "cold_site", 5):
+                address = process.malloc(64 * KIB)
+        assert process.posix.owns(address)
+        assert hook.stats.calls_promoted == 0
+
+    def test_line_matters(self):
+        process = _process()
+        _install(process)
+        with process.in_function("app", "main", 1):
+            with process.in_function("app", "hot_site", 7):  # wrong line
+                address = process.malloc(64 * KIB)
+        assert process.posix.owns(address)
+
+    def test_aslr_does_not_break_matching(self):
+        """Two processes with different module bases must both match —
+        the whole reason translation exists."""
+        for seed in (3, 4, 5):
+            process = SimProcess(
+                modules=_process().symbols.module("app") and [
+                    ModuleImage(
+                        name="app",
+                        size=400,
+                        functions=[
+                            FunctionSymbol("main", 0, 64, "app.c"),
+                            FunctionSymbol("hot_site", 96, 64, "app.c"),
+                            FunctionSymbol("cold_site", 192, 64, "app.c"),
+                        ],
+                    )
+                ],
+                seed=seed,
+                heap_size=64 * MIB,
+                hbw_size=32 * MIB,
+            )
+            hook = AutoHbwMalloc(process, _report(), tier="MCDRAM")
+            process.install_malloc_hook(hook)
+            with process.in_function("app", "main", 1):
+                with process.in_function("app", "hot_site", 5):
+                    address = process.malloc(64 * KIB)
+            assert process.memkind.owns(address)
+
+
+class TestSizeFilter:
+    def test_below_lb_skipped_without_unwind(self):
+        process = _process()
+        hook = _install(process, lb=16 * KIB)
+        with process.in_function("app", "main", 1):
+            with process.in_function("app", "hot_site", 5):
+                address = process.malloc(1 * KIB)
+        assert process.posix.owns(address)
+        assert hook.stats.calls_size_eligible == 0
+
+    def test_above_ub_skipped(self):
+        process = _process()
+        hook = _install(process, ub=128 * KIB)
+        with process.in_function("app", "main", 1):
+            with process.in_function("app", "hot_site", 5):
+                address = process.malloc(256 * KIB)
+        assert process.posix.owns(address)
+        assert hook.stats.calls_size_eligible == 0
+
+    def test_filter_disableable(self):
+        process = _process()
+        hook = AutoHbwMalloc(process, _report(lb=16 * KIB), tier="MCDRAM",
+                             size_filter=False)
+        process.install_malloc_hook(hook)
+        with process.in_function("app", "main", 1):
+            with process.in_function("app", "hot_site", 5):
+                process.malloc(1 * KIB)
+        assert hook.stats.calls_size_eligible == 1
+
+
+class TestBudget:
+    def test_budget_enforced_below_physical_capacity(self):
+        process = _process()  # 16 MiB physical
+        hook = _install(process, ub=8 * MIB, budget=1 * MIB)
+        with process.in_function("app", "main", 1):
+            with process.in_function("app", "hot_site", 5):
+                a = process.malloc(768 * KIB)   # fits budget
+                b = process.malloc(768 * KIB)   # would exceed 1 MiB
+        assert process.memkind.owns(a)
+        assert process.posix.owns(b)
+        assert hook.stats.calls_did_not_fit == 1
+
+    def test_free_returns_budget(self):
+        process = _process()
+        _install(process, ub=8 * MIB, budget=1 * MIB)
+        with process.in_function("app", "main", 1):
+            with process.in_function("app", "hot_site", 5):
+                a = process.malloc(768 * KIB)
+                process.free(a)
+                b = process.malloc(768 * KIB)
+        assert process.memkind.owns(b)
+
+    def test_hwm_tracks_peak_not_current(self):
+        process = _process()
+        hook = _install(process, ub=8 * MIB)
+        with process.in_function("app", "main", 1):
+            with process.in_function("app", "hot_site", 5):
+                a = process.malloc(512 * KIB)
+                process.free(a)
+                process.malloc(128 * KIB)
+        assert hook.hbw_hwm_bytes == 512 * KIB
+
+
+class TestCacheAndOverhead:
+    def test_second_call_uses_cache(self):
+        process = _process()
+        hook = _install(process)
+        with process.in_function("app", "main", 1):
+            with process.in_function("app", "hot_site", 5):
+                process.malloc(64 * KIB)
+                process.malloc(64 * KIB)
+        assert hook.cache.hits == 1
+        assert hook.cache.misses == 1
+
+    def test_translation_only_on_cache_miss(self):
+        process = _process()
+        hook = _install(process)
+        with process.in_function("app", "main", 1):
+            with process.in_function("app", "hot_site", 5):
+                process.malloc(64 * KIB)
+                before = process.symbols.translations
+                process.malloc(64 * KIB)
+        assert process.symbols.translations == before
+
+    def test_overhead_accumulates(self):
+        process = _process()
+        hook = _install(process)
+        with process.in_function("app", "main", 1):
+            with process.in_function("app", "hot_site", 5):
+                process.malloc(64 * KIB)
+        assert hook.overhead_seconds > 0
+
+    def test_memkind_penalty_included(self):
+        process = _process()
+        hook = _install(process, ub=2 * MIB - 1)
+        with process.in_function("app", "main", 1):
+            with process.in_function("app", "hot_site", 5):
+                process.malloc(1536 * KIB)  # slow memkind path
+        assert hook.overhead_seconds > process.memkind.penalty_seconds * 0.99
+        assert process.memkind.penalty_seconds > 0
+
+
+class TestFreeRouting:
+    def test_routes_to_owning_allocator(self):
+        process = _process()
+        _install(process)
+        with process.in_function("app", "main", 1):
+            with process.in_function("app", "hot_site", 5):
+                hot = process.malloc(64 * KIB)
+            with process.in_function("app", "cold_site", 5):
+                cold = process.malloc(64 * KIB)
+        process.free(hot)
+        process.free(cold)
+        assert not process.memkind.owns(hot)
+        assert not process.posix.owns(cold)
+
+    def test_unknown_pointer_rejected(self):
+        process = _process()
+        hook = _install(process)
+        with pytest.raises(InvalidFreeError):
+            hook.free(0xDEAD)
+
+    def test_realloc_rechecks_placement(self):
+        process = _process()
+        _install(process, ub=1 * MIB)
+        with process.in_function("app", "main", 1):
+            with process.in_function("app", "hot_site", 5):
+                a = process.malloc(64 * KIB)
+                # Growing beyond ub_size must fall back to posix.
+                b = process.realloc(a, 4 * MIB)
+        assert process.posix.owns(b)

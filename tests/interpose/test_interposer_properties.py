@@ -1,0 +1,152 @@
+"""Property tests for auto-hbwmalloc under random allocation traffic.
+
+Invariants that must hold for ANY report and ANY malloc/free sequence:
+
+* only report-selected sites are ever promoted;
+* the advisor budget is never exceeded at any instant;
+* every pointer is freed by the allocator that produced it;
+* a tiny decision cache (constant evictions) changes cost, never
+  decisions.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.advisor.report import PlacementEntry, PlacementReport
+from repro.analysis.objects import ObjectKey, ObjectKind
+from repro.interpose.hbwmalloc import AutoHbwMalloc
+from repro.runtime.process import SimProcess
+from repro.runtime.symbols import FunctionSymbol, ModuleImage
+from repro.units import KIB, MIB
+
+N_SITES = 6
+
+
+def _process() -> SimProcess:
+    functions = [FunctionSymbol("main", 0, 32, "app.c")]
+    offset = 48
+    for i in range(N_SITES):
+        functions.append(
+            FunctionSymbol(f"site_{i}", offset, 32, "app.c")
+        )
+        offset += 48
+    module = ModuleImage(name="app", size=offset + 64, functions=functions)
+    return SimProcess(modules=[module], seed=2, heap_size=256 * MIB,
+                      hbw_size=64 * MIB, hbw_capacity=32 * MIB)
+
+
+def _report(selected: set[int], budget: int) -> PlacementReport:
+    report = PlacementReport(application="prop", strategy="misses-0%")
+    report.budgets["MCDRAM"] = budget
+    for i in sorted(selected):
+        key = ObjectKey(
+            kind=ObjectKind.DYNAMIC,
+            identity=((f"site_{i}", "app.c", 1), ("main", "app.c", 1)),
+        )
+        report.entries.append(
+            PlacementEntry(key=key, tier="MCDRAM", size=512 * KIB,
+                           sampled_misses=10)
+        )
+    report.lb_size = 1
+    report.ub_size = 64 * MIB
+    return report
+
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("malloc"),
+            st.integers(min_value=0, max_value=N_SITES - 1),
+            st.integers(min_value=1 * KIB, max_value=2 * MIB),
+        ),
+        st.tuples(st.just("free"),
+                  st.integers(min_value=0, max_value=100),
+                  st.just(0)),
+    ),
+    max_size=60,
+)
+
+
+class TestInterposerInvariants:
+    @given(
+        selected=st.sets(st.integers(min_value=0, max_value=N_SITES - 1)),
+        budget_kib=st.integers(min_value=4, max_value=8192),
+        ops=_ops,
+        cache_entries=st.sampled_from([1, 2, 4096]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariants(self, selected, budget_kib, ops, cache_entries):
+        budget = budget_kib * KIB
+        process = _process()
+        hook = AutoHbwMalloc(
+            process, _report(selected, budget), tier="MCDRAM",
+            budget=budget, cache_entries=cache_entries,
+        )
+        process.install_malloc_hook(hook)
+
+        live: list[tuple[int, int]] = []  # (address, site)
+        for op, arg, size in ops:
+            if op == "malloc":
+                with process.in_function("app", "main", 1):
+                    with process.in_function("app", f"site_{arg}", 1):
+                        address = process.malloc(size)
+                live.append((address, arg))
+            elif live:
+                address, _ = live.pop(arg % len(live))
+                process.free(address)
+
+            # Budget never exceeded at any instant.
+            assert hook.stats.hbw_current_bytes <= budget
+            assert process.memkind.stats.current_bytes <= budget
+
+        # Only selected sites were promoted.
+        for address, site in live:
+            if process.memkind.owns(address):
+                assert site in selected
+        # Ownership consistency: every live pointer is owned by exactly
+        # one allocator.
+        for address, _ in live:
+            assert process.memkind.owns(address) != process.posix.owns(
+                address
+            )
+
+        # Cleanup must route correctly for every survivor.
+        for address, _ in live:
+            process.free(address)
+        assert process.memkind.stats.current_bytes == 0
+        assert hook.stats.hbw_current_bytes == 0
+
+    @given(
+        selected=st.sets(
+            st.integers(min_value=0, max_value=N_SITES - 1), min_size=1
+        ),
+        ops=_ops,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_tiny_cache_same_decisions(self, selected, ops):
+        """A 1-entry decision cache (maximal eviction pressure) makes
+        the same promote/deny decisions as an unbounded one."""
+        placements = []
+        for cache_entries in (1, 4096):
+            process = _process()
+            hook = AutoHbwMalloc(
+                process, _report(selected, 16 * MIB), tier="MCDRAM",
+                budget=16 * MIB, cache_entries=cache_entries,
+            )
+            process.install_malloc_hook(hook)
+            record = []
+            live = []
+            for op, arg, size in ops:
+                if op == "malloc":
+                    with process.in_function("app", "main", 1):
+                        with process.in_function("app", f"site_{arg}", 1):
+                            address = process.malloc(size)
+                    record.append(process.memkind.owns(address))
+                    live.append(address)
+                elif live:
+                    process.free(live.pop(arg % len(live)))
+            placements.append(record)
+        assert placements[0] == placements[1]

@@ -1,0 +1,88 @@
+"""Bandwidth saturation model (Figure 1 substrate)."""
+
+import pytest
+
+from repro.machine.bandwidth import BandwidthModel
+
+
+@pytest.fixture()
+def model(machine):
+    return BandwidthModel(machine)
+
+
+class TestTierBandwidth:
+    def test_single_core_below_peak(self, model, machine):
+        bw = model.tier_bandwidth(machine.slow_tier, 1)
+        assert bw < machine.slow_tier.peak_bandwidth
+
+    def test_ddr_saturates_early(self, model, machine):
+        """DDR reaches ~90 GB/s by ~8 cores and stays there (Fig. 1)."""
+        at8 = model.tier_bandwidth(machine.slow_tier, 8)
+        at68 = model.tier_bandwidth(machine.slow_tier, 68)
+        assert at8 > 0.85 * machine.slow_tier.peak_bandwidth
+        assert at68 <= machine.slow_tier.peak_bandwidth
+
+    def test_mcdram_keeps_scaling(self, model, machine):
+        """Flat MCDRAM still gains going from 8 to 34 cores."""
+        at8 = model.tier_bandwidth(machine.fast_tier, 8)
+        at34 = model.tier_bandwidth(machine.fast_tier, 34)
+        assert at34 > 2.5 * at8
+
+    def test_mcdram_flat_beats_ddr_at_scale(self, model, machine):
+        ddr = model.tier_bandwidth(machine.slow_tier, 68)
+        mcdram = model.tier_bandwidth(machine.fast_tier, 68)
+        assert mcdram > 4.5 * ddr
+
+    def test_equal_at_one_core_within_noise(self, model, machine):
+        """Few-core runs see little difference between tiers (Fig. 1)."""
+        ddr = model.tier_bandwidth(machine.slow_tier, 1)
+        mcdram = model.tier_bandwidth(machine.fast_tier, 1)
+        assert mcdram / ddr < 1.25
+
+    def test_monotone(self, model, machine):
+        values = [
+            model.tier_bandwidth(machine.fast_tier, c) for c in range(1, 69)
+        ]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_zero_cores_rejected(self, model, machine):
+        with pytest.raises(ValueError):
+            model.tier_bandwidth(machine.slow_tier, 0)
+
+    def test_too_many_cores_rejected(self, model, machine):
+        with pytest.raises(ValueError):
+            model.tier_bandwidth(machine.slow_tier, machine.cores + 1)
+
+    def test_sweep_shape(self, model, machine):
+        cores = [1, 2, 4, 8, 16, 32, 34, 64, 68]
+        sweep = model.sweep(machine.fast_tier, cores)
+        assert sweep.shape == (len(cores),)
+
+
+class TestCacheModeBandwidth:
+    def test_full_hit_below_flat(self, model, machine):
+        """Cache mode saturates below flat MCDRAM (Fig. 1)."""
+        flat = model.tier_bandwidth(machine.fast_tier, 68)
+        cached = model.cache_mode_bandwidth(68, hit_ratio=1.0)
+        assert cached < flat
+
+    def test_full_hit_above_ddr(self, model, machine):
+        ddr = model.tier_bandwidth(machine.slow_tier, 68)
+        cached = model.cache_mode_bandwidth(68, hit_ratio=1.0)
+        assert cached > 3.0 * ddr
+
+    def test_zero_hit_at_most_ddr(self, model, machine):
+        ddr = model.tier_bandwidth(machine.slow_tier, 68)
+        cached = model.cache_mode_bandwidth(68, hit_ratio=0.0)
+        assert cached <= ddr * 1.01
+
+    def test_monotone_in_hit_ratio(self, model):
+        values = [
+            model.cache_mode_bandwidth(68, hit_ratio=h / 10)
+            for h in range(11)
+        ]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_bad_hit_ratio_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.cache_mode_bandwidth(68, hit_ratio=1.5)

@@ -1,0 +1,101 @@
+"""MCDRAM cache-mode models: stream-based and analytic."""
+
+import numpy as np
+import pytest
+
+from repro.machine.cachemode import (
+    CacheModeModel,
+    CacheModeObject,
+    analytic_cache_outcome,
+)
+from repro.units import MIB
+
+
+class TestStreamModel:
+    def test_empty_stream(self, machine):
+        model = CacheModeModel(machine, capacity_bytes=1 * MIB)
+        out = model.analyze(np.zeros(0, dtype=np.uint64))
+        assert out.hit_ratio == 0.0
+        assert out.probed_accesses == 0
+
+    def test_repeated_small_working_set_hits(self, machine):
+        model = CacheModeModel(machine, capacity_bytes=1 * MIB)
+        addrs = np.tile(np.arange(0, 64 * 256, 64, dtype=np.uint64), 10)
+        out = model.analyze(addrs)
+        assert out.hit_ratio > 0.85  # only the cold first sweep misses
+
+    def test_thrashing_stream_misses(self, machine):
+        # Working set 8x the cache: a repeated sequential sweep never
+        # survives a direct-mapped cache.
+        capacity = 64 * 1024
+        lines = np.arange(0, 8 * capacity, 64, dtype=np.uint64)
+        model = CacheModeModel(machine, capacity_bytes=capacity)
+        out = model.analyze(np.tile(lines, 3))
+        assert out.hit_ratio < 0.05
+
+    def test_fill_amplification_bounds(self, machine):
+        model = CacheModeModel(machine, capacity_bytes=1 * MIB)
+        addrs = np.arange(0, 64 * 1000, 64, dtype=np.uint64)
+        out = model.analyze(addrs)
+        assert 1.0 <= out.fill_amplification <= 1.5
+
+    def test_bad_scale_rejected(self, machine):
+        with pytest.raises(ValueError):
+            CacheModeModel(machine, footprint_scale=0.0)
+
+
+class TestAnalyticModel:
+    def test_empty(self):
+        out = analytic_cache_outcome([], capacity=1.0)
+        assert out.hit_ratio == 0.0
+
+    def test_fits_with_reuse_hits(self):
+        objs = [CacheModeObject(hot_bytes=10.0, miss_share=1.0,
+                                reref_per_iteration=16.0)]
+        out = analytic_cache_outcome(objs, capacity=100.0)
+        assert out.hit_ratio > 0.95
+
+    def test_streaming_overflow_misses(self):
+        objs = [CacheModeObject(hot_bytes=800.0, miss_share=1.0,
+                                reref_per_iteration=1.0)]
+        out = analytic_cache_outcome(objs, capacity=100.0)
+        assert out.hit_ratio < 0.01
+
+    def test_hot_object_survives_foreign_sweep(self):
+        """A heavily re-referenced vector hits even while a big sweep
+        thrashes the cache — the HPCG cache-mode mechanism."""
+        hot = CacheModeObject(hot_bytes=10.0, miss_share=0.8,
+                              reref_per_iteration=40.0)
+        sweep = CacheModeObject(hot_bytes=900.0, miss_share=0.2,
+                                reref_per_iteration=1.0)
+        out = analytic_cache_outcome([hot, sweep], capacity=250.0)
+        assert out.hit_ratio > 0.6  # dominated by the hot object's hits
+
+    def test_miss_shares_weight_the_mix(self):
+        hot = CacheModeObject(10.0, 0.5, 40.0)
+        cold = CacheModeObject(900.0, 0.5, 1.0)
+        balanced = analytic_cache_outcome([hot, cold], capacity=250.0)
+        hot_heavy = analytic_cache_outcome(
+            [CacheModeObject(10.0, 0.9, 40.0), CacheModeObject(900.0, 0.1, 1.0)],
+            capacity=250.0,
+        )
+        assert hot_heavy.hit_ratio > balanced.hit_ratio
+
+    def test_larger_cache_helps(self):
+        objs = [CacheModeObject(500.0, 1.0, 4.0)]
+        small = analytic_cache_outcome(objs, capacity=100.0)
+        big = analytic_cache_outcome(objs, capacity=1000.0)
+        assert big.hit_ratio > small.hit_ratio
+
+    def test_amplification_falls_with_hits(self):
+        good = analytic_cache_outcome(
+            [CacheModeObject(10.0, 1.0, 40.0)], capacity=100.0
+        )
+        bad = analytic_cache_outcome(
+            [CacheModeObject(900.0, 1.0, 1.0)], capacity=100.0
+        )
+        assert good.fill_amplification < bad.fill_amplification
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            analytic_cache_outcome([], capacity=0.0)

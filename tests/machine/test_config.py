@@ -1,0 +1,103 @@
+"""MachineConfig: presets, ordering, serialisation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.config import (
+    ClusterMode,
+    MachineConfig,
+    MemoryMode,
+    generic_hybrid_machine,
+    tiers_fastest_first,
+    xeon_phi_7250,
+)
+from repro.machine.tier import MemoryTier
+from repro.units import GIB
+
+
+class TestXeonPhiPreset:
+    def test_paper_testbed(self, machine):
+        assert machine.cores == 68
+        assert machine.threads_per_core == 4
+        assert machine.frequency_ghz == pytest.approx(1.40)
+        assert machine.cluster_mode is ClusterMode.QUADRANT
+
+    def test_tier_capacities(self, machine):
+        assert machine.tier("DDR").capacity == 96 * GIB
+        assert machine.tier("MCDRAM").capacity == 16 * GIB
+
+    def test_fast_tier_is_mcdram(self, machine):
+        assert machine.fast_tier.name == "MCDRAM"
+        assert machine.slow_tier.name == "DDR"
+
+    def test_total_capacity(self, machine):
+        assert machine.total_capacity == 112 * GIB
+
+    def test_unknown_tier_raises(self, machine):
+        with pytest.raises(ConfigError):
+            machine.tier("HBM3")
+
+    def test_memory_mode_switch(self, machine):
+        cached = machine.with_memory_mode(MemoryMode.CACHE)
+        assert cached.memory_mode is MemoryMode.CACHE
+        assert machine.memory_mode is MemoryMode.FLAT  # original untouched
+
+    def test_tiers_sorted_fastest_first(self, machine):
+        perf = [t.relative_performance for t in machine.tiers]
+        assert perf == sorted(perf, reverse=True)
+
+
+class TestValidation:
+    def _tiers(self):
+        return xeon_phi_7250().tiers
+
+    def test_needs_cores(self):
+        with pytest.raises(ConfigError):
+            MachineConfig("m", 0, 1, 1.0, self._tiers())
+
+    def test_needs_threads(self):
+        with pytest.raises(ConfigError):
+            MachineConfig("m", 1, 0, 1.0, self._tiers())
+
+    def test_needs_positive_frequency(self):
+        with pytest.raises(ConfigError):
+            MachineConfig("m", 1, 1, 0.0, self._tiers())
+
+    def test_needs_tiers(self):
+        with pytest.raises(ConfigError):
+            MachineConfig("m", 1, 1, 1.0, ())
+
+    def test_duplicate_tier_names(self):
+        tier = self._tiers()[0]
+        with pytest.raises(ConfigError):
+            MachineConfig("m", 1, 1, 1.0, (tier, tier))
+
+
+class TestSerialisation:
+    def test_round_trip_dict(self, machine):
+        clone = MachineConfig.from_dict(machine.to_dict())
+        assert clone == machine
+
+    def test_round_trip_file(self, machine, tmp_path):
+        path = tmp_path / "machine.json"
+        machine.save(path)
+        assert MachineConfig.load(path) == machine
+
+    def test_malformed_raises(self):
+        with pytest.raises(ConfigError):
+            MachineConfig.from_dict({"name": "broken"})
+
+
+class TestGenericMachine:
+    def test_builds(self):
+        m = generic_hybrid_machine(fast_gib=8, slow_gib=64, fast_speedup=3.0)
+        assert m.fast_tier.name == "FAST"
+        assert m.fast_tier.capacity == 8 * GIB
+
+    def test_speedup_must_exceed_one(self):
+        with pytest.raises(ConfigError):
+            generic_hybrid_machine(8, 64, fast_speedup=1.0)
+
+    def test_tiers_fastest_first_helper(self, machine):
+        shuffled = list(reversed(machine.tiers))
+        assert tiers_fastest_first(shuffled)[0].name == "MCDRAM"

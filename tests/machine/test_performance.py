@@ -1,0 +1,126 @@
+"""Execution model: traffic -> time -> FOM."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.performance import (
+    MEMKIND_SLOW_RANGE,
+    ExecutionModel,
+    PlacedTraffic,
+    RunCost,
+    memkind_alloc_penalty,
+    memkind_free_penalty,
+)
+from repro.units import GIB, MIB
+
+
+@pytest.fixture()
+def model(machine):
+    return ExecutionModel(machine)
+
+
+class TestPlacedTraffic:
+    def test_total(self):
+        t = PlacedTraffic(by_tier={"DDR": 10.0, "MCDRAM": 5.0})
+        assert t.total_bytes == 15.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            PlacedTraffic(by_tier={"DDR": -1.0})
+
+    def test_bad_hit_ratio_rejected(self):
+        with pytest.raises(ConfigError):
+            PlacedTraffic(cached_bytes=1.0, cache_hit_ratio=2.0)
+
+    def test_negative_cached_rejected(self):
+        with pytest.raises(ConfigError):
+            PlacedTraffic(cached_bytes=-1.0)
+
+
+class TestRunCost:
+    def test_fom(self):
+        cost = RunCost(compute_time=50.0, memory_time=40.0,
+                       alloc_overhead=10.0, work=1000.0)
+        assert cost.total_time == 100.0
+        assert cost.fom == pytest.approx(10.0)
+
+
+class TestMemoryTime:
+    def test_ddr_only(self, model, machine):
+        traffic = PlacedTraffic(by_tier={"DDR": 90e9})
+        t = model.memory_time(traffic, machine.cores)
+        assert t == pytest.approx(1.0, rel=0.05)
+
+    def test_mcdram_faster(self, model, machine):
+        nbytes = 100e9
+        ddr = model.memory_time(
+            PlacedTraffic(by_tier={"DDR": nbytes}), machine.cores
+        )
+        fast = model.memory_time(
+            PlacedTraffic(by_tier={"MCDRAM": nbytes}), machine.cores
+        )
+        assert fast < ddr / 4
+
+    def test_cache_mode_between(self, model, machine):
+        nbytes = 100e9
+        ddr = model.memory_time(
+            PlacedTraffic(by_tier={"DDR": nbytes}), machine.cores
+        )
+        fast = model.memory_time(
+            PlacedTraffic(by_tier={"MCDRAM": nbytes}), machine.cores
+        )
+        cached = model.memory_time(
+            PlacedTraffic(cached_bytes=nbytes, cache_hit_ratio=0.8),
+            machine.cores,
+        )
+        assert fast < cached < ddr
+
+    def test_cache_amplification_costs(self, model, machine):
+        base = PlacedTraffic(cached_bytes=100e9, cache_hit_ratio=0.5)
+        amplified = PlacedTraffic(
+            cached_bytes=100e9,
+            cache_hit_ratio=0.5,
+            cache_fill_amplification=1.5,
+        )
+        assert model.memory_time(amplified, 68) > model.memory_time(base, 68)
+
+
+class TestCost:
+    def test_promotion_raises_fom(self, model):
+        work, tc = 1000.0, 50.0
+        slow = model.cost(PlacedTraffic(by_tier={"DDR": 5e12}), tc, work)
+        fast = model.cost(PlacedTraffic(by_tier={"MCDRAM": 5e12}), tc, work)
+        assert fast.fom > slow.fom
+
+    def test_alloc_overhead_lowers_fom(self, model):
+        traffic = PlacedTraffic(by_tier={"DDR": 1e12})
+        clean = model.cost(traffic, 50.0, 1000.0)
+        slowed = model.cost(traffic, 50.0, 1000.0, alloc_overhead=10.0)
+        assert slowed.fom < clean.fom
+
+    def test_invalid_inputs(self, model):
+        traffic = PlacedTraffic()
+        with pytest.raises(ConfigError):
+            model.cost(traffic, -1.0, 1.0)
+        with pytest.raises(ConfigError):
+            model.cost(traffic, 1.0, 0.0)
+        with pytest.raises(ConfigError):
+            model.cost(traffic, 1.0, 1.0, alloc_overhead=-1.0)
+
+
+class TestMemkindPenalty:
+    def test_slow_range_is_1_to_2_mib(self):
+        assert MEMKIND_SLOW_RANGE == (1 * MIB, 2 * MIB)
+
+    def test_inside_range_penalised(self):
+        assert memkind_alloc_penalty(1536 * 1024) > 0
+        assert memkind_free_penalty(1536 * 1024) > 0
+
+    def test_outside_range_free(self):
+        assert memkind_alloc_penalty(512 * 1024) == 0.0
+        assert memkind_alloc_penalty(4 * MIB) == 0.0
+        assert memkind_free_penalty(1 * GIB) == 0.0
+
+    def test_boundaries(self):
+        assert memkind_alloc_penalty(1 * MIB) > 0
+        assert memkind_alloc_penalty(2 * MIB) == 0.0

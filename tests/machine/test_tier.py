@@ -1,0 +1,74 @@
+"""MemoryTier validation and bandwidth lookup."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.tier import MemoryTier, TierBudget
+from repro.units import GIB
+
+
+def _tier(**overrides):
+    params = dict(
+        name="MCDRAM",
+        capacity=16 * GIB,
+        peak_bandwidth=470e9,
+        per_core_bandwidth=13.8e9,
+        latency_ns=155.0,
+        relative_performance=5.2,
+    )
+    params.update(overrides)
+    return MemoryTier(**params)
+
+
+class TestMemoryTier:
+    def test_valid(self):
+        tier = _tier()
+        assert tier.capacity_gib == 16.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigError):
+            _tier(name="")
+
+    @pytest.mark.parametrize(
+        "field", ["capacity", "peak_bandwidth", "per_core_bandwidth",
+                  "latency_ns", "relative_performance"]
+    )
+    def test_nonpositive_rejected(self, field):
+        with pytest.raises(ConfigError):
+            _tier(**{field: 0})
+
+    def test_bandwidth_single_core(self):
+        tier = _tier()
+        assert tier.bandwidth_at(1) == pytest.approx(13.8e9)
+
+    def test_bandwidth_saturates(self):
+        tier = _tier()
+        assert tier.bandwidth_at(68) == pytest.approx(470e9)
+
+    def test_bandwidth_monotone_in_cores(self):
+        tier = _tier()
+        values = [tier.bandwidth_at(c) for c in range(1, 69)]
+        assert values == sorted(values)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError):
+            _tier().bandwidth_at(0)
+
+
+class TestTierBudget:
+    def test_defaults_to_capacity(self):
+        tier = _tier()
+        assert TierBudget(tier).budget == tier.capacity
+
+    def test_explicit_budget(self):
+        tier = _tier()
+        assert TierBudget(tier, budget=GIB).budget == GIB
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigError):
+            TierBudget(_tier(), budget=-2)
+
+    def test_budget_above_capacity_rejected(self):
+        tier = _tier()
+        with pytest.raises(ConfigError):
+            TierBudget(tier, budget=tier.capacity + 1)

@@ -1,0 +1,42 @@
+"""SPMD job driver and rank-symmetry roll-up."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.parallel.job import SPMDJob
+
+
+class TestSPMDJob:
+    def test_runs_requested_ranks(self, tiny_app):
+        runs, summary = SPMDJob(tiny_app, n_simulated_ranks=3).run()
+        assert len(runs) == 3
+        assert summary.ranks_simulated == 3
+        assert summary.ranks_declared == 64
+
+    def test_rank_symmetry_small(self, tiny_app):
+        _, summary = SPMDJob(tiny_app, n_simulated_ranks=3).run()
+        assert summary.rank_symmetry() < 0.05
+
+    def test_node_totals_scale_by_geometry(self, tiny_app):
+        _, summary = SPMDJob(tiny_app, n_simulated_ranks=2).run()
+        assert summary.total_samples_estimate == pytest.approx(
+            summary.mean_samples * 64
+        )
+        assert summary.total_hwm_bytes_estimate > 0
+
+    def test_rates(self, tiny_app):
+        _, summary = SPMDJob(tiny_app, n_simulated_ranks=2).run()
+        assert summary.samples_per_second > 0
+        assert summary.allocs_per_second > 0
+
+    def test_ranks_differ_in_aslr_but_not_samples(self, tiny_app):
+        runs, _ = SPMDJob(tiny_app, n_simulated_ranks=2).run()
+        base0 = runs[0].process.symbols.module_base("tinyapp")
+        base1 = runs[1].process.symbols.module_base("tinyapp")
+        assert base0 != base1
+
+    def test_validation(self, tiny_app):
+        with pytest.raises(WorkloadError):
+            SPMDJob(tiny_app, n_simulated_ranks=0)
+        with pytest.raises(WorkloadError):
+            SPMDJob(tiny_app, n_simulated_ranks=65)

@@ -1,0 +1,96 @@
+"""PEBS-style period sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pebs.sampler import PebsSampler
+
+
+def _chunk(n, t0=0.0):
+    addrs = np.arange(n, dtype=np.uint64) * 64
+    times = t0 + np.arange(n, dtype=float)
+    return addrs, times
+
+
+class TestValidation:
+    def test_period_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PebsSampler(period=0)
+
+    def test_phase_range(self):
+        with pytest.raises(ValueError):
+            PebsSampler(period=5, phase=5)
+
+    def test_mismatched_lengths(self):
+        s = PebsSampler(period=3)
+        with pytest.raises(ValueError):
+            s.sample_chunk(np.zeros(3, np.uint64), np.zeros(2))
+
+
+class TestSampling:
+    def test_every_period_th(self):
+        s = PebsSampler(period=3)
+        addrs, times = _chunk(9)
+        samples = s.sample_chunk(addrs, times)
+        assert [int(x.address) for x in samples] == [2 * 64, 5 * 64, 8 * 64]
+
+    def test_period_one_samples_everything(self):
+        s = PebsSampler(period=1)
+        samples = s.sample_chunk(*_chunk(5))
+        assert len(samples) == 5
+
+    def test_phase_shifts_first_sample(self):
+        s = PebsSampler(period=4, phase=2)
+        samples = s.sample_chunk(*_chunk(4))
+        assert int(samples[0].address) == 1 * 64
+
+    def test_empty_chunk(self):
+        s = PebsSampler(period=3)
+        assert s.sample_chunk(*_chunk(0)) == []
+
+    def test_times_carried_through(self):
+        s = PebsSampler(period=2)
+        samples = s.sample_chunk(*_chunk(4, t0=10.0))
+        assert [x.time for x in samples] == [11.0, 13.0]
+
+    def test_counters(self):
+        s = PebsSampler(period=5)
+        s.sample_chunk(*_chunk(12))
+        assert s.events_seen == 12
+        assert s.samples_taken == 2
+        assert s.effective_rate == pytest.approx(2 / 12)
+
+
+class TestChunkBoundaries:
+    @given(
+        st.integers(min_value=1, max_value=37),
+        st.lists(st.integers(min_value=0, max_value=25), min_size=1,
+                 max_size=20),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_chunking_invariant(self, period, chunk_sizes):
+        """Splitting a stream into chunks must sample the exact same
+        positions as feeding it at once."""
+        total = sum(chunk_sizes)
+        whole = PebsSampler(period=period)
+        addrs, times = _chunk(total)
+        expected = [s.address for s in whole.sample_chunk(addrs, times)]
+
+        chunked = PebsSampler(period=period)
+        got = []
+        start = 0
+        for size in chunk_sizes:
+            a, t = addrs[start : start + size], times[start : start + size]
+            got.extend(s.address for s in chunked.sample_chunk(a, t))
+            start += size
+        assert got == expected
+
+    @given(st.integers(min_value=1, max_value=50),
+           st.integers(min_value=0, max_value=500))
+    @settings(max_examples=80, deadline=None)
+    def test_sample_count(self, period, n):
+        s = PebsSampler(period=period)
+        samples = s.sample_chunk(*_chunk(n))
+        assert len(samples) == n // period

@@ -1,0 +1,84 @@
+"""Experiment sweeps and result records."""
+
+import pytest
+
+from repro.pipeline.experiment import (
+    MPI_BUDGETS,
+    OPENMP_BUDGETS,
+    ExperimentGrid,
+    default_budgets,
+    run_figure4_experiment,
+)
+from repro.units import GIB, MIB
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    from tests.conftest import TinyApp
+
+    return run_figure4_experiment(TinyApp())
+
+
+class TestBudgetAxes:
+    def test_mpi_budgets(self):
+        assert MPI_BUDGETS == (32 * MIB, 64 * MIB, 128 * MIB, 256 * MIB)
+
+    def test_openmp_budgets_span_to_16g(self):
+        assert OPENMP_BUDGETS[0] == 32 * MIB
+        assert OPENMP_BUDGETS[-1] == 16 * GIB
+
+    def test_default_by_parallelism(self, tiny_app):
+        assert default_budgets(tiny_app) == MPI_BUDGETS
+        from repro.apps import get_app
+
+        assert default_budgets(get_app("nas-bt")) == OPENMP_BUDGETS
+
+
+class TestExperimentResult:
+    def test_grid_complete(self, tiny_result):
+        assert len(tiny_result.grid) == 16  # 4 budgets x 4 strategies
+        assert set(tiny_result.baselines) == {
+            "DDR", "MCDRAM*", "Cache", "autohbw/1m",
+        }
+
+    def test_budgets_and_strategies(self, tiny_result):
+        assert tiny_result.budgets() == sorted(MPI_BUDGETS)
+        assert tiny_result.strategies() == [
+            "density", "misses-0%", "misses-1%", "misses-5%",
+        ]
+
+    def test_fom_ddr(self, tiny_result):
+        assert tiny_result.fom_ddr == pytest.approx(100.0, rel=0.02)
+
+    def test_best_framework(self, tiny_result):
+        best = tiny_result.best_framework()
+        assert best.fom == max(r.fom for r in tiny_result.grid.values())
+
+    def test_best_overall_excludes_ddr(self, tiny_result):
+        assert tiny_result.best_overall().label != "DDR"
+
+    def test_rows_have_hwm(self, tiny_result):
+        row = tiny_result.row(256 * MIB, "misses-0%")
+        assert 0 < row.hwm_mb <= 256
+
+    def test_delta_fom_per_mb(self, tiny_result):
+        row = tiny_result.row(256 * MIB, "misses-0%")
+        value = row.delta_fom_per_mb(tiny_result.fom_ddr)
+        assert value > 0
+
+    def test_sweet_spot_is_a_budget(self, tiny_result):
+        assert tiny_result.sweet_spot() in MPI_BUDGETS
+
+    def test_custom_grid(self, tiny_app):
+        grid = ExperimentGrid(budgets=(64 * MIB,), strategies=("density",))
+        result = run_figure4_experiment(tiny_app, grid=grid)
+        assert len(result.grid) == 1
+
+    def test_virtual_budget_override(self, tiny_app):
+        grid = ExperimentGrid(
+            budgets=(64 * MIB,),
+            strategies=("density",),
+            virtual_advisor_budgets={64 * MIB: 256 * MIB},
+        )
+        result = run_figure4_experiment(tiny_app, grid=grid)
+        assert result.row(64 * MIB, "density").hwm_bytes <= 64 * MIB * 1.01

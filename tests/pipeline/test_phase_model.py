@@ -1,0 +1,58 @@
+"""Per-phase performance breakdown (Figure 5's MIPS model)."""
+
+import pytest
+
+from repro.pipeline.phase_model import phase_costs, phase_mips
+
+
+class TestPhaseCosts:
+    def test_all_phases_present(self, tiny_app, machine, tiny_profiling):
+        costs = phase_costs(tiny_app, machine, tiny_profiling, {})
+        assert set(costs) == {"compute", "exchange"}
+
+    def test_total_time_matches_run(self, tiny_app, machine,
+                                    tiny_profiling):
+        """Summed phase times of the all-DDR placement reproduce the
+        calibrated DDR runtime (minus the init phase)."""
+        costs = phase_costs(tiny_app, machine, tiny_profiling, {})
+        total = sum(c.total_time for c in costs.values())
+        cal = tiny_app.calibration
+        assert total == pytest.approx(cal.ddr_time, rel=0.07)
+
+    def test_promotion_speeds_up_touching_phase_only(
+        self, tiny_app, machine, tiny_profiling
+    ):
+        ddr = phase_costs(tiny_app, machine, tiny_profiling, {})
+        # big_matrix is only touched in "compute".
+        placed = phase_costs(
+            tiny_app, machine, tiny_profiling, {"big_matrix": 1.0}
+        )
+        assert placed["compute"].memory_time < ddr["compute"].memory_time
+        assert placed["exchange"].memory_time == pytest.approx(
+            ddr["exchange"].memory_time
+        )
+
+    def test_stack_fast_affects_all_phases(self, tiny_app, machine,
+                                           tiny_profiling):
+        ddr = phase_costs(tiny_app, machine, tiny_profiling, {})
+        fast = phase_costs(tiny_app, machine, tiny_profiling, {},
+                           stack_fast=True)
+        for fn in ddr:
+            assert fast[fn].memory_time <= ddr[fn].memory_time
+
+    def test_mips_rises_with_promotion(self, tiny_app, machine,
+                                       tiny_profiling):
+        ddr = phase_mips(tiny_app, machine, tiny_profiling, {})
+        all_fast = phase_mips(
+            tiny_app, machine, tiny_profiling,
+            {o.name: 1.0 for o in tiny_app.objects},
+            stack_fast=True,
+        )
+        for fn in ddr:
+            assert all_fast[fn] > ddr[fn]
+
+    def test_mips_positive_everywhere(self, tiny_app, machine,
+                                      tiny_profiling):
+        for value in phase_mips(tiny_app, machine, tiny_profiling,
+                                {}).values():
+            assert value > 0

@@ -1,0 +1,130 @@
+"""Placement policies on the TinyApp fixture."""
+
+import pytest
+
+from repro.advisor.strategies import MissesStrategy
+from repro.pipeline.framework import HybridMemoryFramework
+from repro.placement.policies import (
+    compute_traffic,
+    run_autohbw,
+    run_cache_mode,
+    run_ddr_only,
+    run_framework,
+    run_numactl_preferred,
+)
+from repro.units import MIB
+
+
+class TestComputeTraffic:
+    def test_ddr_only_split(self, tiny_app, machine, tiny_profiling):
+        traffic = compute_traffic(tiny_app, machine, tiny_profiling, {})
+        assert traffic.by_tier["MCDRAM"] == 0.0
+        assert traffic.by_tier["DDR"] > 0.0
+
+    def test_total_is_calibrated(self, tiny_app, machine, tiny_profiling):
+        traffic = compute_traffic(tiny_app, machine, tiny_profiling, {})
+        cal = tiny_app.calibration
+        expected = cal.memory_bound_fraction * cal.ddr_time * 90e9
+        assert traffic.total_bytes == pytest.approx(expected, rel=0.02)
+
+    def test_full_promotion_moves_everything_but_stack(
+        self, tiny_app, machine, tiny_profiling
+    ):
+        fractions = {o.name: 1.0 for o in tiny_app.objects}
+        traffic = compute_traffic(
+            tiny_app, machine, tiny_profiling, fractions, stack_fast=False
+        )
+        stack_share = tiny_profiling.ground_truth.miss_share("<stack>")
+        assert traffic.by_tier["DDR"] / traffic.total_bytes == pytest.approx(
+            stack_share, abs=0.01
+        )
+
+    def test_stack_fast(self, tiny_app, machine, tiny_profiling):
+        fractions = {o.name: 1.0 for o in tiny_app.objects}
+        traffic = compute_traffic(
+            tiny_app, machine, tiny_profiling, fractions, stack_fast=True
+        )
+        assert traffic.by_tier["DDR"] == pytest.approx(0.0, abs=1e3)
+
+
+class TestBaselines:
+    def test_ddr_reproduces_calibrated_fom(self, tiny_app, machine,
+                                           tiny_profiling):
+        outcome = run_ddr_only(tiny_app, machine, tiny_profiling)
+        assert outcome.fom == pytest.approx(tiny_app.calibration.fom_ddr,
+                                            rel=0.02)
+        assert outcome.hwm_bytes == 0
+
+    def test_numactl_beats_ddr_when_everything_fits(
+        self, tiny_app, machine, tiny_profiling
+    ):
+        """TinyApp's 160 MB footprint fits the 256 MB share, so FCFS
+        captures everything including statics and stack."""
+        ddr = run_ddr_only(tiny_app, machine, tiny_profiling)
+        numactl = run_numactl_preferred(tiny_app, machine, tiny_profiling)
+        assert numactl.fom > 1.5 * ddr.fom
+        assert numactl.label == "MCDRAM*"
+        assert numactl.hwm_bytes == machine.fast_tier.capacity
+
+    def test_autohbw_promotes_large_only(self, tiny_app, machine,
+                                         tiny_profiling):
+        outcome = run_autohbw(tiny_app, machine, tiny_profiling,
+                              min_size=50 * MIB)
+        replay = outcome.replay
+        assert replay.promoted_fraction("big_matrix", "memkind-hbw") == 1.0
+        assert replay.promoted_fraction("hot_vector", "memkind-hbw") == 0.0
+
+    def test_cache_mode_between_ddr_and_numactl(self, tiny_app, machine,
+                                                tiny_profiling):
+        ddr = run_ddr_only(tiny_app, machine, tiny_profiling)
+        cache = run_cache_mode(tiny_app, machine, tiny_profiling)
+        numactl = run_numactl_preferred(tiny_app, machine, tiny_profiling)
+        assert ddr.fom < cache.fom <= numactl.fom * 1.02
+
+    def test_cache_hit_ratio_sane(self, tiny_app, machine, tiny_profiling):
+        outcome = run_cache_mode(tiny_app, machine, tiny_profiling)
+        assert 0.0 < outcome.traffic.cache_hit_ratio < 1.0
+
+
+class TestFrameworkPolicy:
+    def test_framework_promotes_selected(self, tiny_app, machine):
+        fw = HybridMemoryFramework(tiny_app, machine)
+        report = fw.advise(64 * MIB, MissesStrategy())
+        outcome = run_framework(
+            tiny_app, machine, fw.profile(), report, budget_real=64 * MIB
+        )
+        # hot_vector (20 MB, weight .6) must be selected and promoted.
+        assert outcome.replay.promoted_fraction(
+            "hot_vector", "memkind-hbw"
+        ) == 1.0
+        assert outcome.fom > run_ddr_only(
+            tiny_app, machine, fw.profile()
+        ).fom
+
+    def test_bigger_budget_never_worse(self, tiny_app, machine):
+        fw = HybridMemoryFramework(tiny_app, machine)
+        foms = []
+        for budget in (32 * MIB, 64 * MIB, 128 * MIB, 256 * MIB):
+            report = fw.advise(budget, MissesStrategy())
+            outcome = run_framework(
+                tiny_app, machine, fw.profile(), report, budget_real=budget
+            )
+            foms.append(outcome.fom)
+        assert all(b >= a * 0.999 for a, b in zip(foms, foms[1:]))
+
+    def test_hwm_bounded_by_budget(self, tiny_app, machine):
+        fw = HybridMemoryFramework(tiny_app, machine)
+        budget = 64 * MIB
+        report = fw.advise(budget, MissesStrategy())
+        outcome = run_framework(
+            tiny_app, machine, fw.profile(), report, budget_real=budget
+        )
+        assert outcome.hwm_bytes <= budget * 1.01
+
+    def test_statics_never_promoted(self, tiny_app, machine):
+        fw = HybridMemoryFramework(tiny_app, machine)
+        report = fw.advise(256 * MIB, MissesStrategy())
+        outcome = run_framework(
+            tiny_app, machine, fw.profile(), report, budget_real=256 * MIB
+        )
+        assert outcome.replay.placements["lookup_table"] == ["static"]

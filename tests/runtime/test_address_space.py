@@ -1,0 +1,109 @@
+"""Virtual address space carving and ASLR."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AddressSpaceError
+from repro.runtime.address_space import Region, VirtualAddressSpace
+from repro.units import MIB, PAGE_SIZE
+
+
+class TestRegion:
+    def test_contains(self):
+        r = Region("r", base=0x1000, size=0x1000)
+        assert r.contains(0x1000)
+        assert r.contains(0x1FFF)
+        assert not r.contains(0x2000)
+
+    def test_overlap(self):
+        a = Region("a", 0x1000, 0x1000)
+        assert a.overlaps(Region("b", 0x1800, 0x1000))
+        assert not a.overlaps(Region("c", 0x2000, 0x1000))
+
+    def test_validation(self):
+        with pytest.raises(AddressSpaceError):
+            Region("r", 0, 0)
+        with pytest.raises(AddressSpaceError):
+            Region("r", -1, 10)
+
+
+class TestCarving:
+    def test_page_aligned(self):
+        v = VirtualAddressSpace()
+        r = v.carve("heap", 100)
+        assert r.base % PAGE_SIZE == 0
+        assert r.size == PAGE_SIZE
+
+    def test_sequential_no_overlap(self):
+        v = VirtualAddressSpace()
+        regions = [v.carve(f"r{i}", 3 * MIB) for i in range(10)]
+        for i, a in enumerate(regions):
+            for b in regions[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_duplicate_name_rejected(self):
+        v = VirtualAddressSpace()
+        v.carve("x", 100)
+        with pytest.raises(AddressSpaceError):
+            v.carve("x", 100)
+
+    def test_lookup_by_name(self):
+        v = VirtualAddressSpace()
+        r = v.carve("data", MIB)
+        assert v.region("data") == r
+        with pytest.raises(AddressSpaceError):
+            v.region("ghost")
+
+    def test_carve_at_fixed_base(self):
+        v = VirtualAddressSpace()
+        r = v.carve_at("stack", (v.SPAN - 8 * MIB) & ~0xFFF, 8 * MIB)
+        assert r.end <= v.SPAN
+
+    def test_stack_at_top_does_not_block_heap(self):
+        """Regression: carving the stack near the top of the span must
+        not push the allocation break past the span."""
+        v = VirtualAddressSpace()
+        v.carve_at("stack", (v.SPAN - 8 * MIB) & ~0xFFF, 8 * MIB)
+        heap = v.carve("heap", 512 * MIB)
+        assert heap.end < v.SPAN - 8 * MIB
+
+    def test_exceeding_span_rejected(self):
+        v = VirtualAddressSpace()
+        with pytest.raises(AddressSpaceError):
+            v.carve_at("huge", v.SPAN - PAGE_SIZE, 2 * PAGE_SIZE)
+
+    def test_explicit_overlap_rejected(self):
+        v = VirtualAddressSpace()
+        v.carve_at("a", 0x500000, PAGE_SIZE)
+        with pytest.raises(AddressSpaceError):
+            v.carve_at("b", 0x500000, PAGE_SIZE)
+
+
+class TestASLR:
+    def test_randomized_bases_differ_across_rngs(self):
+        bases = set()
+        for seed in range(5):
+            v = VirtualAddressSpace(rng=np.random.default_rng(seed))
+            bases.add(v.carve_randomized("text", MIB).base)
+        assert len(bases) > 1
+
+    def test_deterministic_per_seed(self):
+        a = VirtualAddressSpace(rng=np.random.default_rng(7))
+        b = VirtualAddressSpace(rng=np.random.default_rng(7))
+        assert (
+            a.carve_randomized("text", MIB).base
+            == b.carve_randomized("text", MIB).base
+        )
+
+    def test_slide_page_granular(self):
+        v = VirtualAddressSpace(rng=np.random.default_rng(3))
+        r = v.carve_randomized("text", MIB)
+        assert r.base % PAGE_SIZE == 0
+
+
+class TestOwnership:
+    def test_owner_of(self):
+        v = VirtualAddressSpace()
+        r = v.carve("data", MIB)
+        assert v.owner_of(r.base + 100) == r
+        assert v.owner_of(5) is None

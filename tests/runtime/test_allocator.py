@@ -1,0 +1,166 @@
+"""Posix allocator: bump allocation, free lists, bookkeeping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, InvalidFreeError, OutOfMemoryError
+from repro.runtime.address_space import Region
+from repro.runtime.allocator import PosixAllocator
+from repro.units import MIB
+
+
+@pytest.fixture()
+def allocator():
+    return PosixAllocator(Region("heap", base=0x10000, size=4 * MIB))
+
+
+class TestMalloc:
+    def test_returns_record(self, allocator):
+        alloc = allocator.malloc(100)
+        assert alloc.size == 100
+        assert alloc.allocator == "posix"
+        assert allocator.arena.contains(alloc.address)
+
+    def test_alignment(self, allocator):
+        for size in (1, 7, 100, 1000):
+            assert allocator.malloc(size).address % 16 == 0
+
+    def test_distinct_addresses(self, allocator):
+        a = allocator.malloc(100)
+        b = allocator.malloc(100)
+        assert a.address != b.address
+
+    def test_ids_increase(self, allocator):
+        assert allocator.malloc(8).alloc_id < allocator.malloc(8).alloc_id
+
+    def test_nonpositive_rejected(self, allocator):
+        with pytest.raises(AllocationError):
+            allocator.malloc(0)
+        with pytest.raises(AllocationError):
+            allocator.malloc(-5)
+
+    def test_arena_exhaustion(self, allocator):
+        with pytest.raises(OutOfMemoryError):
+            allocator.malloc(5 * MIB)
+
+
+class TestFree:
+    def test_free_returns_record(self, allocator):
+        alloc = allocator.malloc(128)
+        freed = allocator.free(alloc.address)
+        assert freed.alloc_id == alloc.alloc_id
+
+    def test_double_free_rejected(self, allocator):
+        alloc = allocator.malloc(128)
+        allocator.free(alloc.address)
+        with pytest.raises(InvalidFreeError):
+            allocator.free(alloc.address)
+
+    def test_unowned_pointer_rejected(self, allocator):
+        with pytest.raises(InvalidFreeError):
+            allocator.free(0xDEAD)
+
+    def test_interior_pointer_rejected(self, allocator):
+        alloc = allocator.malloc(128)
+        with pytest.raises(InvalidFreeError):
+            allocator.free(alloc.address + 16)
+
+    def test_free_list_reuse(self, allocator):
+        a = allocator.malloc(256)
+        allocator.free(a.address)
+        b = allocator.malloc(256)
+        assert b.address == a.address
+
+    def test_owns(self, allocator):
+        alloc = allocator.malloc(64)
+        assert allocator.owns(alloc.address)
+        allocator.free(alloc.address)
+        assert not allocator.owns(alloc.address)
+
+
+class TestRealloc:
+    def test_moves_and_preserves_liveness(self, allocator):
+        a = allocator.malloc(64)
+        b = allocator.realloc(a.address, 256)
+        assert not allocator.owns(a.address) or a.address == b.address
+        assert allocator.owns(b.address)
+        assert b.size == 256
+
+
+class TestMemalign:
+    def test_alignment_honoured(self, allocator):
+        for alignment in (16, 64, 4096):
+            alloc = allocator.posix_memalign(alignment, 100)
+            assert alloc.address % alignment == 0
+
+    def test_bad_alignment_rejected(self, allocator):
+        with pytest.raises(AllocationError):
+            allocator.posix_memalign(24, 100)
+        with pytest.raises(AllocationError):
+            allocator.posix_memalign(8, 100)
+
+    def test_nonpositive_size_rejected(self, allocator):
+        with pytest.raises(AllocationError):
+            allocator.posix_memalign(64, 0)
+
+
+class TestStats:
+    def test_counts(self, allocator):
+        a = allocator.malloc(100)
+        allocator.malloc(200)
+        allocator.free(a.address)
+        s = allocator.stats
+        assert s.n_allocs == 2
+        assert s.n_frees == 1
+        assert s.bytes_allocated == 300
+        assert s.current_bytes == 200
+
+    def test_hwm(self, allocator):
+        a = allocator.malloc(500)
+        b = allocator.malloc(500)
+        allocator.free(a.address)
+        allocator.free(b.address)
+        allocator.malloc(100)
+        assert allocator.stats.hwm_bytes == 1000
+
+    def test_average_size(self, allocator):
+        allocator.malloc(100)
+        allocator.malloc(300)
+        assert allocator.stats.average_alloc_size == 200.0
+
+    def test_average_empty(self, allocator):
+        assert allocator.stats.average_alloc_size == 0.0
+
+
+class TestInvariants:
+    @given(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("malloc"),
+                          st.integers(min_value=1, max_value=10_000)),
+                st.tuples(st.just("free"),
+                          st.integers(min_value=0, max_value=50)),
+            ),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_live_ranges_never_overlap(self, ops):
+        """Whatever the malloc/free sequence, live blocks are disjoint
+        and accounting matches the live set."""
+        allocator = PosixAllocator(Region("heap", 0x1000, 64 * MIB))
+        live: list[int] = []
+        for op, value in ops:
+            if op == "malloc":
+                live.append(allocator.malloc(value).address)
+            elif live:
+                address = live.pop(value % len(live))
+                allocator.free(address)
+        items = allocator.live.items()
+        for (b1, e1, _), (b2, e2, _) in zip(items, items[1:]):
+            assert e1 <= b2
+        assert allocator.stats.current_bytes == sum(
+            a.size for _, _, a in items
+        )
+        assert len(items) == len(live)

@@ -1,0 +1,89 @@
+"""Frames, raw and translated call-stacks."""
+
+import pytest
+
+from repro.runtime.callstack import (
+    CallStack,
+    Frame,
+    RawCallStack,
+    common_prefix_depth,
+)
+
+
+def _frame(fn="alloc", line=10, module="app"):
+    return Frame(module=module, function=fn, file="app.c", line=line)
+
+
+class TestFrame:
+    def test_str(self):
+        assert str(_frame()) == "alloc (app.c:10) [app]"
+
+    def test_key_excludes_module(self):
+        a = _frame(module="app")
+        b = _frame(module="lib")
+        assert a.key == b.key
+
+    def test_key_content(self):
+        assert _frame().key == ("alloc", "app.c", 10)
+
+
+class TestRawCallStack:
+    def test_needs_frames(self):
+        with pytest.raises(ValueError):
+            RawCallStack(addresses=())
+
+    def test_iteration_and_len(self):
+        raw = RawCallStack(addresses=(1, 2, 3))
+        assert len(raw) == 3
+        assert list(raw) == [1, 2, 3]
+
+    def test_hashable(self):
+        assert hash(RawCallStack((1, 2))) == hash(RawCallStack((1, 2)))
+
+
+class TestCallStack:
+    def _stack(self, n=3):
+        return CallStack(
+            frames=tuple(_frame(fn=f"f{i}", line=i + 1) for i in range(n))
+        )
+
+    def test_needs_frames(self):
+        with pytest.raises(ValueError):
+            CallStack(frames=())
+
+    def test_leaf_and_root(self):
+        cs = self._stack()
+        assert cs.leaf.function == "f0"
+        assert cs.root.function == "f2"
+
+    def test_key_leaf_first(self):
+        cs = self._stack(2)
+        assert cs.key == (("f0", "app.c", 1), ("f1", "app.c", 2))
+
+    def test_pretty_has_all_frames(self):
+        text = self._stack(3).pretty()
+        assert text.count("#") == 3
+
+    def test_from_frames(self):
+        frames = [_frame()]
+        assert CallStack.from_frames(frames).leaf == frames[0]
+
+    def test_equal_stacks_equal_keys(self):
+        assert self._stack().key == self._stack().key
+
+
+class TestCommonPrefix:
+    def test_identical(self):
+        a = CallStack(frames=(_frame("leaf"), _frame("main")))
+        b = CallStack(frames=(_frame("leaf"), _frame("main")))
+        assert common_prefix_depth(a, b) == 2
+
+    def test_shared_root_only(self):
+        a = CallStack(frames=(_frame("x"), _frame("main")))
+        b = CallStack(frames=(_frame("y"), _frame("main")))
+        assert common_prefix_depth(a, b) == 1
+
+    def test_disjoint(self):
+        a = CallStack(frames=(_frame("x"),))
+        b = CallStack(frames=(_frame("y"),))
+        assert common_prefix_depth(a, b) == 0

@@ -1,0 +1,103 @@
+"""Live-range interval index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.heap import LiveRangeIndex
+
+
+class TestBasics:
+    def test_insert_lookup(self):
+        idx = LiveRangeIndex()
+        idx.insert(100, 50, "a")
+        assert idx.lookup(100) == "a"
+        assert idx.lookup(149) == "a"
+        assert idx.lookup(150) is None
+        assert idx.lookup(99) is None
+
+    def test_remove_returns_value(self):
+        idx = LiveRangeIndex()
+        idx.insert(100, 50, "a")
+        assert idx.remove(100) == "a"
+        assert idx.lookup(100) is None
+
+    def test_remove_missing_raises(self):
+        idx = LiveRangeIndex()
+        with pytest.raises(KeyError):
+            idx.remove(123)
+
+    def test_overlap_rejected(self):
+        idx = LiveRangeIndex()
+        idx.insert(100, 50, "a")
+        for base, size in [(100, 1), (149, 10), (90, 20), (120, 5)]:
+            with pytest.raises(ValueError):
+                idx.insert(base, size, "b")
+
+    def test_adjacent_allowed(self):
+        idx = LiveRangeIndex()
+        idx.insert(100, 50, "a")
+        idx.insert(150, 50, "b")
+        idx.insert(50, 50, "c")
+        assert idx.lookup(150) == "b"
+        assert idx.lookup(149) == "a"
+
+    def test_zero_size_rejected(self):
+        idx = LiveRangeIndex()
+        with pytest.raises(ValueError):
+            idx.insert(0, 0, "x")
+
+    def test_lookup_base(self):
+        idx = LiveRangeIndex()
+        idx.insert(100, 50, "a")
+        assert idx.lookup_base(100) == "a"
+        assert idx.lookup_base(101) is None
+
+    def test_items_sorted(self):
+        idx = LiveRangeIndex()
+        idx.insert(300, 10, "c")
+        idx.insert(100, 10, "a")
+        assert [v for _, _, v in idx.items()] == ["a", "c"]
+
+    def test_live_bytes(self):
+        idx = LiveRangeIndex()
+        idx.insert(0, 10, "a")
+        idx.insert(100, 20, "b")
+        assert idx.live_bytes == 30
+
+
+class TestBatchLookup:
+    def test_matches_scalar(self):
+        idx = LiveRangeIndex()
+        idx.insert(100, 50, "a")
+        idx.insert(200, 10, "b")
+        queries = np.array([99, 100, 149, 150, 205, 300])
+        batch = idx.lookup_batch(queries)
+        assert batch == [idx.lookup(int(q)) for q in queries]
+
+    def test_empty_index(self):
+        idx = LiveRangeIndex()
+        assert idx.lookup_batch(np.array([1, 2])) == [None, None]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=900),
+                st.integers(min_value=1, max_value=50),
+            ),
+            max_size=20,
+        ),
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=1,
+                 max_size=50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_batch_equals_scalar(self, ranges, queries):
+        idx = LiveRangeIndex()
+        for i, (base, size) in enumerate(ranges):
+            try:
+                idx.insert(base, size, i)
+            except ValueError:
+                pass  # overlapping candidates are skipped
+        qs = np.asarray(queries)
+        assert idx.lookup_batch(qs) == [idx.lookup(int(q)) for q in qs]

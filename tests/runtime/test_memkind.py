@@ -1,0 +1,76 @@
+"""memkind allocator: capacity enforcement and the slow 1-2 MiB path."""
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.runtime.address_space import Region
+from repro.runtime.memkind import MemkindAllocator
+from repro.units import KIB, MIB
+
+
+@pytest.fixture()
+def memkind():
+    return MemkindAllocator(
+        Region("hbw", base=0x100000, size=8 * MIB), capacity=4 * MIB
+    )
+
+
+class TestCapacity:
+    def test_fits(self, memkind):
+        assert memkind.fits(4 * MIB)
+        assert not memkind.fits(4 * MIB + 1)
+
+    def test_fits_tracks_live_bytes(self, memkind):
+        memkind.malloc(3 * MIB)
+        assert not memkind.fits(2 * MIB)
+        assert memkind.fits(1 * MIB)
+
+    def test_over_capacity_raises(self, memkind):
+        memkind.malloc(3 * MIB)
+        with pytest.raises(OutOfMemoryError):
+            memkind.malloc(2 * MIB)
+
+    def test_free_returns_capacity(self, memkind):
+        a = memkind.malloc(3 * MIB)
+        memkind.free(a.address)
+        memkind.malloc(4 * MIB)  # must not raise
+
+    def test_capacity_cannot_exceed_arena(self):
+        with pytest.raises(OutOfMemoryError):
+            MemkindAllocator(Region("hbw", 0, MIB), capacity=2 * MIB)
+
+    def test_default_capacity_is_arena(self):
+        mk = MemkindAllocator(Region("hbw", 0, 2 * MIB))
+        assert mk.capacity == 2 * MIB
+
+    def test_memalign_checks_capacity(self, memkind):
+        with pytest.raises(OutOfMemoryError):
+            memkind.posix_memalign(64, 5 * MIB)
+
+
+class TestSlowPath:
+    def test_slow_range_alloc_penalised(self, memkind):
+        memkind.malloc(1536 * KIB)
+        assert memkind.penalty_seconds > 0
+
+    def test_fast_sizes_not_penalised(self, memkind):
+        memkind.malloc(512 * KIB)
+        memkind.malloc(3 * MIB)
+        assert memkind.penalty_seconds == 0.0
+
+    def test_free_side_penalty(self, memkind):
+        a = memkind.malloc(1536 * KIB)
+        before = memkind.penalty_seconds
+        memkind.free(a.address)
+        assert memkind.penalty_seconds > before
+
+    def test_penalty_scales_with_multiplier(self):
+        """Scaled simulations key the range check on real sizes."""
+        mk = MemkindAllocator(Region("hbw", 0, 8 * MIB), capacity=8 * MIB)
+        mk.penalty_size_multiplier = 64.0
+        mk.malloc(24 * KIB)  # 24 KiB scaled = 1.5 MiB real -> slow path
+        assert mk.penalty_seconds > 0
+
+    def test_name(self, memkind):
+        assert memkind.name == "memkind-hbw"
+        assert memkind.malloc(100).allocator == "memkind-hbw"

@@ -1,0 +1,191 @@
+"""SimProcess: the libc-like surface everything hooks."""
+
+import pytest
+
+from repro.errors import AllocationError, InvalidFreeError
+from repro.runtime.allocator import Allocation
+from repro.runtime.callstack import RawCallStack
+from repro.runtime.process import SimProcess
+from repro.runtime.symbols import FunctionSymbol, ModuleImage
+from repro.units import MIB
+
+
+def _modules():
+    return [
+        ModuleImage(
+            name="app",
+            size=400,
+            functions=[
+                FunctionSymbol("main", offset=0, size=64, file="app.c"),
+                FunctionSymbol("setup", offset=96, size=64, file="app.c"),
+                FunctionSymbol("kernel", offset=192, size=64, file="app.c"),
+            ],
+        )
+    ]
+
+
+@pytest.fixture()
+def process():
+    return SimProcess(modules=_modules(), seed=1, heap_size=64 * MIB,
+                      hbw_size=16 * MIB, hbw_capacity=8 * MIB)
+
+
+class TestCallContext:
+    def test_backtrace_requires_context(self, process):
+        with pytest.raises(AllocationError):
+            process.backtrace()
+
+    def test_backtrace_leaf_first(self, process):
+        with process.in_function("app", "main", 1):
+            with process.in_function("app", "setup", 5):
+                raw = process.backtrace()
+        assert len(raw) == 2
+        frames = process.symbols.translate(raw)
+        assert [f.function for f in frames] == ["setup", "main"]
+
+    def test_at_line_moves_leaf(self, process):
+        with process.in_function("app", "main", 1):
+            process.at_line(2)
+            raw = process.backtrace()
+        assert process.symbols.translate(raw).leaf.line == 2
+
+    def test_at_line_without_frame(self, process):
+        with pytest.raises(AllocationError):
+            process.at_line(3)
+
+    def test_depth_tracks_nesting(self, process):
+        assert process.call_depth == 0
+        with process.in_function("app", "main"):
+            assert process.call_depth == 1
+        assert process.call_depth == 0
+
+
+class TestAllocationSurface:
+    def test_malloc_free_roundtrip(self, process):
+        with process.in_function("app", "main", 1):
+            address = process.malloc(1000)
+        assert process.posix.owns(address)
+        process.free(address)
+        assert not process.posix.owns(address)
+
+    def test_free_unknown_rejected(self, process):
+        with pytest.raises(InvalidFreeError):
+            process.free(0xBAD)
+
+    def test_realloc(self, process):
+        with process.in_function("app", "main", 1):
+            a = process.malloc(100)
+            b = process.realloc(a, 5000)
+        assert process.posix.owns(b)
+
+    def test_posix_memalign(self, process):
+        with process.in_function("app", "main", 1):
+            address = process.posix_memalign(4096, 100)
+        assert address % 4096 == 0
+        process.free(address)
+
+    def test_callstack_recorded_on_allocation(self, process):
+        with process.in_function("app", "setup", 7):
+            address = process.malloc(64)
+        alloc = process.posix.live.lookup_base(address)
+        translated = process.symbols.translate(alloc.callstack)
+        assert translated.leaf.function == "setup"
+
+
+class TestHooks:
+    class _CountingHook:
+        def __init__(self, process):
+            self.process = process
+            self.calls = 0
+
+        def malloc(self, size: int, callstack: RawCallStack) -> Allocation:
+            self.calls += 1
+            return self.process.posix.malloc(size, callstack)
+
+        def free(self, address: int) -> Allocation:
+            return self.process.posix.free(address)
+
+        def realloc(self, address, new_size, callstack):
+            self.free(address)
+            return self.malloc(new_size, callstack)
+
+    def test_hook_sees_allocations(self, process):
+        hook = self._CountingHook(process)
+        process.install_malloc_hook(hook)
+        with process.in_function("app", "main", 1):
+            address = process.malloc(128)
+        assert hook.calls == 1
+        process.free(address)
+
+    def test_single_hook_only(self, process):
+        hook = self._CountingHook(process)
+        process.install_malloc_hook(hook)
+        with pytest.raises(AllocationError):
+            process.install_malloc_hook(hook)
+
+    def test_remove_hook(self, process):
+        hook = self._CountingHook(process)
+        process.install_malloc_hook(hook)
+        process.remove_malloc_hook()
+        with process.in_function("app", "main", 1):
+            process.malloc(64)
+        assert hook.calls == 0
+
+
+class TestObservers:
+    class _Recorder:
+        def __init__(self):
+            self.events = []
+
+        def on_malloc(self, alloc, clock):
+            self.events.append(("malloc", alloc.size, clock))
+
+        def on_free(self, alloc, clock):
+            self.events.append(("free", alloc.size, clock))
+
+    def test_observer_notified_with_clock(self, process):
+        rec = self._Recorder()
+        process.add_observer(rec)
+        process.advance(1.5)
+        with process.in_function("app", "main", 1):
+            address = process.malloc(256)
+        process.advance(1.0)
+        process.free(address)
+        assert rec.events == [("malloc", 256, 1.5), ("free", 256, 2.5)]
+
+
+class TestStatics:
+    def test_register_and_lookup(self, process):
+        region = process.register_static("table", 4096)
+        assert process.static_var("table") == region
+        assert process.static_region.contains(region.base)
+
+    def test_duplicate_rejected(self, process):
+        process.register_static("x", 100)
+        with pytest.raises(AllocationError):
+            process.register_static("x", 100)
+
+    def test_statics_distinct(self, process):
+        a = process.register_static("a", 100)
+        b = process.register_static("b", 100)
+        assert a.base != b.base
+
+
+class TestClock:
+    def test_advance(self, process):
+        process.advance(2.0)
+        assert process.clock == 2.0
+
+    def test_backwards_rejected(self, process):
+        with pytest.raises(ValueError):
+            process.advance(-1.0)
+
+
+class TestASLR:
+    def test_module_bases_differ_across_seeds(self):
+        bases = {
+            SimProcess(modules=_modules(), seed=s,
+                       heap_size=MIB, hbw_size=MIB).symbols.module_base("app")
+            for s in range(4)
+        }
+        assert len(bases) > 1

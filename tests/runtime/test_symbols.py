@@ -1,0 +1,180 @@
+"""Module images, ASLR mapping, translation and the Fig. 3 cost model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SymbolError
+from repro.runtime.callstack import RawCallStack
+from repro.runtime.symbols import (
+    FunctionSymbol,
+    ModuleImage,
+    SymbolTable,
+    crossover_depth,
+    translate_cost_us,
+    unwind_cost_us,
+)
+
+
+def _image(name="app"):
+    return ModuleImage(
+        name=name,
+        size=400,
+        functions=[
+            FunctionSymbol("main", offset=0, size=64, file="app.c"),
+            FunctionSymbol("setup", offset=96, size=64, file="app.c"),
+            FunctionSymbol("kernel", offset=192, size=64, file="app.c"),
+        ],
+    )
+
+
+class TestFunctionSymbol:
+    def test_contains(self):
+        sym = FunctionSymbol("f", offset=10, size=5, file="a.c")
+        assert sym.contains(10) and sym.contains(14)
+        assert not sym.contains(15)
+
+    def test_line_round_trip(self):
+        sym = FunctionSymbol("f", offset=10, size=20, file="a.c",
+                             start_line=100)
+        off = sym.offset_of_line(105)
+        assert sym.line_of(off) == 105
+
+    def test_line_out_of_range(self):
+        sym = FunctionSymbol("f", offset=0, size=4, file="a.c")
+        with pytest.raises(SymbolError):
+            sym.offset_of_line(10)
+
+    def test_bad_geometry(self):
+        with pytest.raises(SymbolError):
+            FunctionSymbol("f", offset=-1, size=4, file="a.c")
+
+
+class TestModuleImage:
+    def test_sorted_by_offset(self):
+        image = ModuleImage(
+            name="m",
+            size=300,
+            functions=[
+                FunctionSymbol("b", offset=128, size=32, file="m.c"),
+                FunctionSymbol("a", offset=0, size=32, file="m.c"),
+            ],
+        )
+        assert [f.name for f in image.functions] == ["a", "b"]
+
+    def test_overlapping_symbols_rejected(self):
+        with pytest.raises(SymbolError):
+            ModuleImage(
+                name="m",
+                size=300,
+                functions=[
+                    FunctionSymbol("a", offset=0, size=64, file="m.c"),
+                    FunctionSymbol("b", offset=32, size=64, file="m.c"),
+                ],
+            )
+
+    def test_too_small_rejected(self):
+        with pytest.raises(SymbolError):
+            ModuleImage(
+                name="m",
+                size=32,
+                functions=[FunctionSymbol("a", offset=0, size=64, file="m.c")],
+            )
+
+    def test_resolve_offset(self):
+        image = _image()
+        assert image.resolve_offset(100).name == "setup"
+
+    def test_resolve_gap_raises(self):
+        with pytest.raises(SymbolError):
+            _image().resolve_offset(70)  # between main and setup
+
+    def test_function_lookup(self):
+        assert _image().function("kernel").offset == 192
+        with pytest.raises(SymbolError):
+            _image().function("nope")
+
+
+class TestSymbolTable:
+    def _table(self, base=0x400000):
+        table = SymbolTable(rng=np.random.default_rng(0))
+        table.map_module(_image(), base)
+        return table
+
+    def test_address_of_and_translate(self):
+        table = self._table()
+        addr = table.address_of("app", "setup", 5)
+        frame = table.translate_address(addr)
+        assert frame.function == "setup"
+        assert frame.line == 5
+
+    def test_aslr_shifts_addresses(self):
+        low = self._table(base=0x400000)
+        high = self._table(base=0x800000)
+        assert low.address_of("app", "main", 1) != high.address_of(
+            "app", "main", 1
+        )
+
+    def test_translation_undoes_slide(self):
+        """The whole point: different bases, same symbolic frames."""
+        for base in (0x400000, 0x987000):
+            table = self._table(base=base)
+            addr = table.address_of("app", "kernel", 3)
+            assert table.translate_address(addr).key == (
+                "kernel", "app.c", 3,
+            )
+
+    def test_overlapping_modules_rejected(self):
+        table = self._table()
+        with pytest.raises(SymbolError):
+            table.map_module(_image("lib"), 0x400100)
+
+    def test_unknown_address(self):
+        table = self._table()
+        with pytest.raises(SymbolError):
+            table.translate_address(0x1)
+
+    def test_address_past_module_end(self):
+        table = self._table()
+        with pytest.raises(SymbolError):
+            table.translate_address(0x400000 + 500)
+
+    def test_translate_whole_stack(self):
+        table = self._table()
+        raw = RawCallStack(
+            addresses=(
+                table.address_of("app", "kernel", 3),
+                table.address_of("app", "main", 1),
+            )
+        )
+        cs = table.translate(raw)
+        assert [f.function for f in cs] == ["kernel", "main"]
+        assert table.translations >= 2
+
+    def test_module_base_lookup(self):
+        table = self._table(base=0x500000)
+        assert table.module_base("app") == 0x500000
+        with pytest.raises(SymbolError):
+            table.module_base("ghost")
+
+
+class TestFigure3CostModel:
+    def test_unwind_dearer_at_shallow_depth(self):
+        assert unwind_cost_us(1) > translate_cost_us(1)
+
+    def test_translate_dearer_at_deep_stacks(self):
+        assert translate_cost_us(9) > unwind_cost_us(9)
+
+    def test_crossover_near_six(self):
+        """Paper: translation overtakes unwinding at depth ~6."""
+        assert 5 <= crossover_depth() <= 7
+
+    def test_both_grow_with_depth(self):
+        for cost in (unwind_cost_us, translate_cost_us):
+            values = [cost(d) for d in range(1, 10)]
+            assert values == sorted(values)
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            unwind_cost_us(0)
+        with pytest.raises(ValueError):
+            translate_cost_us(0)

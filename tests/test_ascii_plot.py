@@ -1,0 +1,87 @@
+"""ASCII plot renderers."""
+
+import pytest
+
+from repro.reporting.ascii_plot import line_chart, strip_chart, timeline_chart
+from repro.reporting.series import LabelledSeries
+
+
+class TestLineChart:
+    def _series(self):
+        ddr = LabelledSeries("DDR", points=[(1, 12.0), (8, 88.0), (68, 90.0)])
+        hbm = LabelledSeries("HBM", points=[(1, 13.0), (8, 110.0), (68, 470.0)])
+        return [ddr, hbm]
+
+    def test_renders_with_legend_and_axes(self):
+        text = line_chart(self._series(), title="Fig 1")
+        assert "Fig 1" in text
+        assert "* DDR" in text
+        assert "o HBM" in text
+        assert "68" in text  # x max
+
+    def test_peak_row_has_fast_series_only(self):
+        text = line_chart(self._series())
+        rows = [l for l in text.splitlines() if "|" in l]
+        top_data_row = next(
+            l for l in rows if l.split("|", 1)[1].strip()
+        )
+        assert "o" in top_data_row and "*" not in top_data_row
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([])
+        with pytest.raises(ValueError):
+            line_chart([LabelledSeries("x")])
+
+    def test_flat_series_ok(self):
+        text = line_chart([LabelledSeries("flat", points=[(0, 5.0), (10, 5.0)])])
+        assert "flat" in text
+
+    def test_single_point(self):
+        text = line_chart([LabelledSeries("dot", points=[(3, 3.0)])])
+        assert "dot" in text
+
+
+class TestStripChart:
+    def test_bars_scale(self):
+        text = strip_chart(["a", "b"], [10.0, 5.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(ValueError):
+            strip_chart(["a"], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            strip_chart([], [])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            strip_chart(["a"], [0.0])
+
+
+class TestTimelineChart:
+    def test_functions_lettered(self):
+        spans = [(0.0, 1.0, "outer"), (1.0, 3.0, "sweep"),
+                 (3.0, 4.0, "outer")]
+        values = [(0.5, 400.0), (2.0, 1400.0), (3.5, 400.0)]
+        text = timeline_chart(spans, values, width=40)
+        assert "A=outer" in text and "B=sweep" in text
+        code_line = next(l for l in text.splitlines() if l.startswith("code"))
+        assert "A" in code_line and "B" in code_line
+
+    def test_value_strip_tracks_magnitude(self):
+        spans = [(0.0, 2.0, "f")]
+        values = [(0.5, 1.0), (1.5, 100.0)]
+        text = timeline_chart(spans, values, width=20)
+        value_line = next(
+            l for l in text.splitlines() if l.startswith("value")
+        )
+        # the peak renders with the densest glyph
+        assert "@" in value_line
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            timeline_chart([], [])

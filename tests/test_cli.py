@@ -1,0 +1,102 @@
+"""Command-line tools: argument handling and the four-stage shell flow."""
+
+import argparse
+
+import pytest
+
+from repro.cli.main import (
+    advise_main,
+    analyze_main,
+    experiment_main,
+    parse_size,
+    place_main,
+    profile_main,
+)
+from repro.units import GIB, KIB, MIB
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("4096", 4096),
+            ("64K", 64 * KIB),
+            ("256M", 256 * MIB),
+            ("16G", 16 * GIB),
+            ("1.5M", int(1.5 * MIB)),
+            (" 32M ", 32 * MIB),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("text", ["abc", "12X", ""])
+    def test_invalid(self, text):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_size(text)
+
+
+class TestShellFlow:
+    def test_full_flow(self, tmp_path, capsys):
+        trace = tmp_path / "app.trace"
+        csv = tmp_path / "objects.csv"
+        report = tmp_path / "placement.report"
+
+        assert profile_main(["minife", "-o", str(trace)]) == 0
+        assert trace.exists()
+
+        assert analyze_main([str(trace), "-o", str(csv), "--top", "3"]) == 0
+        assert csv.exists()
+
+        assert advise_main(
+            [str(csv), "--app", "minife", "--budget", "128M",
+             "--strategy", "density", "-o", str(report)]
+        ) == 0
+        assert report.exists()
+
+        assert place_main(
+            ["minife", str(report), "--budget", "128M"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "DDR baseline" in out
+        assert "framework" in out
+
+    def test_profile_with_latency(self, tmp_path):
+        trace = tmp_path / "lat.trace"
+        assert profile_main(
+            ["minife", "-o", str(trace), "--latency", "--period", "9"]
+        ) == 0
+        from repro.trace.tracefile import TraceFile
+
+        loaded = TraceFile.load(trace)
+        assert loaded.sampling_period == 9
+        assert any(
+            s.latency_cycles is not None for s in loaded.sample_events
+        )
+
+    def test_advise_partial(self, tmp_path, capsys):
+        trace = tmp_path / "app.trace"
+        csv = tmp_path / "objects.csv"
+        report = tmp_path / "partial.report"
+        profile_main(["hpcg", "-o", str(trace)])
+        analyze_main([str(trace), "-o", str(csv)])
+        assert advise_main(
+            [str(csv), "--app", "hpcg", "--budget", "96M", "--partial",
+             "-o", str(report)]
+        ) == 0
+        assert "fraction=" in report.read_text()
+
+    def test_experiment(self, capsys):
+        assert experiment_main(["cgpop"]) == 0
+        out = capsys.readouterr().out
+        assert "-- FOM --" in out
+        assert "baselines" in out
+
+    def test_unknown_app_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            profile_main(["hpl", "-o", str(tmp_path / "x")])
+
+    def test_missing_trace_errors_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "ghost.trace"
+        with pytest.raises(FileNotFoundError):
+            analyze_main([str(missing), "-o", str(tmp_path / "o.csv")])

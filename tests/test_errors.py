@@ -1,0 +1,42 @@
+"""Exception hierarchy: library failures are catchable as one family."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigError,
+            errors.AllocationError,
+            errors.OutOfMemoryError,
+            errors.InvalidFreeError,
+            errors.AddressSpaceError,
+            errors.SymbolError,
+            errors.TraceError,
+            errors.AttributionError,
+            errors.AdvisorError,
+            errors.ReportError,
+            errors.WorkloadError,
+        ],
+    )
+    def test_derives_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        with pytest.raises(errors.ReproError):
+            raise exc("boom")
+
+    def test_oom_is_allocation_error(self):
+        assert issubclass(errors.OutOfMemoryError, errors.AllocationError)
+
+    def test_invalid_free_is_allocation_error(self):
+        assert issubclass(errors.InvalidFreeError, errors.AllocationError)
+
+    def test_library_failures_catchable_at_the_top(self):
+        """A caller wrapping the pipeline can catch everything the
+        library raises without masking programming errors."""
+        from repro.advisor.strategies import get_strategy
+
+        with pytest.raises(errors.ReproError):
+            get_strategy("definitely-not-a-strategy")

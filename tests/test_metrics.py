@@ -1,0 +1,39 @@
+"""Evaluation metrics including Equation 1."""
+
+import pytest
+
+from repro.metrics import delta_fom_per_mbyte, percent_gain, speedup
+from repro.units import GIB, MIB
+
+
+class TestDeltaFomPerMbyte:
+    def test_equation_one(self):
+        # (15 - 10) GFLOPS over 100 MB -> 0.05 GFLOPS/MB.
+        assert delta_fom_per_mbyte(15.0, 10.0, 100 * MIB) == pytest.approx(
+            0.05
+        )
+
+    def test_negative_when_slower(self):
+        assert delta_fom_per_mbyte(8.0, 10.0, 100 * MIB) < 0
+
+    def test_full_mcdram_charge(self):
+        """numactl/cache are charged the full 16 GiB (Section IV-C)."""
+        value = delta_fom_per_mbyte(15.0, 10.0, 16 * GIB)
+        assert value == pytest.approx(5.0 / 16384)
+
+    def test_zero_memory_rejected(self):
+        with pytest.raises(ValueError):
+            delta_fom_per_mbyte(15.0, 10.0, 0)
+
+
+class TestSpeedup:
+    def test_speedup(self):
+        assert speedup(20.0, 10.0) == 2.0
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(20.0, 0.0)
+
+    def test_percent_gain(self):
+        assert percent_gain(17.888, 10.0) == pytest.approx(78.88)
+        assert percent_gain(9.2, 10.0) == pytest.approx(-8.0)

@@ -1,0 +1,111 @@
+"""Three-tier (HBM/DDR/NVM) placement: the multi-knapsack cascade
+end-to-end through the predictor."""
+
+import pytest
+
+from repro.advisor.advisor import HmemAdvisor
+from repro.advisor.spec import MemorySpec, TierSpec
+from repro.advisor.strategies import MissesStrategy
+from repro.machine.config import hbm_ddr_nvm_machine
+from repro.pipeline.framework import HybridMemoryFramework
+from repro.predict.replay import PredictorCalibration, TraceReplayPredictor
+from repro.units import GIB, MIB
+
+
+@pytest.fixture(scope="module")
+def three_tier_machine():
+    return hbm_ddr_nvm_machine()
+
+
+@pytest.fixture()
+def predictor(tiny_app, three_tier_machine):
+    cal = tiny_app.calibration
+    return TraceReplayPredictor(
+        three_tier_machine,
+        PredictorCalibration(cal.fom_ddr, cal.ddr_time,
+                             cal.memory_bound_fraction),
+    )
+
+
+def _spec(app, hbm_budget, ddr_budget):
+    return MemorySpec(
+        tiers=(
+            TierSpec("HBM", budget=app.scaled(hbm_budget),
+                     relative_performance=5.2),
+            TierSpec("DDR", budget=app.scaled(ddr_budget),
+                     relative_performance=1.0),
+            TierSpec("NVM", budget=1024 * GIB, relative_performance=0.25),
+        )
+    )
+
+
+class TestMachinePreset:
+    def test_three_tiers_ordered(self, three_tier_machine):
+        assert [t.name for t in three_tier_machine.tiers] == [
+            "HBM", "DDR", "NVM",
+        ]
+        assert three_tier_machine.slow_tier.name == "NVM"
+
+    def test_nvm_slower_than_ddr(self, three_tier_machine):
+        ddr = three_tier_machine.tier("DDR")
+        nvm = three_tier_machine.tier("NVM")
+        assert nvm.peak_bandwidth < ddr.peak_bandwidth / 2
+
+
+class TestCascade:
+    def test_advisor_spreads_across_tiers(self, tiny_app):
+        fw = HybridMemoryFramework(tiny_app)
+        profiles = fw.analyze()
+        # HBM fits only the hot vector; DDR takes the next objects.
+        advisor = HmemAdvisor(_spec(tiny_app, 24 * MIB, 120 * MIB))
+        report = advisor.advise(profiles, MissesStrategy())
+        tiers = {e.key.label.split("@")[0]: e.tier for e in report.entries}
+        assert tiers["setup"] == "HBM"          # hot_vector (20 MB)
+        assert "alloc_matrix" in tiers          # big matrix lands on DDR
+        assert tiers["alloc_matrix"] == "DDR"
+
+    def test_predict_tiered_prices_each_tier(self, tiny_app, predictor):
+        fw = HybridMemoryFramework(tiny_app)
+        profiles = fw.analyze()
+        advisor = HmemAdvisor(_spec(tiny_app, 24 * MIB, 120 * MIB))
+        report = advisor.advise(profiles, MissesStrategy())
+        outcome = predictor.predict_tiered(profiles, report)
+        traffic = outcome.traffic.by_tier
+        assert set(traffic) == {"HBM", "DDR", "NVM"}
+        assert traffic["HBM"] > 0
+        assert traffic["DDR"] > 0
+        assert traffic["NVM"] > 0  # statics + stack + unselected
+
+    def test_more_fast_tiers_beat_nvm_only(self, tiny_app, predictor):
+        from repro.advisor.report import PlacementReport
+
+        fw = HybridMemoryFramework(tiny_app)
+        profiles = fw.analyze()
+        nvm_only = predictor.predict_tiered(
+            profiles, PlacementReport(application="", strategy="none")
+        )
+        advisor = HmemAdvisor(_spec(tiny_app, 24 * MIB, 120 * MIB))
+        placed = predictor.predict_tiered(
+            profiles, advisor.advise(profiles, MissesStrategy())
+        )
+        assert placed.fom > 1.5 * nvm_only.fom
+
+    def test_hbm_sizing_matters(self, tiny_app, predictor):
+        fw = HybridMemoryFramework(tiny_app)
+        profiles = fw.analyze()
+        foms = []
+        for hbm_budget in (8 * MIB, 32 * MIB, 160 * MIB):
+            advisor = HmemAdvisor(_spec(tiny_app, hbm_budget, 120 * MIB))
+            report = advisor.advise(profiles, MissesStrategy())
+            foms.append(predictor.predict_tiered(profiles, report).fom)
+        assert foms == sorted(foms)
+        assert foms[-1] > foms[0]
+
+    def test_sample_conservation(self, tiny_app, predictor):
+        fw = HybridMemoryFramework(tiny_app)
+        profiles = fw.analyze()
+        advisor = HmemAdvisor(_spec(tiny_app, 24 * MIB, 120 * MIB))
+        report = advisor.advise(profiles, MissesStrategy())
+        outcome = predictor.predict_tiered(profiles, report)
+        total = sum(outcome.traffic.by_tier.values())
+        assert total == pytest.approx(outcome.traffic.total_bytes)

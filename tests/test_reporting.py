@@ -1,0 +1,59 @@
+"""ASCII tables and labelled series."""
+
+import pytest
+
+from repro.reporting.series import LabelledSeries
+from repro.reporting.tables import AsciiTable, format_baselines, format_figure4
+
+
+class TestAsciiTable:
+    def test_renders_headers_and_rows(self):
+        table = AsciiTable(["name", "value"])
+        table.add_row("alpha", 1.5)
+        table.add_row("beta", 12345.0)
+        text = table.render()
+        assert "name" in text and "alpha" in text
+        assert "12,345" in text
+
+    def test_row_width_checked(self):
+        table = AsciiTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_small_floats(self):
+        table = AsciiTable(["x"])
+        table.add_row(0.000123)
+        assert "0.000123" in table.render()
+
+    def test_zero(self):
+        table = AsciiTable(["x"])
+        table.add_row(0.0)
+        assert "0" in table.render()
+
+
+class TestSeries:
+    def test_accessors(self):
+        s = LabelledSeries("DDR")
+        s.add(1, 10.0)
+        s.add(2, 20.0)
+        assert s.xs == [1, 2]
+        assert s.ys == [10.0, 20.0]
+
+    def test_render(self):
+        s = LabelledSeries("flat", points=[(1.0, 90.0)])
+        assert "flat:" in str(s)
+        assert "(1, 90.00)" in str(s)
+
+
+class TestFigureFormatting:
+    def test_format_figure4_has_three_panels(self, tiny_app):
+        from repro.pipeline.experiment import ExperimentGrid, run_figure4_experiment
+        from repro.units import MIB
+
+        grid = ExperimentGrid(budgets=(64 * MIB,), strategies=("density",))
+        result = run_figure4_experiment(tiny_app, grid=grid)
+        text = format_figure4(result)
+        assert "-- FOM --" in text
+        assert "-- MCDRAM HWM (MB) --" in text
+        assert "-- dFOM/MByte --" in text
+        assert "DDR" in format_baselines(result)

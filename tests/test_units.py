@@ -1,0 +1,90 @@
+"""Unit conversions and page arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.units import (
+    CACHE_LINE,
+    GIB,
+    KIB,
+    MIB,
+    PAGE_SIZE,
+    fmt_bytes,
+    mbytes,
+    page_round_up,
+    pages,
+)
+
+
+class TestConstants:
+    def test_powers_of_two(self):
+        assert KIB == 2**10
+        assert MIB == 2**20
+        assert GIB == 2**30
+
+    def test_page_size(self):
+        assert PAGE_SIZE == 4096
+
+    def test_cache_line(self):
+        assert CACHE_LINE == 64
+
+
+class TestPages:
+    def test_zero_bytes(self):
+        assert pages(0) == 0
+
+    def test_one_byte_needs_one_page(self):
+        assert pages(1) == 1
+
+    def test_exact_page(self):
+        assert pages(PAGE_SIZE) == 1
+
+    def test_one_over(self):
+        assert pages(PAGE_SIZE + 1) == 2
+
+    def test_custom_page_size(self):
+        assert pages(100, page_size=64) == 2
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            pages(-1)
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_covers_request(self, n):
+        assert pages(n) * PAGE_SIZE >= n
+
+    @given(st.integers(min_value=1, max_value=2**40))
+    def test_minimal(self, n):
+        assert (pages(n) - 1) * PAGE_SIZE < n
+
+
+class TestPageRoundUp:
+    def test_round_up(self):
+        assert page_round_up(1) == PAGE_SIZE
+        assert page_round_up(PAGE_SIZE) == PAGE_SIZE
+        assert page_round_up(PAGE_SIZE + 1) == 2 * PAGE_SIZE
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_multiple_of_page(self, n):
+        assert page_round_up(n) % PAGE_SIZE == 0
+
+
+class TestFormatting:
+    def test_bytes(self):
+        assert fmt_bytes(12) == "12 B"
+
+    def test_kib(self):
+        assert fmt_bytes(2048) == "2.0 KiB"
+
+    def test_mib(self):
+        assert fmt_bytes(3 * MIB) == "3.0 MiB"
+
+    def test_gib(self):
+        assert fmt_bytes(5 * GIB) == "5.0 GiB"
+
+    def test_huge_stays_gib(self):
+        assert "GiB" in fmt_bytes(5000 * GIB)
+
+    def test_mbytes(self):
+        assert mbytes(256 * MIB) == 256.0

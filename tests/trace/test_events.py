@@ -1,0 +1,52 @@
+"""Trace event records and their dict round-trips."""
+
+from repro.runtime.callstack import CallStack, Frame
+from repro.trace.events import (
+    AllocEvent,
+    FreeEvent,
+    PhaseEvent,
+    SampleEvent,
+    StaticVarRecord,
+)
+
+
+def _callstack():
+    return CallStack(
+        frames=(
+            Frame("app", "alloc_site", "app.c", 12),
+            Frame("app", "main", "app.c", 1),
+        )
+    )
+
+
+class TestRoundTrips:
+    def test_alloc(self):
+        event = AllocEvent(
+            time=1.5, rank=3, address=0x1000, size=4096,
+            callstack=_callstack(), allocator="memkind-hbw",
+        )
+        clone = AllocEvent.from_dict(event.to_dict())
+        assert clone == event
+
+    def test_free(self):
+        event = FreeEvent(time=2.0, rank=1, address=0x2000)
+        assert FreeEvent.from_dict(event.to_dict()) == event
+
+    def test_sample(self):
+        event = SampleEvent(time=0.5, rank=0, address=0xABC)
+        assert SampleEvent.from_dict(event.to_dict()) == event
+
+    def test_phase(self):
+        event = PhaseEvent(time=9.0, rank=2, function="octsweep")
+        assert PhaseEvent.from_dict(event.to_dict()) == event
+
+    def test_static(self):
+        rec = StaticVarRecord(name="grid", rank=0, address=0x100, size=64)
+        assert StaticVarRecord.from_dict(rec.to_dict()) == rec
+
+    def test_alloc_default_allocator(self):
+        data = AllocEvent(
+            time=0.0, rank=0, address=1, size=2, callstack=_callstack()
+        ).to_dict()
+        del data["allocator"]
+        assert AllocEvent.from_dict(data).allocator == "posix"

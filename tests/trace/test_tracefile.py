@@ -1,0 +1,98 @@
+"""TraceFile container and JSONL persistence."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.runtime.callstack import CallStack, Frame
+from repro.trace.events import (
+    AllocEvent,
+    FreeEvent,
+    PhaseEvent,
+    SampleEvent,
+    StaticVarRecord,
+)
+from repro.trace.tracefile import TraceFile
+
+
+def _trace():
+    cs = CallStack(frames=(Frame("app", "f", "app.c", 3),))
+    trace = TraceFile(application="demo", ranks=2, sampling_period=7)
+    trace.append(AllocEvent(time=0.1, rank=0, address=0x10, size=64,
+                            callstack=cs))
+    trace.append(SampleEvent(time=0.2, rank=0, address=0x20))
+    trace.append(PhaseEvent(time=0.15, rank=0, function="loop"))
+    trace.append(FreeEvent(time=0.3, rank=0, address=0x10))
+    trace.statics.append(
+        StaticVarRecord(name="tbl", rank=0, address=0x900, size=32)
+    )
+    trace.metadata["stack_region"] = [0x7000, 0x1000]
+    return trace
+
+
+class TestContainer:
+    def test_typed_views(self):
+        trace = _trace()
+        assert len(trace.alloc_events) == 1
+        assert len(trace.free_events) == 1
+        assert len(trace.sample_events) == 1
+        assert len(trace.phase_events) == 1
+
+    def test_sorted_events(self):
+        times = [e.time for e in _trace().sorted_events()]
+        assert times == sorted(times)
+
+    def test_duration(self):
+        assert _trace().duration == pytest.approx(0.3)
+
+    def test_empty_duration(self):
+        assert TraceFile().duration == 0.0
+
+    def test_extend(self):
+        trace = TraceFile()
+        trace.extend([SampleEvent(0.0, 0, 1), SampleEvent(0.1, 0, 2)])
+        assert len(trace.events) == 2
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        trace = _trace()
+        path = tmp_path / "run.trace"
+        trace.save(path)
+        clone = TraceFile.load(path)
+        assert clone.application == "demo"
+        assert clone.ranks == 2
+        assert clone.sampling_period == 7
+        assert clone.metadata == {"stack_region": [0x7000, 0x1000]}
+        assert clone.statics == trace.statics
+        assert clone.events == trace.events
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text("")
+        with pytest.raises(TraceError):
+            TraceFile.load(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text('{"type": "sample", "time": 0, "rank": 0, "address": 1}\n')
+        with pytest.raises(TraceError):
+            TraceFile.load(path)
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("not json\n")
+        with pytest.raises(TraceError):
+            TraceFile.load(path)
+
+    def test_unknown_event_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(
+            '{"type": "header", "application": "x"}\n{"type": "mystery"}\n'
+        )
+        with pytest.raises(TraceError):
+            TraceFile.load(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.trace"
+        path.write_text('{"type": "header", "application": "x"}\n\n\n')
+        assert TraceFile.load(path).application == "x"

@@ -1,0 +1,118 @@
+"""Extrae-substitute tracer: size filter, samples, overhead."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.process import SimProcess
+from repro.runtime.symbols import FunctionSymbol, ModuleImage
+from repro.trace.tracer import Tracer, TracerConfig
+from repro.units import KIB, MIB
+
+
+def _process():
+    modules = [
+        ModuleImage(
+            name="app",
+            size=200,
+            functions=[
+                FunctionSymbol("main", offset=0, size=64, file="app.c"),
+            ],
+        )
+    ]
+    return SimProcess(modules=modules, heap_size=64 * MIB, hbw_size=MIB)
+
+
+@pytest.fixture()
+def traced():
+    process = _process()
+    tracer = Tracer(TracerConfig(min_alloc_size=4 * KIB, sampling_period=3),
+                    application="t", rank=0)
+    tracer.attach(process)
+    return process, tracer
+
+
+class TestAllocationRecording:
+    def test_large_allocation_recorded(self, traced):
+        process, tracer = traced
+        with process.in_function("app", "main", 1):
+            process.malloc(8 * KIB)
+        assert len(tracer.trace.alloc_events) == 1
+        event = tracer.trace.alloc_events[0]
+        assert event.size == 8 * KIB
+        assert event.callstack.leaf.function == "main"
+
+    def test_small_allocation_filtered(self, traced):
+        """Paper: only allocations larger than 4 KiB are monitored."""
+        process, tracer = traced
+        with process.in_function("app", "main", 1):
+            process.malloc(1 * KIB)
+        assert tracer.trace.alloc_events == []
+
+    def test_free_of_tracked_recorded(self, traced):
+        process, tracer = traced
+        with process.in_function("app", "main", 1):
+            address = process.malloc(8 * KIB)
+        process.free(address)
+        assert len(tracer.trace.free_events) == 1
+
+    def test_free_of_filtered_not_recorded(self, traced):
+        process, tracer = traced
+        with process.in_function("app", "main", 1):
+            address = process.malloc(512)
+        process.free(address)
+        assert tracer.trace.free_events == []
+
+    def test_timestamps_follow_clock(self, traced):
+        process, tracer = traced
+        process.advance(4.2)
+        with process.in_function("app", "main", 1):
+            process.malloc(8 * KIB)
+        assert tracer.trace.alloc_events[0].time == pytest.approx(4.2)
+
+
+class TestSampling:
+    def test_samples_folded_into_trace(self, traced):
+        _, tracer = traced
+        addrs = np.arange(30, dtype=np.uint64) * 64
+        n = tracer.record_misses(addrs, np.linspace(0, 1, 30))
+        assert n == 10  # period 3
+        assert len(tracer.trace.sample_events) == 10
+
+    def test_phase_markers(self, traced):
+        _, tracer = traced
+        tracer.record_phase("octsweep", 1.0)
+        assert tracer.trace.phase_events[0].function == "octsweep"
+
+
+class TestMetadata:
+    def test_statics_and_stack_exported(self):
+        process = _process()
+        process.register_static("grid", 4096)
+        tracer = Tracer(application="t")
+        tracer.attach(process)
+        assert tracer.trace.statics[0].name == "grid"
+        base, size = tracer.trace.metadata["stack_region"]
+        assert size > 0
+        assert base == process.stack_region.base
+
+
+class TestOverhead:
+    def test_overhead_accumulates(self, traced):
+        process, tracer = traced
+        with process.in_function("app", "main", 1):
+            process.malloc(8 * KIB)
+        tracer.record_misses(np.arange(30, dtype=np.uint64),
+                             np.linspace(0, 1, 30))
+        assert tracer.overhead_seconds > 0
+
+    def test_monitoring_overhead_fraction(self, traced):
+        process, tracer = traced
+        with process.in_function("app", "main", 1):
+            process.malloc(8 * KIB)
+        frac = tracer.monitoring_overhead(base_runtime=100.0)
+        assert 0 < frac < 0.01
+
+    def test_bad_runtime_rejected(self, traced):
+        _, tracer = traced
+        with pytest.raises(ValueError):
+            tracer.monitoring_overhead(0.0)

@@ -1,0 +1,97 @@
+"""Calibration harness: run every app's Figure 4 grid and check the
+paper's qualitative orderings. Development tool, not part of the
+library API.
+
+Usage: python tools/calibrate.py [app ...]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import get_app, run_figure4_experiment
+from repro.apps import APP_NAMES
+from repro.reporting.tables import format_figure4
+from repro.units import MIB
+
+#: Paper expectations (Section IV-C): who wins, special behaviours.
+EXPECTED_WINNER = {
+    "hpcg": "framework",
+    "lulesh": "Cache",
+    "nas-bt": "MCDRAM*",
+    "minife": "framework",
+    "cgpop": "MCDRAM*",
+    "snap": "MCDRAM*",
+    "maxw-dgtd": "Cache",
+    "gtc-p": "framework",
+}
+
+SWEET_SPOT_MB = {
+    "hpcg": 256,
+    "lulesh": 32,
+    "minife": 128,
+    "cgpop": 32,
+    "snap": 32,
+    "gtc-p": 32,
+}
+
+
+def check(app_name: str, verbose: bool = True) -> list[str]:
+    t0 = time.time()
+    app = get_app(app_name)
+    result = run_figure4_experiment(app)
+    issues: list[str] = []
+
+    if verbose:
+        print(format_figure4(result))
+        print(f"[{app_name}: {time.time() - t0:.1f}s]")
+
+    best_fw = result.best_framework()
+    rows = {label: r for label, r in result.baselines.items()}
+    contenders = {
+        "framework": best_fw.fom,
+        "Cache": rows["Cache"].fom,
+        "MCDRAM*": rows["MCDRAM*"].fom,
+        "autohbw/1m": rows["autohbw/1m"].fom,
+    }
+    winner = max(contenders, key=contenders.get)
+    expected = EXPECTED_WINNER[app_name]
+    if winner != expected:
+        issues.append(
+            f"{app_name}: winner={winner} "
+            f"({ {k: round(v, 3) for k, v in contenders.items()} }), "
+            f"expected {expected}"
+        )
+    if contenders["autohbw/1m"] == max(contenders.values()):
+        issues.append(f"{app_name}: autohbw should never win")
+    ddr = result.fom_ddr
+    for label, fom in contenders.items():
+        if label != "framework" and fom < ddr * 0.85 and app_name != "lulesh":
+            issues.append(f"{app_name}: {label} collapsed below DDR: {fom:.3f} vs {ddr:.3f}")
+    spot = result.sweet_spot()
+    want = SWEET_SPOT_MB.get(app_name)
+    if want is not None and spot != want * MIB:
+        issues.append(
+            f"{app_name}: sweet spot {spot / MIB:.0f} MB, expected {want} MB"
+        )
+    return issues
+
+
+def main() -> None:
+    names = sys.argv[1:] or list(APP_NAMES)
+    all_issues: list[str] = []
+    for name in names:
+        all_issues.extend(check(name))
+        print()
+    print("=" * 60)
+    if all_issues:
+        print("ISSUES:")
+        for issue in all_issues:
+            print(" -", issue)
+    else:
+        print("all orderings match the paper")
+
+
+if __name__ == "__main__":
+    main()

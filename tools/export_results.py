@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Export every experiment's data as JSON (artifact-evaluation style).
+
+Regenerates Table I, Figures 1/3/4/5 and the ablation data and writes
+one machine-readable JSON file, so downstream plotting or artifact
+checks never have to scrape the benchmark output.
+
+Usage: python tools/export_results.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro import get_app, run_figure4_experiment
+from repro.apps import APP_NAMES
+from repro.apps.stream_triad import StreamTriad
+from repro.machine.config import xeon_phi_7250
+from repro.runtime.symbols import translate_cost_us, unwind_cost_us
+from repro.units import MIB
+
+
+def figure1() -> dict:
+    triad = StreamTriad(array_bytes=16 * MIB, sweeps=4)
+    results = triad.bandwidth_sweep(
+        xeon_phi_7250(), [1, 2, 4, 8, 16, 32, 34, 64, 68]
+    )
+    return {
+        "cores": [r.cores for r in results],
+        "ddr_gbps": [r.ddr_gbps for r in results],
+        "mcdram_flat_gbps": [r.mcdram_flat_gbps for r in results],
+        "mcdram_cache_gbps": [r.mcdram_cache_gbps for r in results],
+    }
+
+
+def figure3() -> dict:
+    depths = list(range(1, 10))
+    return {
+        "depth": depths,
+        "unwind_us": [unwind_cost_us(d) for d in depths],
+        "translate_us": [translate_cost_us(d) for d in depths],
+    }
+
+
+def table1_and_figure4() -> tuple[list[dict], dict]:
+    table1 = []
+    figure4 = {}
+    for name in APP_NAMES:
+        app = get_app(name)
+        run = app.run_profiling(seed=0)
+        static_mb = sum(o.size for o in app.objects if o.static) / MIB
+        table1.append(
+            {
+                "application": app.title,
+                "language": app.language,
+                "parallelism": app.parallelism,
+                "ranks": app.geometry.ranks,
+                "threads_per_rank": app.geometry.threads_per_rank,
+                "fom_units": app.calibration.fom_units,
+                "allocation_statements": app.allocation_statements,
+                "allocs_per_second": app.allocs_per_second_declared,
+                "hwm_mb_per_process": run.process.posix.stats.hwm_bytes
+                / app.scale
+                / MIB
+                + static_mb,
+                "samples_per_process": run.tracer.n_samples,
+                "monitoring_overhead_pct": run.tracer.monitoring_overhead(
+                    app.calibration.ddr_time
+                )
+                * 100,
+            }
+        )
+
+        result = run_figure4_experiment(app)
+        figure4[name] = {
+            "fom_units": result.fom_units,
+            "budgets_mb": [b / MIB for b in result.budgets()],
+            "strategies": result.strategies(),
+            "fom": {
+                strategy: [
+                    result.row(budget, strategy).fom
+                    for budget in result.budgets()
+                ]
+                for strategy in result.strategies()
+            },
+            "hwm_mb": {
+                strategy: [
+                    result.row(budget, strategy).hwm_mb
+                    for budget in result.budgets()
+                ]
+                for strategy in result.strategies()
+            },
+            "dfom_per_mb": {
+                strategy: [
+                    result.row(budget, strategy).delta_fom_per_mb(
+                        result.fom_ddr
+                    )
+                    for budget in result.budgets()
+                ]
+                for strategy in result.strategies()
+            },
+            "baselines": {
+                label: row.fom for label, row in result.baselines.items()
+            },
+            "sweet_spot_mb": result.sweet_spot() / MIB,
+        }
+    return table1, figure4
+
+
+def main() -> None:
+    output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        "results_export.json"
+    )
+    table1, figure4 = table1_and_figure4()
+    payload = {
+        "paper": "Servat et al., Automating the Application Data "
+        "Placement in Hybrid Memory Systems, CLUSTER 2017",
+        "table1": table1,
+        "figure1": figure1(),
+        "figure3": figure3(),
+        "figure4": figure4,
+    }
+    output.write_text(json.dumps(payload, indent=2))
+    print(f"wrote {output} ({output.stat().st_size / 1024:.0f} KiB)")
+
+
+if __name__ == "__main__":
+    main()
