@@ -1,0 +1,57 @@
+"""Sweep executor: cold vs warm-cache cost of a two-app evaluation.
+
+Not a paper figure — this benchmarks the harness itself: the
+content-addressed result cache must make a warm re-run of a Figure 4
+sweep dramatically cheaper than the cold run (it executes zero
+pipeline stages), and the parallel path must stay row-identical to
+the serial one it replaces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import get_app
+from repro.parallel.sweep import run_sweep
+from repro.pipeline.experiment import run_figure4_experiment
+from repro.reporting.tables import format_stage_metrics
+
+APPS = ("cgpop", "minife")
+
+
+@pytest.mark.figure("harness")
+def test_warm_cache_sweep(benchmark, tmp_path):
+    apps = [get_app(name) for name in APPS]
+    cold = run_sweep(apps, cache_dir=tmp_path, seed=0)
+    assert not cold.failures
+    assert cold.metrics.total_stage_executions > 0
+
+    warm = benchmark.pedantic(
+        lambda: run_sweep(apps, cache_dir=tmp_path, seed=0),
+        rounds=3,
+        iterations=1,
+    )
+    assert warm.metrics.total_stage_executions == 0
+    assert warm.metrics.count("cache_hit") == len(cold.outcomes)
+    print()
+    print(format_stage_metrics(cold.metrics))
+
+    for app in apps:
+        serial = run_figure4_experiment(app, seed=0)
+        assert warm.experiment(app).grid == serial.grid
+
+
+@pytest.mark.figure("harness")
+def test_warm_sweep_cheaper_than_cold(tmp_path):
+    import time
+
+    apps = [get_app(name) for name in APPS]
+    t0 = time.perf_counter()
+    run_sweep(apps, cache_dir=tmp_path, seed=0)
+    cold_secs = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    run_sweep(apps, cache_dir=tmp_path, seed=0)
+    warm_secs = time.perf_counter() - t0
+    # Zero stage executions should beat the cold run comfortably.
+    assert warm_secs < cold_secs

@@ -100,6 +100,11 @@ _CSV_FIELDS = [
     "sampled_latency",
 ]
 
+#: The pre-latency-extension header: reports written before the
+#: ``sampled_latency`` column existed are still readable (the column
+#: defaults to 0).
+_LEGACY_CSV_FIELDS = _CSV_FIELDS[:-1]
+
 
 def _identity_to_str(key: ObjectKey) -> str:
     if key.kind == ObjectKind.DYNAMIC:
@@ -139,13 +144,19 @@ def write_profiles_csv(profiles: ProfileSet, path: str | Path) -> None:
 
 
 def read_profiles_csv(path: str | Path) -> ProfileSet:
-    """Parse a CSV report back into a :class:`ProfileSet`."""
+    """Parse a CSV report back into a :class:`ProfileSet`.
+
+    Accepts the current header and the legacy (pre-``sampled_latency``)
+    one; rejects anything else. All rows must agree on the sampling
+    period — a mixed-period file would silently mis-scale every
+    estimated miss count, so it is an error, not a last-row-wins.
+    """
     path = Path(path)
     profiles: list[ObjectProfile] = []
-    period = 1
+    periods: set[int] = set()
     with path.open(newline="") as fh:
         reader = csv.DictReader(fh)
-        if reader.fieldnames != _CSV_FIELDS:
+        if reader.fieldnames not in (_CSV_FIELDS, _LEGACY_CSV_FIELDS):
             raise AttributionError(
                 f"{path}: unexpected CSV header {reader.fieldnames}"
             )
@@ -154,6 +165,7 @@ def read_profiles_csv(path: str | Path) -> ProfileSet:
                 kind = ObjectKind(row["kind"])
                 key = _identity_from_str(kind, row["identity"])
                 period = int(row["sampling_period"])
+                periods.add(period)
                 profiles.append(
                     ObjectProfile(
                         key=key,
@@ -167,4 +179,13 @@ def read_profiles_csv(path: str | Path) -> ProfileSet:
                 )
             except (KeyError, ValueError) as exc:
                 raise AttributionError(f"{path}: malformed row {row}") from exc
-    return ProfileSet(profiles=profiles, sampling_period=period)
+    if len(periods) > 1:
+        raise AttributionError(
+            f"{path}: rows disagree on sampling_period "
+            f"({sorted(periods)}); one report must come from one "
+            "sampling configuration"
+        )
+    return ProfileSet(
+        profiles=profiles,
+        sampling_period=periods.pop() if periods else 1,
+    )

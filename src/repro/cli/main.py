@@ -19,10 +19,14 @@ from repro.apps import APP_NAMES, get_app
 from repro.errors import ReproError
 from repro.machine.config import xeon_phi_7250
 from repro.metrics import percent_gain
-from repro.pipeline.experiment import run_figure4_experiment
+from repro.parallel.sweep import run_sweep
 from repro.pipeline.framework import HybridMemoryFramework
 from repro.placement.policies import run_ddr_only, run_framework
-from repro.reporting.tables import AsciiTable, format_figure4
+from repro.reporting.tables import (
+    AsciiTable,
+    format_figure4,
+    format_stage_metrics,
+)
 from repro.trace.tracefile import TraceFile
 from repro.trace.tracer import TracerConfig
 from repro.units import GIB, KIB, MIB
@@ -252,17 +256,56 @@ def place_main(argv: list[str] | None = None) -> int:
 
 
 def experiment_main(argv: list[str] | None = None) -> int:
-    """The full Figure 4 row: budgets x strategies + baselines."""
+    """The full Figure 4 grid: budgets x strategies + baselines,
+    for one or more applications, optionally parallel and cached."""
     parser = argparse.ArgumentParser(
         prog="repro-experiment",
-        description="Run one application's full evaluation grid "
-        "(one Figure 4 row).",
+        description="Run the full evaluation grid (Figure 4 rows) for "
+        "one or more applications. Cells fan out across worker "
+        "processes and warm re-runs are answered from the result "
+        "cache without executing any pipeline stage.",
     )
-    _app_argument(parser)
+    parser.add_argument("apps", nargs="+", choices=APP_NAMES, metavar="app",
+                        help=f"application model(s) ({', '.join(APP_NAMES)})")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="worker processes for the sweep "
+                        "(default 1: in-process serial execution)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="directory for the content-addressed "
+                        "result cache (warm re-runs skip all stages)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print per-stage execution counts and "
+                        "wall time after the results")
 
     def run(args) -> None:
-        result = run_figure4_experiment(get_app(args.app), seed=args.seed)
-        print(format_figure4(result))
+        apps = [get_app(name) for name in args.apps]
+        sweep = run_sweep(
+            apps,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            seed=args.seed,
+        )
+        failed_apps = {f.application for f in sweep.failures}
+        for failure in sweep.failures:
+            print(
+                f"error: {failure.application} cell "
+                f"{failure.cell.label}@{failure.cell.budget_bytes} failed "
+                f"after {failure.attempts} attempts:\n{failure.error}",
+                file=sys.stderr,
+            )
+        for app in apps:
+            if app.name in failed_apps:
+                print(f"{app.name}: incomplete grid (cells failed), "
+                      "skipping tables", file=sys.stderr)
+                continue
+            print(format_figure4(sweep.experiment(app)))
+        if args.metrics:
+            print(format_stage_metrics(sweep.metrics))
+        if sweep.failures:
+            raise ReproError(
+                f"{len(sweep.failures)} of {len(sweep.outcomes)} sweep "
+                "cells failed"
+            )
 
     return _run(parser, run, argv)

@@ -1,5 +1,23 @@
-"""SPMD execution substrate (MPI substitute)."""
+"""SPMD execution substrate (MPI substitute) and the sweep executor."""
 
 from repro.parallel.job import SPMDJob, JobSummary
+from repro.parallel.result_cache import ResultCache, cell_cache_key
+from repro.parallel.sweep import (
+    CellOutcome,
+    SweepConfig,
+    SweepExecutor,
+    SweepResult,
+    run_sweep,
+)
 
-__all__ = ["SPMDJob", "JobSummary"]
+__all__ = [
+    "SPMDJob",
+    "JobSummary",
+    "ResultCache",
+    "cell_cache_key",
+    "CellOutcome",
+    "SweepConfig",
+    "SweepExecutor",
+    "SweepResult",
+    "run_sweep",
+]

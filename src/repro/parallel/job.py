@@ -31,9 +31,15 @@ class JobSummary:
     overhead_per_rank: list[float] = field(default_factory=list)
     duration: float = 0.0
 
+    @staticmethod
+    def _mean(values: list) -> float:
+        """Mean that is 0.0 — not NaN-with-a-RuntimeWarning — for an
+        empty per-rank list, so node-level estimates stay finite."""
+        return float(np.mean(values)) if values else 0.0
+
     @property
     def mean_samples(self) -> float:
-        return float(np.mean(self.samples_per_rank))
+        return self._mean(self.samples_per_rank)
 
     @property
     def total_samples_estimate(self) -> float:
@@ -42,7 +48,7 @@ class JobSummary:
 
     @property
     def mean_hwm_bytes(self) -> float:
-        return float(np.mean(self.hwm_bytes_per_rank))
+        return self._mean(self.hwm_bytes_per_rank)
 
     @property
     def total_hwm_bytes_estimate(self) -> float:
@@ -58,7 +64,7 @@ class JobSummary:
     def allocs_per_second(self) -> float:
         if self.duration <= 0:
             return 0.0
-        return float(np.mean(self.allocs_per_rank)) / self.duration
+        return self._mean(self.allocs_per_rank) / self.duration
 
     def rank_symmetry(self) -> float:
         """Coefficient of variation of per-rank sample counts (0 = exact

@@ -1,0 +1,311 @@
+"""Parallel Figure-4 sweep executor with caching and fault isolation.
+
+The evaluation grid (apps x budgets x strategies x baselines) is
+embarrassingly parallel: cells only share the placement-invariant
+profiling run of their application, and that run is deterministic in
+the seed. The executor therefore fans :class:`GridCell` work across a
+``ProcessPoolExecutor`` where each worker process keeps one framework
+(and hence one profiling run) per application, while the parent
+
+* answers cells from the content-addressed :class:`ResultCache`
+  *before* dispatching them, so a warm re-run executes zero pipeline
+  stages (provable via :class:`StageMetrics` counters);
+* isolates worker faults — a failing cell is retried once and, if it
+  still fails, becomes an error :class:`CellOutcome` carrying the
+  captured traceback instead of aborting the sweep;
+* merges every per-cell :class:`StageMetrics` record into one
+  sweep-level roll-up.
+
+``jobs=1`` runs the same scheduler in-process (no pool), so the
+serial and parallel paths share every line of cell-execution code.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.apps.base import SimApplication
+from repro.errors import ConfigError
+from repro.machine.config import MachineConfig, xeon_phi_7250
+from repro.parallel.result_cache import ResultCache, cell_cache_key
+from repro.pipeline.experiment import (
+    ExperimentGrid,
+    GridCell,
+    collect_result,
+    enumerate_cells,
+    run_cell,
+)
+from repro.pipeline.framework import HybridMemoryFramework
+from repro.pipeline.metrics import StageMetrics
+from repro.pipeline.results import ExperimentResult, ResultRow
+
+
+@dataclass
+class SweepConfig:
+    """Execution knobs of one sweep."""
+
+    #: Worker processes; 1 executes in-process (no pool).
+    jobs: int = 1
+    #: Result-cache directory; None disables caching.
+    cache_dir: str | Path | None = None
+    #: Base seed; each application's framework profiles with it, so
+    #: sweep rows match ``run_figure4_experiment(app, seed=seed)``.
+    seed: int = 0
+    #: Re-executions granted to a faulting cell before it is recorded
+    #: as an error outcome.
+    retries: int = 1
+
+
+@dataclass
+class CellOutcome:
+    """One cell's result: a row, or a captured failure."""
+
+    application: str
+    cell: GridCell
+    row: ResultRow | None = None
+    #: Formatted traceback of the last attempt, if every attempt failed.
+    error: str | None = None
+    attempts: int = 0
+    cached: bool = False
+    metrics: StageMetrics = field(default_factory=StageMetrics)
+    #: Position in the (app, cell) enumeration; outcomes are sorted by
+    #: it so parallel completion order never leaks into the results.
+    order: tuple[int, int] = (0, 0)
+
+    @property
+    def ok(self) -> bool:
+        return self.row is not None
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep produced."""
+
+    outcomes: list[CellOutcome] = field(default_factory=list)
+    #: Sweep-level roll-up of every cell's stage record plus the
+    #: bookkeeping counters (cache_hit/cache_miss/error/retry).
+    metrics: StageMetrics = field(default_factory=StageMetrics)
+
+    @property
+    def failures(self) -> list[CellOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def rows(self, application: str) -> dict[GridCell, ResultRow]:
+        return {
+            o.cell: o.row
+            for o in self.outcomes
+            if o.application == application and o.ok
+        }
+
+    def experiment(self, app: SimApplication) -> ExperimentResult:
+        """Assemble one application's successful rows."""
+        return collect_result(app, self.rows(app.name))
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+#: Per-worker-process framework memo: (app name, machine name, seed) ->
+#: HybridMemoryFramework. Raw addresses and profiling runs are only
+#: meaningful within one process (ASLR), so the memo — like the
+#: paper's per-process decision cache — never crosses the pool.
+_WORKER_FRAMEWORKS: dict[tuple[str, str, int], HybridMemoryFramework] = {}
+
+
+def _execute_cell(
+    app: SimApplication,
+    machine: MachineConfig,
+    cell: GridCell,
+    seed: int,
+    frameworks: dict | None = None,
+) -> tuple[ResultRow | None, str | None, dict]:
+    """Run one cell; never raises (the pool must stay healthy).
+
+    Returns ``(row, traceback_text, metrics_dict)`` — the metrics
+    cover only the stages this call actually executed, so the parent
+    can sum them into a truthful sweep total. ``frameworks`` is the
+    framework memo to use; pool workers default to the process-global
+    one, the in-process serial path passes a per-sweep dict.
+    """
+    memo = _WORKER_FRAMEWORKS if frameworks is None else frameworks
+    key = (app.name, machine.name, seed)
+    framework = memo.get(key)
+    if framework is None:
+        framework = HybridMemoryFramework(app, machine, seed=seed)
+        memo[key] = framework
+    framework.metrics = StageMetrics()
+    try:
+        row = run_cell(framework, cell)
+        return row, None, framework.metrics.to_dict()
+    except Exception:
+        return None, traceback.format_exc(), framework.metrics.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+
+
+class SweepExecutor:
+    """Schedule, cache, retry and aggregate a grid of sweep cells."""
+
+    def __init__(
+        self,
+        machine: MachineConfig | None = None,
+        config: SweepConfig | None = None,
+    ) -> None:
+        self.machine = machine or xeon_phi_7250()
+        self.config = config or SweepConfig()
+        if self.config.jobs < 1:
+            raise ConfigError("sweep needs at least one job")
+        self.cache = (
+            ResultCache(self.config.cache_dir)
+            if self.config.cache_dir is not None
+            else None
+        )
+
+    # -- public entry ---------------------------------------------------
+
+    def run(
+        self,
+        apps: list[SimApplication],
+        grid: ExperimentGrid | None = None,
+    ) -> SweepResult:
+        """Sweep every cell of every application."""
+        result = SweepResult()
+        pending: list[tuple[SimApplication, CellOutcome, str | None]] = []
+
+        for app_index, app in enumerate(apps):
+            for cell_index, cell in enumerate(enumerate_cells(app, grid)):
+                outcome = CellOutcome(
+                    application=app.name,
+                    cell=cell,
+                    order=(app_index, cell_index),
+                )
+                key = (
+                    cell_cache_key(app, self.machine, cell, self.config.seed)
+                    if self.cache is not None
+                    else None
+                )
+                if key is not None:
+                    row = self.cache.get(key)
+                    if row is not None:
+                        result.metrics.bump("cache_hit")
+                        outcome.row, outcome.cached = row, True
+                        result.outcomes.append(outcome)
+                        continue
+                    result.metrics.bump("cache_miss")
+                pending.append((app, outcome, key))
+
+        if pending:
+            if self.config.jobs == 1:
+                self._run_serial(pending, result)
+            else:
+                self._run_pool(pending, result)
+
+        result.outcomes.sort(key=lambda o: o.order)
+        for outcome in result.outcomes:
+            result.metrics.merge(outcome.metrics)
+        return result
+
+    # -- execution strategies ------------------------------------------
+
+    def _finish(
+        self,
+        result: SweepResult,
+        outcome: CellOutcome,
+        key: str | None,
+    ) -> None:
+        if outcome.ok and key is not None and self.cache is not None:
+            self.cache.put(key, outcome.row)
+        if not outcome.ok:
+            result.metrics.bump("error")
+        result.outcomes.append(outcome)
+
+    def _run_serial(
+        self,
+        pending: list[tuple[SimApplication, CellOutcome, str | None]],
+        result: SweepResult,
+    ) -> None:
+        frameworks: dict = {}
+        for app, outcome, key in pending:
+            for _ in range(1 + self.config.retries):
+                outcome.attempts += 1
+                if outcome.attempts > 1:
+                    result.metrics.bump("retry")
+                row, error, metrics = _execute_cell(
+                    app, self.machine, outcome.cell, self.config.seed,
+                    frameworks=frameworks,
+                )
+                outcome.metrics.merge(StageMetrics.from_dict(metrics))
+                outcome.row, outcome.error = row, error
+                if row is not None:
+                    break
+            self._finish(result, outcome, key)
+
+    def _run_pool(
+        self,
+        pending: list[tuple[SimApplication, CellOutcome, str | None]],
+        result: SweepResult,
+    ) -> None:
+        jobs = min(self.config.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            inflight = {}
+            for app, outcome, key in pending:
+                future = pool.submit(
+                    _execute_cell,
+                    app,
+                    self.machine,
+                    outcome.cell,
+                    self.config.seed,
+                )
+                inflight[future] = outcome, key, app
+            while inflight:
+                done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    outcome, key, app = inflight.pop(future)
+                    outcome.attempts += 1
+                    try:
+                        row, error, metrics = future.result()
+                    except Exception:
+                        # BrokenProcessPool-class faults: the payload
+                        # never came back; synthesise the error.
+                        row, error = None, traceback.format_exc()
+                        metrics = {}
+                    outcome.metrics.merge(StageMetrics.from_dict(metrics))
+                    outcome.row, outcome.error = row, error
+                    if (
+                        not outcome.ok
+                        and outcome.attempts <= self.config.retries
+                    ):
+                        result.metrics.bump("retry")
+                        retry = pool.submit(
+                            _execute_cell,
+                            app,
+                            self.machine,
+                            outcome.cell,
+                            self.config.seed,
+                        )
+                        inflight[retry] = outcome, key, app
+                        continue
+                    self._finish(result, outcome, key)
+
+
+def run_sweep(
+    apps: list[SimApplication],
+    machine: MachineConfig | None = None,
+    grid: ExperimentGrid | None = None,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    seed: int = 0,
+) -> SweepResult:
+    """Convenience wrapper: sweep ``apps`` with the given knobs."""
+    executor = SweepExecutor(
+        machine=machine,
+        config=SweepConfig(jobs=jobs, cache_dir=cache_dir, seed=seed),
+    )
+    return executor.run(apps, grid=grid)

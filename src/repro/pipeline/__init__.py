@@ -1,13 +1,25 @@
 """End-to-end pipeline: the four framework stages plus experiment sweeps."""
 
 from repro.pipeline.framework import HybridMemoryFramework
-from repro.pipeline.experiment import ExperimentGrid, run_figure4_experiment
+from repro.pipeline.experiment import (
+    ExperimentGrid,
+    GridCell,
+    enumerate_cells,
+    run_cell,
+    run_figure4_experiment,
+)
+from repro.pipeline.metrics import STAGE_NAMES, StageMetrics
 from repro.pipeline.results import ExperimentResult, ResultRow
 
 __all__ = [
     "HybridMemoryFramework",
     "ExperimentGrid",
+    "GridCell",
+    "enumerate_cells",
+    "run_cell",
     "run_figure4_experiment",
+    "STAGE_NAMES",
+    "StageMetrics",
     "ExperimentResult",
     "ResultRow",
 ]

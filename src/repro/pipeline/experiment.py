@@ -4,6 +4,12 @@
 several allocation strategies. ... MPI applications ... from 32 to
 256 Mbytes per rank. [For] OpenMP-only applications (i.e. NAS BT) the
 exploration size ranges from 32 Mbytes to 16 Gbytes." (Section IV-B.)
+
+The grid is enumerated as :class:`GridCell` records so the serial
+driver below and the parallel sweep executor
+(:mod:`repro.parallel.sweep`) execute the *same* cells through the
+*same* :func:`run_cell` — identical rows by construction, whichever
+path ran them.
 """
 
 from __future__ import annotations
@@ -29,6 +35,15 @@ MPI_BUDGETS: tuple[int, ...] = (32 * MIB, 64 * MIB, 128 * MIB, 256 * MIB)
 #: Budget axis for OpenMP-only applications (NAS BT).
 OPENMP_BUDGETS: tuple[int, ...] = (32 * MIB, 256 * MIB, 2 * GIB, 16 * GIB)
 
+#: Baseline execution conditions, in Figure 4 legend order.
+BASELINE_RUNNERS = {
+    "DDR": run_ddr_only,
+    "MCDRAM*": run_numactl_preferred,
+    "Cache": run_cache_mode,
+    "autohbw/1m": run_autohbw,
+}
+BASELINE_LABELS: tuple[str, ...] = tuple(BASELINE_RUNNERS)
+
 
 @dataclass
 class ExperimentGrid:
@@ -41,11 +56,58 @@ class ExperimentGrid:
     virtual_advisor_budgets: dict[int, int] = field(default_factory=dict)
 
 
+@dataclass(frozen=True, slots=True)
+class GridCell:
+    """One schedulable execution condition of a Figure 4 row.
+
+    Either a baseline (``kind == "baseline"``, ``label`` names the
+    policy) or a framework cell (``kind == "grid"``, ``label`` names
+    the selection strategy and the budgets apply).
+    """
+
+    kind: str
+    label: str
+    budget_bytes: int = 0
+    #: Budget the advisor plans with; equals ``budget_bytes`` unless a
+    #: virtual-budget override is active (Section IV-C).
+    advisor_budget_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("baseline", "grid"):
+            raise ValueError(f"unknown cell kind {self.kind!r}")
+
+    @property
+    def key(self) -> tuple:
+        """Stable identity within one application's grid."""
+        return (self.kind, self.label, self.budget_bytes)
+
+
 def default_budgets(app: SimApplication) -> tuple[int, ...]:
     """Per-paper budget axis for an application's parallelism."""
     if app.geometry.ranks == 1:
         return OPENMP_BUDGETS
     return MPI_BUDGETS
+
+
+def enumerate_cells(
+    app: SimApplication, grid: ExperimentGrid | None = None
+) -> list[GridCell]:
+    """All cells of one Figure 4 row: baselines, then the grid."""
+    if grid is None:
+        grid = ExperimentGrid(budgets=default_budgets(app))
+    cells = [GridCell(kind="baseline", label=label) for label in BASELINE_LABELS]
+    for budget in grid.budgets:
+        advisor_budget = grid.virtual_advisor_budgets.get(budget, budget)
+        for strategy in grid.strategies:
+            cells.append(
+                GridCell(
+                    kind="grid",
+                    label=strategy,
+                    budget_bytes=budget,
+                    advisor_budget_bytes=advisor_budget,
+                )
+            )
+    return cells
 
 
 def _to_row(
@@ -62,48 +124,57 @@ def _to_row(
     )
 
 
+def run_cell(framework: HybridMemoryFramework, cell: GridCell) -> ResultRow:
+    """Execute one cell against a (possibly shared) framework.
+
+    The framework memoises its profiling run, so every cell of one
+    application reuses the single placement-invariant trace.
+    """
+    app = framework.app
+    if cell.kind == "baseline":
+        profiling = framework.profile()
+        runner = BASELINE_RUNNERS[cell.label]
+        with framework.metrics.record("run_placed"):
+            outcome = runner(app, framework.machine, profiling)
+        return _to_row(app, outcome, 0)
+    report = framework.advise(cell.advisor_budget_bytes, cell.label)
+    outcome = framework.run_placed(report, cell.budget_bytes, label=cell.label)
+    return _to_row(app, outcome, cell.budget_bytes)
+
+
+def collect_result(
+    app: SimApplication, rows: dict[GridCell, ResultRow]
+) -> ExperimentResult:
+    """Assemble cell rows into an :class:`ExperimentResult`."""
+    result = ExperimentResult(
+        application=app.name,
+        fom_name=app.calibration.fom_name,
+        fom_units=app.calibration.fom_units,
+    )
+    for cell, row in rows.items():
+        if cell.kind == "baseline":
+            result.baselines[cell.label] = row
+        else:
+            result.grid[(cell.budget_bytes, cell.label)] = row
+    return result
+
+
 def run_figure4_experiment(
     app: SimApplication,
     machine: MachineConfig | None = None,
     grid: ExperimentGrid | None = None,
     seed: int = 0,
 ) -> ExperimentResult:
-    """All execution conditions of one Figure 4 row.
+    """All execution conditions of one Figure 4 row, serially.
 
     One profiling run feeds every placement (LLC misses do not depend
     on placement, so the trace is placement-invariant — the property
     the whole profile-guided approach rests on).
     """
     machine = machine or xeon_phi_7250()
-    if grid is None:
-        grid = ExperimentGrid(budgets=default_budgets(app))
-
     framework = HybridMemoryFramework(app, machine, seed=seed)
-    profiling = framework.profile()
-
-    result = ExperimentResult(
-        application=app.name,
-        fom_name=app.calibration.fom_name,
-        fom_units=app.calibration.fom_units,
-    )
-
-    result.baselines["DDR"] = _to_row(
-        app, run_ddr_only(app, machine, profiling), 0
-    )
-    result.baselines["MCDRAM*"] = _to_row(
-        app, run_numactl_preferred(app, machine, profiling), 0
-    )
-    result.baselines["Cache"] = _to_row(
-        app, run_cache_mode(app, machine, profiling), 0
-    )
-    result.baselines["autohbw/1m"] = _to_row(
-        app, run_autohbw(app, machine, profiling), 0
-    )
-
-    for budget in grid.budgets:
-        advisor_budget = grid.virtual_advisor_budgets.get(budget, budget)
-        for strategy in grid.strategies:
-            report = framework.advise(advisor_budget, strategy)
-            outcome = framework.run_placed(report, budget, label=strategy)
-            result.grid[(budget, strategy)] = _to_row(app, outcome, budget)
-    return result
+    rows = {
+        cell: run_cell(framework, cell)
+        for cell in enumerate_cells(app, grid)
+    }
+    return collect_result(app, rows)

@@ -26,6 +26,7 @@ from repro.analysis.paramedir import Paramedir
 from repro.analysis.profile import ProfileSet
 from repro.apps.base import ProfilingRun, SimApplication
 from repro.machine.config import MachineConfig, xeon_phi_7250
+from repro.pipeline.metrics import StageMetrics
 from repro.placement.policies import PlacementOutcome, run_framework
 from repro.trace.tracer import TracerConfig
 
@@ -49,6 +50,7 @@ class HybridMemoryFramework:
         machine: MachineConfig | None = None,
         tracer_config: TracerConfig | None = None,
         seed: int = 0,
+        metrics: StageMetrics | None = None,
     ) -> None:
         self.app = app
         self.machine = machine or xeon_phi_7250()
@@ -56,6 +58,11 @@ class HybridMemoryFramework:
             sampling_period=app.sampling_period
         )
         self.seed = seed
+        #: Stage execution accounting. Only *actual* stage work is
+        #: recorded — returning the memoised profiling run counts
+        #: nothing, which is what lets the sweep cache prove a warm
+        #: run executed zero stages.
+        self.metrics = metrics if metrics is not None else StageMetrics()
         self._profiling: ProfilingRun | None = None
         self._profiles: ProfileSet | None = None
 
@@ -64,9 +71,10 @@ class HybridMemoryFramework:
     def profile(self, force: bool = False) -> ProfilingRun:
         """Run the instrumented execution (cached; placement-invariant)."""
         if self._profiling is None or force:
-            self._profiling = self.app.run_profiling(
-                seed=self.seed, tracer_config=self.tracer_config
-            )
+            with self.metrics.record("profile"):
+                self._profiling = self.app.run_profiling(
+                    seed=self.seed, tracer_config=self.tracer_config
+                )
             self._profiles = None
         return self._profiling
 
@@ -76,7 +84,8 @@ class HybridMemoryFramework:
         """Reduce the trace to per-object statistics."""
         if self._profiles is None or force:
             run = self.profile()
-            self._profiles = Paramedir().analyze(run.trace)
+            with self.metrics.record("analyze"):
+                self._profiles = Paramedir().analyze(run.trace)
         return self._profiles
 
     # -- step 3 ---------------------------------------------------------
@@ -111,8 +120,9 @@ class HybridMemoryFramework:
         if isinstance(strategy, str):
             strategy = get_strategy(strategy)
         profiles = self.analyze()
-        advisor = HmemAdvisor(self.memory_spec(budget_real))
-        return advisor.advise(profiles, strategy)
+        with self.metrics.record("advise"):
+            advisor = HmemAdvisor(self.memory_spec(budget_real))
+            return advisor.advise(profiles, strategy)
 
     # -- step 4 ---------------------------------------------------------
 
@@ -123,14 +133,16 @@ class HybridMemoryFramework:
         label: str | None = None,
     ) -> PlacementOutcome:
         """Re-execute under auto-hbwmalloc honoring ``report``."""
-        return run_framework(
-            self.app,
-            self.machine,
-            self.profile(),
-            report,
-            budget_real=budget_real,
-            label=label,
-        )
+        profiling = self.profile()
+        with self.metrics.record("run_placed"):
+            return run_framework(
+                self.app,
+                self.machine,
+                profiling,
+                report,
+                budget_real=budget_real,
+                label=label,
+            )
 
     # -- convenience ------------------------------------------------------
 

@@ -1,0 +1,89 @@
+"""Per-stage wall-time and counter accounting for the pipeline.
+
+The four framework stages (profile, analyze, advise, run_placed) are
+the unit of work the sweep executor schedules, caches and retries; a
+:class:`StageMetrics` instance records how many times each stage
+actually *executed* and how long it took, so a warm-cache sweep can
+prove it ran zero stages and a cold one can show where the time went.
+
+Metrics objects are cheap, picklable (they cross the worker process
+boundary with each cell result) and mergeable (the parent folds every
+per-cell record into one sweep-level roll-up).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+#: The four framework stages, in pipeline order.
+STAGE_NAMES: tuple[str, ...] = ("profile", "analyze", "advise", "run_placed")
+
+
+@dataclass
+class StageMetrics:
+    """Counters and wall-clock seconds, keyed by stage name.
+
+    Stage names are open-ended: the sweep layer adds bookkeeping
+    counters (``cache_hit``, ``cache_miss``, ``error``, ``retry``)
+    next to the four pipeline stages.
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    # -- recording -----------------------------------------------------
+
+    def bump(self, name: str, n: int = 1) -> None:
+        """Increment a counter without timing anything."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    @contextmanager
+    def record(self, stage: str) -> Iterator[None]:
+        """Count one execution of ``stage`` and time its body."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.bump(stage)
+            self.seconds[stage] = self.seconds.get(stage, 0.0) + elapsed
+
+    # -- reading -------------------------------------------------------
+
+    def count(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def wall_seconds(self, stage: str) -> float:
+        return self.seconds.get(stage, 0.0)
+
+    @property
+    def total_stage_executions(self) -> int:
+        """Executions of the four pipeline stages (bookkeeping
+        counters excluded) — zero on a fully warm cache run."""
+        return sum(self.count(s) for s in STAGE_NAMES)
+
+    @property
+    def total_stage_seconds(self) -> float:
+        return sum(self.wall_seconds(s) for s in STAGE_NAMES)
+
+    # -- composition ---------------------------------------------------
+
+    def merge(self, other: "StageMetrics") -> None:
+        """Fold another record into this one (sweep roll-up)."""
+        for name, n in other.counters.items():
+            self.bump(name, n)
+        for stage, secs in other.seconds.items():
+            self.seconds[stage] = self.seconds.get(stage, 0.0) + secs
+
+    def to_dict(self) -> dict:
+        return {"counters": dict(self.counters), "seconds": dict(self.seconds)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StageMetrics":
+        return cls(
+            counters=dict(data.get("counters", {})),
+            seconds=dict(data.get("seconds", {})),
+        )

@@ -36,6 +36,31 @@ class ResultRow:
             return 0.0
         return delta_fom_per_mbyte(self.fom, fom_ddr, self.hwm_bytes)
 
+    # -- serialisation (the sweep result cache stores rows as JSON) ----
+
+    def to_dict(self) -> dict:
+        return {
+            "application": self.application,
+            "label": self.label,
+            "budget_bytes": self.budget_bytes,
+            "fom": self.fom,
+            "hwm_bytes": self.hwm_bytes,
+            "total_time": self.total_time,
+            "alloc_overhead": self.alloc_overhead,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResultRow":
+        return cls(
+            application=data["application"],
+            label=data["label"],
+            budget_bytes=int(data["budget_bytes"]),
+            fom=float(data["fom"]),
+            hwm_bytes=int(data["hwm_bytes"]),
+            total_time=float(data["total_time"]),
+            alloc_overhead=float(data.get("alloc_overhead", 0.0)),
+        )
+
 
 @dataclass
 class ExperimentResult:

@@ -1,6 +1,17 @@
 """Plain-text reporting helpers for the benchmark harness."""
 
-from repro.reporting.tables import AsciiTable, format_figure4, format_baselines
+from repro.reporting.tables import (
+    AsciiTable,
+    format_baselines,
+    format_figure4,
+    format_stage_metrics,
+)
 from repro.reporting.series import LabelledSeries
 
-__all__ = ["AsciiTable", "format_figure4", "format_baselines", "LabelledSeries"]
+__all__ = [
+    "AsciiTable",
+    "format_figure4",
+    "format_baselines",
+    "format_stage_metrics",
+    "LabelledSeries",
+]

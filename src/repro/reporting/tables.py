@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.pipeline.metrics import STAGE_NAMES, StageMetrics
 from repro.pipeline.results import ExperimentResult
 from repro.units import MIB
 
@@ -93,6 +94,31 @@ def format_figure4(result: ExperimentResult) -> str:
     out.append(eff.render())
     out.append(format_baselines(result))
     return "\n".join(out)
+
+
+def format_stage_metrics(metrics: StageMetrics) -> str:
+    """Per-stage execution counts and wall time, plus the sweep's
+    cache/fault bookkeeping counters."""
+    table = AsciiTable(["stage", "executions", "seconds"])
+    for stage in STAGE_NAMES:
+        table.add_row(stage, metrics.count(stage), metrics.wall_seconds(stage))
+    table.add_row(
+        "total",
+        metrics.total_stage_executions,
+        metrics.total_stage_seconds,
+    )
+    lines = ["-- stage metrics --", table.render()]
+    bookkeeping = [
+        (name, metrics.count(name))
+        for name in ("cache_hit", "cache_miss", "retry", "error")
+        if metrics.count(name)
+    ]
+    if bookkeeping:
+        lines.append(
+            "counters: "
+            + ", ".join(f"{name}={n}" for name, n in bookkeeping)
+        )
+    return "\n".join(lines)
 
 
 def format_baselines(result: ExperimentResult) -> str:

@@ -86,3 +86,59 @@ class TestCsv:
         path.write_text("\n".join(lines) + "\n")
         with pytest.raises(AttributionError):
             read_profiles_csv(path)
+
+    def test_legacy_header_without_latency_accepted(self, tmp_path):
+        """Reports from before the ``sampled_latency`` column existed
+        still load, with latency defaulting to 0."""
+        path = tmp_path / "current.csv"
+        write_profiles_csv(self._profiles(), path)
+        legacy = tmp_path / "legacy.csv"
+        legacy.write_text(
+            "\n".join(
+                line.rsplit(",", 1)[0]
+                for line in path.read_text().splitlines()
+            )
+            + "\n"
+        )
+        clone = read_profiles_csv(legacy)
+        assert len(clone) == 2
+        assert all(p.sampled_latency == 0 for p in clone)
+        original = {p.key: p for p in self._profiles()}
+        for p in clone:
+            assert p.sampled_misses == original[p.key].sampled_misses
+            assert p.size == original[p.key].size
+
+    def test_reordered_header_still_rejected(self, tmp_path):
+        path = tmp_path / "reordered.csv"
+        write_profiles_csv(self._profiles(), path)
+        lines = path.read_text().splitlines()
+        header = lines[0].split(",")
+        header[0], header[1] = header[1], header[0]
+        lines[0] = ",".join(header)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(AttributionError):
+            read_profiles_csv(path)
+
+    def test_mixed_sampling_periods_rejected(self, tmp_path):
+        profiles = ProfileSet(
+            profiles=[
+                ObjectProfile(key=ObjectKey.static("a"), sampled_misses=1,
+                              size=10, sampling_period=7),
+                ObjectProfile(key=ObjectKey.static("b"), sampled_misses=2,
+                              size=20, sampling_period=13),
+            ],
+            sampling_period=7,
+        )
+        path = tmp_path / "mixed.csv"
+        write_profiles_csv(profiles, path)
+        with pytest.raises(AttributionError, match="sampling_period"):
+            read_profiles_csv(path)
+
+    def test_empty_file_with_header_defaults_period(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_profiles_csv(
+            ProfileSet(profiles=[], sampling_period=7), path
+        )
+        clone = read_profiles_csv(path)
+        assert len(clone) == 0
+        assert clone.sampling_period == 1

@@ -52,3 +52,42 @@ class TestAllocCache:
 
     def test_hit_ratio_empty(self):
         assert AllocCache().hit_ratio == 0.0
+
+    def test_eviction_is_strict_lru_order(self):
+        cache = AllocCache(max_entries=3)
+        for address in (1, 2, 3):
+            cache.annotate(_raw(address), True)
+        cache.lookup(_raw(1))           # order now: 2, 3, 1
+        cache.annotate(_raw(2), False)  # order now: 3, 1, 2
+        cache.annotate(_raw(4), True)   # evicts 3 (least recent)
+        assert cache.lookup(_raw(3)) is None
+        cache.annotate(_raw(5), True)   # evicts 1 (refreshed before 2)
+        assert cache.lookup(_raw(1)) is None
+        assert cache.lookup(_raw(2)) is False
+        assert cache.lookup(_raw(4)) is True
+        assert cache.lookup(_raw(5)) is True
+
+    def test_annotate_updates_without_growth(self):
+        cache = AllocCache(max_entries=2)
+        cache.annotate(_raw(1), True)
+        cache.annotate(_raw(1), False)
+        assert len(cache) == 1
+        assert cache.lookup(_raw(1)) is False
+
+    def test_hit_ratio_accounting_across_eviction(self):
+        cache = AllocCache(max_entries=1)
+        cache.annotate(_raw(1), True)
+        assert cache.lookup(_raw(1)) is True   # hit
+        cache.annotate(_raw(2), True)          # evicts 1
+        assert cache.lookup(_raw(1)) is None   # miss (evicted)
+        assert cache.lookup(_raw(2)) is True   # hit
+        assert cache.hits == 2
+        assert cache.misses == 1
+        assert cache.hit_ratio == pytest.approx(2 / 3)
+
+    def test_single_entry_cache(self):
+        cache = AllocCache(max_entries=1)
+        cache.annotate(_raw(1), True)
+        cache.annotate(_raw(2), False)
+        assert len(cache) == 1
+        assert cache.lookup(_raw(2)) is False

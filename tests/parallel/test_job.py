@@ -1,9 +1,11 @@
 """SPMD job driver and rank-symmetry roll-up."""
 
+import warnings
+
 import pytest
 
 from repro.errors import WorkloadError
-from repro.parallel.job import SPMDJob
+from repro.parallel.job import JobSummary, SPMDJob
 
 
 class TestSPMDJob:
@@ -40,3 +42,25 @@ class TestSPMDJob:
             SPMDJob(tiny_app, n_simulated_ranks=0)
         with pytest.raises(WorkloadError):
             SPMDJob(tiny_app, n_simulated_ranks=65)
+
+
+class TestEmptySummary:
+    """A summary with no per-rank observations must aggregate to
+    finite zeros, not NaN with a RuntimeWarning."""
+
+    def test_means_are_zero_not_nan(self):
+        summary = JobSummary(ranks_declared=64, ranks_simulated=0,
+                             duration=10.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert summary.mean_samples == 0.0
+            assert summary.mean_hwm_bytes == 0.0
+            assert summary.allocs_per_second == 0.0
+
+    def test_downstream_estimates_finite(self):
+        summary = JobSummary(ranks_declared=64, ranks_simulated=0,
+                             duration=10.0)
+        assert summary.total_samples_estimate == 0.0
+        assert summary.total_hwm_bytes_estimate == 0.0
+        assert summary.samples_per_second == 0.0
+        assert summary.rank_symmetry() == 0.0

@@ -1,0 +1,221 @@
+"""Parallel sweep executor: determinism, caching, fault isolation."""
+
+import pytest
+
+from repro.parallel.result_cache import ResultCache, cell_cache_key
+from repro.parallel.sweep import SweepConfig, SweepExecutor, run_sweep
+from repro.pipeline.experiment import (
+    BASELINE_LABELS,
+    ExperimentGrid,
+    GridCell,
+    enumerate_cells,
+    run_figure4_experiment,
+)
+from repro.pipeline.results import ResultRow
+from repro.units import MIB
+from tests.conftest import TinyApp
+
+
+class SecondApp(TinyApp):
+    """A second, distinguishable application for multi-app sweeps."""
+
+    name = "tinyapp2"
+    sampling_period = 6
+
+
+class BrokenApp(TinyApp):
+    """Faults deterministically in the profile stage, every time."""
+
+    name = "brokenapp"
+
+    def run_profiling(self, seed=0, tracer_config=None):
+        raise RuntimeError("injected worker fault")
+
+
+class FlakyApp(TinyApp):
+    """Faults once, then recovers (exercises the retry path)."""
+
+    name = "flakyapp"
+    failures_left = 1
+
+    def run_profiling(self, seed=0, tracer_config=None):
+        if type(self).failures_left > 0:
+            type(self).failures_left -= 1
+            raise RuntimeError("transient fault")
+        return super().run_profiling(seed=seed, tracer_config=tracer_config)
+
+
+#: Two budgets x two strategies: 4 grid cells + 4 baselines per app.
+SMALL_GRID = ExperimentGrid(
+    budgets=(32 * MIB, 64 * MIB), strategies=("density", "misses-0%")
+)
+
+
+class TestEnumerateCells:
+    def test_counts_and_kinds(self, tiny_app):
+        cells = enumerate_cells(tiny_app, SMALL_GRID)
+        assert len(cells) == 8
+        baselines = [c for c in cells if c.kind == "baseline"]
+        assert tuple(c.label for c in baselines) == BASELINE_LABELS
+        grid = [c for c in cells if c.kind == "grid"]
+        assert all(c.budget_bytes > 0 for c in grid)
+
+    def test_virtual_budget_propagates(self, tiny_app):
+        grid = ExperimentGrid(
+            budgets=(64 * MIB,),
+            strategies=("density",),
+            virtual_advisor_budgets={64 * MIB: 256 * MIB},
+        )
+        (cell,) = [c for c in enumerate_cells(tiny_app, grid) if c.kind == "grid"]
+        assert cell.budget_bytes == 64 * MIB
+        assert cell.advisor_budget_bytes == 256 * MIB
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            GridCell(kind="nonsense", label="x")
+
+
+class TestSweepMatchesSerial:
+    def test_serial_sweep_identical_rows(self, tiny_app):
+        serial = run_figure4_experiment(tiny_app, grid=SMALL_GRID, seed=0)
+        sweep = run_sweep([tiny_app], grid=SMALL_GRID, jobs=1, seed=0)
+        assert not sweep.failures
+        result = sweep.experiment(tiny_app)
+        assert result.grid == serial.grid
+        assert result.baselines == serial.baselines
+
+    def test_parallel_two_apps_identical_rows(self):
+        apps = [TinyApp(), SecondApp()]
+        sweep = run_sweep(apps, grid=SMALL_GRID, jobs=2, seed=0)
+        assert not sweep.failures
+        for app in apps:
+            serial = run_figure4_experiment(app, grid=SMALL_GRID, seed=0)
+            result = sweep.experiment(app)
+            assert result.grid == serial.grid
+            assert result.baselines == serial.baselines
+
+    def test_outcomes_in_enumeration_order(self):
+        apps = [TinyApp(), SecondApp()]
+        sweep = run_sweep(apps, grid=SMALL_GRID, jobs=2, seed=0)
+        expected = [
+            (app.name, cell.key)
+            for app in apps
+            for cell in enumerate_cells(app, SMALL_GRID)
+        ]
+        observed = [(o.application, o.cell.key) for o in sweep.outcomes]
+        assert observed == expected
+
+    def test_rejects_zero_jobs(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            SweepExecutor(config=SweepConfig(jobs=0))
+
+
+class TestResultCaching:
+    def test_warm_rerun_executes_zero_stages(self, tiny_app, tmp_path):
+        cold = run_sweep(
+            [tiny_app], grid=SMALL_GRID, jobs=1, cache_dir=tmp_path, seed=0
+        )
+        assert cold.metrics.total_stage_executions > 0
+        assert cold.metrics.count("cache_miss") == 8
+        assert cold.metrics.count("cache_hit") == 0
+
+        warm = run_sweep(
+            [tiny_app], grid=SMALL_GRID, jobs=1, cache_dir=tmp_path, seed=0
+        )
+        assert warm.metrics.total_stage_executions == 0
+        assert warm.metrics.count("cache_hit") == 8
+        assert all(o.cached for o in warm.outcomes)
+        assert warm.experiment(tiny_app).grid == cold.experiment(tiny_app).grid
+
+    def test_warm_rerun_parallel(self, tiny_app, tmp_path):
+        run_sweep([tiny_app], grid=SMALL_GRID, jobs=2, cache_dir=tmp_path)
+        warm = run_sweep([tiny_app], grid=SMALL_GRID, jobs=2, cache_dir=tmp_path)
+        assert warm.metrics.total_stage_executions == 0
+
+    def test_seed_change_misses(self, tiny_app, tmp_path):
+        run_sweep([tiny_app], grid=SMALL_GRID, cache_dir=tmp_path, seed=0)
+        other = run_sweep([tiny_app], grid=SMALL_GRID, cache_dir=tmp_path, seed=1)
+        assert other.metrics.count("cache_hit") == 0
+
+    def test_failed_cells_are_not_cached(self, tmp_path):
+        run_sweep([BrokenApp()], grid=SMALL_GRID, cache_dir=tmp_path)
+        again = run_sweep([BrokenApp()], grid=SMALL_GRID, cache_dir=tmp_path)
+        assert again.metrics.count("cache_hit") == 0
+        assert len(again.failures) == 8
+
+
+class TestCacheKey:
+    def test_key_is_content_sensitive(self, tiny_app, machine):
+        cell = enumerate_cells(tiny_app, SMALL_GRID)[0]
+        other_cell = enumerate_cells(tiny_app, SMALL_GRID)[1]
+        base = cell_cache_key(tiny_app, machine, cell, seed=0)
+        assert cell_cache_key(tiny_app, machine, cell, seed=0) == base
+        assert cell_cache_key(tiny_app, machine, cell, seed=1) != base
+        assert cell_cache_key(tiny_app, machine, other_cell, seed=0) != base
+        # A change to the application model must change the key.
+        assert cell_cache_key(SecondApp(), machine, cell, seed=0) != base
+
+    def test_store_and_load(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        row = ResultRow(
+            application="x", label="density", budget_bytes=32 * MIB,
+            fom=1.5, hwm_bytes=10, total_time=2.0,
+        )
+        cache.put("ab" + "0" * 62, row)
+        assert cache.get("ab" + "0" * 62) == row
+        assert len(cache) == 1
+        assert cache.hit_ratio == 1.0
+
+    def test_cache_dir_must_be_a_directory(self, tmp_path):
+        from repro.errors import ConfigError
+
+        plain_file = tmp_path / "occupied"
+        plain_file.write_text("not a directory")
+        with pytest.raises(ConfigError, match="not a directory"):
+            ResultCache(plain_file)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "0" * 62
+        row = ResultRow(
+            application="x", label="density", budget_bytes=0,
+            fom=1.0, hwm_bytes=0, total_time=1.0,
+        )
+        cache.put(key, row)
+        cache._path(key).write_text("{not json")
+        assert cache.get(key) is None
+        assert cache.misses == 1
+
+
+class TestFaultIsolation:
+    def test_error_row_does_not_abort_parallel_sweep(self):
+        sweep = run_sweep(
+            [TinyApp(), BrokenApp()], grid=SMALL_GRID, jobs=2, seed=0
+        )
+        assert len(sweep.failures) == 8
+        assert all(o.application == "brokenapp" for o in sweep.failures)
+        assert all("injected worker fault" in o.error for o in sweep.failures)
+        # Each failing cell was retried exactly once.
+        assert all(o.attempts == 2 for o in sweep.failures)
+        assert sweep.metrics.count("retry") == 8
+        assert sweep.metrics.count("error") == 8
+        # The healthy application's row set is complete and correct.
+        serial = run_figure4_experiment(TinyApp(), grid=SMALL_GRID, seed=0)
+        assert sweep.experiment(TinyApp()).grid == serial.grid
+
+    def test_retry_recovers_transient_fault(self):
+        FlakyApp.failures_left = 1
+        sweep = run_sweep([FlakyApp()], grid=SMALL_GRID, jobs=1, seed=0)
+        assert not sweep.failures
+        assert sweep.metrics.count("retry") == 1
+        retried = [o for o in sweep.outcomes if o.attempts == 2]
+        assert len(retried) == 1
+
+    def test_exhausted_retries_capture_traceback(self):
+        sweep = run_sweep([BrokenApp()], grid=SMALL_GRID, jobs=1, seed=0)
+        failure = sweep.failures[0]
+        assert failure.row is None
+        assert "RuntimeError" in failure.error
+        assert "run_profiling" in failure.error

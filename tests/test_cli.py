@@ -92,6 +92,28 @@ class TestShellFlow:
         assert "-- FOM --" in out
         assert "baselines" in out
 
+    def test_experiment_parallel_cached_metrics(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        argv = ["cgpop", "minife", "--jobs", "2",
+                "--cache-dir", str(cache), "--metrics"]
+        assert experiment_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "== cgpop:" in out
+        assert "== minife:" in out
+        assert "-- stage metrics --" in out
+        assert "cache_miss=40" in out
+
+        # Warm re-run: every cell answered from the cache, zero stages.
+        assert experiment_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache_hit=40" in out
+        assert "cache_miss" not in out
+        assert "-- FOM --" in out
+
+    def test_experiment_rejects_bad_jobs(self, capsys):
+        assert experiment_main(["cgpop", "--jobs", "0"]) == 1
+        assert "error" in capsys.readouterr().err
+
     def test_unknown_app_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             profile_main(["hpl", "-o", str(tmp_path / "x")])
