@@ -19,6 +19,7 @@ from pathlib import Path
 
 from repro.analysis.objects import ObjectKey, ObjectKind
 from repro.errors import ReportError
+from repro.ioutil import atomic_write_text
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,6 +66,10 @@ class PlacementReport:
     ub_size: int | None = None
     #: Static variables the advisor recommends migrating by hand.
     static_recommendations: list[PlacementEntry] = field(default_factory=list)
+    #: ``line N: reason`` strings from a lenient parse; empty on clean
+    #: or strict parses (excluded from equality so a salvaged report
+    #: still compares equal to a pristine one with the same entries).
+    parse_warnings: list[str] = field(default_factory=list, compare=False)
 
     def dynamic_entries(self, tier: str | None = None) -> list[PlacementEntry]:
         out = [e for e in self.entries if e.key.kind == ObjectKind.DYNAMIC]
@@ -125,34 +130,54 @@ class PlacementReport:
         return "\n".join(lines) + "\n"
 
     @classmethod
-    def from_text(cls, text: str) -> "PlacementReport":
+    def from_text(cls, text: str, strict: bool = True) -> "PlacementReport":
+        """Parse the line-oriented report format.
+
+        Strict mode (default) raises :class:`ReportError` with line
+        context on the first malformed line. ``strict=False`` is the
+        lenient mode damaged-artifact recovery uses: malformed lines
+        and half-parsed entries are skipped, each leaving a
+        ``line N: reason`` warning in :attr:`parse_warnings`.
+        """
         report = cls(application="", strategy="")
         current: dict | None = None
+        current_lineno = 0
         frames: list[tuple[str, str, int]] = []
+
+        def complain(lineno: int, raw: str, reason: object) -> None:
+            message = f"line {lineno}: {raw!r}: {reason}"
+            if strict:
+                raise ReportError(message)
+            report.parse_warnings.append(message)
 
         def flush() -> None:
             nonlocal current, frames
             if current is None:
                 return
-            if current["kind"] == ObjectKind.DYNAMIC:
-                if not frames:
-                    raise ReportError("dynamic object with no frames")
-                key = ObjectKey(kind=ObjectKind.DYNAMIC, identity=tuple(frames))
-            else:
-                key = ObjectKey(
-                    kind=current["kind"], identity=current["name"]
+            entry_line = current_lineno
+            spec, current = current, None
+            entry_frames, frames = frames, []
+            try:
+                if spec["kind"] == ObjectKind.DYNAMIC:
+                    if not entry_frames:
+                        raise ReportError("dynamic object with no frames")
+                    key = ObjectKey(
+                        kind=ObjectKind.DYNAMIC, identity=tuple(entry_frames)
+                    )
+                else:
+                    key = ObjectKey(kind=spec["kind"], identity=spec["name"])
+                entry = PlacementEntry(
+                    key=key,
+                    tier=spec["tier"],
+                    size=spec["size"],
+                    sampled_misses=spec["misses"],
+                    fraction=spec["fraction"],
                 )
-            entry = PlacementEntry(
-                key=key,
-                tier=current["tier"],
-                size=current["size"],
-                sampled_misses=current["misses"],
-                fraction=current["fraction"],
-            )
-            (report.static_recommendations if current["static"] else report.entries
+            except ReportError as exc:
+                complain(entry_line, spec["raw"], exc)
+                return
+            (report.static_recommendations if spec["static"] else report.entries
              ).append(entry)
-            current = None
-            frames = []
 
         for lineno, raw in enumerate(text.splitlines(), start=1):
             line = raw.strip()
@@ -183,7 +208,9 @@ class PlacementReport:
                         "kind": ObjectKind.DYNAMIC,
                         "name": "",
                         "static": tag == "static-recommendation",
+                        "raw": raw,
                     }
+                    current_lineno = lineno
                 elif tag == "frame":
                     if current is None:
                         raise ReportError("frame outside an object")
@@ -196,17 +223,18 @@ class PlacementReport:
                     current["name"] = rest
                 else:
                     raise ReportError(f"unknown tag {tag!r}")
-            except (ValueError, KeyError) as exc:
-                raise ReportError(f"line {lineno}: {raw!r}: {exc}") from exc
+            except (ValueError, KeyError, ReportError) as exc:
+                complain(lineno, raw, exc)
         flush()
         return report
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(self.to_text())
+        """Write the text form atomically (temp file + rename)."""
+        atomic_write_text(path, self.to_text())
 
     @classmethod
-    def load(cls, path: str | Path) -> "PlacementReport":
-        return cls.from_text(Path(path).read_text())
+    def load(cls, path: str | Path, strict: bool = True) -> "PlacementReport":
+        return cls.from_text(Path(path).read_text(), strict=strict)
 
 
 def _key_lines(key: ObjectKey) -> list[str]:

@@ -17,6 +17,8 @@ from repro.analysis.paramedir import (
 )
 from repro.apps import APP_NAMES, get_app
 from repro.errors import ReproError
+from repro.faults.plan import FaultPlan
+from repro.faults.resilience import run_resilience_sweep
 from repro.machine.config import xeon_phi_7250
 from repro.metrics import percent_gain
 from repro.parallel.sweep import run_sweep
@@ -25,6 +27,7 @@ from repro.placement.policies import run_ddr_only, run_framework
 from repro.reporting.tables import (
     AsciiTable,
     format_figure4,
+    format_resilience,
     format_stage_metrics,
 )
 from repro.trace.tracefile import TraceFile
@@ -132,9 +135,21 @@ def analyze_main(argv: list[str] | None = None) -> int:
                         help="restrict samples to a time window")
     parser.add_argument("--min-size", type=parse_size, default=None,
                         help="drop objects smaller than this")
+    parser.add_argument("--salvage", action="store_true",
+                        help="recover every intact record from a "
+                        "damaged trace instead of failing on the "
+                        "first corrupt line")
 
     def run(args) -> None:
-        trace = TraceFile.load(args.trace)
+        trace = TraceFile.load(args.trace, salvage=args.salvage)
+        if trace.salvage is not None and not trace.salvage.clean:
+            report = trace.salvage
+            print(
+                f"salvage: recovered {report.recovered_records} records, "
+                f"{report.damaged_lines} damaged lines, "
+                f"~{report.lost_records} records lost",
+                file=sys.stderr,
+            )
         config = AnalysisConfig.load(args.config) if args.config else None
         if args.window is not None or args.min_size is not None:
             base = config or AnalysisConfig()
@@ -277,21 +292,55 @@ def experiment_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--metrics", action="store_true",
                         help="print per-stage execution counts and "
                         "wall time after the results")
+    parser.add_argument("--fault-plan", type=Path, default=None,
+                        help="JSON fault plan to inject (seeded, "
+                        "deterministic degradation; see repro-faults)")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="re-executions granted to a faulting cell "
+                        "(default 1)")
+    parser.add_argument("--backoff", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="base retry delay; attempt n waits "
+                        "backoff * 2^(n-1) seconds (default 0)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock limit per cell attempt")
+    parser.add_argument("--error-budget", type=int, default=None,
+                        metavar="N",
+                        help="after N cells fail, skip the remaining "
+                        "cells instead of executing them (fail-fast)")
 
     def run(args) -> None:
         apps = [get_app(name) for name in args.apps]
+        fault_plan = (
+            FaultPlan.load(args.fault_plan)
+            if args.fault_plan is not None
+            else None
+        )
         sweep = run_sweep(
             apps,
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             seed=args.seed,
+            retries=args.retries,
+            backoff_seconds=args.backoff,
+            timeout_seconds=args.timeout,
+            error_budget=args.error_budget,
+            fault_plan=fault_plan,
         )
         failed_apps = {f.application for f in sweep.failures}
+        failed_apps.update(s.application for s in sweep.skipped)
         for failure in sweep.failures:
             print(
                 f"error: {failure.application} cell "
                 f"{failure.cell.label}@{failure.cell.budget_bytes} failed "
                 f"after {failure.attempts} attempts:\n{failure.error}",
+                file=sys.stderr,
+            )
+        if sweep.skipped:
+            print(
+                f"error budget exhausted: {len(sweep.skipped)} cells "
+                "skipped",
                 file=sys.stderr,
             )
         for app in apps:
@@ -302,10 +351,85 @@ def experiment_main(argv: list[str] | None = None) -> int:
             print(format_figure4(sweep.experiment(app)))
         if args.metrics:
             print(format_stage_metrics(sweep.metrics))
-        if sweep.failures:
+        if sweep.failures or sweep.skipped:
             raise ReproError(
                 f"{len(sweep.failures)} of {len(sweep.outcomes)} sweep "
-                "cells failed"
+                f"cells failed ({len(sweep.skipped)} skipped)"
+            )
+
+    return _run(parser, run, argv)
+
+
+# ---------------------------------------------------------------------------
+# repro-faults
+# ---------------------------------------------------------------------------
+
+
+def faults_main(argv: list[str] | None = None) -> int:
+    """Resilience study: the Figure-4 sweep under escalating faults."""
+    parser = argparse.ArgumentParser(
+        prog="repro-faults",
+        description="Run the evaluation sweep at a ladder of fault "
+        "intensities (a scaled fault plan per rung) and print a "
+        "resilience table: cell survival, degradation events and "
+        "placement quality relative to the clean run.",
+    )
+    parser.add_argument("apps", nargs="+", choices=APP_NAMES, metavar="app",
+                        help=f"application model(s) ({', '.join(APP_NAMES)})")
+    parser.add_argument("--plan", type=Path, required=True,
+                        help="JSON fault plan (the factor-1 rung; other "
+                        "rungs scale its rates)")
+    parser.add_argument("--factors", default="0,0.5,1",
+                        help="comma-separated fault-intensity ladder "
+                        "(0 = clean reference; default 0,0.5,1)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("-j", "--jobs", type=int, default=1)
+    parser.add_argument("--cache-dir", type=Path, default=None)
+    parser.add_argument("--retries", type=int, default=1)
+    parser.add_argument("--backoff", type=float, default=0.0,
+                        metavar="SECONDS")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS")
+    parser.add_argument("--error-budget", type=int, default=None,
+                        metavar="N")
+    parser.add_argument("--min-survival", type=float, default=None,
+                        metavar="FRACTION",
+                        help="fail (exit 1) if any rung's cell survival "
+                        "drops below this fraction")
+
+    def run(args) -> None:
+        apps = [get_app(name) for name in args.apps]
+        plan = FaultPlan.load(args.plan)
+        try:
+            factors = tuple(
+                float(f) for f in args.factors.split(",") if f.strip()
+            )
+        except ValueError as exc:
+            raise ReproError(
+                f"bad --factors {args.factors!r}: {exc}"
+            ) from exc
+        if not factors:
+            raise ReproError("--factors must name at least one rung")
+        table = run_resilience_sweep(
+            apps,
+            plan,
+            factors=factors,
+            jobs=args.jobs,
+            seed=args.seed,
+            retries=args.retries,
+            backoff_seconds=args.backoff,
+            timeout_seconds=args.timeout,
+            error_budget=args.error_budget,
+            cache_dir=args.cache_dir,
+        )
+        print(format_resilience(table))
+        if (
+            args.min_survival is not None
+            and table.worst_survival < args.min_survival
+        ):
+            raise ReproError(
+                f"cell survival {table.worst_survival:.0%} fell below "
+                f"the required {args.min_survival:.0%}"
             )
 
     return _run(parser, run, argv)

@@ -20,11 +20,63 @@ class AllocationError(ReproError):
 
 
 class OutOfMemoryError(AllocationError):
-    """A capacity-limited arena (e.g. MCDRAM) is exhausted."""
+    """A capacity-limited arena (e.g. MCDRAM) is exhausted.
+
+    Carries the request context (requested size, tier name, remaining
+    capacity) so fault-plan runs produce actionable diagnostics rather
+    than a bare "out of memory".
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        requested: int | None = None,
+        tier: str | None = None,
+        remaining: int | None = None,
+    ) -> None:
+        parts = [message]
+        if requested is not None:
+            parts.append(f"requested={requested}")
+        if tier is not None:
+            parts.append(f"tier={tier}")
+        if remaining is not None:
+            parts.append(f"remaining={remaining}")
+        super().__init__(
+            parts[0]
+            if len(parts) == 1
+            else f"{parts[0]} ({', '.join(parts[1:])})"
+        )
+        self.requested = requested
+        self.tier = tier
+        self.remaining = remaining
 
 
 class InvalidFreeError(AllocationError):
-    """``free`` of a pointer the allocator does not own."""
+    """``free`` of a pointer the allocator does not own.
+
+    Carries the offending address and the tier that rejected it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        address: int | None = None,
+        tier: str | None = None,
+    ) -> None:
+        parts = [message]
+        if address is not None:
+            parts.append(f"address={address:#x}")
+        if tier is not None:
+            parts.append(f"tier={tier}")
+        super().__init__(
+            parts[0]
+            if len(parts) == 1
+            else f"{parts[0]} ({', '.join(parts[1:])})"
+        )
+        self.address = address
+        self.tier = tier
 
 
 class AddressSpaceError(ReproError):
@@ -53,3 +105,11 @@ class ReportError(ReproError):
 
 class WorkloadError(ReproError):
     """A simulated application was configured inconsistently."""
+
+
+class FaultPlanError(ConfigError):
+    """A fault plan is malformed or names impossible rates."""
+
+
+class InjectedFaultError(ReproError):
+    """A failure the fault-injection harness produced on purpose."""

@@ -1,0 +1,41 @@
+"""Fault-injection harness (seeded, deterministic degradation).
+
+The paper's pipeline runs against *unmodified, in-production*
+binaries, which means every stage must survive imperfect inputs:
+lossy PEBS sampling, truncated traces, ASLR-shifted call stacks and
+MCDRAM exhaustion at re-execution time. This package provides the
+knobs to *produce* those conditions on purpose:
+
+* :class:`FaultPlan` — a declarative, JSON-round-trippable bundle of
+  fault rates (sample loss, trace damage, ASLR drift, capacity
+  shrink, allocation failures, sweep-cell kills/hangs);
+* :class:`FaultInjector` — the seeded executor of a plan: every
+  decision derives from the plan seed, so a fault-plan run is
+  bit-reproducible;
+* :func:`run_resilience_sweep` — the Figure-4 sweep executed at a
+  ladder of fault intensities, summarised as a resilience table
+  (placement quality and degradation events vs. fault rate).
+"""
+
+from repro.faults.injector import FaultInjector, damage_trace_file
+from repro.faults.plan import (
+    HBW_POLICY_BIND,
+    HBW_POLICY_PREFERRED,
+    FaultPlan,
+)
+from repro.faults.resilience import (
+    ResilienceRow,
+    ResilienceTable,
+    run_resilience_sweep,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "damage_trace_file",
+    "HBW_POLICY_BIND",
+    "HBW_POLICY_PREFERRED",
+    "ResilienceRow",
+    "ResilienceTable",
+    "run_resilience_sweep",
+]

@@ -1,0 +1,187 @@
+"""The seeded executor of a :class:`~repro.faults.plan.FaultPlan`.
+
+Every decision the injector makes is a pure function of the plan seed
+and the identity of the thing being degraded (application name, cell
+key, attempt number, record index), never of wall-clock time or
+process-global RNG state. That is what makes a fault-plan sweep
+bit-reproducible across serial and parallel executions: worker
+processes reconstruct the same injector from the same picklable plan
+and reach the same verdicts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import FaultPlanError, InjectedFaultError, OutOfMemoryError
+from repro.faults.plan import FaultPlan
+from repro.runtime.callstack import RawCallStack
+from repro.trace.events import SampleEvent
+
+#: Cell fates the scheduler distinguishes.
+FATE_OK = "ok"
+FATE_KILL = "kill"
+FATE_HANG = "hang"
+
+
+def _unit(seed: int, *tokens: object) -> float:
+    """Deterministic uniform draw in [0, 1) keyed on ``tokens``."""
+    digest = hashlib.sha256(repr((seed, tokens)).encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+class FaultInjector:
+    """Applies one fault plan to the pipeline's moving parts."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        #: Per-injector memkind call counter (replay-local, so a fresh
+        #: replay of the same timeline fails at the same allocations).
+        self._memkind_calls = 0
+        self._memkind_scope = ""
+
+    # -- stage 1: PEBS sample loss / corruption ------------------------
+
+    def degrade_trace(self, trace) -> tuple[int, int]:
+        """Drop/corrupt sample events of an in-memory trace.
+
+        Returns ``(dropped, corrupted)``. Deterministic in the plan
+        seed and the trace's application name + sample index, so the
+        same profile degrades identically wherever it is re-derived.
+        """
+        plan = self.plan
+        if not plan.degrades_profile:
+            return 0, 0
+        scope = zlib.crc32(trace.application.encode())
+        kept = []
+        dropped = corrupted = 0
+        sample_index = 0
+        for event in trace.events:
+            if not isinstance(event, SampleEvent):
+                kept.append(event)
+                continue
+            u = _unit(plan.seed, "sample", scope, sample_index)
+            sample_index += 1
+            if u < plan.sample_drop_rate:
+                dropped += 1
+                continue
+            if u < plan.sample_drop_rate + plan.sample_corrupt_rate:
+                # Perturb the address out of every mapped region; the
+                # attribution stage must file it as unresolved.
+                garbage = int(
+                    _unit(plan.seed, "corrupt", scope, sample_index) * 2**46
+                )
+                kept.append(
+                    SampleEvent(
+                        time=event.time,
+                        rank=event.rank,
+                        address=(event.address ^ 0x5A5A_5A5A_5A5A) + garbage,
+                        latency_cycles=event.latency_cycles,
+                    )
+                )
+                corrupted += 1
+                continue
+            kept.append(event)
+        trace.events = kept
+        return dropped, corrupted
+
+    # -- stage 4: ASLR drift -------------------------------------------
+
+    def perturb_callstack(self, raw: RawCallStack) -> RawCallStack:
+        """Shift every frame address by the plan's constant ASLR offset."""
+        if self.plan.aslr_offset == 0:
+            return raw
+        return RawCallStack(
+            addresses=tuple(a + self.plan.aslr_offset for a in raw.addresses)
+        )
+
+    # -- stage 4: memkind allocation failures --------------------------
+
+    def arm_memkind(self, memkind, scope: str = "") -> None:
+        """Install the injected-failure hook on a memkind allocator."""
+        if self.plan.memkind_failure_rate <= 0:
+            return
+        self._memkind_scope = scope
+        memkind.fail_hook = self._memkind_should_fail
+
+    def _memkind_should_fail(self, size: int) -> bool:
+        self._memkind_calls += 1
+        return (
+            _unit(
+                self.plan.seed,
+                "memkind",
+                self._memkind_scope,
+                self._memkind_calls,
+            )
+            < self.plan.memkind_failure_rate
+        )
+
+    # -- sweep scheduling: kills and hangs -----------------------------
+
+    def cell_fate(self, application: str, cell_key: tuple, attempt: int) -> str:
+        """``"ok"``, ``"kill"`` or ``"hang"`` for one cell attempt.
+
+        The attempt number is part of the identity, so a killed first
+        attempt can deterministically succeed on retry — the scenario
+        the executor's retry/backoff machinery exists for.
+        """
+        u = _unit(self.plan.seed, "cell", application, cell_key, attempt)
+        if u < self.plan.cell_kill_rate:
+            return FATE_KILL
+        if u < self.plan.cell_kill_rate + self.plan.cell_hang_rate:
+            return FATE_HANG
+        return FATE_OK
+
+    def kill_error(self, application: str, cell_key: tuple, attempt: int):
+        return InjectedFaultError(
+            f"injected kill: {application} cell {cell_key} attempt {attempt}"
+        )
+
+
+def damage_trace_file(
+    path: str | Path,
+    plan: FaultPlan,
+    protect_header: bool = True,
+) -> int:
+    """Damage a trace file on disk per the plan (truncation + bit flips).
+
+    Returns the number of bytes the file lost to truncation. With
+    ``protect_header`` (default) bit flips land after the first line,
+    because a destroyed header makes a trace unrecoverable by design
+    and the harness targets *record* damage for salvage studies.
+    """
+    path = Path(path)
+    raw = bytearray(path.read_bytes())
+    lost = 0
+    if plan.trace_truncate_fraction is not None:
+        keep = int(len(raw) * plan.trace_truncate_fraction)
+        lost = len(raw) - keep
+        raw = raw[:keep]
+    if plan.trace_bitflips > 0 and raw:
+        first_record = raw.find(b"\n") + 1 if protect_header else 0
+        if first_record >= len(raw):
+            raise FaultPlanError(
+                f"{path}: nothing after the header to bit-flip"
+            )
+        rng = np.random.default_rng(
+            np.random.SeedSequence([plan.seed, zlib.crc32(path.name.encode())])
+        )
+        for _ in range(plan.trace_bitflips):
+            pos = int(rng.integers(first_record, len(raw)))
+            bit = int(rng.integers(0, 8))
+            raw[pos] ^= 1 << bit
+    path.write_bytes(bytes(raw))
+    return lost
+
+
+def capacity_oom(
+    message: str, requested: int, tier: str, remaining: int
+) -> OutOfMemoryError:
+    """Uniformly enriched OOM constructor used by the interposers."""
+    return OutOfMemoryError(
+        message, requested=requested, tier=tier, remaining=remaining
+    )

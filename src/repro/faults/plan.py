@@ -1,0 +1,205 @@
+"""The declarative fault plan.
+
+A :class:`FaultPlan` names *what* can go wrong and how often; the
+:class:`repro.faults.injector.FaultInjector` decides *when*, seeded by
+``plan.seed`` so two runs of the same plan fail identically. Plans
+round-trip through JSON so a sweep can be re-run under the exact
+degradation that produced a result (``repro-experiment --fault-plan``).
+
+The MCDRAM knobs mirror memkind's ``hbwmalloc`` policies: under
+``HBW_POLICY_PREFERRED`` an allocation that does not fit the fast
+tier falls back to DDR (and the fallback is counted); under
+``HBW_POLICY_BIND`` it raises :class:`~repro.errors.OutOfMemoryError`
+— exactly the two failure modes auto-hbwmalloc inherits from the real
+library.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.errors import FaultPlanError
+from repro.ioutil import atomic_write_text
+
+#: memkind fallback policy names (hbwmalloc's ``HBW_POLICY_*``).
+HBW_POLICY_PREFERRED = "preferred"
+HBW_POLICY_BIND = "bind"
+HBW_POLICIES: tuple[str, ...] = (HBW_POLICY_PREFERRED, HBW_POLICY_BIND)
+
+_RATE_FIELDS = (
+    "sample_drop_rate",
+    "sample_corrupt_rate",
+    "memkind_failure_rate",
+    "cell_kill_rate",
+    "cell_hang_rate",
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One bundle of fault rates and degradation knobs.
+
+    The default-constructed plan injects nothing; every knob scales
+    independently so a resilience study can turn one dial at a time.
+    """
+
+    #: Seed of every injection decision (bit-reproducibility anchor).
+    seed: int = 0
+
+    # -- stage 1: PEBS sampling ---------------------------------------
+    #: Fraction of recorded PEBS samples silently lost.
+    sample_drop_rate: float = 0.0
+    #: Fraction of samples whose address is corrupted (perturbed to a
+    #: value that resolves to no object — the attribution stage must
+    #: file them as unresolved instead of crashing).
+    sample_corrupt_rate: float = 0.0
+
+    # -- stage 1/2 boundary: the trace file on disk -------------------
+    #: Keep only this leading fraction of the trace file's bytes
+    #: (None: no truncation). Models a crashed writer / full disk.
+    trace_truncate_fraction: float | None = None
+    #: Number of single-bit flips scattered over the trace file.
+    trace_bitflips: int = 0
+
+    # -- stage 4: re-execution ----------------------------------------
+    #: Constant offset added to every raw call-stack address during
+    #: the placed re-execution (ASLR drift between profiling and
+    #: production runs).
+    aslr_offset: int = 0
+    #: Multiplier on the per-rank MCDRAM share available at
+    #: re-execution time (0.5 = the tier lost half its capacity).
+    mcdram_capacity_factor: float = 1.0
+    #: memkind fallback policy under capacity pressure.
+    hbw_policy: str = HBW_POLICY_PREFERRED
+    #: Probability an individual memkind allocation fails even though
+    #: capacity accounting says it fits (fragmentation, NUMA pressure).
+    memkind_failure_rate: float = 0.0
+
+    # -- sweep scheduling ---------------------------------------------
+    #: Probability a sweep cell's attempt dies with an injected error.
+    cell_kill_rate: float = 0.0
+    #: Probability a sweep cell's attempt hangs before executing.
+    cell_hang_rate: float = 0.0
+    #: How long a hung attempt sleeps (seconds).
+    cell_hang_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in ("seed", "trace_bitflips", "aslr_offset"):
+            if not isinstance(getattr(self, name), int):
+                raise FaultPlanError(
+                    f"{name} must be an integer, got {getattr(self, name)!r}"
+                )
+        for name in (*_RATE_FIELDS, "mcdram_capacity_factor",
+                     "cell_hang_seconds"):
+            if not isinstance(getattr(self, name), (int, float)):
+                raise FaultPlanError(
+                    f"{name} must be a number, got {getattr(self, name)!r}"
+                )
+        if self.trace_truncate_fraction is not None and not isinstance(
+            self.trace_truncate_fraction, (int, float)
+        ):
+            raise FaultPlanError(
+                "trace_truncate_fraction must be a number or null, got "
+                f"{self.trace_truncate_fraction!r}"
+            )
+        for name in _RATE_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise FaultPlanError(f"{name} must be in [0, 1], got {value}")
+        if self.trace_truncate_fraction is not None and not (
+            0.0 <= self.trace_truncate_fraction <= 1.0
+        ):
+            raise FaultPlanError(
+                "trace_truncate_fraction must be in [0, 1], got "
+                f"{self.trace_truncate_fraction}"
+            )
+        if self.trace_bitflips < 0:
+            raise FaultPlanError(
+                f"trace_bitflips must be >= 0, got {self.trace_bitflips}"
+            )
+        if not 0.0 < self.mcdram_capacity_factor <= 1.0:
+            raise FaultPlanError(
+                "mcdram_capacity_factor must be in (0, 1], got "
+                f"{self.mcdram_capacity_factor}"
+            )
+        if self.hbw_policy not in HBW_POLICIES:
+            raise FaultPlanError(
+                f"hbw_policy must be one of {HBW_POLICIES}, got "
+                f"{self.hbw_policy!r}"
+            )
+        if self.cell_hang_seconds < 0:
+            raise FaultPlanError(
+                f"cell_hang_seconds must be >= 0, got {self.cell_hang_seconds}"
+            )
+
+    # -- derived views -------------------------------------------------
+
+    @property
+    def degrades_profile(self) -> bool:
+        """Does this plan touch the profiling stage's samples?"""
+        return self.sample_drop_rate > 0 or self.sample_corrupt_rate > 0
+
+    @property
+    def degrades_replay(self) -> bool:
+        """Does this plan touch the placed re-execution?"""
+        return (
+            self.aslr_offset != 0
+            or self.mcdram_capacity_factor < 1.0
+            or self.hbw_policy != HBW_POLICY_PREFERRED
+            or self.memkind_failure_rate > 0
+        )
+
+    def shrunk_capacity(self, share_real: int) -> int:
+        """The per-rank MCDRAM share after the capacity fault (bytes)."""
+        return max(1, int(share_real * self.mcdram_capacity_factor))
+
+    def scaled(self, factor: float) -> "FaultPlan":
+        """A copy with every *rate* multiplied by ``factor`` (clamped
+        to 1) and the capacity shrink deepened proportionally — the
+        ladder a resilience sweep climbs."""
+        if factor < 0:
+            raise FaultPlanError(f"scale factor must be >= 0, got {factor}")
+        data = asdict(self)
+        for name in _RATE_FIELDS:
+            data[name] = min(1.0, data[name] * factor)
+        shrink = 1.0 - self.mcdram_capacity_factor
+        data["mcdram_capacity_factor"] = max(
+            1e-6, 1.0 - min(1.0, shrink * factor)
+        )
+        data["aslr_offset"] = self.aslr_offset if factor > 0 else 0
+        if factor == 0:
+            data["hbw_policy"] = HBW_POLICY_PREFERRED
+            data["trace_truncate_fraction"] = None
+            data["trace_bitflips"] = 0
+        return FaultPlan(**data)
+
+    # -- persistence ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise FaultPlanError(
+                f"unknown fault-plan fields: {sorted(unknown)}"
+            )
+        return cls(**data)
+
+    def save(self, path: str | Path) -> None:
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise FaultPlanError(f"cannot read fault plan {path}: {exc}") from exc
+        if not isinstance(data, dict):
+            raise FaultPlanError(f"{path}: fault plan must be a JSON object")
+        return cls.from_dict(data)

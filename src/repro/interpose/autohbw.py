@@ -6,11 +6,21 @@ requested memory is within a user-given size range (as long as it
 fits)" (Section II). No profiling, no call-stacks — a pure size
 threshold, which is exactly why it promotes non-critical objects and
 can even hurt (the Lulesh −8% result, Section IV-C).
+
+Like the real library, fallback behaviour follows memkind's hbwmalloc
+policy: ``HBW_POLICY_PREFERRED`` (default) serves a refused promotion
+from DDR and counts the fallback; ``HBW_POLICY_BIND`` raises
+:class:`~repro.errors.OutOfMemoryError` with the request context.
+``realloc`` preserves tier stickiness — a fast-tier block stays fast
+while capacity allows and a DDR block stays in DDR, as memkind's
+realloc reallocates within the same kind — and counts as exactly one
+intercepted call.
 """
 
 from __future__ import annotations
 
-from repro.errors import InvalidFreeError
+from repro.errors import InvalidFreeError, OutOfMemoryError
+from repro.faults.plan import HBW_POLICIES, HBW_POLICY_BIND, HBW_POLICY_PREFERRED
 from repro.interpose.stats import InterposerStats
 from repro.runtime.allocator import Allocation
 from repro.runtime.callstack import RawCallStack
@@ -26,14 +36,18 @@ class AutoHBW:
         process: SimProcess,
         min_size: int = 1 * MIB,
         max_size: int | None = None,
+        policy: str = HBW_POLICY_PREFERRED,
     ) -> None:
         if min_size < 0:
             raise ValueError(f"negative threshold: {min_size}")
         if max_size is not None and max_size < min_size:
             raise ValueError("max_size below min_size")
+        if policy not in HBW_POLICIES:
+            raise ValueError(f"unknown HBW policy {policy!r}")
         self.process = process
         self.min_size = min_size
         self.max_size = max_size
+        self.policy = policy
         self.stats = InterposerStats()
         self._hbw_addresses: dict[int, int] = {}
 
@@ -44,19 +58,79 @@ class AutoHBW:
             return False
         return True
 
-    def malloc(self, size: int, callstack: RawCallStack) -> Allocation:
-        self.stats.calls_intercepted += 1
-        if self._eligible(size):
-            self.stats.calls_size_eligible += 1
-            if self.process.memkind.fits(size):
-                alloc = self.process.memkind.malloc(size, callstack)
-                self._hbw_addresses[alloc.address] = size
-                self.stats.on_promote(size, self.process.memkind.name)
-                return alloc
+    # -- fast-tier service ----------------------------------------------
+
+    def _hbw_alloc(
+        self,
+        size: int,
+        callstack: RawCallStack,
+        alignment: int | None = None,
+    ) -> Allocation | None:
+        """Serve from memkind, or None to fall back to DDR.
+
+        Under ``HBW_POLICY_BIND`` a refusal raises instead — the
+        library has been told the data *must* live in fast memory.
+        """
+        memkind = self.process.memkind
+        if not memkind.fits(size):
+            if self.policy == HBW_POLICY_BIND:
+                raise OutOfMemoryError(
+                    "autohbw: HBW_POLICY_BIND and the fast tier cannot "
+                    "serve this request",
+                    requested=size,
+                    tier=memkind.name,
+                    remaining=memkind.remaining,
+                )
             self.stats.calls_did_not_fit += 1
-        alloc = self.process.posix.malloc(size, callstack)
+            self.stats.on_capacity_fallback()
+            return None
+        try:
+            if alignment is None:
+                alloc = memkind.malloc(size, callstack)
+            else:
+                alloc = memkind.posix_memalign(alignment, size, callstack)
+        except OutOfMemoryError:
+            if self.policy == HBW_POLICY_BIND:
+                raise
+            self.stats.on_capacity_fallback()
+            return None
+        self._hbw_addresses[alloc.address] = size
+        self.stats.on_promote(size, memkind.name)
+        return alloc
+
+    def _ddr_alloc(
+        self,
+        size: int,
+        callstack: RawCallStack,
+        alignment: int | None = None,
+    ) -> Allocation:
+        if alignment is None:
+            alloc = self.process.posix.malloc(size, callstack)
+        else:
+            alloc = self.process.posix.posix_memalign(
+                alignment, size, callstack
+            )
         self.stats.on_fallback(self.process.posix.name)
         return alloc
+
+    def _serve(
+        self,
+        size: int,
+        callstack: RawCallStack,
+        alignment: int | None = None,
+    ) -> Allocation:
+        if self._eligible(size):
+            self.stats.calls_size_eligible += 1
+            alloc = self._hbw_alloc(size, callstack, alignment)
+            if alloc is not None:
+                return alloc
+        return self._ddr_alloc(size, callstack, alignment)
+
+    # -- libc surface ----------------------------------------------------
+
+    def malloc(self, size: int, callstack: RawCallStack) -> Allocation:
+        self.stats.calls_intercepted += 1
+        return self._serve(size, callstack)
 
     def free(self, address: int) -> Allocation:
         size = self._hbw_addresses.pop(address, None)
@@ -65,32 +139,46 @@ class AutoHBW:
             return self.process.memkind.free(address)
         if self.process.posix.owns(address):
             return self.process.posix.free(address)
-        raise InvalidFreeError(f"autohbw: free of unknown pointer {address:#x}")
+        raise InvalidFreeError(
+            "autohbw: free of unknown pointer",
+            address=address,
+        )
 
     def realloc(
         self, address: int, new_size: int, callstack: RawCallStack
     ) -> Allocation:
-        self.free(address)
-        return self.malloc(new_size, callstack)
+        """Resize preserving the serving tier (one intercepted call).
+
+        memkind's realloc reallocates within the kind that owns the
+        block, so a promoted allocation never silently migrates to DDR
+        (nor a DDR one to MCDRAM) just because its new size crosses
+        the threshold. Demotion only happens when the fast tier can no
+        longer hold the grown block — and under ``HBW_POLICY_BIND``
+        even that raises.
+        """
+        self.stats.calls_intercepted += 1
+        old_size = self._hbw_addresses.pop(address, None)
+        if old_size is not None:
+            self.stats.on_hbw_free(old_size)
+            self.process.memkind.free(address)
+            alloc = self._hbw_alloc(new_size, callstack)
+            if alloc is not None:
+                return alloc
+            return self._ddr_alloc(new_size, callstack)
+        if not self.process.posix.owns(address):
+            raise InvalidFreeError(
+                "autohbw: realloc of unknown pointer",
+                address=address,
+            )
+        self.process.posix.free(address)
+        return self._ddr_alloc(new_size, callstack)
 
     def memalign(
         self, alignment: int, size: int, callstack: RawCallStack
     ) -> Allocation:
         """``posix_memalign`` wrapper (same size-threshold decision)."""
         self.stats.calls_intercepted += 1
-        if self._eligible(size):
-            self.stats.calls_size_eligible += 1
-            if self.process.memkind.fits(size):
-                alloc = self.process.memkind.posix_memalign(
-                    alignment, size, callstack
-                )
-                self._hbw_addresses[alloc.address] = size
-                self.stats.on_promote(size, self.process.memkind.name)
-                return alloc
-            self.stats.calls_did_not_fit += 1
-        alloc = self.process.posix.posix_memalign(alignment, size, callstack)
-        self.stats.on_fallback(self.process.posix.name)
-        return alloc
+        return self._serve(size, callstack, alignment)
 
     @property
     def hbw_hwm_bytes(self) -> int:

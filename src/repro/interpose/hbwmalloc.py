@@ -14,21 +14,39 @@ simulated runtime:
 5. otherwise fall back to the posix allocator.
 
 ``free``/``realloc`` route through the same bookkeeping so allocations
-are always returned to the allocator that produced them.
+are always returned to the allocator that produced them; ``realloc``
+counts as exactly one intercepted call.
+
+Degradation semantics: advisor-budget exhaustion is normal operation
+and counts ``calls_did_not_fit`` under every policy. A *physical*
+refusal — the tier shrank below the advisor's assumption, or memkind
+itself failed the allocation — follows the configured hbwmalloc
+policy: ``HBW_POLICY_PREFERRED`` serves the call from DDR and counts
+``hbw_fallbacks``; ``HBW_POLICY_BIND`` re-raises the (enriched)
+:class:`~repro.errors.OutOfMemoryError`. Translation goes through
+:class:`~repro.interpose.matching.RecoveringTranslator`, so a constant
+ASLR drift between profiling and production costs one slide search
+instead of a crashed run.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.advisor.report import PlacementReport
 from repro.errors import InvalidFreeError, OutOfMemoryError
+from repro.faults.plan import HBW_POLICIES, HBW_POLICY_BIND, HBW_POLICY_PREFERRED
 from repro.interpose.alloc_cache import AllocCache
-from repro.interpose.matching import CallStackMatcher
+from repro.interpose.matching import CallStackMatcher, RecoveringTranslator
 from repro.interpose.stats import InterposerStats
 from repro.runtime.allocator import Allocation
 from repro.runtime.callstack import RawCallStack
 from repro.runtime.process import SimProcess
 from repro.runtime.symbols import translate_cost_us, unwind_cost_us
 from repro.units import MICROSECOND
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
 
 
 class AutoHbwMalloc:
@@ -51,6 +69,14 @@ class AutoHbwMalloc:
     size_filter:
         Apply the lb/ub pre-filter (can be disabled "upon user
         request", Section III, Step 4).
+    policy:
+        memkind fallback policy on *physical* refusals —
+        ``HBW_POLICY_PREFERRED`` (fall back to DDR, count it) or
+        ``HBW_POLICY_BIND`` (raise).
+    fault_injector:
+        Optional :class:`~repro.faults.injector.FaultInjector`; when
+        set, raw call-stacks are perturbed on entry (ASLR drift
+        emulation) before any cache/translation work.
     """
 
     def __init__(
@@ -61,17 +87,24 @@ class AutoHbwMalloc:
         budget: int | None = None,
         size_filter: bool = True,
         cache_entries: int = 4096,
+        policy: str = HBW_POLICY_PREFERRED,
+        fault_injector: "FaultInjector | None" = None,
     ) -> None:
         if tier is None:
             if not report.budgets:
                 raise OutOfMemoryError("report names no fast tier")
             tier = next(iter(sorted(report.budgets)))
+        if policy not in HBW_POLICIES:
+            raise OutOfMemoryError(f"unknown HBW policy {policy!r}")
         self.process = process
         self.report = report
         self.tier = tier
         self.budget = budget if budget is not None else report.budgets[tier]
         self.size_filter = size_filter
+        self.policy = policy
+        self.fault_injector = fault_injector
         self.matcher = CallStackMatcher(report, tier)
+        self.translator = RecoveringTranslator(process.symbols)
         self.cache = AllocCache(max_entries=cache_entries)
         self.stats = InterposerStats()
         #: Alternate-region bookkeeping: addresses served by memkind.
@@ -88,37 +121,97 @@ class AutoHbwMalloc:
             return False
         return lb <= size <= ub
 
-    def _fits(self, size: int) -> bool:
-        return (
-            self.stats.hbw_current_bytes + size <= self.budget
-            and self.process.memkind.fits(size)
-        )
+    def _perturbed(self, callstack: RawCallStack) -> RawCallStack:
+        if self.fault_injector is None:
+            return callstack
+        return self.fault_injector.perturb_callstack(callstack)
+
+    def _decide(self, callstack: RawCallStack) -> bool:
+        """Unwind + cache + translate + match (Algorithm 1, steps 2-3)."""
+        depth = len(callstack)
+        self.stats.overhead_seconds += unwind_cost_us(depth) * MICROSECOND
+        promote = self.cache.lookup(callstack)
+        if promote is None:
+            self.stats.overhead_seconds += (
+                translate_cost_us(depth) * MICROSECOND
+            )
+            recoveries_before = self.translator.recoveries
+            translated = self.translator.translate(callstack)
+            if self.translator.recoveries > recoveries_before:
+                self.stats.aslr_recoveries += 1
+            promote = self.matcher.match(translated)
+            self.cache.annotate(callstack, promote)
+        return promote
+
+    def _hbw_alloc(
+        self,
+        size: int,
+        callstack: RawCallStack,
+        alignment: int | None = None,
+    ) -> Allocation | None:
+        """Serve a matched call from memkind; None means DDR fallback.
+
+        Budget exhaustion is the library's own bookkeeping and always
+        falls back (``calls_did_not_fit``). A physical refusal obeys
+        the policy: preferred counts ``hbw_fallbacks``, bind raises.
+        """
+        if self.stats.hbw_current_bytes + size > self.budget:
+            self.stats.calls_did_not_fit += 1
+            return None
+        memkind = self.process.memkind
+        if not memkind.fits(size):
+            if self.policy == HBW_POLICY_BIND:
+                raise OutOfMemoryError(
+                    "auto-hbwmalloc: HBW_POLICY_BIND and the fast tier "
+                    "cannot serve this request",
+                    requested=size,
+                    tier=memkind.name,
+                    remaining=memkind.remaining,
+                )
+            self.stats.on_capacity_fallback()
+            return None
+        try:
+            if alignment is None:
+                alloc = memkind.malloc(size, callstack)
+            else:
+                alloc = memkind.posix_memalign(alignment, size, callstack)
+        except OutOfMemoryError:
+            if self.policy == HBW_POLICY_BIND:
+                raise
+            self.stats.on_capacity_fallback()
+            return None
+        self._hbw_addresses[alloc.address] = size
+        self.stats.on_promote(size, memkind.name)
+        return alloc
+
+    def _serve(
+        self,
+        size: int,
+        callstack: RawCallStack,
+        alignment: int | None = None,
+    ) -> Allocation:
+        callstack = self._perturbed(callstack)
+        if self._size_eligible(size):
+            self.stats.calls_size_eligible += 1
+            if self._decide(callstack):
+                self.stats.calls_matched += 1
+                alloc = self._hbw_alloc(size, callstack, alignment)
+                if alloc is not None:
+                    return alloc
+        if alignment is None:
+            alloc = self.process.posix.malloc(size, callstack)
+        else:
+            alloc = self.process.posix.posix_memalign(
+                alignment, size, callstack
+            )
+        self.stats.on_fallback(self.process.posix.name)
+        return alloc
+
+    # -- libc surface ----------------------------------------------------
 
     def malloc(self, size: int, callstack: RawCallStack) -> Allocation:
         self.stats.calls_intercepted += 1
-        if self._size_eligible(size):
-            self.stats.calls_size_eligible += 1
-            depth = len(callstack)
-            self.stats.overhead_seconds += unwind_cost_us(depth) * MICROSECOND
-            promote = self.cache.lookup(callstack)
-            if promote is None:
-                self.stats.overhead_seconds += (
-                    translate_cost_us(depth) * MICROSECOND
-                )
-                translated = self.process.symbols.translate(callstack)
-                promote = self.matcher.match(translated)
-                self.cache.annotate(callstack, promote)
-            if promote:
-                self.stats.calls_matched += 1
-                if self._fits(size):
-                    alloc = self.process.memkind.malloc(size, callstack)
-                    self._hbw_addresses[alloc.address] = size
-                    self.stats.on_promote(size, self.process.memkind.name)
-                    return alloc
-                self.stats.calls_did_not_fit += 1
-        alloc = self.process.posix.malloc(size, callstack)
-        self.stats.on_fallback(self.process.posix.name)
-        return alloc
+        return self._serve(size, callstack)
 
     def free(self, address: int) -> Allocation:
         size = self._hbw_addresses.pop(address, None)
@@ -128,14 +221,18 @@ class AutoHbwMalloc:
         if self.process.posix.owns(address):
             return self.process.posix.free(address)
         raise InvalidFreeError(
-            f"auto-hbwmalloc: free of unknown pointer {address:#x}"
+            "auto-hbwmalloc: free of unknown pointer",
+            address=address,
         )
 
     def realloc(
         self, address: int, new_size: int, callstack: RawCallStack
     ) -> Allocation:
+        """One intercepted call: release, then re-decide for the new
+        size through the same call-stack machinery."""
+        self.stats.calls_intercepted += 1
         self.free(address)
-        return self.malloc(new_size, callstack)
+        return self._serve(new_size, callstack)
 
     def memalign(
         self, alignment: int, size: int, callstack: RawCallStack
@@ -143,31 +240,7 @@ class AutoHbwMalloc:
         """``posix_memalign`` wrapper: same decision path as malloc,
         aligned service from whichever allocator wins."""
         self.stats.calls_intercepted += 1
-        if self._size_eligible(size):
-            self.stats.calls_size_eligible += 1
-            depth = len(callstack)
-            self.stats.overhead_seconds += unwind_cost_us(depth) * MICROSECOND
-            promote = self.cache.lookup(callstack)
-            if promote is None:
-                self.stats.overhead_seconds += (
-                    translate_cost_us(depth) * MICROSECOND
-                )
-                translated = self.process.symbols.translate(callstack)
-                promote = self.matcher.match(translated)
-                self.cache.annotate(callstack, promote)
-            if promote:
-                self.stats.calls_matched += 1
-                if self._fits(size):
-                    alloc = self.process.memkind.posix_memalign(
-                        alignment, size, callstack
-                    )
-                    self._hbw_addresses[alloc.address] = size
-                    self.stats.on_promote(size, self.process.memkind.name)
-                    return alloc
-                self.stats.calls_did_not_fit += 1
-        alloc = self.process.posix.posix_memalign(alignment, size, callstack)
-        self.stats.on_fallback(self.process.posix.name)
-        return alloc
+        return self._serve(size, callstack, alignment)
 
     # -- reporting ---------------------------------------------------------
 

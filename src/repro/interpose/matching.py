@@ -3,12 +3,87 @@
 The interposer translates the unwound call-stack (ASLR makes raw
 addresses meaningless across runs) and compares the symbolic frame
 sequence against the call-stacks hmem_advisor selected.
+
+:class:`RecoveringTranslator` hardens the translation step against
+*constant* ASLR drift: when the mapping information the symbol table
+holds is stale by a fixed slide (a module re-based between the map
+snapshot and the unwind), exact resolution fails for every frame by
+the same offset. The translator then searches the bounded space of
+candidate slides — each aligning the leaf address into some known
+symbol — and accepts the first slide under which the *entire* stack
+resolves; the discovered slide is cached, so the drift costs one
+search per run, not one per allocation.
 """
 
 from __future__ import annotations
 
 from repro.advisor.report import PlacementReport
-from repro.runtime.callstack import CallStack
+from repro.errors import SymbolError
+from repro.runtime.callstack import CallStack, RawCallStack
+from repro.runtime.symbols import SymbolTable
+
+
+class RecoveringTranslator:
+    """Symbol translation that tolerates a constant ASLR offset."""
+
+    def __init__(self, symbols: SymbolTable) -> None:
+        self.symbols = symbols
+        #: The discovered constant slide (drifted - true address);
+        #: 0 until a recovery happens.
+        self.slide = 0
+        #: Successful whole-stack recoveries (first discovery plus
+        #: every stack served by the cached slide after a raw failure).
+        self.recoveries = 0
+
+    def _shifted(self, raw: RawCallStack, slide: int) -> RawCallStack:
+        if slide == 0:
+            return raw
+        return RawCallStack(
+            addresses=tuple(a - slide for a in raw.addresses)
+        )
+
+    def _try(self, raw: RawCallStack, slide: int) -> CallStack | None:
+        try:
+            return self.symbols.translate(self._shifted(raw, slide))
+        except SymbolError:
+            return None
+
+    def _candidate_slides(self, leaf: int) -> list[int]:
+        """Slides that would land the leaf address inside some symbol.
+
+        The search space is every call-site address of every mapped
+        module — bounded by total code size, the same bound a real
+        recovery (re-reading ``/proc/self/maps``) operates under.
+        """
+        candidates: list[int] = []
+        for base, image in self.symbols.mapped_modules:
+            for sym in image.functions:
+                for offset in range(sym.offset, sym.offset + sym.size):
+                    candidates.append(leaf - (base + offset))
+        return candidates
+
+    def translate(self, raw: RawCallStack) -> CallStack:
+        """Translate, recovering a constant slide if exact lookup fails."""
+        translated = self._try(raw, 0)
+        if translated is not None:
+            return translated
+        if self.slide:
+            translated = self._try(raw, self.slide)
+            if translated is not None:
+                self.recoveries += 1
+                return translated
+        for slide in self._candidate_slides(raw.addresses[0]):
+            if slide == 0:
+                continue
+            translated = self._try(raw, slide)
+            if translated is not None:
+                self.slide = slide
+                self.recoveries += 1
+                return translated
+        raise SymbolError(
+            f"call-stack unresolvable even assuming constant ASLR drift "
+            f"(leaf {raw.addresses[0]:#x})"
+        )
 
 
 class CallStackMatcher:

@@ -28,6 +28,14 @@ class InterposerStats:
     #: ("whether any variable did not fit into memory due to user size
     #: limitations").
     calls_did_not_fit: int = 0
+    #: Promotions the *physical* fast tier refused (capacity shrink or
+    #: injected memkind failure) that fell back to DDR — the
+    #: ``HBW_POLICY_PREFERRED`` degradation counter. Zero under
+    #: ``HBW_POLICY_BIND``, which raises instead.
+    hbw_fallbacks: int = 0
+    #: Call-stacks whose translation only succeeded after recovering a
+    #: constant ASLR slide.
+    aslr_recoveries: int = 0
     #: Bytes currently live in the alternate allocator.
     hbw_current_bytes: int = 0
     #: High-water mark of alternate-allocator usage.
@@ -53,3 +61,7 @@ class InterposerStats:
         self.allocs_by_allocator[allocator] = (
             self.allocs_by_allocator.get(allocator, 0) + 1
         )
+
+    def on_capacity_fallback(self) -> None:
+        """A promotion the physical tier refused fell back to DDR."""
+        self.hbw_fallbacks += 1

@@ -1,0 +1,38 @@
+"""Small filesystem helpers shared by every artifact writer.
+
+Stages 1-4 exchange artifacts through files (traces, CSVs, placement
+reports, cached rows). A crash mid-write must never leave a
+half-written artifact that the next stage then rejects, so every
+writer funnels through :func:`atomic_write_text`: write the full
+payload to a temporary sibling, then ``os.replace`` it over the
+destination (atomic on POSIX within one filesystem).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    The temporary file lives in the destination directory so the final
+    ``os.replace`` never crosses a filesystem boundary. On any failure
+    the temporary file is removed and the destination is untouched.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

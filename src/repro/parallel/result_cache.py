@@ -17,12 +17,16 @@ import hashlib
 import json
 from dataclasses import asdict
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.apps.base import SimApplication
 from repro.errors import ConfigError
 from repro.machine.config import MachineConfig
 from repro.pipeline.experiment import GridCell
 from repro.pipeline.results import ResultRow
+
+if TYPE_CHECKING:
+    from repro.faults.plan import FaultPlan
 
 #: Bump when the cached payload layout or the scoring semantics of a
 #: row change incompatibly; invalidates every prior entry.
@@ -68,20 +72,27 @@ def cell_cache_key(
     machine: MachineConfig,
     cell: GridCell,
     seed: int,
+    fault_plan: "FaultPlan | None" = None,
 ) -> str:
-    """The content-addressed identity of one sweep cell."""
+    """The content-addressed identity of one sweep cell.
+
+    A fault plan changes what a cell computes, so it is part of the
+    identity — but only when present, which keeps every pre-existing
+    clean-run cache entry valid.
+    """
     from repro import __version__
 
-    return content_hash(
-        {
-            "schema": CACHE_SCHEMA_VERSION,
-            "version": __version__,
-            "app": app_fingerprint(app),
-            "machine": machine.to_dict(),
-            "cell": cell_fingerprint(cell),
-            "seed": seed,
-        }
-    )
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "version": __version__,
+        "app": app_fingerprint(app),
+        "machine": machine.to_dict(),
+        "cell": cell_fingerprint(cell),
+        "seed": seed,
+    }
+    if fault_plan is not None:
+        payload["fault_plan"] = fault_plan.to_dict()
+    return content_hash(payload)
 
 
 class ResultCache:

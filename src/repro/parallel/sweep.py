@@ -10,25 +10,37 @@ the seed. The executor therefore fans :class:`GridCell` work across a
 * answers cells from the content-addressed :class:`ResultCache`
   *before* dispatching them, so a warm re-run executes zero pipeline
   stages (provable via :class:`StageMetrics` counters);
-* isolates worker faults — a failing cell is retried once and, if it
-  still fails, becomes an error :class:`CellOutcome` carrying the
-  captured traceback instead of aborting the sweep;
+* isolates worker faults — a failing cell is retried (configurable
+  count, exponential backoff) and, if it still fails, becomes an
+  error :class:`CellOutcome` carrying the captured traceback instead
+  of aborting the sweep;
+* enforces a per-cell attempt timeout and an optional error budget:
+  once the budget of failed cells is spent, remaining cells are
+  recorded as skipped instead of executed (fail-fast);
 * merges every per-cell :class:`StageMetrics` record into one
   sweep-level roll-up.
 
 ``jobs=1`` runs the same scheduler in-process (no pool), so the
 serial and parallel paths share every line of cell-execution code.
+A :class:`~repro.faults.plan.FaultPlan` attached to the config is
+reconstructed identically inside every worker (it travels by value),
+so a faulted sweep is bit-reproducible across serial and parallel
+execution.
 """
 
 from __future__ import annotations
 
+import time
 import traceback
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.apps.base import SimApplication
-from repro.errors import ConfigError
+from repro.errors import ConfigError, OutOfMemoryError
+from repro.faults.injector import FATE_HANG, FATE_KILL, FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.machine.config import MachineConfig, xeon_phi_7250
 from repro.parallel.result_cache import ResultCache, cell_cache_key
 from repro.pipeline.experiment import (
@@ -41,6 +53,9 @@ from repro.pipeline.experiment import (
 from repro.pipeline.framework import HybridMemoryFramework
 from repro.pipeline.metrics import StageMetrics
 from repro.pipeline.results import ExperimentResult, ResultRow
+
+#: Error text of cells the error budget prevented from running.
+SKIPPED_ERROR = "skipped: error budget exhausted"
 
 
 @dataclass
@@ -57,11 +72,35 @@ class SweepConfig:
     #: Re-executions granted to a faulting cell before it is recorded
     #: as an error outcome.
     retries: int = 1
+    #: Base delay before a retry; attempt ``n`` waits
+    #: ``backoff_seconds * 2**(n-1)`` (0 disables backoff).
+    backoff_seconds: float = 0.0
+    #: Wall-clock limit per cell attempt; an attempt exceeding it is
+    #: treated as a failure (and retried). None: no limit.
+    timeout_seconds: float | None = None
+    #: After this many cells have *finally* failed, stop executing and
+    #: record every remaining cell as skipped. None: run everything.
+    error_budget: int | None = None
+    #: Degradation schedule applied inside every cell. Part of the
+    #: cache identity, so faulted and clean results never mix.
+    fault_plan: FaultPlan | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ConfigError("sweep needs at least one job")
+        if self.retries < 0:
+            raise ConfigError("retries must be >= 0")
+        if self.backoff_seconds < 0:
+            raise ConfigError("backoff_seconds must be >= 0")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ConfigError("timeout_seconds must be positive")
+        if self.error_budget is not None and self.error_budget < 1:
+            raise ConfigError("error_budget must be >= 1")
 
 
 @dataclass
 class CellOutcome:
-    """One cell's result: a row, or a captured failure."""
+    """One cell's result: a row, a captured failure, or a skip."""
 
     application: str
     cell: GridCell
@@ -70,6 +109,8 @@ class CellOutcome:
     error: str | None = None
     attempts: int = 0
     cached: bool = False
+    #: True when the error budget prevented this cell from running.
+    skipped: bool = False
     metrics: StageMetrics = field(default_factory=StageMetrics)
     #: Position in the (app, cell) enumeration; outcomes are sorted by
     #: it so parallel completion order never leaks into the results.
@@ -86,12 +127,18 @@ class SweepResult:
 
     outcomes: list[CellOutcome] = field(default_factory=list)
     #: Sweep-level roll-up of every cell's stage record plus the
-    #: bookkeeping counters (cache_hit/cache_miss/error/retry).
+    #: bookkeeping counters (cache_hit/cache_miss/error/retry/
+    #: timeout/skipped and the fault-degradation counters).
     metrics: StageMetrics = field(default_factory=StageMetrics)
 
     @property
     def failures(self) -> list[CellOutcome]:
-        return [o for o in self.outcomes if not o.ok]
+        """Cells that ran and failed (skipped cells excluded)."""
+        return [o for o in self.outcomes if not o.ok and not o.skipped]
+
+    @property
+    def skipped(self) -> list[CellOutcome]:
+        return [o for o in self.outcomes if o.skipped]
 
     def rows(self, application: str) -> dict[GridCell, ResultRow]:
         return {
@@ -109,11 +156,13 @@ class SweepResult:
 # worker side
 # ---------------------------------------------------------------------------
 
-#: Per-worker-process framework memo: (app name, machine name, seed) ->
-#: HybridMemoryFramework. Raw addresses and profiling runs are only
-#: meaningful within one process (ASLR), so the memo — like the
-#: paper's per-process decision cache — never crosses the pool.
-_WORKER_FRAMEWORKS: dict[tuple[str, str, int], HybridMemoryFramework] = {}
+#: Per-worker-process framework memo: (app name, machine name, seed,
+#: fault plan) -> HybridMemoryFramework. Raw addresses and profiling
+#: runs are only meaningful within one process (ASLR), so the memo —
+#: like the paper's per-process decision cache — never crosses the
+#: pool. The plan is part of the key because it shapes the memoised
+#: (possibly degraded) profiling run.
+_WORKER_FRAMEWORKS: dict[tuple, HybridMemoryFramework] = {}
 
 
 def _execute_cell(
@@ -122,6 +171,8 @@ def _execute_cell(
     cell: GridCell,
     seed: int,
     frameworks: dict | None = None,
+    plan: FaultPlan | None = None,
+    attempt: int = 1,
 ) -> tuple[ResultRow | None, str | None, dict]:
     """Run one cell; never raises (the pool must stay healthy).
 
@@ -132,15 +183,29 @@ def _execute_cell(
     one, the in-process serial path passes a per-sweep dict.
     """
     memo = _WORKER_FRAMEWORKS if frameworks is None else frameworks
-    key = (app.name, machine.name, seed)
+    key = (app.name, machine.name, seed, plan)
     framework = memo.get(key)
     if framework is None:
-        framework = HybridMemoryFramework(app, machine, seed=seed)
+        framework = HybridMemoryFramework(
+            app, machine, seed=seed, fault_plan=plan
+        )
         memo[key] = framework
     framework.metrics = StageMetrics()
     try:
+        if plan is not None:
+            injector = FaultInjector(plan)
+            fate = injector.cell_fate(app.name, cell.key, attempt)
+            if fate == FATE_HANG:
+                framework.metrics.bump("cell_hung")
+                time.sleep(plan.cell_hang_seconds)
+            elif fate == FATE_KILL:
+                framework.metrics.bump("cell_killed")
+                raise injector.kill_error(app.name, cell.key, attempt)
         row = run_cell(framework, cell)
         return row, None, framework.metrics.to_dict()
+    except OutOfMemoryError:
+        framework.metrics.bump("oom")
+        return None, traceback.format_exc(), framework.metrics.to_dict()
     except Exception:
         return None, traceback.format_exc(), framework.metrics.to_dict()
 
@@ -160,8 +225,6 @@ class SweepExecutor:
     ) -> None:
         self.machine = machine or xeon_phi_7250()
         self.config = config or SweepConfig()
-        if self.config.jobs < 1:
-            raise ConfigError("sweep needs at least one job")
         self.cache = (
             ResultCache(self.config.cache_dir)
             if self.config.cache_dir is not None
@@ -187,7 +250,13 @@ class SweepExecutor:
                     order=(app_index, cell_index),
                 )
                 key = (
-                    cell_cache_key(app, self.machine, cell, self.config.seed)
+                    cell_cache_key(
+                        app,
+                        self.machine,
+                        cell,
+                        self.config.seed,
+                        fault_plan=self.config.fault_plan,
+                    )
                     if self.cache is not None
                     else None
                 )
@@ -214,6 +283,12 @@ class SweepExecutor:
 
     # -- execution strategies ------------------------------------------
 
+    def _backoff(self, attempt_done: int) -> float:
+        """Delay before the attempt after ``attempt_done`` failed."""
+        if self.config.backoff_seconds <= 0:
+            return 0.0
+        return self.config.backoff_seconds * 2 ** (attempt_done - 1)
+
     def _finish(
         self,
         result: SweepResult,
@@ -226,25 +301,64 @@ class SweepExecutor:
             result.metrics.bump("error")
         result.outcomes.append(outcome)
 
+    def _skip(self, result: SweepResult, outcome: CellOutcome) -> None:
+        outcome.skipped = True
+        outcome.error = SKIPPED_ERROR
+        result.metrics.bump("skipped")
+        result.outcomes.append(outcome)
+
     def _run_serial(
         self,
         pending: list[tuple[SimApplication, CellOutcome, str | None]],
         result: SweepResult,
     ) -> None:
         frameworks: dict = {}
+        config = self.config
+        failures = 0
         for app, outcome, key in pending:
-            for _ in range(1 + self.config.retries):
-                outcome.attempts += 1
-                if outcome.attempts > 1:
+            if (
+                config.error_budget is not None
+                and failures >= config.error_budget
+            ):
+                self._skip(result, outcome)
+                continue
+            for _ in range(1 + config.retries):
+                if outcome.attempts > 0:
                     result.metrics.bump("retry")
+                    delay = self._backoff(outcome.attempts)
+                    if delay > 0:
+                        time.sleep(delay)
+                outcome.attempts += 1
+                start = time.monotonic()
                 row, error, metrics = _execute_cell(
-                    app, self.machine, outcome.cell, self.config.seed,
+                    app,
+                    self.machine,
+                    outcome.cell,
+                    config.seed,
                     frameworks=frameworks,
+                    plan=config.fault_plan,
+                    attempt=outcome.attempts,
                 )
+                elapsed = time.monotonic() - start
                 outcome.metrics.merge(StageMetrics.from_dict(metrics))
+                if (
+                    config.timeout_seconds is not None
+                    and elapsed > config.timeout_seconds
+                ):
+                    # The serial path cannot preempt, so the limit is
+                    # enforced post-hoc: an over-budget attempt is a
+                    # failure even if it eventually produced a row.
+                    row = None
+                    error = (
+                        f"timeout: attempt took {elapsed:.3f}s "
+                        f"(limit {config.timeout_seconds}s)"
+                    )
+                    outcome.metrics.bump("timeout")
                 outcome.row, outcome.error = row, error
                 if row is not None:
                     break
+            if not outcome.ok:
+                failures += 1
             self._finish(result, outcome, key)
 
     def _run_pool(
@@ -252,23 +366,100 @@ class SweepExecutor:
         pending: list[tuple[SimApplication, CellOutcome, str | None]],
         result: SweepResult,
     ) -> None:
-        jobs = min(self.config.jobs, len(pending))
+        config = self.config
+        jobs = min(config.jobs, len(pending))
+        queue = deque(pending)
+        #: (ready time, app, outcome, key) waiting out a backoff delay.
+        retry_queue: list[tuple[float, SimApplication, CellOutcome, str | None]] = []
+        failures = 0
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            inflight = {}
-            for app, outcome, key in pending:
+            inflight: dict = {}
+
+            def budget_exhausted() -> bool:
+                return (
+                    config.error_budget is not None
+                    and failures >= config.error_budget
+                )
+
+            def submit(app, outcome, key) -> None:
+                outcome.attempts += 1
                 future = pool.submit(
                     _execute_cell,
                     app,
                     self.machine,
                     outcome.cell,
-                    self.config.seed,
+                    config.seed,
+                    None,
+                    config.fault_plan,
+                    outcome.attempts,
                 )
-                inflight[future] = outcome, key, app
-            while inflight:
-                done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                deadline = (
+                    time.monotonic() + config.timeout_seconds
+                    if config.timeout_seconds is not None
+                    else None
+                )
+                inflight[future] = (outcome, key, app, deadline)
+
+            def settle(outcome, key, app) -> None:
+                nonlocal failures
+                if outcome.ok:
+                    self._finish(result, outcome, key)
+                    return
+                if (
+                    outcome.attempts <= config.retries
+                    and not budget_exhausted()
+                ):
+                    result.metrics.bump("retry")
+                    ready = time.monotonic() + self._backoff(outcome.attempts)
+                    retry_queue.append((ready, app, outcome, key))
+                    return
+                failures += 1
+                self._finish(result, outcome, key)
+
+            while queue or inflight or retry_queue:
+                now = time.monotonic()
+                if budget_exhausted():
+                    while queue:
+                        _, outcome, _key = queue.popleft()
+                        self._skip(result, outcome)
+                    # A cell already waiting on a retry keeps its last
+                    # captured error instead of being granted more
+                    # attempts.
+                    for _, _, outcome, key in retry_queue:
+                        failures += 1
+                        self._finish(result, outcome, key)
+                    retry_queue.clear()
+                else:
+                    retry_queue.sort(key=lambda item: item[0])
+                    while (
+                        retry_queue
+                        and retry_queue[0][0] <= now
+                        and len(inflight) < 2 * jobs
+                    ):
+                        _, app, outcome, key = retry_queue.pop(0)
+                        submit(app, outcome, key)
+                    while queue and len(inflight) < 2 * jobs:
+                        app, outcome, key = queue.popleft()
+                        submit(app, outcome, key)
+                if not inflight:
+                    if retry_queue:
+                        time.sleep(max(0.0, retry_queue[0][0] - now))
+                    continue
+                wake: float | None = None
+                for _, _, _, deadline in inflight.values():
+                    if deadline is not None:
+                        wake = deadline if wake is None else min(wake, deadline)
+                if retry_queue:
+                    ready = min(item[0] for item in retry_queue)
+                    wake = ready if wake is None else min(wake, ready)
+                timeout = (
+                    None if wake is None else max(0.0, wake - time.monotonic())
+                )
+                done, _ = wait(
+                    inflight, timeout=timeout, return_when=FIRST_COMPLETED
+                )
                 for future in done:
-                    outcome, key, app = inflight.pop(future)
-                    outcome.attempts += 1
+                    outcome, key, app, _ = inflight.pop(future)
                     try:
                         row, error, metrics = future.result()
                     except Exception:
@@ -278,21 +469,25 @@ class SweepExecutor:
                         metrics = {}
                     outcome.metrics.merge(StageMetrics.from_dict(metrics))
                     outcome.row, outcome.error = row, error
-                    if (
-                        not outcome.ok
-                        and outcome.attempts <= self.config.retries
-                    ):
-                        result.metrics.bump("retry")
-                        retry = pool.submit(
-                            _execute_cell,
-                            app,
-                            self.machine,
-                            outcome.cell,
-                            self.config.seed,
+                    settle(outcome, key, app)
+                if config.timeout_seconds is not None:
+                    now = time.monotonic()
+                    for future, payload in list(inflight.items()):
+                        outcome, key, app, deadline = payload
+                        if deadline is None or now < deadline:
+                            continue
+                        # Cancel if still queued; a running attempt is
+                        # abandoned (its eventual result is discarded)
+                        # so the sweep never blocks on a hung cell.
+                        future.cancel()
+                        del inflight[future]
+                        outcome.row = None
+                        outcome.error = (
+                            f"timeout: attempt exceeded "
+                            f"{config.timeout_seconds}s"
                         )
-                        inflight[retry] = outcome, key, app
-                        continue
-                    self._finish(result, outcome, key)
+                        outcome.metrics.bump("timeout")
+                        settle(outcome, key, app)
 
 
 def run_sweep(
@@ -302,10 +497,24 @@ def run_sweep(
     jobs: int = 1,
     cache_dir: str | Path | None = None,
     seed: int = 0,
+    retries: int = 1,
+    backoff_seconds: float = 0.0,
+    timeout_seconds: float | None = None,
+    error_budget: int | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> SweepResult:
     """Convenience wrapper: sweep ``apps`` with the given knobs."""
     executor = SweepExecutor(
         machine=machine,
-        config=SweepConfig(jobs=jobs, cache_dir=cache_dir, seed=seed),
+        config=SweepConfig(
+            jobs=jobs,
+            cache_dir=cache_dir,
+            seed=seed,
+            retries=retries,
+            backoff_seconds=backoff_seconds,
+            timeout_seconds=timeout_seconds,
+            error_budget=error_budget,
+            fault_plan=fault_plan,
+        ),
     )
     return executor.run(apps, grid=grid)

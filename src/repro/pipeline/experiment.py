@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.advisor.strategies import STRATEGY_NAMES
 from repro.apps.base import SimApplication
+from repro.faults.plan import FaultPlan
 from repro.machine.config import MachineConfig, xeon_phi_7250
 from repro.pipeline.framework import HybridMemoryFramework
 from repro.pipeline.results import ExperimentResult, ResultRow
@@ -135,7 +136,10 @@ def run_cell(framework: HybridMemoryFramework, cell: GridCell) -> ResultRow:
         profiling = framework.profile()
         runner = BASELINE_RUNNERS[cell.label]
         with framework.metrics.record("run_placed"):
-            outcome = runner(app, framework.machine, profiling)
+            outcome = runner(
+                app, framework.machine, profiling, plan=framework.fault_plan
+            )
+        framework.note_degradation(outcome)
         return _to_row(app, outcome, 0)
     report = framework.advise(cell.advisor_budget_bytes, cell.label)
     outcome = framework.run_placed(report, cell.budget_bytes, label=cell.label)
@@ -164,6 +168,7 @@ def run_figure4_experiment(
     machine: MachineConfig | None = None,
     grid: ExperimentGrid | None = None,
     seed: int = 0,
+    fault_plan: "FaultPlan | None" = None,
 ) -> ExperimentResult:
     """All execution conditions of one Figure 4 row, serially.
 
@@ -172,7 +177,9 @@ def run_figure4_experiment(
     the whole profile-guided approach rests on).
     """
     machine = machine or xeon_phi_7250()
-    framework = HybridMemoryFramework(app, machine, seed=seed)
+    framework = HybridMemoryFramework(
+        app, machine, seed=seed, fault_plan=fault_plan
+    )
     rows = {
         cell: run_cell(framework, cell)
         for cell in enumerate_cells(app, grid)

@@ -25,6 +25,8 @@ from repro.advisor.strategies import SelectionStrategy, get_strategy
 from repro.analysis.paramedir import Paramedir
 from repro.analysis.profile import ProfileSet
 from repro.apps.base import ProfilingRun, SimApplication
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.machine.config import MachineConfig, xeon_phi_7250
 from repro.pipeline.metrics import StageMetrics
 from repro.placement.policies import PlacementOutcome, run_framework
@@ -51,6 +53,7 @@ class HybridMemoryFramework:
         tracer_config: TracerConfig | None = None,
         seed: int = 0,
         metrics: StageMetrics | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.app = app
         self.machine = machine or xeon_phi_7250()
@@ -58,6 +61,10 @@ class HybridMemoryFramework:
             sampling_period=app.sampling_period
         )
         self.seed = seed
+        #: Active degradation schedule (None: clean run). Sample
+        #: drop/corruption lands on the profile stage's trace; replay
+        #: faults flow through to the placement runners.
+        self.fault_plan = fault_plan
         #: Stage execution accounting. Only *actual* stage work is
         #: recorded — returning the memoised profiling run counts
         #: nothing, which is what lets the sweep cache prove a warm
@@ -75,6 +82,17 @@ class HybridMemoryFramework:
                 self._profiling = self.app.run_profiling(
                     seed=self.seed, tracer_config=self.tracer_config
                 )
+                if (
+                    self.fault_plan is not None
+                    and self.fault_plan.degrades_profile
+                ):
+                    dropped, corrupted = FaultInjector(
+                        self.fault_plan
+                    ).degrade_trace(self._profiling.trace)
+                    if dropped:
+                        self.metrics.bump("samples_dropped", dropped)
+                    if corrupted:
+                        self.metrics.bump("samples_corrupted", corrupted)
             self._profiles = None
         return self._profiling
 
@@ -135,14 +153,35 @@ class HybridMemoryFramework:
         """Re-execute under auto-hbwmalloc honoring ``report``."""
         profiling = self.profile()
         with self.metrics.record("run_placed"):
-            return run_framework(
+            outcome = run_framework(
                 self.app,
                 self.machine,
                 profiling,
                 report,
                 budget_real=budget_real,
                 label=label,
+                plan=self.fault_plan,
             )
+        self.note_degradation(outcome)
+        return outcome
+
+    def note_degradation(self, outcome: PlacementOutcome) -> None:
+        """Fold a replay hook's degradation counters into the metrics.
+
+        Works for any hook exposing :class:`InterposerStats`-shaped
+        counters; silently a no-op for hooks without them (numactl,
+        plain DDR).
+        """
+        hook = outcome.replay.hook if outcome.replay is not None else None
+        stats = getattr(hook, "stats", None)
+        if stats is None:
+            return
+        fallbacks = getattr(stats, "hbw_fallbacks", 0)
+        if fallbacks:
+            self.metrics.bump("hbw_fallback", fallbacks)
+        recoveries = getattr(stats, "aslr_recoveries", 0)
+        if recoveries:
+            self.metrics.bump("aslr_recovery", recoveries)
 
     # -- convenience ------------------------------------------------------
 

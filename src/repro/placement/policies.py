@@ -25,6 +25,8 @@ import numpy as np
 
 from repro.advisor.report import PlacementReport
 from repro.apps.base import ProfilingRun, ReplayResult, SimApplication
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import HBW_POLICY_PREFERRED, FaultPlan
 from repro.interpose.autohbw import AutoHBW
 from repro.interpose.hbwmalloc import AutoHbwMalloc
 from repro.machine.cachemode import CacheModeObject, analytic_cache_outcome
@@ -114,14 +116,53 @@ def _score(
 
 
 # ---------------------------------------------------------------------------
+# fault wiring
+# ---------------------------------------------------------------------------
+
+
+def _replay_faults(
+    app: SimApplication, plan: FaultPlan | None
+) -> tuple[FaultInjector | None, int | None]:
+    """(injector, shrunk per-rank MCDRAM share in real bytes).
+
+    Both are None when the plan does not degrade the re-execution, so
+    clean runs take exactly the pre-fault code path.
+    """
+    if plan is None or not plan.degrades_replay:
+        return None, None
+    capacity = None
+    if plan.mcdram_capacity_factor < 1.0:
+        capacity = plan.shrunk_capacity(app.mcdram_share_real)
+    return FaultInjector(plan), capacity
+
+
+def _hbw_policy(plan: FaultPlan | None) -> str:
+    return plan.hbw_policy if plan is not None else HBW_POLICY_PREFERRED
+
+
+def _shrunk_share(app: SimApplication, plan: FaultPlan | None) -> int:
+    share = app.mcdram_share_real
+    if plan is not None:
+        share = plan.shrunk_capacity(share)
+    return share
+
+
+# ---------------------------------------------------------------------------
 # policies
 # ---------------------------------------------------------------------------
 
 
 def run_ddr_only(
-    app: SimApplication, machine: MachineConfig, profiling: ProfilingRun
+    app: SimApplication,
+    machine: MachineConfig,
+    profiling: ProfilingRun,
+    plan: FaultPlan | None = None,
 ) -> PlacementOutcome:
-    """Everything in DDR (Figure 4's green reference line)."""
+    """Everything in DDR (Figure 4's green reference line).
+
+    DDR-only runs never touch the fast tier, so every fault knob is a
+    no-op here — the reference stays a reference under degradation.
+    """
     traffic = compute_traffic(app, machine, profiling, {})
     return PlacementOutcome(
         label="DDR",
@@ -181,15 +222,20 @@ class NumactlFCFS:
 
 
 def run_numactl_preferred(
-    app: SimApplication, machine: MachineConfig, profiling: ProfilingRun
+    app: SimApplication,
+    machine: MachineConfig,
+    profiling: ProfilingRun,
+    plan: FaultPlan | None = None,
 ) -> PlacementOutcome:
     """``numactl -p 1``: FCFS into MCDRAM, DDR fall-back.
 
     Statics and the stack are mapped first (program load), then
     dynamic allocations in program order take MCDRAM page by page
-    while the per-rank share lasts.
+    while the per-rank share lasts. A fault plan's capacity shrink
+    reduces the share FCFS consumes; the kernel policy is preferred by
+    construction, so there is nothing to bind or fail here.
     """
-    share = app.mcdram_share_real
+    share = _shrunk_share(app, plan)
     statics_bytes = sum(o.size for o in app.objects if o.static)
     reserved = statics_bytes + _NUMACTL_STACK_RESERVE
     statics_fit = reserved <= share
@@ -225,12 +271,20 @@ def run_autohbw(
     machine: MachineConfig,
     profiling: ProfilingRun,
     min_size: int = 1 * MIB,
+    plan: FaultPlan | None = None,
 ) -> PlacementOutcome:
     """The autohbw library with the paper's 1 MiB threshold."""
     min_scaled = max(1, int(min_size * app.scale))
-    replay = app.replay_with_hook(
-        lambda process: AutoHBW(process, min_size=min_scaled)
-    )
+    injector, capacity_real = _replay_faults(app, plan)
+
+    def factory(process: SimProcess) -> AutoHBW:
+        if injector is not None:
+            injector.arm_memkind(process.memkind, scope=f"{app.name}:autohbw")
+        return AutoHBW(
+            process, min_size=min_scaled, policy=_hbw_policy(plan)
+        )
+
+    replay = app.replay_with_hook(factory, hbw_capacity_real=capacity_real)
     fractions = {
         o.name: replay.promoted_fraction(o.name, "memkind-hbw")
         for o in app.objects
@@ -254,7 +308,10 @@ _STACK_REREF = 64.0
 
 
 def run_cache_mode(
-    app: SimApplication, machine: MachineConfig, profiling: ProfilingRun
+    app: SimApplication,
+    machine: MachineConfig,
+    profiling: ProfilingRun,
+    plan: FaultPlan | None = None,
 ) -> PlacementOutcome:
     """MCDRAM configured as a direct-mapped memory-side cache.
 
@@ -268,7 +325,7 @@ def run_cache_mode(
     DESIGN.md.)
     """
     truth = profiling.ground_truth
-    share = app.mcdram_share_real
+    share = _shrunk_share(app, plan)
     cache_objects = [
         CacheModeObject(
             hot_bytes=o.size * o.pattern.hot_fraction * o.count,
@@ -307,21 +364,37 @@ def run_framework(
     report: PlacementReport,
     budget_real: int,
     label: str | None = None,
+    plan: FaultPlan | None = None,
 ) -> PlacementOutcome:
     """The paper's framework: auto-hbwmalloc honoring ``report``.
 
     ``budget_real`` is the MCDRAM budget per rank in real bytes —
     enforced at run time by the library regardless of what budget the
     advisor planned with (which enables the Section IV-C "virtual
-    budget" experiment).
+    budget" experiment). A fault plan degrades only the *physical*
+    layer underneath: the advisor budget is untouched, so a shrunk
+    tier is exactly the production surprise the hbwmalloc policy has
+    to absorb.
     """
     budget_scaled = app.scaled(budget_real)
     tier = machine.fast_tier.name
-    replay = app.replay_with_hook(
-        lambda process: AutoHbwMalloc(
-            process, report, tier=tier, budget=budget_scaled
+    injector, capacity_real = _replay_faults(app, plan)
+
+    def factory(process: SimProcess) -> AutoHbwMalloc:
+        if injector is not None:
+            injector.arm_memkind(
+                process.memkind, scope=f"{app.name}:framework"
+            )
+        return AutoHbwMalloc(
+            process,
+            report,
+            tier=tier,
+            budget=budget_scaled,
+            policy=_hbw_policy(plan),
+            fault_injector=injector,
         )
-    )
+
+    replay = app.replay_with_hook(factory, hbw_capacity_real=capacity_real)
     fractions = {
         o.name: replay.promoted_fraction(o.name, "memkind-hbw")
         for o in app.objects

@@ -6,11 +6,14 @@ these helpers keep that formatting in one place.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.pipeline.metrics import STAGE_NAMES, StageMetrics
 from repro.pipeline.results import ExperimentResult
 from repro.units import MIB
+
+if TYPE_CHECKING:
+    from repro.faults.resilience import ResilienceTable
 
 
 class AsciiTable:
@@ -110,7 +113,7 @@ def format_stage_metrics(metrics: StageMetrics) -> str:
     lines = ["-- stage metrics --", table.render()]
     bookkeeping = [
         (name, metrics.count(name))
-        for name in ("cache_hit", "cache_miss", "retry", "error")
+        for name in BOOKKEEPING_COUNTERS
         if metrics.count(name)
     ]
     if bookkeeping:
@@ -119,6 +122,74 @@ def format_stage_metrics(metrics: StageMetrics) -> str:
             + ", ".join(f"{name}={n}" for name, n in bookkeeping)
         )
     return "\n".join(lines)
+
+
+#: Bookkeeping counters the sweep/fault layers add next to the four
+#: pipeline stages, in display order.
+BOOKKEEPING_COUNTERS: tuple[str, ...] = (
+    "cache_hit",
+    "cache_miss",
+    "retry",
+    "error",
+    "timeout",
+    "skipped",
+    "oom",
+    "cell_killed",
+    "cell_hung",
+    "hbw_fallback",
+    "aslr_recovery",
+    "samples_dropped",
+    "samples_corrupted",
+)
+
+
+def format_resilience(table: "ResilienceTable") -> str:
+    """The resilience ladder as one text table (``repro-faults``)."""
+    out = [
+        "== resilience sweep: "
+        + ", ".join(table.applications)
+        + " =="
+    ]
+    ascii_table = AsciiTable(
+        [
+            "factor",
+            "cells",
+            "ok",
+            "failed",
+            "skipped",
+            "retries",
+            "timeouts",
+            "oom",
+            "killed",
+            "hung",
+            "hbw fallbacks",
+            "samples lost",
+            "aslr recov",
+            "FOM quality",
+        ]
+    )
+    for row in table.rows:
+        ascii_table.add_row(
+            f"{row.factor:g}",
+            row.cells_total,
+            row.cells_ok,
+            row.cells_failed,
+            row.cells_skipped,
+            row.retries,
+            row.timeouts,
+            row.ooms,
+            row.cells_killed,
+            row.cells_hung,
+            row.hbw_fallbacks,
+            row.samples_dropped + row.samples_corrupted,
+            row.aslr_recoveries,
+            "n/a" if row.fom_quality is None else f"{row.fom_quality:.3f}",
+        )
+    out.append(ascii_table.render())
+    out.append(
+        f"worst-case cell survival: {table.worst_survival:.0%}"
+    )
+    return "\n".join(out)
 
 
 def format_baselines(result: ExperimentResult) -> str:

@@ -15,6 +15,8 @@ modelled as per-allocation penalty seconds accumulated in
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.errors import OutOfMemoryError
 from repro.machine.performance import memkind_alloc_penalty, memkind_free_penalty
 from repro.runtime.address_space import Region
@@ -41,19 +43,45 @@ class MemkindAllocator(PosixAllocator):
         #: simulations set this to 1/scale so the range check sees the
         #: paper-scale size.
         self.penalty_size_multiplier = 1.0
+        #: Fault-injection hook: called with the request size before
+        #: every allocation; returning True fails the allocation even
+        #: though capacity accounting says it fits (fragmentation,
+        #: NUMA pressure — the conditions real memkind fails under).
+        self.fail_hook: Callable[[int], bool] | None = None
+        #: Allocations the fail hook rejected (diagnostics).
+        self.injected_failures = 0
+
+    @property
+    def remaining(self) -> int:
+        """Capacity still available (bytes)."""
+        return self.capacity - self.stats.current_bytes
 
     def fits(self, size: int) -> bool:
         """Would an allocation of ``size`` bytes stay within capacity?"""
         return self.stats.current_bytes + size <= self.capacity
 
+    def _admit(self, size: int) -> None:
+        """Raise an enriched OOM if this request cannot be served."""
+        if not self.fits(size):
+            raise OutOfMemoryError(
+                f"{self.name}: capacity {self.capacity} exhausted",
+                requested=size,
+                tier=self.name,
+                remaining=self.remaining,
+            )
+        if self.fail_hook is not None and self.fail_hook(size):
+            self.injected_failures += 1
+            raise OutOfMemoryError(
+                f"{self.name}: injected allocation failure",
+                requested=size,
+                tier=self.name,
+                remaining=self.remaining,
+            )
+
     def malloc(
         self, size: int, callstack: RawCallStack | None = None
     ) -> Allocation:
-        if not self.fits(size):
-            raise OutOfMemoryError(
-                f"{self.name}: capacity {self.capacity} exhausted "
-                f"(live {self.stats.current_bytes}, requested {size})"
-            )
+        self._admit(size)
         alloc = super().malloc(size, callstack)
         self.penalty_seconds += memkind_alloc_penalty(
             int(size * self.penalty_size_multiplier)
@@ -63,11 +91,7 @@ class MemkindAllocator(PosixAllocator):
     def posix_memalign(
         self, alignment: int, size: int, callstack: RawCallStack | None = None
     ) -> Allocation:
-        if not self.fits(size):
-            raise OutOfMemoryError(
-                f"{self.name}: capacity {self.capacity} exhausted "
-                f"(live {self.stats.current_bytes}, requested {size})"
-            )
+        self._admit(size)
         alloc = super().posix_memalign(alignment, size, callstack)
         self.penalty_seconds += memkind_alloc_penalty(
             int(size * self.penalty_size_multiplier)

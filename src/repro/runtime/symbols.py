@@ -124,6 +124,11 @@ class SymbolTable:
         self._modules.sort(key=lambda pair: pair[0])
         self._bases = [b for b, _ in self._modules]
 
+    @property
+    def mapped_modules(self) -> list[tuple[int, "ModuleImage"]]:
+        """(base, image) pairs in ascending base order."""
+        return list(self._modules)
+
     def module_base(self, name: str) -> int:
         for base, image in self._modules:
             if image.name == name:

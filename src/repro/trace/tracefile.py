@@ -4,16 +4,27 @@ The real framework persists Paraver trace-files on disk between stage
 1 (Extrae) and stage 2 (Paramedir); the simulated trace does the same
 through JSON-lines so each stage can run in a separate process if
 desired.
+
+Robustness: every record line carries a CRC-32 over its canonical
+payload and the header records how many records follow, so
+:meth:`TraceFile.load` can tell a clean trace from a damaged one.
+Strict loads (the default) raise :class:`~repro.errors.TraceError` on
+the first damaged line; ``salvage=True`` recovers every intact record
+and reports what was lost in :attr:`TraceFile.salvage`. Writes are
+atomic (temp file + rename) so a crashed writer never leaves a
+half-written trace behind the next stage's back.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Union
 
 from repro.errors import TraceError
+from repro.ioutil import atomic_write_text
 from repro.trace.events import (
     AllocEvent,
     FreeEvent,
@@ -32,6 +43,44 @@ _EVENT_TYPES = {
 }
 
 
+def _checksummed_line(record: dict) -> str:
+    """One JSONL line with a ``crc`` field over the canonical payload."""
+    canonical = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return json.dumps(
+        {**record, "crc": zlib.crc32(canonical.encode())},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def _verify_crc(data: dict) -> bool:
+    """True iff ``data`` has no crc (legacy record) or a matching one."""
+    crc = data.pop("crc", None)
+    if crc is None:
+        return True
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode()) == crc
+
+
+@dataclass(frozen=True, slots=True)
+class SalvageReport:
+    """What a ``salvage=True`` load recovered and what it lost."""
+
+    #: Records recovered intact (statics + events).
+    recovered_records: int = 0
+    #: Lines that failed to parse or failed their checksum.
+    damaged_lines: int = 0
+    #: Records lost: damaged lines plus records the header promised
+    #: but the file no longer contains (truncation).
+    lost_records: int = 0
+    #: ``path:lineno: reason`` strings, one per damaged line.
+    details: tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return self.lost_records == 0 and self.damaged_lines == 0
+
+
 @dataclass
 class TraceFile:
     """An ordered collection of trace events plus run metadata."""
@@ -42,6 +91,10 @@ class TraceFile:
     events: list[TraceEvent] = field(default_factory=list)
     statics: list[StaticVarRecord] = field(default_factory=list)
     metadata: dict = field(default_factory=dict)
+    #: Populated by ``load(salvage=True)``; None on clean/strict loads.
+    salvage: SalvageReport | None = field(
+        default=None, compare=False, repr=False
+    )
 
     def append(self, event: TraceEvent) -> None:
         self.events.append(event)
@@ -80,36 +133,73 @@ class TraceFile:
 
     # -- persistence ---------------------------------------------------------
 
+    def to_jsonl(self) -> str:
+        """The full checksummed JSONL payload (header + records)."""
+        header = {
+            "type": "header",
+            "application": self.application,
+            "ranks": self.ranks,
+            "sampling_period": self.sampling_period,
+            "metadata": self.metadata,
+            "n_records": len(self.statics) + len(self.events),
+        }
+        lines = [_checksummed_line(header)]
+        for static in self.statics:
+            lines.append(_checksummed_line(static.to_dict()))
+        for event in self.events:
+            lines.append(_checksummed_line(event.to_dict()))
+        return "\n".join(lines) + "\n"
+
     def save(self, path: str | Path) -> None:
-        """Write as JSON lines: a header record, then one event per line."""
-        path = Path(path)
-        with path.open("w") as fh:
-            header = {
-                "type": "header",
-                "application": self.application,
-                "ranks": self.ranks,
-                "sampling_period": self.sampling_period,
-                "metadata": self.metadata,
-            }
-            fh.write(json.dumps(header) + "\n")
-            for static in self.statics:
-                fh.write(json.dumps(static.to_dict()) + "\n")
-            for event in self.events:
-                fh.write(json.dumps(event.to_dict()) + "\n")
+        """Write as JSON lines: a checksummed header record, then one
+        checksummed event per line — atomically (temp file + rename)."""
+        atomic_write_text(path, self.to_jsonl())
 
     @classmethod
-    def load(cls, path: str | Path) -> "TraceFile":
+    def load(cls, path: str | Path, salvage: bool = False) -> "TraceFile":
+        """Read a trace back.
+
+        Strict mode (default) raises :class:`TraceError` on the first
+        malformed, checksum-failing or unknown record. ``salvage=True``
+        recovers every intact record, skips damaged lines, and attaches
+        a :class:`SalvageReport` (damage counts + per-line reasons) as
+        :attr:`salvage`; only a missing/damaged header is fatal, since
+        nothing can be attributed without one.
+        """
         path = Path(path)
         trace: TraceFile | None = None
-        with path.open() as fh:
-            for lineno, line in enumerate(fh, start=1):
-                line = line.strip()
+        expected_records: int | None = None
+        recovered = 0
+        damage: list[str] = []
+
+        def damaged(lineno: int, reason: str) -> None:
+            message = f"{path}:{lineno}: {reason}"
+            if not salvage:
+                raise TraceError(message)
+            damage.append(message)
+
+        # Binary split: a bit-flipped line may not even decode as
+        # UTF-8, and one bad line must not poison its neighbours.
+        with path.open("rb") as fh:
+            for lineno, raw in enumerate(fh, start=1):
+                try:
+                    line = raw.decode().strip()
+                except UnicodeDecodeError as exc:
+                    damaged(lineno, f"undecodable bytes: {exc}")
+                    continue
                 if not line:
                     continue
                 try:
                     data = json.loads(line)
                 except json.JSONDecodeError as exc:
-                    raise TraceError(f"{path}:{lineno}: bad JSON: {exc}") from exc
+                    damaged(lineno, f"bad JSON: {exc}")
+                    continue
+                if not isinstance(data, dict):
+                    damaged(lineno, "record is not an object")
+                    continue
+                if not _verify_crc(data):
+                    damaged(lineno, "checksum mismatch (corrupt record)")
+                    continue
                 kind = data.get("type")
                 if kind == "header":
                     trace = cls(
@@ -118,15 +208,41 @@ class TraceFile:
                         sampling_period=data.get("sampling_period", 1),
                         metadata=data.get("metadata", {}),
                     )
+                    expected_records = data.get("n_records")
                     continue
                 if trace is None:
                     raise TraceError(f"{path}: first record must be the header")
-                if kind == "static":
-                    trace.statics.append(StaticVarRecord.from_dict(data))
-                elif kind in _EVENT_TYPES:
-                    trace.events.append(_EVENT_TYPES[kind].from_dict(data))
-                else:
-                    raise TraceError(f"{path}:{lineno}: unknown event {kind!r}")
+                try:
+                    if kind == "static":
+                        trace.statics.append(StaticVarRecord.from_dict(data))
+                    elif kind in _EVENT_TYPES:
+                        trace.events.append(_EVENT_TYPES[kind].from_dict(data))
+                    else:
+                        damaged(lineno, f"unknown event {kind!r}")
+                        continue
+                except (KeyError, TypeError, ValueError) as exc:
+                    damaged(lineno, f"malformed {kind} record: {exc}")
+                    continue
+                recovered += 1
         if trace is None:
-            raise TraceError(f"{path}: empty trace file")
+            raise TraceError(
+                f"{path}: empty trace file"
+                if not damage
+                else f"{path}: header unrecoverable ({damage[0]})"
+            )
+        if salvage:
+            lost = len(damage)
+            if expected_records is not None:
+                lost = max(lost, expected_records - recovered)
+            trace.salvage = SalvageReport(
+                recovered_records=recovered,
+                damaged_lines=len(damage),
+                lost_records=lost,
+                details=tuple(damage),
+            )
+        elif expected_records is not None and recovered != expected_records:
+            raise TraceError(
+                f"{path}: header promises {expected_records} records, "
+                f"found {recovered} (truncated trace?)"
+            )
         return trace

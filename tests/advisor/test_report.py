@@ -99,3 +99,57 @@ class TestTextRoundTrip:
         text = "# a comment\napplication: x\nstrategy: s\n"
         report = PlacementReport.from_text(text)
         assert report.application == "x"
+
+
+class TestLenientParse:
+    def _damaged_text(self):
+        """A valid report with two malformed lines spliced in."""
+        lines = _report().to_text().splitlines()
+        first_object = next(
+            i for i, line in enumerate(lines) if line.startswith("object:")
+        )
+        lines.insert(first_object, "object: tier=MCDRAM size=oops misses=1")
+        lines.insert(2, "mystery: 42")
+        return "\n".join(lines) + "\n"
+
+    def test_strict_raises_with_line_context(self):
+        with pytest.raises(ReportError, match="line 3"):
+            PlacementReport.from_text(self._damaged_text())
+
+    def test_strict_raises_on_malformed_field(self):
+        with pytest.raises(ReportError, match="line 1"):
+            PlacementReport.from_text(
+                "object: tier=MCDRAM size=oops misses=1\n"
+            )
+
+    def test_lenient_skips_and_warns(self):
+        good = _report()
+        clone = PlacementReport.from_text(self._damaged_text(), strict=False)
+        assert clone.entries == good.entries
+        assert clone.static_recommendations == good.static_recommendations
+        assert len(clone.parse_warnings) == 2
+        assert all("line " in w for w in clone.parse_warnings)
+
+    def test_lenient_drops_dynamic_entry_without_frames(self):
+        text = (
+            "application: x\nstrategy: s\n"
+            "object: tier=MCDRAM size=64 misses=2\n"
+        )
+        clone = PlacementReport.from_text(text, strict=False)
+        assert clone.entries == []
+        assert any("no frames" in w for w in clone.parse_warnings)
+        with pytest.raises(ReportError, match="no frames"):
+            PlacementReport.from_text(text)
+
+    def test_lenient_file_load(self, tmp_path):
+        path = tmp_path / "damaged.report"
+        path.write_text(self._damaged_text())
+        clone = PlacementReport.load(path, strict=False)
+        assert clone.entries == _report().entries
+        assert clone.parse_warnings
+
+    def test_warnings_excluded_from_equality(self):
+        # A salvaged report with the same content compares equal to a
+        # pristine one, so cached comparisons keep working.
+        clone = PlacementReport.from_text(self._damaged_text(), strict=False)
+        assert clone == _report()

@@ -1,5 +1,8 @@
 """Property tests: placement reports round-trip for arbitrary content."""
 
+import tempfile
+from pathlib import Path
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -109,6 +112,24 @@ class TestReportRoundTrip:
                         and o.fraction >= 1.0
                         for o in report.entries
                     )
+
+    @given(reports())
+    @settings(max_examples=40, deadline=None)
+    def test_file_round_trip_via_atomic_save(self, report):
+        """save() (temp file + rename) -> load() is lossless for
+        arbitrary reports, and a lenient load of an undamaged file
+        emits no warnings."""
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "r.report"
+            report.save(path)
+            clone = PlacementReport.load(path)
+            lenient = PlacementReport.load(path, strict=False)
+        assert clone.application == report.application
+        assert clone.budgets == report.budgets
+        assert len(clone.entries) == len(report.entries)
+        assert clone.static_recommendations == report.static_recommendations
+        assert lenient.parse_warnings == []
+        assert len(lenient.entries) == len(report.entries)
 
     @given(reports())
     @settings(max_examples=60, deadline=None)

@@ -1,0 +1,214 @@
+"""FaultInjector: every decision is a pure function of (seed, identity)."""
+
+import shutil
+
+import pytest
+
+from repro.errors import InjectedFaultError, OutOfMemoryError, TraceError
+from repro.faults.injector import (
+    FATE_HANG,
+    FATE_KILL,
+    FATE_OK,
+    FaultInjector,
+    damage_trace_file,
+)
+from repro.faults.plan import FaultPlan
+from repro.runtime.callstack import RawCallStack
+from repro.runtime.process import SimProcess
+from repro.runtime.symbols import FunctionSymbol, ModuleImage
+from repro.trace.events import PhaseEvent, SampleEvent
+from repro.trace.tracefile import TraceFile
+from repro.units import KIB, MIB
+
+
+def _sample_trace(n=400, application="demo"):
+    trace = TraceFile(application=application, ranks=1, sampling_period=3)
+    trace.append(PhaseEvent(time=0.0, rank=0, function="loop"))
+    for i in range(n):
+        trace.append(
+            SampleEvent(time=i * 1e-3, rank=0, address=0x1000 + 64 * i)
+        )
+    return trace
+
+
+def _process():
+    modules = [
+        ModuleImage(
+            name="app",
+            size=200,
+            functions=[FunctionSymbol("main", 0, 64, "app.c")],
+        )
+    ]
+    return SimProcess(modules=modules, heap_size=64 * MIB, hbw_size=16 * MIB)
+
+
+class TestDegradeTrace:
+    def test_drop_and_corrupt_counts(self):
+        trace = _sample_trace()
+        plan = FaultPlan(seed=42, sample_drop_rate=0.1, sample_corrupt_rate=0.05)
+        dropped, corrupted = FaultInjector(plan).degrade_trace(trace)
+        assert 0 < dropped < 400
+        assert 0 < corrupted < 400
+        assert len(trace.sample_events) == 400 - dropped
+        # Non-sample events are never touched.
+        assert len(trace.phase_events) == 1
+
+    def test_deterministic(self):
+        plan = FaultPlan(seed=7, sample_drop_rate=0.2, sample_corrupt_rate=0.1)
+        a, b = _sample_trace(), _sample_trace()
+        counts_a = FaultInjector(plan).degrade_trace(a)
+        counts_b = FaultInjector(plan).degrade_trace(b)
+        assert counts_a == counts_b
+        assert a.events == b.events
+
+    def test_keyed_on_application_name(self):
+        plan = FaultPlan(seed=7, sample_drop_rate=0.2)
+        a = _sample_trace(application="alpha")
+        b = _sample_trace(application="beta")
+        FaultInjector(plan).degrade_trace(a)
+        FaultInjector(plan).degrade_trace(b)
+        assert a.events != b.events
+
+    def test_clean_plan_is_a_noop(self):
+        trace = _sample_trace(n=10)
+        before = list(trace.events)
+        assert FaultInjector(FaultPlan(seed=1)).degrade_trace(trace) == (0, 0)
+        assert trace.events == before
+
+    def test_corruption_perturbs_addresses(self):
+        trace = _sample_trace(n=50)
+        originals = [e.address for e in trace.sample_events]
+        plan = FaultPlan(seed=3, sample_corrupt_rate=1.0)
+        dropped, corrupted = FaultInjector(plan).degrade_trace(trace)
+        assert (dropped, corrupted) == (0, 50)
+        assert all(
+            e.address != o
+            for e, o in zip(trace.sample_events, originals)
+        )
+
+
+class TestCallstackPerturbation:
+    def test_zero_offset_returns_same_object(self):
+        raw = RawCallStack(addresses=(0x100, 0x200))
+        assert FaultInjector(FaultPlan()).perturb_callstack(raw) is raw
+
+    def test_constant_offset_applied(self):
+        raw = RawCallStack(addresses=(0x100, 0x200))
+        plan = FaultPlan(aslr_offset=4096)
+        shifted = FaultInjector(plan).perturb_callstack(raw)
+        assert shifted.addresses == (0x100 + 4096, 0x200 + 4096)
+
+
+class TestCellFate:
+    def test_clean_plan_always_ok(self):
+        injector = FaultInjector(FaultPlan(seed=0))
+        assert injector.cell_fate("app", ("grid", "density"), 1) == FATE_OK
+
+    def test_certain_kill(self):
+        injector = FaultInjector(FaultPlan(seed=0, cell_kill_rate=1.0))
+        assert injector.cell_fate("app", ("x",), 1) == FATE_KILL
+
+    def test_deterministic_and_attempt_sensitive(self):
+        plan = FaultPlan(seed=5, cell_kill_rate=0.5, cell_hang_rate=0.2)
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        fates = set()
+        for attempt in range(1, 50):
+            fate = a.cell_fate("app", ("cell",), attempt)
+            assert fate == b.cell_fate("app", ("cell",), attempt)
+            fates.add(fate)
+        assert fates == {FATE_OK, FATE_KILL, FATE_HANG}
+
+    def test_kill_error_names_the_attempt(self):
+        injector = FaultInjector(FaultPlan(seed=0, cell_kill_rate=1.0))
+        error = injector.kill_error("tinyapp", ("baseline", "ddr"), 2)
+        assert isinstance(error, InjectedFaultError)
+        assert "tinyapp" in str(error)
+        assert "attempt 2" in str(error)
+
+
+class TestMemkindInjection:
+    def test_zero_rate_installs_nothing(self):
+        process = _process()
+        FaultInjector(FaultPlan(seed=0)).arm_memkind(process.memkind)
+        assert process.memkind.fail_hook is None
+
+    def test_certain_failure_raises_enriched_oom(self):
+        process = _process()
+        plan = FaultPlan(seed=0, memkind_failure_rate=1.0)
+        FaultInjector(plan).arm_memkind(process.memkind, scope="t")
+        with pytest.raises(OutOfMemoryError, match="injected") as excinfo:
+            process.memkind.malloc(64 * KIB)
+        assert excinfo.value.requested == 64 * KIB
+        assert process.memkind.injected_failures == 1
+
+    def test_failure_pattern_is_reproducible(self):
+        plan = FaultPlan(seed=13, memkind_failure_rate=0.5)
+
+        def pattern():
+            process = _process()
+            FaultInjector(plan).arm_memkind(process.memkind, scope="s")
+            outcomes = []
+            for _ in range(20):
+                try:
+                    process.memkind.malloc(4 * KIB)
+                except OutOfMemoryError:
+                    outcomes.append(False)
+                else:
+                    outcomes.append(True)
+            return outcomes
+
+        first = pattern()
+        assert first == pattern()
+        assert True in first and False in first
+
+
+class TestDamageTraceFile:
+    def _saved(self, tmp_path, name="run.trace", n=400):
+        trace = _sample_trace(n=n)
+        path = tmp_path / name
+        trace.save(path)
+        return trace, path
+
+    def test_truncation_reports_lost_bytes(self, tmp_path):
+        _, path = self._saved(tmp_path)
+        size = path.stat().st_size
+        plan = FaultPlan(seed=1, trace_truncate_fraction=0.5)
+        lost = damage_trace_file(path, plan)
+        assert lost == size - path.stat().st_size > 0
+
+    def test_truncated_trace_salvages(self, tmp_path):
+        trace, path = self._saved(tmp_path)
+        damage_trace_file(path, FaultPlan(seed=1, trace_truncate_fraction=0.5))
+        with pytest.raises(TraceError):
+            TraceFile.load(path)
+        clone = TraceFile.load(path, salvage=True)
+        report = clone.salvage
+        assert report is not None and not report.clean
+        # n_records = 1 phase + 400 samples; everything is recovered or
+        # accounted for as lost, never silently missing.
+        assert report.recovered_records + report.lost_records == 401
+        assert 0 < report.recovered_records < 401
+        assert clone.events == trace.events[: len(clone.events)]
+
+    def test_bitflips_spare_the_header(self, tmp_path):
+        _, path = self._saved(tmp_path, n=60)
+        header = path.read_bytes().split(b"\n", 1)[0]
+        plan = FaultPlan(seed=2, trace_bitflips=4)
+        assert damage_trace_file(path, plan) == 0
+        assert path.read_bytes().split(b"\n", 1)[0] == header
+        with pytest.raises(TraceError):
+            TraceFile.load(path)
+        clone = TraceFile.load(path, salvage=True)
+        assert clone.salvage.damaged_lines >= 1
+        assert clone.salvage.details  # per-line reasons for the log
+
+    def test_damage_is_deterministic(self, tmp_path):
+        _, path = self._saved(tmp_path, n=60)
+        copy_dir = tmp_path / "copy"
+        copy_dir.mkdir()
+        copy = copy_dir / path.name  # same name: same bit-flip rng key
+        shutil.copy(path, copy)
+        plan = FaultPlan(seed=9, trace_truncate_fraction=0.8, trace_bitflips=3)
+        damage_trace_file(path, plan)
+        damage_trace_file(copy, plan)
+        assert path.read_bytes() == copy.read_bytes()

@@ -1,0 +1,165 @@
+"""FaultPlan: validation, the scaling ladder and JSON round-trip."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults.plan import (
+    HBW_POLICY_BIND,
+    HBW_POLICY_PREFERRED,
+    FaultPlan,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestValidation:
+    def test_default_plan_is_clean(self):
+        plan = FaultPlan()
+        assert not plan.degrades_profile
+        assert not plan.degrades_replay
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "sample_drop_rate",
+            "sample_corrupt_rate",
+            "memkind_failure_rate",
+            "cell_kill_rate",
+            "cell_hang_rate",
+        ],
+    )
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_rates_bounded(self, field, value):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(**{field: value})
+
+    @pytest.mark.parametrize("value", [0.0, -0.5, 1.5])
+    def test_capacity_factor_bounded(self, value):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(mcdram_capacity_factor=value)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(hbw_policy="strict")
+
+    def test_negative_bitflips_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(trace_bitflips=-1)
+
+    def test_truncate_fraction_bounded(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(trace_truncate_fraction=1.5)
+        assert FaultPlan(trace_truncate_fraction=None).trace_truncate_fraction is None
+
+    def test_negative_hang_seconds_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(cell_hang_seconds=-0.1)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("seed", "nope"),
+            ("aslr_offset", "4096"),
+            ("trace_bitflips", 1.5),
+            ("sample_drop_rate", "0.1"),
+            ("mcdram_capacity_factor", "half"),
+            ("trace_truncate_fraction", "most"),
+        ],
+    )
+    def test_wrong_types_rejected(self, field, value):
+        # A hand-edited JSON plan must fail at load, not as a
+        # TypeError traceback deep inside the injector.
+        with pytest.raises(FaultPlanError):
+            FaultPlan(**{field: value})
+
+    def test_plan_is_hashable(self):
+        # The sweep memoises frameworks on (app, machine, seed, plan).
+        a = FaultPlan(seed=1, sample_drop_rate=0.1)
+        b = FaultPlan(seed=1, sample_drop_rate=0.1)
+        assert a == b
+        assert len({a: 1, b: 2}) == 1
+
+
+class TestScaling:
+    def test_rates_scale_and_clamp(self):
+        plan = FaultPlan(sample_drop_rate=0.4, cell_kill_rate=0.8)
+        doubled = plan.scaled(2.0)
+        assert doubled.sample_drop_rate == pytest.approx(0.8)
+        assert doubled.cell_kill_rate == 1.0  # clamped
+
+    def test_half_factor_halves_rates(self):
+        plan = FaultPlan(sample_corrupt_rate=0.2)
+        assert plan.scaled(0.5).sample_corrupt_rate == pytest.approx(0.1)
+
+    def test_capacity_shrink_deepens_with_factor(self):
+        plan = FaultPlan(mcdram_capacity_factor=0.5)
+        assert plan.scaled(0.5).mcdram_capacity_factor == pytest.approx(0.75)
+        assert plan.scaled(1.0).mcdram_capacity_factor == pytest.approx(0.5)
+
+    def test_factor_zero_is_clean(self):
+        plan = FaultPlan(
+            seed=9,
+            sample_drop_rate=0.3,
+            trace_truncate_fraction=0.5,
+            trace_bitflips=4,
+            aslr_offset=4096,
+            mcdram_capacity_factor=0.5,
+            hbw_policy=HBW_POLICY_BIND,
+            memkind_failure_rate=0.2,
+            cell_kill_rate=0.1,
+        )
+        clean = plan.scaled(0.0)
+        assert not clean.degrades_profile
+        assert not clean.degrades_replay
+        assert clean.hbw_policy == HBW_POLICY_PREFERRED
+        assert clean.trace_truncate_fraction is None
+        assert clean.trace_bitflips == 0
+        assert clean.seed == 9  # the anchor survives
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan().scaled(-1.0)
+
+    def test_shrunk_capacity(self):
+        plan = FaultPlan(mcdram_capacity_factor=0.5)
+        assert plan.shrunk_capacity(100) == 50
+        assert plan.shrunk_capacity(1) == 1  # never zero
+
+
+class TestPersistence:
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            seed=3,
+            sample_drop_rate=0.05,
+            aslr_offset=4096,
+            mcdram_capacity_factor=0.5,
+            hbw_policy=HBW_POLICY_BIND,
+            cell_kill_rate=0.2,
+        )
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(FaultPlanError, match="unknown"):
+            FaultPlan.from_dict({"seed": 1, "kaboom_rate": 0.5})
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(FaultPlanError):
+            FaultPlan.load(path)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.load(tmp_path / "ghost.json")
+
+    def test_shipped_smoke_plan_loads(self):
+        plan = FaultPlan.load(
+            REPO_ROOT / "examples" / "fault_plans" / "smoke.json"
+        )
+        assert plan.hbw_policy == HBW_POLICY_PREFERRED
+        assert plan.degrades_profile
+        assert plan.degrades_replay

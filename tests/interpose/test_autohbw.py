@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.errors import InvalidFreeError, OutOfMemoryError
+from repro.faults.plan import HBW_POLICY_BIND
 from repro.interpose.autohbw import AutoHBW
 from repro.runtime.process import SimProcess
 from repro.runtime.symbols import FunctionSymbol, ModuleImage
@@ -92,13 +94,36 @@ class TestFCFS:
             process.malloc(1536 * KIB)
         assert hook.overhead_seconds > 0
 
-    def test_realloc(self):
+    def test_realloc_sticks_to_fast_tier(self):
+        """Shrinking below the threshold must not silently demote:
+        memkind's realloc reallocates within the owning kind."""
+        process = _process()
+        hook = _install(process, min_size=1 * MIB)
+        with process.in_function("app", "main", 1):
+            a = process.malloc(2 * MIB)
+            b = process.realloc(a, 256 * KIB)  # below threshold, stays
+        assert process.memkind.owns(b)
+        assert hook.stats.calls_intercepted == 2  # malloc + one realloc
+
+    def test_realloc_sticks_to_ddr(self):
+        """A DDR block growing past the threshold stays in DDR."""
         process = _process()
         _install(process, min_size=1 * MIB)
         with process.in_function("app", "main", 1):
-            a = process.malloc(2 * MIB)
-            b = process.realloc(a, 256 * KIB)  # now below threshold
+            a = process.malloc(256 * KIB)
+            b = process.realloc(a, 2 * MIB)
         assert process.posix.owns(b)
+
+    def test_realloc_demotes_only_when_tier_full(self):
+        """Growth beyond remaining capacity falls back to DDR
+        (preferred policy) instead of failing."""
+        process = _process(hbw_capacity=3 * MIB)
+        hook = _install(process, min_size=1 * MIB)
+        with process.in_function("app", "main", 1):
+            a = process.malloc(2 * MIB)
+            b = process.realloc(a, 4 * MIB)  # over the 3 MiB capacity
+        assert process.posix.owns(b)
+        assert hook.stats.hbw_fallbacks == 1
 
     def test_hwm(self):
         process = _process()
@@ -106,3 +131,43 @@ class TestFCFS:
         with process.in_function("app", "main", 1):
             process.malloc(2 * MIB)
         assert hook.hbw_hwm_bytes == 2 * MIB
+
+
+class TestPolicies:
+    def test_preferred_counts_capacity_fallback(self):
+        process = _process(hbw_capacity=3 * MIB)
+        hook = _install(process, min_size=1 * MIB)
+        with process.in_function("app", "main", 1):
+            process.malloc(2 * MIB)
+            second = process.malloc(2 * MIB)
+        assert process.posix.owns(second)
+        assert hook.stats.hbw_fallbacks == 1
+
+    def test_bind_raises_enriched_oom(self):
+        process = _process(hbw_capacity=3 * MIB)
+        _install(process, min_size=1 * MIB, policy=HBW_POLICY_BIND)
+        with process.in_function("app", "main", 1):
+            process.malloc(2 * MIB)
+            with pytest.raises(OutOfMemoryError) as excinfo:
+                process.malloc(2 * MIB)
+        assert excinfo.value.requested == 2 * MIB
+        assert excinfo.value.tier == process.memkind.name
+        assert excinfo.value.remaining == 1 * MIB
+
+    def test_bind_realloc_growth_raises(self):
+        process = _process(hbw_capacity=3 * MIB)
+        _install(process, min_size=1 * MIB, policy=HBW_POLICY_BIND)
+        with process.in_function("app", "main", 1):
+            a = process.malloc(2 * MIB)
+            with pytest.raises(OutOfMemoryError):
+                process.realloc(a, 4 * MIB)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            AutoHBW(_process(), policy="strict")
+
+    def test_invalid_free_carries_address(self):
+        hook = _install(_process())
+        with pytest.raises(InvalidFreeError) as excinfo:
+            hook.free(0xBAD)
+        assert excinfo.value.address == 0xBAD

@@ -4,7 +4,9 @@ import pytest
 
 from repro.advisor.report import PlacementEntry, PlacementReport
 from repro.analysis.objects import ObjectKey, ObjectKind
-from repro.errors import InvalidFreeError
+from repro.errors import InvalidFreeError, OutOfMemoryError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import HBW_POLICY_BIND, FaultPlan
 from repro.interpose.hbwmalloc import AutoHbwMalloc
 from repro.runtime.process import SimProcess
 from repro.runtime.symbols import FunctionSymbol, ModuleImage
@@ -235,3 +237,126 @@ class TestFreeRouting:
                 # Growing beyond ub_size must fall back to posix.
                 b = process.realloc(a, 4 * MIB)
         assert process.posix.owns(b)
+
+
+def _tiny_hbw_process(hbw_capacity=512 * KIB):
+    """A process whose physical fast tier is far below the advisor
+    budget — the capacity-shrink fault scenario."""
+    modules = [
+        ModuleImage(
+            name="app",
+            size=400,
+            functions=[
+                FunctionSymbol("main", offset=0, size=64, file="app.c"),
+                FunctionSymbol("hot_site", offset=96, size=64, file="app.c"),
+                FunctionSymbol("cold_site", offset=192, size=64, file="app.c"),
+            ],
+        )
+    ]
+    return SimProcess(modules=modules, seed=3, heap_size=64 * MIB,
+                      hbw_size=32 * MIB, hbw_capacity=hbw_capacity)
+
+
+class TestPolicies:
+    def test_preferred_counts_physical_fallback(self):
+        process = _tiny_hbw_process()
+        hook = _install(process)  # advisor budget 8 MiB >> 512 KiB real
+        with process.in_function("app", "main", 1):
+            with process.in_function("app", "hot_site", 5):
+                address = process.malloc(768 * KIB)
+        assert process.posix.owns(address)
+        assert hook.stats.hbw_fallbacks == 1
+        # Physical refusal is not the advisor's bookkeeping.
+        assert hook.stats.calls_did_not_fit == 0
+
+    def test_bind_raises_enriched_oom_on_physical_refusal(self):
+        process = _tiny_hbw_process()
+        hook = AutoHbwMalloc(process, _report(), tier="MCDRAM",
+                             policy=HBW_POLICY_BIND)
+        process.install_malloc_hook(hook)
+        with process.in_function("app", "main", 1):
+            with process.in_function("app", "hot_site", 5):
+                with pytest.raises(OutOfMemoryError) as excinfo:
+                    process.malloc(768 * KIB)
+        assert excinfo.value.requested == 768 * KIB
+        assert excinfo.value.tier == process.memkind.name
+        assert excinfo.value.remaining == 512 * KIB
+
+    def test_budget_exhaustion_is_not_a_bind_failure(self):
+        # The advisor budget is the library's own bookkeeping;
+        # exhausting it falls back quietly under every policy.
+        process = _process()  # 16 MiB physical
+        hook = AutoHbwMalloc(process, _report(budget=1 * MIB),
+                             tier="MCDRAM", policy=HBW_POLICY_BIND)
+        process.install_malloc_hook(hook)
+        with process.in_function("app", "main", 1):
+            with process.in_function("app", "hot_site", 5):
+                a = process.malloc(768 * KIB)
+                b = process.malloc(768 * KIB)
+        assert process.memkind.owns(a)
+        assert process.posix.owns(b)
+        assert hook.stats.calls_did_not_fit == 1
+        assert hook.stats.hbw_fallbacks == 0
+
+    def test_injected_memkind_failure_preferred(self):
+        process = _process()
+        injector = FaultInjector(FaultPlan(seed=1, memkind_failure_rate=1.0))
+        injector.arm_memkind(process.memkind, scope="test")
+        hook = _install(process)
+        with process.in_function("app", "main", 1):
+            with process.in_function("app", "hot_site", 5):
+                address = process.malloc(64 * KIB)
+        assert process.posix.owns(address)
+        assert hook.stats.hbw_fallbacks == 1
+        assert process.memkind.injected_failures == 1
+
+    def test_injected_memkind_failure_bind(self):
+        process = _process()
+        injector = FaultInjector(FaultPlan(seed=1, memkind_failure_rate=1.0))
+        injector.arm_memkind(process.memkind, scope="test")
+        hook = AutoHbwMalloc(process, _report(), tier="MCDRAM",
+                             policy=HBW_POLICY_BIND)
+        process.install_malloc_hook(hook)
+        with process.in_function("app", "main", 1):
+            with process.in_function("app", "hot_site", 5):
+                with pytest.raises(OutOfMemoryError, match="injected"):
+                    process.malloc(64 * KIB)
+
+
+class TestAslrDrift:
+    def _drifted(self, offset):
+        process = _process()
+        injector = FaultInjector(FaultPlan(seed=0, aslr_offset=offset))
+        hook = AutoHbwMalloc(process, _report(), tier="MCDRAM",
+                             fault_injector=injector)
+        process.install_malloc_hook(hook)
+        return process, hook
+
+    def test_constant_drift_recovered(self):
+        process, hook = self._drifted(4096)
+        with process.in_function("app", "main", 1):
+            with process.in_function("app", "hot_site", 5):
+                address = process.malloc(64 * KIB)
+        assert process.memkind.owns(address)  # still promoted
+        assert hook.stats.aslr_recoveries == 1
+        assert hook.translator.slide == 4096
+
+    def test_slide_search_runs_once(self):
+        process, hook = self._drifted(4096)
+        with process.in_function("app", "main", 1):
+            with process.in_function("app", "hot_site", 5):
+                process.malloc(64 * KIB)
+                process.malloc(64 * KIB)
+        # The second call is a decision-cache hit on the perturbed
+        # stack; the slide is never searched again.
+        assert hook.cache.hits == 1
+        assert hook.stats.aslr_recoveries == 1
+
+    def test_zero_drift_costs_nothing(self):
+        process, hook = self._drifted(0)
+        with process.in_function("app", "main", 1):
+            with process.in_function("app", "hot_site", 5):
+                address = process.malloc(64 * KIB)
+        assert process.memkind.owns(address)
+        assert hook.stats.aslr_recoveries == 0
+        assert hook.translator.slide == 0

@@ -2,8 +2,15 @@
 
 import pytest
 
+from repro.errors import ConfigError
+from repro.faults.plan import HBW_POLICY_BIND, FaultPlan
 from repro.parallel.result_cache import ResultCache, cell_cache_key
-from repro.parallel.sweep import SweepConfig, SweepExecutor, run_sweep
+from repro.parallel.sweep import (
+    SKIPPED_ERROR,
+    SweepConfig,
+    SweepExecutor,
+    run_sweep,
+)
 from repro.pipeline.experiment import (
     BASELINE_LABELS,
     ExperimentGrid,
@@ -106,10 +113,21 @@ class TestSweepMatchesSerial:
         assert observed == expected
 
     def test_rejects_zero_jobs(self):
-        from repro.errors import ConfigError
-
         with pytest.raises(ConfigError):
             SweepExecutor(config=SweepConfig(jobs=0))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"retries": -1},
+            {"backoff_seconds": -0.1},
+            {"timeout_seconds": 0},
+            {"error_budget": 0},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ConfigError):
+            SweepConfig(**kwargs)
 
 
 class TestResultCaching:
@@ -156,6 +174,24 @@ class TestCacheKey:
         assert cell_cache_key(tiny_app, machine, other_cell, seed=0) != base
         # A change to the application model must change the key.
         assert cell_cache_key(SecondApp(), machine, cell, seed=0) != base
+
+    def test_key_is_fault_plan_sensitive(self, tiny_app, machine):
+        cell = enumerate_cells(tiny_app, SMALL_GRID)[0]
+        base = cell_cache_key(tiny_app, machine, cell, seed=0)
+        # No plan and an explicit None must hash identically, so
+        # pre-fault caches stay valid.
+        assert cell_cache_key(
+            tiny_app, machine, cell, seed=0, fault_plan=None
+        ) == base
+        plan = FaultPlan(seed=1, mcdram_capacity_factor=0.5)
+        faulted = cell_cache_key(
+            tiny_app, machine, cell, seed=0, fault_plan=plan
+        )
+        assert faulted != base
+        other = FaultPlan(seed=1, mcdram_capacity_factor=0.25)
+        assert cell_cache_key(
+            tiny_app, machine, cell, seed=0, fault_plan=other
+        ) != faulted
 
     def test_store_and_load(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -219,3 +255,142 @@ class TestFaultIsolation:
         assert failure.row is None
         assert "RuntimeError" in failure.error
         assert "run_profiling" in failure.error
+
+
+#: One budget x one strategy: 4 baselines + 1 grid cell (5 cells) —
+#: for the timeout tests, where every cell costs wall-clock time.
+FIVE_CELLS = ExperimentGrid(budgets=(32 * MIB,), strategies=("density",))
+
+#: A plan exercising every degradation class at once.
+FAULTY_PLAN = FaultPlan(
+    seed=11,
+    sample_drop_rate=0.1,
+    sample_corrupt_rate=0.05,
+    aslr_offset=4096,
+    mcdram_capacity_factor=0.5,
+    memkind_failure_rate=0.02,
+    cell_kill_rate=0.3,
+)
+
+
+class TestFaultPlanSweeps:
+    def test_bit_reproducible_serial_vs_parallel(self):
+        def signature(sweep):
+            return [
+                (o.application, o.cell.key, o.row, o.attempts, o.ok)
+                for o in sweep.outcomes
+            ]
+
+        serial = run_sweep(
+            [TinyApp(), SecondApp()], grid=SMALL_GRID, jobs=1, seed=0,
+            fault_plan=FAULTY_PLAN,
+        )
+        parallel = run_sweep(
+            [TinyApp(), SecondApp()], grid=SMALL_GRID, jobs=2, seed=0,
+            fault_plan=FAULTY_PLAN,
+        )
+        assert signature(serial) == signature(parallel)
+        # Injection decisions are seed-keyed, so the deterministic
+        # degradation counters agree too.
+        for counter in ("cell_killed", "oom"):
+            assert serial.metrics.count(counter) == parallel.metrics.count(
+                counter
+            ), counter
+
+    def test_preferred_shrink_completes_every_cell(self):
+        plan = FaultPlan(seed=3, mcdram_capacity_factor=0.5)
+        sweep = run_sweep(
+            [TinyApp()], grid=SMALL_GRID, jobs=1, seed=0, fault_plan=plan
+        )
+        assert not sweep.failures
+        assert not sweep.skipped
+        assert len(sweep.outcomes) == 8
+        assert sweep.metrics.count("hbw_fallback") > 0
+
+    def test_bind_shrink_surfaces_per_cell_oom(self):
+        plan = FaultPlan(
+            seed=3, mcdram_capacity_factor=0.5, hbw_policy=HBW_POLICY_BIND
+        )
+        sweep = run_sweep(
+            [TinyApp()], grid=SMALL_GRID, jobs=1, seed=0, fault_plan=plan
+        )
+        # The capacity-blind autohbw baseline overcommits the shrunken
+        # tier and dies; the sweep itself survives and every other
+        # cell still produces a row.
+        assert len(sweep.outcomes) == 8
+        assert 1 <= len(sweep.failures) < 8
+        assert all("OutOfMemoryError" in o.error for o in sweep.failures)
+        assert sweep.metrics.count("oom") >= 1
+        assert sum(1 for o in sweep.outcomes if o.ok) == 8 - len(
+            sweep.failures
+        )
+
+    def test_hang_timeout_serial(self):
+        plan = FaultPlan(seed=1, cell_hang_rate=1.0, cell_hang_seconds=0.15)
+        sweep = run_sweep(
+            [TinyApp()], grid=FIVE_CELLS, jobs=1, seed=0, fault_plan=plan,
+            retries=0, timeout_seconds=0.05,
+        )
+        assert len(sweep.failures) == 5
+        assert all("timeout" in o.error for o in sweep.failures)
+        assert sweep.metrics.count("timeout") == 5
+        assert sweep.metrics.count("cell_hung") == 5
+
+    def test_hang_timeout_parallel(self):
+        plan = FaultPlan(seed=1, cell_hang_rate=1.0, cell_hang_seconds=0.25)
+        sweep = run_sweep(
+            [TinyApp()], grid=FIVE_CELLS, jobs=2, seed=0, fault_plan=plan,
+            retries=0, timeout_seconds=0.05,
+        )
+        assert len(sweep.failures) == 5
+        assert all("timeout" in o.error for o in sweep.failures)
+        assert sweep.metrics.count("timeout") == 5
+
+    def test_error_budget_fail_fast_serial(self):
+        sweep = run_sweep(
+            [BrokenApp()], grid=SMALL_GRID, jobs=1, seed=0, retries=0,
+            error_budget=2,
+        )
+        assert len(sweep.failures) == 2
+        assert len(sweep.skipped) == 6
+        assert all(o.error == SKIPPED_ERROR for o in sweep.skipped)
+        assert sweep.metrics.count("skipped") == 6
+
+    def test_error_budget_fail_fast_parallel(self):
+        sweep = run_sweep(
+            [BrokenApp()], grid=SMALL_GRID, jobs=2, seed=0, retries=0,
+            error_budget=2,
+        )
+        # Cells already inflight when the budget trips still settle as
+        # failures, but the queued remainder must be skipped unrun.
+        assert len(sweep.failures) >= 2
+        assert len(sweep.skipped) >= 1
+        assert len(sweep.failures) + len(sweep.skipped) == 8
+
+    def test_retry_with_backoff_recovers_injected_kill(self):
+        plan = FaultPlan(seed=20, cell_kill_rate=0.4)
+        sweep = run_sweep(
+            [TinyApp()], grid=SMALL_GRID, jobs=1, seed=0, fault_plan=plan,
+            retries=3, backoff_seconds=0.005,
+        )
+        assert not sweep.failures
+        assert sweep.metrics.count("retry") >= 1
+        assert sweep.metrics.count("cell_killed") >= 1
+        assert any(o.attempts > 1 for o in sweep.outcomes)
+
+    def test_faulted_and_clean_results_never_mix_in_cache(
+        self, tiny_app, tmp_path
+    ):
+        plan = FaultPlan(seed=2, mcdram_capacity_factor=0.5)
+        run_sweep([tiny_app], grid=SMALL_GRID, cache_dir=tmp_path, seed=0)
+        faulted = run_sweep(
+            [tiny_app], grid=SMALL_GRID, cache_dir=tmp_path, seed=0,
+            fault_plan=plan,
+        )
+        assert faulted.metrics.count("cache_hit") == 0
+        warm = run_sweep(
+            [tiny_app], grid=SMALL_GRID, cache_dir=tmp_path, seed=0,
+            fault_plan=plan,
+        )
+        assert warm.metrics.count("cache_hit") == 8
+        assert warm.metrics.total_stage_executions == 0

@@ -8,10 +8,13 @@ from repro.cli.main import (
     advise_main,
     analyze_main,
     experiment_main,
+    faults_main,
     parse_size,
     place_main,
     profile_main,
 )
+from repro.faults.injector import damage_trace_file
+from repro.faults.plan import FaultPlan
 from repro.units import GIB, KIB, MIB
 
 
@@ -122,3 +125,55 @@ class TestShellFlow:
         missing = tmp_path / "ghost.trace"
         with pytest.raises(FileNotFoundError):
             analyze_main([str(missing), "-o", str(tmp_path / "o.csv")])
+
+
+class TestFaultFlow:
+    def test_analyze_salvages_damaged_trace(self, tmp_path, capsys):
+        trace = tmp_path / "app.trace"
+        csv = tmp_path / "objects.csv"
+        assert profile_main(["minife", "-o", str(trace)]) == 0
+        damage_trace_file(
+            trace, FaultPlan(seed=1, trace_truncate_fraction=0.8)
+        )
+        # Strict analysis refuses the damaged trace...
+        assert analyze_main([str(trace), "-o", str(csv)]) == 1
+        assert "error" in capsys.readouterr().err
+        assert not csv.exists()
+        # ...--salvage recovers the intact prefix and reports the loss.
+        assert analyze_main([str(trace), "-o", str(csv), "--salvage"]) == 0
+        err = capsys.readouterr().err
+        assert "salvage:" in err
+        assert "lost" in err
+        assert csv.exists()
+
+    def test_experiment_with_fault_plan(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        FaultPlan(seed=4, mcdram_capacity_factor=0.5).save(plan_path)
+        assert experiment_main(
+            ["cgpop", "--fault-plan", str(plan_path), "--metrics"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "-- FOM --" in out
+
+    def test_faults_resilience_table(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        cache = tmp_path / "cache"
+        FaultPlan(seed=4, mcdram_capacity_factor=0.5).save(plan_path)
+        argv = ["cgpop", "--plan", str(plan_path), "--factors", "0,1",
+                "--cache-dir", str(cache)]
+        assert faults_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "resilience sweep: cgpop" in out
+        assert "worst-case cell survival: 100%" in out
+        # Warm re-run answered from the cache; an unreachable survival
+        # floor must flip the exit code.
+        assert faults_main(argv + ["--min-survival", "1.01"]) == 1
+        assert "fell below" in capsys.readouterr().err
+
+    def test_faults_rejects_bad_factors(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        FaultPlan(seed=0).save(plan_path)
+        assert faults_main(
+            ["cgpop", "--plan", str(plan_path), "--factors", "a,b"]
+        ) == 1
+        assert "factors" in capsys.readouterr().err
