@@ -1,0 +1,25 @@
+"""Benchmark/regression harness for the simulation kernels.
+
+``repro-bench`` times each vectorised pipeline-stage kernel against
+its per-access reference on fixed-seed workloads, verifies the two
+agree bit for bit while the clock runs, writes a ``BENCH_*.json``
+trajectory (wall time, throughput, speedup per stage) and gates CI on
+a maximum-regression threshold against the committed baseline.
+"""
+
+from repro.bench.harness import (
+    BenchRecord,
+    BenchReport,
+    compare_baseline,
+    run_bench,
+)
+from repro.bench.scenarios import SCENARIOS, make_stream
+
+__all__ = [
+    "BenchRecord",
+    "BenchReport",
+    "SCENARIOS",
+    "compare_baseline",
+    "make_stream",
+    "run_bench",
+]

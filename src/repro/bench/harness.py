@@ -1,0 +1,478 @@
+"""Stage benchmarks, the JSON trajectory and the regression gate.
+
+Each benchmark times a vectorised kernel and (where one exists) its
+per-access reference on the *same* fixed-seed workload, asserting the
+two produce identical results while the clock runs — a benchmark whose
+fast path diverges from the oracle aborts instead of reporting a
+meaningless speedup. Timings are folded into a
+:class:`repro.pipeline.metrics.StageMetrics` (counter + wall seconds
+per ``bench:<stage>`` name) so the sweep layer's reporting understands
+them, and serialised to ``BENCH_*.json`` for the committed trajectory.
+
+The regression gate (:func:`compare_baseline`) compares throughput per
+(stage, scenario, mode) against a baseline file: a stage that lost
+more than ``max_regression`` of its baseline throughput fails the run.
+Quick and full records never cross-compare — chunk-level fixed costs
+make small-stream throughput systematically lower.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.objects import ObjectKey, ObjectKind
+from repro.analysis.profile import ObjectProfile, ProfileSet
+from repro.advisor.report import PlacementEntry, PlacementReport
+from repro.bench.scenarios import make_stream
+from repro.cache.hierarchy import CacheHierarchy, CacheLevelSpec
+from repro.cache.setassoc import SetAssociativeCache
+from repro.cache.vectorkernels import VectorSetAssociativeCache
+from repro.errors import ReproError
+from repro.machine.config import xeon_phi_7250
+from repro.pebs.sampler import PebsSampler
+from repro.pipeline.metrics import StageMetrics
+from repro.predict.replay import PredictorCalibration, TraceReplayPredictor
+from repro.units import KIB, MIB
+
+
+@dataclass(frozen=True, slots=True)
+class BenchRecord:
+    """One timed stage on one workload."""
+
+    stage: str
+    scenario: str
+    mode: str  # "quick" | "full"
+    n: int  # accesses / events / profiles processed
+    seconds: float
+    throughput: float  # n / seconds
+    reference_seconds: float | None = None
+    speedup: float | None = None  # reference_seconds / seconds
+
+    def to_dict(self) -> dict:
+        data = {
+            "stage": self.stage,
+            "scenario": self.scenario,
+            "mode": self.mode,
+            "n": self.n,
+            "seconds": self.seconds,
+            "throughput": self.throughput,
+        }
+        if self.reference_seconds is not None:
+            data["reference_seconds"] = self.reference_seconds
+        if self.speedup is not None:
+            data["speedup"] = self.speedup
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchRecord":
+        return cls(
+            stage=data["stage"],
+            scenario=data["scenario"],
+            mode=data.get("mode", "full"),
+            n=int(data["n"]),
+            seconds=float(data["seconds"]),
+            throughput=float(data["throughput"]),
+            reference_seconds=data.get("reference_seconds"),
+            speedup=data.get("speedup"),
+        )
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.stage, self.scenario, self.mode)
+
+
+@dataclass
+class BenchReport:
+    """A full benchmark run: records plus provenance."""
+
+    records: list[BenchRecord] = field(default_factory=list)
+    mode: str = "full"
+    seed: int = 0
+    python: str = field(default_factory=platform.python_version)
+    numpy: str = field(default_factory=lambda: np.__version__)
+    metrics: StageMetrics = field(default_factory=StageMetrics)
+
+    def record(self, rec: BenchRecord) -> None:
+        self.records.append(rec)
+        self.metrics.bump(f"bench:{rec.stage}")
+        self.metrics.seconds[f"bench:{rec.stage}"] = (
+            self.metrics.seconds.get(f"bench:{rec.stage}", 0.0) + rec.seconds
+        )
+
+    def get(self, stage: str, scenario: str | None = None) -> BenchRecord:
+        for rec in self.records:
+            if rec.stage == stage and scenario in (None, rec.scenario):
+                return rec
+        raise KeyError(f"no record for {stage}/{scenario}")
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro-bench/1",
+            "mode": self.mode,
+            "seed": self.seed,
+            "python": self.python,
+            "numpy": self.numpy,
+            "records": [r.to_dict() for r in self.records],
+            "metrics": self.metrics.to_dict(),
+        }
+
+    def save(self, path: Path | str) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchReport":
+        report = cls(
+            mode=data.get("mode", "full"),
+            seed=int(data.get("seed", 0)),
+            python=data.get("python", ""),
+            numpy=data.get("numpy", ""),
+            metrics=StageMetrics.from_dict(data.get("metrics", {})),
+        )
+        report.records = [
+            BenchRecord.from_dict(r) for r in data.get("records", [])
+        ]
+        return report
+
+    @classmethod
+    def load(cls, path: Path | str) -> "BenchReport":
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(f"cannot read baseline {path}: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def _time(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
+    """Best-of-``repeats`` wall time; returns (seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+# ---------------------------------------------------------------------------
+# Stage benchmarks
+# ---------------------------------------------------------------------------
+
+#: Geometry of the benchmarked LLC: an 8 MiB 16-way cache — large
+#: enough that the vectorised rounds run thousands of sets wide.
+_LLC_CAPACITY = 8 * MIB
+_LLC_WAYS = 16
+
+
+def _bench_setassoc(
+    report: BenchReport, scenario: str, n: int, seed: int, repeats: int
+) -> None:
+    addrs = make_stream(scenario, n, seed)
+    ref = SetAssociativeCache(_LLC_CAPACITY, 64, _LLC_WAYS)
+    ref_seconds, ref_hits = _time(
+        lambda: ref.access_stream_reference(addrs), 1
+    )
+    vec_seconds, vec_hits = _time(
+        lambda: VectorSetAssociativeCache(
+            _LLC_CAPACITY, 64, _LLC_WAYS
+        ).access_stream(addrs),
+        repeats,
+    )
+    if not np.array_equal(ref_hits, vec_hits):
+        raise ReproError(
+            f"setassoc kernel diverged from the oracle on {scenario}"
+        )
+    report.record(
+        BenchRecord(
+            stage="cache_setassoc",
+            scenario=scenario,
+            mode=report.mode,
+            n=n,
+            seconds=vec_seconds,
+            throughput=n / vec_seconds,
+            reference_seconds=ref_seconds,
+            speedup=ref_seconds / vec_seconds,
+        )
+    )
+
+
+def _bench_directmap(
+    report: BenchReport, scenario: str, n: int, seed: int, repeats: int
+) -> None:
+    from repro.cache.directmap import DirectMappedCache
+
+    addrs = make_stream(scenario, n, seed)
+    ref = SetAssociativeCache(_LLC_CAPACITY, 64, ways=1)
+    ref_seconds, ref_hits = _time(
+        lambda: ref.access_stream_reference(addrs), 1
+    )
+    vec_seconds, vec_hits = _time(
+        lambda: DirectMappedCache(_LLC_CAPACITY, 64).access_stream(addrs),
+        repeats,
+    )
+    if not np.array_equal(ref_hits, vec_hits):
+        raise ReproError(
+            f"direct-mapped kernel diverged from the 1-way oracle on "
+            f"{scenario}"
+        )
+    report.record(
+        BenchRecord(
+            stage="cache_directmap",
+            scenario=scenario,
+            mode=report.mode,
+            n=n,
+            seconds=vec_seconds,
+            throughput=n / vec_seconds,
+            reference_seconds=ref_seconds,
+            speedup=ref_seconds / vec_seconds,
+        )
+    )
+
+
+def _bench_hierarchy(
+    report: BenchReport, scenario: str, n: int, seed: int, repeats: int
+) -> None:
+    def specs():
+        return dict(
+            l1=CacheLevelSpec(capacity=32 * KIB, line_size=64, ways=8),
+            llc=CacheLevelSpec(capacity=512 * KIB, line_size=64, ways=16),
+        )
+
+    addrs = make_stream(scenario, n, seed)
+    ref_seconds, ref_miss = _time(
+        lambda: CacheHierarchy(**specs()).feed_reference(addrs), 1
+    )
+    vec_seconds, vec_miss = _time(
+        lambda: CacheHierarchy(**specs()).feed(addrs), repeats
+    )
+    if not np.array_equal(ref_miss, vec_miss):
+        raise ReproError(
+            f"hierarchy feed diverged from the oracle on {scenario}"
+        )
+    report.record(
+        BenchRecord(
+            stage="cache_hierarchy",
+            scenario=scenario,
+            mode=report.mode,
+            n=n,
+            seconds=vec_seconds,
+            throughput=n / vec_seconds,
+            reference_seconds=ref_seconds,
+            speedup=ref_seconds / vec_seconds,
+        )
+    )
+
+
+def _sample_reference(
+    period: int, addresses: np.ndarray
+) -> list[int]:
+    """Per-event countdown loop — the sampler's scalar oracle."""
+    countdown = period
+    picks = []
+    for i in range(addresses.size):
+        countdown -= 1
+        if countdown == 0:
+            picks.append(i)
+            countdown = period
+    return picks
+
+
+def _bench_pebs(
+    report: BenchReport, scenario: str, n: int, seed: int, repeats: int
+) -> None:
+    period = 37589 if n >= 200_000 else 97
+    addrs = make_stream(scenario, n, seed)
+    times = np.arange(n, dtype=float)
+    ref_seconds, ref_picks = _time(
+        lambda: _sample_reference(period, addrs), 1
+    )
+    vec_seconds, vec_picks = _time(
+        lambda: PebsSampler(period=period).sample_positions(n), repeats
+    )
+    if list(vec_picks) != ref_picks:
+        raise ReproError(
+            f"sampler positions diverged from the countdown oracle on "
+            f"{scenario}"
+        )
+    # Exercise the full array path once so attribution cost is real.
+    PebsSampler(period=period).sample_chunk_arrays(addrs, times)
+    report.record(
+        BenchRecord(
+            stage="pebs_sampler",
+            scenario=scenario,
+            mode=report.mode,
+            n=n,
+            seconds=vec_seconds,
+            throughput=n / vec_seconds,
+            reference_seconds=ref_seconds,
+            speedup=ref_seconds / vec_seconds,
+        )
+    )
+
+
+def _synthetic_profiles(
+    n_objects: int, seed: int
+) -> tuple[ProfileSet, PlacementReport]:
+    rng = np.random.default_rng(seed)
+    misses = rng.integers(1, 1000, size=n_objects)
+    sizes = rng.integers(4 * KIB, 4 * MIB, size=n_objects)
+    profiles = ProfileSet(
+        profiles=[
+            ObjectProfile(
+                key=ObjectKey(
+                    kind=ObjectKind.DYNAMIC,
+                    identity=((f"alloc_{i}", "bench.c", int(i)),),
+                ),
+                sampled_misses=int(misses[i]),
+                size=int(sizes[i]),
+                sampled_latency=int(misses[i]) * 300,
+            )
+            for i in range(n_objects)
+        ],
+        stack_samples=17,
+        unresolved_samples=5,
+    )
+    report = PlacementReport(application="bench", strategy="density")
+    for i in range(0, n_objects, 2):  # promote every other object
+        report.entries.append(
+            PlacementEntry(
+                key=profiles.profiles[i].key,
+                tier="MCDRAM",
+                size=int(sizes[i]),
+                sampled_misses=int(misses[i]),
+                fraction=1.0 if i % 4 else 0.5,
+            )
+        )
+    return profiles, report
+
+
+def _predict_share_reference(
+    profiles: ProfileSet, report: PlacementReport
+) -> float:
+    """Scalar replay: the loop the vectorised predictor replaced."""
+    fraction_by_key = {
+        e.key.identity: e.fraction
+        for e in report.entries
+        if e.key.kind == ObjectKind.DYNAMIC
+    }
+    promoted = sum(
+        p.sampled_misses * fraction_by_key.get(p.key.identity, 0.0)
+        for p in profiles.dynamic_profiles
+    )
+    return promoted / profiles.total_samples
+
+
+def _bench_replay(
+    report: BenchReport, n_objects: int, seed: int, repeats: int
+) -> None:
+    profiles, placement = _synthetic_profiles(n_objects, seed)
+    machine = xeon_phi_7250()
+    predictor = TraceReplayPredictor(
+        machine,
+        PredictorCalibration(
+            fom_ddr=1000.0, ddr_time=10.0, memory_bound_fraction=0.6
+        ),
+    )
+    ref_seconds, ref_share = _time(
+        lambda: _predict_share_reference(profiles, placement), 1
+    )
+    vec_seconds, outcome = _time(
+        lambda: predictor.predict(profiles, placement), repeats
+    )
+    if abs(outcome.promoted_miss_share - ref_share) > 1e-9:
+        raise ReproError("replay predictor diverged from the scalar oracle")
+    report.record(
+        BenchRecord(
+            stage="predict_replay",
+            scenario="synthetic-objects",
+            mode=report.mode,
+            n=n_objects,
+            seconds=vec_seconds,
+            throughput=n_objects / vec_seconds,
+            reference_seconds=ref_seconds,
+            speedup=ref_seconds / vec_seconds,
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Entry point + regression gate
+# ---------------------------------------------------------------------------
+
+#: (stage benchmark, scenarios it runs on). The hot/cold stream is the
+#: representative workload; uniform keeps the adversarial number
+#: honest in the trajectory.
+_STREAM_STAGES = (
+    (_bench_setassoc, ("hotcold", "uniform", "strided")),
+    (_bench_directmap, ("hotcold", "uniform")),
+    (_bench_hierarchy, ("hotcold",)),
+    (_bench_pebs, ("uniform",)),
+)
+
+
+def run_bench(
+    quick: bool = False, seed: int = 0, repeats: int | None = None
+) -> BenchReport:
+    """Run every stage benchmark; returns the populated report.
+
+    ``quick`` shrinks streams ~10x (CI smoke); ``full`` is the
+    committed-trajectory configuration with the 1M-access streams.
+    """
+    mode = "quick" if quick else "full"
+    # Quick streams stay long enough (~10ms of kernel time) that one
+    # scheduler blip cannot swing the measured throughput by tens of
+    # percent — the regression gate depends on that stability.
+    n_stream = 200_000 if quick else 1_000_000
+    n_hierarchy = 20_000 if quick else 200_000
+    n_objects = 2_000 if quick else 20_000
+    # Quick streams are noisy (chunk fixed costs, timer resolution,
+    # transient machine load); best-of-7 spreads the timing window so
+    # the CI gate does not trip on a single busy stretch.
+    if repeats is None:
+        repeats = 7 if quick else 3
+    report = BenchReport(mode=mode, seed=seed)
+    for bench, scenarios in _STREAM_STAGES:
+        n = n_hierarchy if bench is _bench_hierarchy else n_stream
+        for scenario in scenarios:
+            bench(report, scenario, n, seed, repeats)
+    _bench_replay(report, n_objects, seed, repeats)
+    return report
+
+
+def compare_baseline(
+    current: BenchReport,
+    baseline: BenchReport,
+    max_regression: float = 0.25,
+) -> list[str]:
+    """Regression check: throughput per (stage, scenario, mode).
+
+    Returns human-readable failure strings; empty means the gate
+    passes. Records without a matching baseline key are ignored (new
+    stages are not regressions).
+    """
+    if not 0.0 <= max_regression < 1.0:
+        raise ReproError(
+            f"max regression must be in [0, 1), got {max_regression}"
+        )
+    by_key = {rec.key: rec for rec in baseline.records}
+    failures = []
+    for rec in current.records:
+        base = by_key.get(rec.key)
+        if base is None or base.throughput <= 0:
+            continue
+        floor = base.throughput * (1.0 - max_regression)
+        if rec.throughput < floor:
+            lost = 1.0 - rec.throughput / base.throughput
+            failures.append(
+                f"{rec.stage}/{rec.scenario} [{rec.mode}]: "
+                f"{rec.throughput:,.0f}/s is {lost:.0%} below the "
+                f"baseline {base.throughput:,.0f}/s "
+                f"(allowed {max_regression:.0%})"
+            )
+    return failures

@@ -5,9 +5,11 @@ references and misses (Section III, Step 1). The hierarchy filters an
 access stream through an L1 model and forwards L1 misses to the LLC;
 the LLC miss stream is what the PEBS sampler draws from.
 
-For long streams the LLC can optionally run on the vectorised
-direct-mapped model; the set-associative reference model remains the
-default because KNL's L2 is 16-way.
+Both levels keep full set-associative LRU semantics (KNL's L2 is
+16-way) but stream through the vectorised LRU kernel, so feeding a
+multi-million-access stream costs NumPy time, not Python time;
+:meth:`CacheHierarchy.feed_reference` preserves the per-access cascade
+as the oracle.
 """
 
 from __future__ import annotations
@@ -67,7 +69,26 @@ class CacheHierarchy:
 
         Returns the positions (indices into ``addresses``) whose access
         missed in the LLC.
+
+        Both levels run on the vectorised LRU kernel: the LLC only sees
+        the subsequence of L1 misses, in program order, which is
+        exactly what the per-access cascade produces — so the result
+        (and both levels' statistics) is bit-for-bit identical to
+        filtering one access at a time.
         """
+        addresses = np.asarray(addresses, dtype=np.uint64)
+        if addresses.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        l1_hits = self.l1.access_stream(addresses)
+        l1_miss_positions = np.flatnonzero(~l1_hits)
+        if l1_miss_positions.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        llc_hits = self.llc.access_stream(addresses[l1_miss_positions])
+        return l1_miss_positions[~llc_hits]
+
+    def feed_reference(self, addresses: np.ndarray) -> np.ndarray:
+        """Per-access cascade — the oracle :meth:`feed` is tested
+        against, and the baseline ``repro-bench`` measures from."""
         addresses = np.asarray(addresses, dtype=np.uint64)
         llc_miss_positions: list[int] = []
         for i, addr in enumerate(addresses.tolist()):

@@ -46,6 +46,61 @@ class PebsSampler:
         self.events_seen = 0
         self.samples_taken = 0
 
+    def sample_positions(self, n_events: int) -> np.ndarray:
+        """Advance the countdown over ``n_events`` misses; returns the
+        sampled positions (indices into the chunk) as an int64 array.
+
+        This is the vectorised core: the sampled positions of a chunk
+        are an arithmetic progression fixed by the carried-in
+        countdown, so no per-event work is ever done.
+        """
+        if n_events < 0:
+            raise ValueError(f"negative chunk length: {n_events}")
+        if n_events == 0:
+            return np.zeros(0, dtype=np.int64)
+        first = self._countdown - 1  # index of the first sampled miss
+        picks = np.arange(first, n_events, self.period, dtype=np.int64)
+        if picks.size:
+            consumed_after_last = n_events - (int(picks[-1]) + 1)
+            self._countdown = self.period - consumed_after_last
+        else:
+            self._countdown -= n_events
+        self.events_seen += n_events
+        self.samples_taken += int(picks.size)
+        return picks
+
+    def sample_chunk_arrays(
+        self,
+        addresses: np.ndarray,
+        times: np.ndarray,
+        latencies: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Feed a chunk of misses; returns the sampled columns as
+        arrays ``(addresses, times, latencies-or-None)``.
+
+        The array-in/array-out twin of :meth:`sample_chunk` — the whole
+        attribution path (sampler -> tracer -> trace) can stay in NumPy
+        and only materialise event objects for the sparse picks.
+        """
+        addresses = np.asarray(addresses)
+        if addresses.ndim != 1:
+            raise ValueError(
+                f"addresses must be 1-D, got shape {addresses.shape}"
+            )
+        times = np.asarray(times, dtype=float)
+        if addresses.shape != times.shape:
+            raise ValueError("addresses and times must have equal length")
+        if latencies is not None:
+            latencies = np.asarray(latencies)
+            if latencies.shape != addresses.shape:
+                raise ValueError("latencies must match addresses")
+        picks = self.sample_positions(addresses.size)
+        return (
+            addresses[picks],
+            times[picks],
+            latencies[picks] if latencies is not None else None,
+        )
+
     def sample_chunk(
         self,
         addresses: np.ndarray,
@@ -57,35 +112,17 @@ class PebsSampler:
         ``latencies`` (cycles per miss) is optional — pass it when the
         modelled PMU is a Xeon-style one that reports access cost.
         """
-        addresses = np.asarray(addresses)
-        times = np.asarray(times, dtype=float)
-        if addresses.shape != times.shape:
-            raise ValueError("addresses and times must have equal length")
-        if latencies is not None:
-            latencies = np.asarray(latencies)
-            if latencies.shape != addresses.shape:
-                raise ValueError("latencies must match addresses")
-        n = addresses.size
-        if n == 0:
-            return []
-        first = self._countdown - 1  # index of the first sampled miss
-        picks = np.arange(first, n, self.period)
-        consumed_after_last = n - (picks[-1] + 1) if picks.size else n
-        if picks.size:
-            self._countdown = self.period - consumed_after_last
-        else:
-            self._countdown -= n
-        self.events_seen += n
-        self.samples_taken += int(picks.size)
+        picked_addrs, picked_times, picked_lats = self.sample_chunk_arrays(
+            addresses, times, latencies
+        )
+        if picked_lats is None:
+            return [
+                MemorySample(time=float(t), address=int(a))
+                for a, t in zip(picked_addrs, picked_times)
+            ]
         return [
-            MemorySample(
-                time=float(times[i]),
-                address=int(addresses[i]),
-                latency_cycles=(
-                    int(latencies[i]) if latencies is not None else None
-                ),
-            )
-            for i in picks
+            MemorySample(time=float(t), address=int(a), latency_cycles=int(c))
+            for a, t, c in zip(picked_addrs, picked_times, picked_lats)
         ]
 
     @property

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.advisor.report import PlacementReport
 from repro.analysis.objects import ObjectKind
 from repro.analysis.paramedir import Paramedir
@@ -128,12 +130,14 @@ class TraceReplayPredictor:
         if total_samples == 0:
             raise AdvisorError("cannot predict from an empty profile set")
 
+        dynamic = profiles.dynamic_profiles
+        n_dyn = len(dynamic)
         if latency_weighted:
-            def weight(p):
-                return p.sampled_latency
-
-            total_weight = sum(
-                p.sampled_latency for p in profiles.profiles
+            weights = np.fromiter(
+                (p.sampled_latency for p in dynamic), float, count=n_dyn
+            )
+            total_weight = float(
+                sum(p.sampled_latency for p in profiles.profiles)
             )
             if total_weight == 0:
                 raise AdvisorError(
@@ -148,10 +152,10 @@ class TraceReplayPredictor:
                 profiles.stack_samples + profiles.unresolved_samples
             )
         else:
-            def weight(p):
-                return p.sampled_misses
-
-            total_weight = total_samples
+            weights = np.fromiter(
+                (p.sampled_misses for p in dynamic), float, count=n_dyn
+            )
+            total_weight = float(total_samples)
 
         # fraction < 1 entries are the partial-placement extension:
         # promoting the leading fraction of an object's pages captures
@@ -161,10 +165,12 @@ class TraceReplayPredictor:
             for e in report.entries
             if e.key.kind == ObjectKind.DYNAMIC
         }
-        promoted = sum(
-            weight(p) * fraction_by_key.get(p.key.identity, 0.0)
-            for p in profiles.dynamic_profiles
+        fractions = np.fromiter(
+            (fraction_by_key.get(p.key.identity, 0.0) for p in dynamic),
+            float,
+            count=n_dyn,
         )
+        promoted = float(weights @ fractions)
         share = promoted / total_weight
 
         total = self._total_traffic()
@@ -207,19 +213,40 @@ class TraceReplayPredictor:
             for e in report.entries
             if e.key.kind == ObjectKind.DYNAMIC
         }
-        tier_samples: dict[str, float] = {
-            t.name: 0.0 for t in self.machine.tiers
-        }
         default = self.machine.slow_tier.name
-        dynamic_samples = 0.0
-        for p in profiles.dynamic_profiles:
-            dynamic_samples += p.sampled_misses
-            tier, fraction = placement.get(p.key.identity, (default, 0.0))
-            tier_samples[tier] += p.sampled_misses * fraction
-            tier_samples[default] += p.sampled_misses * (1.0 - fraction)
+        tier_names = [t.name for t in self.machine.tiers]
+        tier_index = {name: i for i, name in enumerate(tier_names)}
+        default_idx = tier_index[default]
+
+        # Replay as three aligned arrays (misses, target tier, promoted
+        # fraction) folded per tier with one weighted bincount each.
+        dynamic = profiles.dynamic_profiles
+        n_dyn = len(dynamic)
+        misses = np.fromiter(
+            (p.sampled_misses for p in dynamic), float, count=n_dyn
+        )
+        placed = [
+            placement.get(p.key.identity, (default, 0.0)) for p in dynamic
+        ]
+        tiers_idx = np.fromiter(
+            (tier_index[t] for t, _ in placed), np.int64, count=n_dyn
+        )
+        fractions = np.fromiter(
+            (f for _, f in placed), float, count=n_dyn
+        )
+        per_tier = np.bincount(
+            tiers_idx,
+            weights=misses * fractions,
+            minlength=len(tier_names),
+        )
+        per_tier[default_idx] += float(misses @ (1.0 - fractions))
+        dynamic_samples = float(misses.sum())
         # Statics, stack and unresolved samples all live on the
         # fall-back tier.
-        tier_samples[default] += total_samples - dynamic_samples
+        per_tier[default_idx] += total_samples - dynamic_samples
+        tier_samples: dict[str, float] = {
+            name: float(per_tier[i]) for i, name in enumerate(tier_names)
+        }
 
         total = self._total_traffic()
         traffic = PlacedTraffic(

@@ -25,6 +25,8 @@ class LabelledSeries:
 
     def render(self, x_fmt: str = "{:g}", y_fmt: str = "{:.2f}") -> str:
         head = f"{self.label}:"
+        if not self.points:
+            return head
         body = "  ".join(
             f"({x_fmt.format(x)}, {y_fmt.format(y)})" for x, y in self.points
         )

@@ -142,20 +142,33 @@ class Tracer:
         """
         if not self.config.record_latency:
             latencies = None
-        samples = self.sampler.sample_chunk(addresses, times, latencies)
-        for s in samples:
-            self.trace.append(
-                SampleEvent(
-                    time=s.time,
-                    rank=self.rank,
-                    address=s.address,
-                    latency_cycles=s.latency_cycles,
-                )
-            )
-        self.overhead_seconds += (
-            len(samples) * self.config.sample_cost_us * MICROSECOND
+        # Array-native attribution: the sampler picks positions in
+        # NumPy and only the sparse picks become trace records —
+        # per-miss Python work never happens.
+        picked_addrs, picked_times, picked_lats = (
+            self.sampler.sample_chunk_arrays(addresses, times, latencies)
         )
-        return len(samples)
+        rank = self.rank
+        if picked_lats is None:
+            events = [
+                SampleEvent(time=float(t), rank=rank, address=int(a))
+                for a, t in zip(picked_addrs, picked_times)
+            ]
+        else:
+            events = [
+                SampleEvent(
+                    time=float(t),
+                    rank=rank,
+                    address=int(a),
+                    latency_cycles=int(c),
+                )
+                for a, t, c in zip(picked_addrs, picked_times, picked_lats)
+            ]
+        self.trace.extend(events)
+        self.overhead_seconds += (
+            len(events) * self.config.sample_cost_us * MICROSECOND
+        )
+        return len(events)
 
     def record_phase(self, function: str, clock: float) -> None:
         """Mark entry into a code phase (for the Folding analysis)."""

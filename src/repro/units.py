@@ -32,7 +32,15 @@ def pages(nbytes: int, page_size: int = PAGE_SIZE) -> int:
     1
     >>> pages(4097)
     2
+    >>> pages(100, page_size=64)
+    2
+    >>> pages(100, page_size=0)
+    Traceback (most recent call last):
+        ...
+    ValueError: page size must be positive, got 0
     """
+    if page_size <= 0:
+        raise ValueError(f"page size must be positive, got {page_size}")
     if nbytes < 0:
         raise ValueError(f"negative size: {nbytes}")
     if nbytes == 0:
@@ -41,16 +49,49 @@ def pages(nbytes: int, page_size: int = PAGE_SIZE) -> int:
 
 
 def page_round_up(nbytes: int, page_size: int = PAGE_SIZE) -> int:
-    """Round ``nbytes`` up to a whole number of pages (in bytes)."""
+    """Round ``nbytes`` up to a whole number of pages (in bytes).
+
+    >>> page_round_up(1)
+    4096
+    >>> page_round_up(4096)
+    4096
+    >>> page_round_up(10, page_size=-8)
+    Traceback (most recent call last):
+        ...
+    ValueError: page size must be positive, got -8
+    """
     return pages(nbytes, page_size) * page_size
 
 
 def fmt_bytes(nbytes: float) -> str:
-    """Human-readable size, e.g. ``fmt_bytes(3 * MIB) == '3.0 MiB'``."""
+    """Human-readable size, e.g. ``fmt_bytes(3 * MIB) == '3.0 MiB'``.
+
+    Negative sizes (deltas, e.g. a placement freeing memory) keep
+    their sign in every range:
+
+    >>> fmt_bytes(12)
+    '12 B'
+    >>> fmt_bytes(-12)
+    '-12 B'
+    >>> fmt_bytes(-0.25)
+    '-0.25 B'
+    >>> fmt_bytes(-1536)
+    '-1.5 KiB'
+    >>> fmt_bytes(2048)
+    '2.0 KiB'
+    """
     value = float(nbytes)
+    sign = "-" if value < 0 else ""
+    value = abs(value)
     for unit in ("B", "KiB", "MiB", "GiB"):
-        if abs(value) < 1024.0 or unit == "GiB":
-            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        if value < 1024.0 or unit == "GiB":
+            if unit == "B":
+                # Bytes are typically integral; sub-byte fractions
+                # (means, deltas) keep their precision instead of
+                # silently truncating toward zero.
+                text = f"{value:g}"
+                return f"{sign}{text} B"
+            return f"{sign}{value:.1f} {unit}"
         value /= 1024.0
     raise AssertionError("unreachable")
 

@@ -1,0 +1,145 @@
+"""Benchmark harness: scenarios, report round-trip, regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import SCENARIOS, make_stream
+from repro.bench.harness import BenchRecord, BenchReport, compare_baseline
+from repro.errors import ConfigError, ReproError
+
+
+def _record(stage="cache_setassoc", scenario="hotcold", mode="quick",
+            throughput=1_000_000.0, **kw):
+    return BenchRecord(
+        stage=stage, scenario=scenario, mode=mode, n=100_000,
+        seconds=100_000 / throughput, throughput=throughput, **kw
+    )
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_deterministic_in_seed(self, name):
+        a = make_stream(name, 2000, seed=3)
+        b = make_stream(name, 2000, seed=3)
+        c = make_stream(name, 2000, seed=4)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+        assert a.dtype == np.uint64 and a.shape == (2000,)
+
+    def test_hotcold_is_hot(self):
+        """The premise of the gated workload: most traffic in a small
+        region."""
+        addrs = make_stream("hotcold", 20_000, seed=0)
+        hot = np.count_nonzero(addrs < 256 * 1024)
+        assert hot > 0.9 * addrs.size
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ConfigError, match="unknown scenario"):
+            make_stream("nope", 10)
+
+    def test_negative_length(self):
+        with pytest.raises(ConfigError, match="negative"):
+            make_stream("uniform", -1)
+
+    def test_empty_stream(self):
+        for name in SCENARIOS:
+            assert make_stream(name, 0).size == 0
+
+
+class TestReportRoundTrip:
+    def test_json_round_trip(self, tmp_path):
+        report = BenchReport(mode="quick", seed=7)
+        report.record(_record(speedup=5.5, reference_seconds=0.55))
+        report.record(_record(stage="pebs_sampler", scenario="uniform"))
+        path = tmp_path / "bench.json"
+        report.save(path)
+        loaded = BenchReport.load(path)
+        assert loaded.mode == "quick" and loaded.seed == 7
+        assert [r.to_dict() for r in loaded.records] == [
+            r.to_dict() for r in report.records
+        ]
+        # metrics carried the per-stage timings through
+        assert loaded.metrics.count("bench:cache_setassoc") == 1
+        assert loaded.metrics.wall_seconds("bench:pebs_sampler") > 0
+
+    def test_load_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ReproError, match="cannot read baseline"):
+            BenchReport.load(bad)
+        with pytest.raises(ReproError, match="cannot read baseline"):
+            BenchReport.load(tmp_path / "missing.json")
+
+    def test_schema_field_present(self, tmp_path):
+        report = BenchReport()
+        path = tmp_path / "bench.json"
+        report.save(path)
+        assert json.loads(path.read_text())["schema"] == "repro-bench/1"
+
+
+class TestRegressionGate:
+    def _reports(self, base_tp, cur_tp):
+        baseline = BenchReport()
+        baseline.records.append(_record(throughput=base_tp))
+        current = BenchReport()
+        current.records.append(_record(throughput=cur_tp))
+        return current, baseline
+
+    def test_within_threshold_passes(self):
+        current, baseline = self._reports(1_000_000, 800_000)
+        assert compare_baseline(current, baseline, 0.25) == []
+
+    def test_regression_fails(self):
+        current, baseline = self._reports(1_000_000, 700_000)
+        failures = compare_baseline(current, baseline, 0.25)
+        assert len(failures) == 1
+        assert "cache_setassoc/hotcold" in failures[0]
+        assert "30%" in failures[0]
+
+    def test_improvement_passes(self):
+        current, baseline = self._reports(1_000_000, 2_000_000)
+        assert compare_baseline(current, baseline, 0.0) == []
+
+    def test_modes_never_cross_compare(self):
+        """A quick run must not be judged against full-mode numbers."""
+        baseline = BenchReport()
+        baseline.records.append(_record(mode="full", throughput=10_000_000))
+        current = BenchReport()
+        current.records.append(_record(mode="quick", throughput=1_000_000))
+        assert compare_baseline(current, baseline, 0.25) == []
+
+    def test_new_stage_is_not_a_regression(self):
+        baseline = BenchReport()
+        current = BenchReport()
+        current.records.append(_record(stage="brand_new"))
+        assert compare_baseline(current, baseline, 0.25) == []
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ReproError, match="max regression"):
+            compare_baseline(BenchReport(), BenchReport(), 1.0)
+        with pytest.raises(ReproError, match="max regression"):
+            compare_baseline(BenchReport(), BenchReport(), -0.1)
+
+
+class TestCommittedBaseline:
+    def test_bench_pr3_meets_acceptance(self):
+        """The committed trajectory must contain the full-mode 1M
+        hot/cold set-associative record at >= 5x over the per-access
+        reference, and quick records for the CI gate to match."""
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[2] / "BENCH_PR3.json"
+        report = BenchReport.load(path)
+        gated = [
+            r for r in report.records
+            if r.key == ("cache_setassoc", "hotcold", "full")
+        ]
+        assert len(gated) == 1
+        assert gated[0].n >= 1_000_000
+        assert gated[0].speedup is not None and gated[0].speedup >= 5.0
+        quick_keys = {r.key for r in report.records if r.mode == "quick"}
+        assert ("cache_setassoc", "hotcold", "quick") in quick_keys

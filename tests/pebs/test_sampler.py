@@ -28,6 +28,25 @@ class TestValidation:
         with pytest.raises(ValueError):
             s.sample_chunk(np.zeros(3, np.uint64), np.zeros(2))
 
+    def test_non_1d_addresses_rejected(self):
+        # Regression: a (2, 3) address array used to be accepted and
+        # sampled along flattened order silently.
+        s = PebsSampler(period=3)
+        with pytest.raises(ValueError, match="1-D"):
+            s.sample_chunk(np.zeros((2, 3), np.uint64), np.zeros((2, 3)))
+
+    def test_mismatched_latencies(self):
+        s = PebsSampler(period=3)
+        with pytest.raises(ValueError, match="latencies"):
+            s.sample_chunk(
+                np.zeros(3, np.uint64), np.zeros(3), np.zeros(2)
+            )
+
+    def test_negative_chunk_length_rejected(self):
+        s = PebsSampler(period=3)
+        with pytest.raises(ValueError, match="negative"):
+            s.sample_positions(-1)
+
 
 class TestSampling:
     def test_every_period_th(self):
@@ -94,3 +113,45 @@ class TestChunkBoundaries:
         s = PebsSampler(period=period)
         samples = s.sample_chunk(*_chunk(n))
         assert len(samples) == n // period
+
+    @given(
+        st.integers(min_value=1, max_value=37),
+        st.integers(min_value=0, max_value=36),
+        st.lists(st.integers(min_value=0, max_value=25), min_size=1,
+                 max_size=20),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_positions_countdown_invariant(self, period, phase, chunk_sizes):
+        """The vectorised pick core must sample the exact same stream
+        positions regardless of how the stream is chunked."""
+        phase = phase % period
+        total = sum(chunk_sizes)
+        whole = PebsSampler(period=period, phase=phase)
+        expected = whole.sample_positions(total).tolist()
+
+        chunked = PebsSampler(period=period, phase=phase)
+        got = []
+        start = 0
+        for size in chunk_sizes:
+            got.extend(
+                int(p) + start for p in chunked.sample_positions(size)
+            )
+            start += size
+        assert got == expected
+        assert chunked.events_seen == whole.events_seen
+        assert chunked.samples_taken == whole.samples_taken
+
+    @given(st.integers(min_value=1, max_value=23),
+           st.integers(min_value=0, max_value=200))
+    @settings(max_examples=60, deadline=None)
+    def test_arrays_match_objects(self, period, n):
+        """sample_chunk_arrays and sample_chunk pick identical events."""
+        addrs, times = _chunk(n)
+        lats = np.arange(n, dtype=np.int64) + 100
+        objs = PebsSampler(period=period).sample_chunk(addrs, times, lats)
+        a, t, c = PebsSampler(period=period).sample_chunk_arrays(
+            addrs, times, lats
+        )
+        assert [s.address for s in objs] == [int(x) for x in a]
+        assert [s.time for s in objs] == [float(x) for x in t]
+        assert [s.latency_cycles for s in objs] == [int(x) for x in c]

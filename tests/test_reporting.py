@@ -44,6 +44,11 @@ class TestSeries:
         assert "flat:" in str(s)
         assert "(1, 90.00)" in str(s)
 
+    def test_render_empty_has_no_trailing_space(self):
+        s = LabelledSeries("empty")
+        assert s.render() == "empty:"
+        assert not str(s).endswith(" ")
+
 
 class TestFigureFormatting:
     def test_format_figure4_has_three_panels(self, tiny_app):

@@ -50,6 +50,15 @@ class TestPages:
         with pytest.raises(ValueError):
             pages(-1)
 
+    @pytest.mark.parametrize("bad", [0, -1, -4096])
+    def test_nonpositive_page_size_raises(self, bad):
+        with pytest.raises(ValueError, match="page size"):
+            pages(100, page_size=bad)
+
+    def test_zero_bytes_still_checks_page_size(self):
+        with pytest.raises(ValueError, match="page size"):
+            pages(0, page_size=0)
+
     @given(st.integers(min_value=0, max_value=2**40))
     def test_covers_request(self, n):
         assert pages(n) * PAGE_SIZE >= n
@@ -68,6 +77,11 @@ class TestPageRoundUp:
     @given(st.integers(min_value=0, max_value=2**40))
     def test_multiple_of_page(self, n):
         assert page_round_up(n) % PAGE_SIZE == 0
+
+    @pytest.mark.parametrize("bad", [0, -64])
+    def test_nonpositive_page_size_raises(self, bad):
+        with pytest.raises(ValueError, match="page size"):
+            page_round_up(1, page_size=bad)
 
 
 class TestFormatting:
@@ -88,3 +102,30 @@ class TestFormatting:
 
     def test_mbytes(self):
         assert mbytes(256 * MIB) == 256.0
+
+    def test_negative_bytes_keep_sign(self):
+        assert fmt_bytes(-12) == "-12 B"
+
+    def test_negative_sub_byte_fraction(self):
+        # Regression: int() truncation used to render this as "0 B".
+        assert fmt_bytes(-0.25) == "-0.25 B"
+
+    def test_negative_kib(self):
+        assert fmt_bytes(-1536) == "-1.5 KiB"
+
+    def test_negative_gib(self):
+        assert fmt_bytes(-5 * GIB) == "-5.0 GiB"
+
+    @given(st.floats(min_value=-2**40, max_value=-1e-3))
+    def test_negative_always_signed(self, n):
+        assert fmt_bytes(n).startswith("-")
+
+
+def test_doctests():
+    import doctest
+
+    import repro.units
+
+    failures, tested = doctest.testmod(repro.units)
+    assert tested > 0
+    assert failures == 0
