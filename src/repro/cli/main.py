@@ -300,8 +300,9 @@ def experiment_main(argv: list[str] | None = None) -> int:
                         "(default 1)")
     parser.add_argument("--backoff", type=float, default=0.0,
                         metavar="SECONDS",
-                        help="base retry delay; attempt n waits "
-                        "backoff * 2^(n-1) seconds (default 0)")
+                        help="base retry delay; attempt n waits a "
+                        "decorrelated-jitter delay seeded per cell "
+                        "(default 0: no delay)")
     parser.add_argument("--timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="wall-clock limit per cell attempt")
@@ -309,6 +310,27 @@ def experiment_main(argv: list[str] | None = None) -> int:
                         metavar="N",
                         help="after N cells fail, skip the remaining "
                         "cells instead of executing them (fail-fast)")
+    parser.add_argument("--journal-dir", type=Path, default=None,
+                        help="directory for the crash-consistent sweep "
+                        "journal; a killed sweep can be relaunched "
+                        "with --resume")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay settled cells from the journal in "
+                        "--journal-dir and execute only the rest")
+    parser.add_argument("--cell-deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-cell wall-clock deadline; with -j>1 "
+                        "a worker whose cell overruns it is killed and "
+                        "the cell requeued (worker supervision)")
+    parser.add_argument("--requeue-budget", type=int, default=2,
+                        metavar="N",
+                        help="requeues granted to a cell whose worker "
+                        "died or was killed (default 2)")
+    parser.add_argument("--circuit-threshold", type=int, default=None,
+                        metavar="N",
+                        help="open an application's circuit (skip its "
+                        "remaining cells) after N deterministic "
+                        "failures")
 
     def run(args) -> None:
         apps = [get_app(name) for name in args.apps]
@@ -327,7 +349,18 @@ def experiment_main(argv: list[str] | None = None) -> int:
             timeout_seconds=args.timeout,
             error_budget=args.error_budget,
             fault_plan=fault_plan,
+            journal_dir=args.journal_dir,
+            resume=args.resume,
+            cell_deadline=args.cell_deadline,
+            requeue_budget=args.requeue_budget,
+            circuit_threshold=args.circuit_threshold,
         )
+        if sweep.resumed:
+            print(
+                f"resume: {len(sweep.resumed)} of {len(sweep.outcomes)} "
+                "cells replayed from the journal",
+                file=sys.stderr,
+            )
         failed_apps = {f.application for f in sweep.failures}
         failed_apps.update(s.application for s in sweep.skipped)
         for failure in sweep.failures:
@@ -339,8 +372,8 @@ def experiment_main(argv: list[str] | None = None) -> int:
             )
         if sweep.skipped:
             print(
-                f"error budget exhausted: {len(sweep.skipped)} cells "
-                "skipped",
+                f"{len(sweep.skipped)} cells skipped (error budget "
+                "exhausted or circuit open)",
                 file=sys.stderr,
             )
         for app in apps:
@@ -392,6 +425,19 @@ def faults_main(argv: list[str] | None = None) -> int:
                         metavar="SECONDS")
     parser.add_argument("--error-budget", type=int, default=None,
                         metavar="N")
+    parser.add_argument("--journal-dir", type=Path, default=None,
+                        help="journal root; each rung journals under "
+                        "its own rung-<factor> subdirectory")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume each rung from its journal")
+    parser.add_argument("--cell-deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-cell deadline (worker supervision "
+                        "with -j>1)")
+    parser.add_argument("--requeue-budget", type=int, default=2,
+                        metavar="N")
+    parser.add_argument("--circuit-threshold", type=int, default=None,
+                        metavar="N")
     parser.add_argument("--min-survival", type=float, default=None,
                         metavar="FRACTION",
                         help="fail (exit 1) if any rung's cell survival "
@@ -421,6 +467,11 @@ def faults_main(argv: list[str] | None = None) -> int:
             timeout_seconds=args.timeout,
             error_budget=args.error_budget,
             cache_dir=args.cache_dir,
+            journal_dir=args.journal_dir,
+            resume=args.resume,
+            cell_deadline=args.cell_deadline,
+            requeue_budget=args.requeue_budget,
+            circuit_threshold=args.circuit_threshold,
         )
         print(format_resilience(table))
         if (

@@ -1,18 +1,53 @@
-"""Exception hierarchy for the repro package.
+"""Exception hierarchy and failure taxonomy for the repro package.
 
 Every error raised by the library derives from :class:`ReproError` so
 callers can catch library failures without masking programming errors.
+
+On top of the hierarchy sits a three-way **failure taxonomy** the
+sweep scheduler keys its retry/requeue/skip decisions off (instead of
+string-matching tracebacks):
+
+* ``transient`` — the attempt failed for reasons unrelated to the
+  inputs (a worker died, a deadline fired, the OS hiccuped); the same
+  cell may well succeed if re-executed, so it is worth retrying.
+* ``deterministic`` — the computation itself failed and will fail the
+  same way every time (a capacity OOM, a modelling bug); retries are
+  bounded and repeated deterministic failures trip the per-application
+  circuit breaker.
+* ``poisoned-input`` — the *input* is bad (malformed plan, unreadable
+  journal, inconsistent configuration); re-executing burns cycles for
+  an identical failure, so the scheduler fails the cell immediately.
+
+Each :class:`ReproError` subclass carries its category as a class
+attribute; :func:`classify_error` extends the mapping to foreign
+exceptions (OS-level faults are transient, everything else is assumed
+deterministic).
 """
 
 from __future__ import annotations
+
+#: Failure categories of the sweep scheduler's decision taxonomy.
+CATEGORY_TRANSIENT = "transient"
+CATEGORY_DETERMINISTIC = "deterministic"
+CATEGORY_POISONED = "poisoned-input"
+CATEGORIES: tuple[str, ...] = (
+    CATEGORY_TRANSIENT,
+    CATEGORY_DETERMINISTIC,
+    CATEGORY_POISONED,
+)
 
 
 class ReproError(Exception):
     """Base class for all errors raised by this package."""
 
+    #: Failure taxonomy bucket; subclasses override where they differ.
+    category = CATEGORY_DETERMINISTIC
+
 
 class ConfigError(ReproError):
     """A machine/memory specification is malformed or inconsistent."""
+
+    category = CATEGORY_POISONED
 
 
 class AllocationError(ReproError):
@@ -112,4 +147,57 @@ class FaultPlanError(ConfigError):
 
 
 class InjectedFaultError(ReproError):
-    """A failure the fault-injection harness produced on purpose."""
+    """A failure the fault-injection harness produced on purpose.
+
+    Injected kills model transient infrastructure faults, so the
+    scheduler is expected to retry them.
+    """
+
+    category = CATEGORY_TRANSIENT
+
+
+class WorkerCrashError(ReproError):
+    """A sweep worker process died mid-cell (SIGKILL, segfault, OOM
+    killer). The cell itself is not implicated, so the supervisor
+    requeues it on a fresh worker."""
+
+    category = CATEGORY_TRANSIENT
+
+
+class CellDeadlineError(ReproError):
+    """A cell attempt overran its wall-clock deadline and its worker
+    was killed. Hangs are usually environmental, so the cell is
+    requeued within the requeue budget."""
+
+    category = CATEGORY_TRANSIENT
+
+
+class CircuitOpenError(ReproError):
+    """An application's circuit breaker is open: its cells failed
+    deterministically often enough that further execution is refused."""
+
+
+class JournalError(ReproError):
+    """A sweep journal is unreadable, inconsistent, or belongs to a
+    different sweep than the one being resumed."""
+
+    category = CATEGORY_POISONED
+
+
+def classify_error(exc: BaseException) -> str:
+    """Map an exception to its failure-taxonomy category.
+
+    Library errors carry their category; foreign exceptions fall back
+    on a conservative mapping — OS-level faults (broken pipes, dead
+    connections, timeouts) are transient, anything else is assumed
+    deterministic so it is neither retried forever nor skipped unseen.
+    """
+    category = getattr(exc, "category", None)
+    if category in CATEGORIES:
+        return category
+    if isinstance(
+        exc,
+        (ConnectionError, EOFError, InterruptedError, TimeoutError, OSError),
+    ):
+        return CATEGORY_TRANSIENT
+    return CATEGORY_DETERMINISTIC

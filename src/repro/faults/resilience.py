@@ -78,8 +78,18 @@ def run_resilience_sweep(
     timeout_seconds: float | None = None,
     error_budget: int | None = None,
     cache_dir: str | Path | None = None,
+    journal_dir: str | Path | None = None,
+    resume: bool = False,
+    cell_deadline: float | None = None,
+    requeue_budget: int = 2,
+    circuit_threshold: int | None = None,
 ) -> ResilienceTable:
-    """Run the Figure-4 sweep at every rung of the fault ladder."""
+    """Run the Figure-4 sweep at every rung of the fault ladder.
+
+    With ``journal_dir`` set, each rung journals (and resumes) under
+    its own ``rung-<factor>`` subdirectory — rungs are distinct sweeps
+    with distinct identities, so they must never share a journal.
+    """
     # Imported lazily: repro.parallel.sweep itself imports this
     # package, so a top-level import here would be circular.
     from repro.parallel.sweep import SweepConfig, SweepExecutor
@@ -88,6 +98,11 @@ def run_resilience_sweep(
     clean_foms: dict[tuple, float] = {}
     for factor in factors:
         rung_plan = None if factor == 0 else plan.scaled(factor)
+        rung_journal = (
+            Path(journal_dir) / f"rung-{factor:g}"
+            if journal_dir is not None
+            else None
+        )
         config = SweepConfig(
             jobs=jobs,
             cache_dir=cache_dir,
@@ -97,6 +112,11 @@ def run_resilience_sweep(
             timeout_seconds=timeout_seconds,
             error_budget=error_budget,
             fault_plan=rung_plan,
+            journal_dir=rung_journal,
+            resume=resume,
+            cell_deadline=cell_deadline,
+            requeue_budget=requeue_budget,
+            circuit_threshold=circuit_threshold,
         )
         result = SweepExecutor(machine=machine, config=config).run(
             list(apps), grid=grid

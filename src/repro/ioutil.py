@@ -1,11 +1,14 @@
 """Small filesystem helpers shared by every artifact writer.
 
 Stages 1-4 exchange artifacts through files (traces, CSVs, placement
-reports, cached rows). A crash mid-write must never leave a
-half-written artifact that the next stage then rejects, so every
-writer funnels through :func:`atomic_write_text`: write the full
-payload to a temporary sibling, then ``os.replace`` it over the
-destination (atomic on POSIX within one filesystem).
+reports, cached rows, sweep journals). A crash mid-write must never
+leave a half-written artifact that the next stage then rejects, so
+every writer funnels through :func:`atomic_write_text`: write the full
+payload to a temporary sibling, fsync it, ``os.replace`` it over the
+destination (atomic on POSIX within one filesystem), then fsync the
+containing directory so the rename itself survives a power loss —
+without the directory fsync the data would be durable but the *name*
+could still point at the old (or no) file after a crash.
 """
 
 from __future__ import annotations
@@ -15,12 +18,35 @@ import tempfile
 from pathlib import Path
 
 
+def fsync_dir(path: str | Path) -> None:
+    """fsync a directory so entries created/renamed in it are durable.
+
+    A no-op on platforms or filesystems that refuse to open or fsync
+    directories — durability degrades gracefully to the pre-fsync
+    behaviour there instead of failing the write.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write_text(path: str | Path, text: str) -> None:
-    """Write ``text`` to ``path`` atomically (temp file + rename).
+    """Write ``text`` to ``path`` atomically and durably.
 
     The temporary file lives in the destination directory so the final
-    ``os.replace`` never crosses a filesystem boundary. On any failure
-    the temporary file is removed and the destination is untouched.
+    ``os.replace`` never crosses a filesystem boundary; it is fsynced
+    before the rename and the directory is fsynced after it, so after
+    a crash the destination holds either the old or the new payload in
+    full, never a torn mix, and the rename cannot be lost. On any
+    failure the temporary file is removed and the destination is
+    untouched.
     """
     path = Path(path)
     fd, tmp_name = tempfile.mkstemp(
@@ -29,7 +55,10 @@ def atomic_write_text(path: str | Path, text: str) -> None:
     try:
         with os.fdopen(fd, "w") as fh:
             fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp_name, path)
+        fsync_dir(path.parent or Path("."))
     except BaseException:
         try:
             os.unlink(tmp_name)

@@ -1,7 +1,13 @@
 """SPMD execution substrate (MPI substitute) and the sweep executor."""
 
 from repro.parallel.job import SPMDJob, JobSummary
+from repro.parallel.journal import (
+    JournalReplay,
+    SweepJournal,
+    read_journal,
+)
 from repro.parallel.result_cache import ResultCache, cell_cache_key
+from repro.parallel.supervisor import CircuitBreaker, WorkerSupervisor
 from repro.parallel.sweep import (
     CellOutcome,
     SweepConfig,
@@ -20,4 +26,9 @@ __all__ = [
     "SweepExecutor",
     "SweepResult",
     "run_sweep",
+    "SweepJournal",
+    "JournalReplay",
+    "read_journal",
+    "WorkerSupervisor",
+    "CircuitBreaker",
 ]

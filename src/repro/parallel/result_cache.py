@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 
 from repro.apps.base import SimApplication
 from repro.errors import ConfigError
+from repro.ioutil import atomic_write_text
 from repro.machine.config import MachineConfig
 from repro.pipeline.experiment import GridCell
 from repro.pipeline.results import ResultRow
@@ -114,24 +115,45 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> ResultRow | None:
-        """The cached row for ``key``, or None (corrupt entries miss)."""
+        """The cached row for ``key``, or None.
+
+        A present-but-unparseable entry (truncated write from a killed
+        process, bit rot, foreign junk) is *quarantined*: renamed to
+        ``<key>.corrupt`` beside the live entries and reported as a
+        miss, so the cell re-executes and its fresh row can be stored
+        under the original name — one bad entry never wedges the cell
+        that owns it, and the evidence is preserved for inspection.
+        """
         path = self._path(key)
         try:
-            data = json.loads(path.read_text())
+            raw = path.read_text()
+        except OSError:
+            # Absent (or unreadable) is an ordinary miss.
+            self.misses += 1
+            return None
+        try:
+            data = json.loads(raw)
             row = ResultRow.from_dict(data["row"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
+            try:
+                path.replace(path.with_suffix(".corrupt"))
+            except OSError:
+                pass
+            self.quarantined += 1
             self.misses += 1
             return None
         self.hits += 1
         return row
 
     def put(self, key: str, row: ResultRow) -> None:
-        """Store atomically (write-then-rename) so a crashed or
+        """Store atomically and durably (write-fsync-rename via
+        :func:`repro.ioutil.atomic_write_text`) so a crashed or
         concurrent writer never leaves a half-written entry."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -139,9 +161,7 @@ class ResultCache:
             {"schema": CACHE_SCHEMA_VERSION, "row": row.to_dict()},
             indent=2,
         )
-        tmp = path.with_suffix(f".tmp.{id(self)}")
-        tmp.write_text(payload)
-        tmp.replace(path)
+        atomic_write_text(path, payload)
         self.stores += 1
 
     def __len__(self) -> int:

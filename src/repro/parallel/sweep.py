@@ -1,22 +1,32 @@
-"""Parallel Figure-4 sweep executor with caching and fault isolation.
+"""Parallel Figure-4 sweep executor with caching, durability and
+supervision.
 
 The evaluation grid (apps x budgets x strategies x baselines) is
 embarrassingly parallel: cells only share the placement-invariant
 profiling run of their application, and that run is deterministic in
-the seed. The executor therefore fans :class:`GridCell` work across a
-``ProcessPoolExecutor`` where each worker process keeps one framework
-(and hence one profiling run) per application, while the parent
+the seed. The executor therefore fans :class:`GridCell` work across
+worker processes where each worker keeps one framework (and hence one
+profiling run) per application, while the parent
 
 * answers cells from the content-addressed :class:`ResultCache`
   *before* dispatching them, so a warm re-run executes zero pipeline
   stages (provable via :class:`StageMetrics` counters);
+* optionally journals every intent and settled outcome to a
+  crash-consistent write-ahead :class:`SweepJournal`, so a sweep whose
+  *parent* is SIGKILLed can be relaunched with ``resume=True`` and
+  replay its settled cells, re-executing only the unfinished ones;
 * isolates worker faults — a failing cell is retried (configurable
-  count, exponential backoff) and, if it still fails, becomes an
-  error :class:`CellOutcome` carrying the captured traceback instead
-  of aborting the sweep;
-* enforces a per-cell attempt timeout and an optional error budget:
-  once the budget of failed cells is spent, remaining cells are
-  recorded as skipped instead of executed (fail-fast);
+  count, decorrelated-jitter backoff) keyed off the structured error
+  taxonomy (:mod:`repro.errors`): transient and deterministic failures
+  retry, poisoned-input failures fail immediately;
+* with a ``cell_deadline`` set, runs cells under the
+  :class:`WorkerSupervisor` — heartbeat-tracked worker processes whose
+  hung or dead members are killed and replaced, their cells requeued
+  within a bounded budget; repeated deterministic failures trip a
+  per-application :class:`CircuitBreaker` that refuses the app's
+  remaining cells;
+* enforces an optional error budget: once the budget of failed cells
+  is spent, remaining cells are recorded as skipped (fail-fast);
 * merges every per-cell :class:`StageMetrics` record into one
   sweep-level roll-up.
 
@@ -30,6 +40,7 @@ execution.
 
 from __future__ import annotations
 
+import hashlib
 import time
 import traceback
 from collections import deque
@@ -38,11 +49,32 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.apps.base import SimApplication
-from repro.errors import ConfigError, OutOfMemoryError
+from repro.errors import (
+    CATEGORY_POISONED,
+    CATEGORY_TRANSIENT,
+    ConfigError,
+    OutOfMemoryError,
+    classify_error,
+)
 from repro.faults.injector import FATE_HANG, FATE_KILL, FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.machine.config import MachineConfig, xeon_phi_7250
-from repro.parallel.result_cache import ResultCache, cell_cache_key
+from repro.parallel.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    SweepJournal,
+)
+from repro.parallel.result_cache import (
+    ResultCache,
+    cell_cache_key,
+    content_hash,
+)
+from repro.parallel.supervisor import (
+    CellAborted,
+    CellRequeued,
+    CellResult,
+    CircuitBreaker,
+    WorkerSupervisor,
+)
 from repro.pipeline.experiment import (
     ExperimentGrid,
     GridCell,
@@ -57,6 +89,9 @@ from repro.pipeline.results import ExperimentResult, ResultRow
 #: Error text of cells the error budget prevented from running.
 SKIPPED_ERROR = "skipped: error budget exhausted"
 
+#: Error-text prefix of cells an open circuit prevented from running.
+CIRCUIT_ERROR_PREFIX = "skipped: circuit open"
+
 
 @dataclass
 class SweepConfig:
@@ -70,10 +105,10 @@ class SweepConfig:
     #: sweep rows match ``run_figure4_experiment(app, seed=seed)``.
     seed: int = 0
     #: Re-executions granted to a faulting cell before it is recorded
-    #: as an error outcome.
+    #: as an error outcome (poisoned-input failures never retry).
     retries: int = 1
-    #: Base delay before a retry; attempt ``n`` waits
-    #: ``backoff_seconds * 2**(n-1)`` (0 disables backoff).
+    #: Base delay before a retry; attempt ``n`` waits a decorrelated-
+    #: jitter delay seeded per cell (0 disables backoff).
     backoff_seconds: float = 0.0
     #: Wall-clock limit per cell attempt; an attempt exceeding it is
     #: treated as a failure (and retried). None: no limit.
@@ -84,6 +119,25 @@ class SweepConfig:
     #: Degradation schedule applied inside every cell. Part of the
     #: cache identity, so faulted and clean results never mix.
     fault_plan: FaultPlan | None = None
+    #: Directory of the crash-consistent sweep journal; None disables
+    #: journaling (and hence resumability).
+    journal_dir: str | Path | None = None
+    #: Replay settled cells from an existing journal in
+    #: ``journal_dir`` and execute only the unfinished remainder.
+    resume: bool = False
+    #: Wall-clock deadline per dispatched cell. With ``jobs > 1`` this
+    #: engages the worker supervisor: a worker whose cell overruns the
+    #: deadline is killed and the cell requeued. Serially it is
+    #: enforced post-hoc (like ``timeout_seconds``).
+    cell_deadline: float | None = None
+    #: Requeues granted to a cell whose worker died or was killed
+    #: (out-of-band failures — distinct from ``retries``, which
+    #: governs in-band failures reported by a live worker).
+    requeue_budget: int = 2
+    #: Deterministic-category final failures an application may
+    #: accumulate before its circuit opens and its remaining cells are
+    #: refused. None: breaker disabled.
+    circuit_threshold: int | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -96,6 +150,14 @@ class SweepConfig:
             raise ConfigError("timeout_seconds must be positive")
         if self.error_budget is not None and self.error_budget < 1:
             raise ConfigError("error_budget must be >= 1")
+        if self.cell_deadline is not None and self.cell_deadline <= 0:
+            raise ConfigError("cell_deadline must be positive")
+        if self.requeue_budget < 0:
+            raise ConfigError("requeue_budget must be >= 0")
+        if self.circuit_threshold is not None and self.circuit_threshold < 1:
+            raise ConfigError("circuit_threshold must be >= 1")
+        if self.resume and self.journal_dir is None:
+            raise ConfigError("resume requires a journal_dir")
 
 
 @dataclass
@@ -107,9 +169,14 @@ class CellOutcome:
     row: ResultRow | None = None
     #: Formatted traceback of the last attempt, if every attempt failed.
     error: str | None = None
+    #: Failure-taxonomy category of the last attempt (None on success).
+    category: str | None = None
     attempts: int = 0
     cached: bool = False
-    #: True when the error budget prevented this cell from running.
+    #: True when this outcome was replayed from a sweep journal.
+    resumed: bool = False
+    #: True when the error budget or an open circuit prevented this
+    #: cell from running.
     skipped: bool = False
     metrics: StageMetrics = field(default_factory=StageMetrics)
     #: Position in the (app, cell) enumeration; outcomes are sorted by
@@ -128,7 +195,8 @@ class SweepResult:
     outcomes: list[CellOutcome] = field(default_factory=list)
     #: Sweep-level roll-up of every cell's stage record plus the
     #: bookkeeping counters (cache_hit/cache_miss/error/retry/
-    #: timeout/skipped and the fault-degradation counters).
+    #: timeout/skipped/journal_replay/requeue/deadline_kill/
+    #: worker_crash/circuit_open and the fault-degradation counters).
     metrics: StageMetrics = field(default_factory=StageMetrics)
 
     @property
@@ -139,6 +207,11 @@ class SweepResult:
     @property
     def skipped(self) -> list[CellOutcome]:
         return [o for o in self.outcomes if o.skipped]
+
+    @property
+    def resumed(self) -> list[CellOutcome]:
+        """Cells answered by journal replay instead of execution."""
+        return [o for o in self.outcomes if o.resumed]
 
     def rows(self, application: str) -> dict[GridCell, ResultRow]:
         return {
@@ -173,14 +246,16 @@ def _execute_cell(
     frameworks: dict | None = None,
     plan: FaultPlan | None = None,
     attempt: int = 1,
-) -> tuple[ResultRow | None, str | None, dict]:
+) -> tuple[ResultRow | None, str | None, str | None, dict]:
     """Run one cell; never raises (the pool must stay healthy).
 
-    Returns ``(row, traceback_text, metrics_dict)`` — the metrics
-    cover only the stages this call actually executed, so the parent
-    can sum them into a truthful sweep total. ``frameworks`` is the
-    framework memo to use; pool workers default to the process-global
-    one, the in-process serial path passes a per-sweep dict.
+    Returns ``(row, traceback_text, category, metrics_dict)`` — the
+    category is the failure-taxonomy bucket of the captured exception
+    (None on success) and the metrics cover only the stages this call
+    actually executed, so the parent can sum them into a truthful
+    sweep total. ``frameworks`` is the framework memo to use; pool
+    workers default to the process-global one, the in-process serial
+    path passes a per-sweep dict.
     """
     memo = _WORKER_FRAMEWORKS if frameworks is None else frameworks
     key = (app.name, machine.name, seed, plan)
@@ -202,12 +277,22 @@ def _execute_cell(
                 framework.metrics.bump("cell_killed")
                 raise injector.kill_error(app.name, cell.key, attempt)
         row = run_cell(framework, cell)
-        return row, None, framework.metrics.to_dict()
-    except OutOfMemoryError:
+        return row, None, None, framework.metrics.to_dict()
+    except OutOfMemoryError as exc:
         framework.metrics.bump("oom")
-        return None, traceback.format_exc(), framework.metrics.to_dict()
-    except Exception:
-        return None, traceback.format_exc(), framework.metrics.to_dict()
+        return (
+            None,
+            traceback.format_exc(),
+            classify_error(exc),
+            framework.metrics.to_dict(),
+        )
+    except Exception as exc:
+        return (
+            None,
+            traceback.format_exc(),
+            classify_error(exc),
+            framework.metrics.to_dict(),
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -215,8 +300,15 @@ def _execute_cell(
 # ---------------------------------------------------------------------------
 
 
+def _jitter_unit(seed: int, *tokens: object) -> float:
+    """Deterministic uniform draw in [0, 1) keyed on ``tokens``."""
+    digest = hashlib.sha256(repr((seed, tokens)).encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
 class SweepExecutor:
-    """Schedule, cache, retry and aggregate a grid of sweep cells."""
+    """Schedule, journal, cache, retry, supervise and aggregate a
+    grid of sweep cells."""
 
     def __init__(
         self,
@@ -230,6 +322,8 @@ class SweepExecutor:
             if self.config.cache_dir is not None
             else None
         )
+        self._journal: SweepJournal | None = None
+        self._breaker = CircuitBreaker(self.config.circuit_threshold)
 
     # -- public entry ---------------------------------------------------
 
@@ -239,9 +333,12 @@ class SweepExecutor:
         grid: ExperimentGrid | None = None,
     ) -> SweepResult:
         """Sweep every cell of every application."""
+        config = self.config
         result = SweepResult()
-        pending: list[tuple[SimApplication, CellOutcome, str | None]] = []
+        self._breaker = CircuitBreaker(config.circuit_threshold)
+        need_key = self.cache is not None or config.journal_dir is not None
 
+        entries: list[tuple[SimApplication, CellOutcome, str | None]] = []
         for app_index, app in enumerate(apps):
             for cell_index, cell in enumerate(enumerate_cells(app, grid)):
                 outcome = CellOutcome(
@@ -254,40 +351,160 @@ class SweepExecutor:
                         app,
                         self.machine,
                         cell,
-                        self.config.seed,
-                        fault_plan=self.config.fault_plan,
+                        config.seed,
+                        fault_plan=config.fault_plan,
                     )
-                    if self.cache is not None
+                    if need_key
                     else None
                 )
-                if key is not None:
+                entries.append((app, outcome, key))
+
+        replayed: dict[str, dict] = {}
+        if config.journal_dir is not None:
+            manifest = self._manifest([key for _, _, key in entries])
+            if config.resume:
+                self._journal, replay = SweepJournal.resume(
+                    config.journal_dir, manifest
+                )
+                replayed = replay.settled
+            else:
+                self._journal = SweepJournal.create(
+                    config.journal_dir, manifest
+                )
+
+        try:
+            pending: list[
+                tuple[SimApplication, CellOutcome, str | None]
+            ] = []
+            for app, outcome, key in entries:
+                payload = replayed.get(key)
+                if payload is not None:
+                    self._restore_outcome(payload, outcome)
+                    result.metrics.bump("journal_replay")
+                    result.outcomes.append(outcome)
+                    continue
+                if self.cache is not None:
                     row = self.cache.get(key)
                     if row is not None:
                         result.metrics.bump("cache_hit")
                         outcome.row, outcome.cached = row, True
+                        self._journal_outcome(key, outcome)
                         result.outcomes.append(outcome)
                         continue
                     result.metrics.bump("cache_miss")
                 pending.append((app, outcome, key))
 
-        if pending:
-            if self.config.jobs == 1:
-                self._run_serial(pending, result)
-            else:
-                self._run_pool(pending, result)
+            if self._journal is not None and pending:
+                self._journal.append_intents(
+                    [
+                        {
+                            "key": key,
+                            "application": app.name,
+                            "cell": outcome.cell.to_dict(),
+                        }
+                        for app, outcome, key in pending
+                    ]
+                )
 
-        result.outcomes.sort(key=lambda o: o.order)
-        for outcome in result.outcomes:
-            result.metrics.merge(outcome.metrics)
+            if pending:
+                if config.jobs == 1:
+                    self._run_serial(pending, result)
+                elif config.cell_deadline is not None:
+                    self._run_supervised(pending, result)
+                else:
+                    self._run_pool(pending, result)
+
+            result.outcomes.sort(key=lambda o: o.order)
+            for outcome in result.outcomes:
+                result.metrics.merge(outcome.metrics)
+            if self._journal is not None:
+                ok = sum(1 for o in result.outcomes if o.ok)
+                self._journal.record_end(
+                    {
+                        "cells": len(result.outcomes),
+                        "ok": ok,
+                        "failed": len(result.outcomes) - ok,
+                    }
+                )
+        finally:
+            if self._journal is not None:
+                self._journal.close()
+                self._journal = None
         return result
+
+    # -- journal plumbing ----------------------------------------------
+
+    def _manifest(self, keys: list[str | None]) -> dict:
+        """The sweep's durable identity (pins every input via the
+        per-cell content-hash keys)."""
+        config = self.config
+        return {
+            "schema": JOURNAL_SCHEMA_VERSION,
+            "seed": config.seed,
+            "machine": self.machine.name,
+            "fault_plan": (
+                config.fault_plan.to_dict()
+                if config.fault_plan is not None
+                else None
+            ),
+            "cells": len(keys),
+            "sweep_key": content_hash(
+                {"cells": sorted(k for k in keys if k is not None)}
+            ),
+        }
+
+    def _journal_outcome(self, key: str | None, outcome: CellOutcome) -> None:
+        if self._journal is None:
+            return
+        self._journal.record_outcome(
+            {
+                "key": key,
+                "application": outcome.application,
+                "cell": outcome.cell.to_dict(),
+                "row": outcome.row.to_dict() if outcome.row else None,
+                "error": outcome.error,
+                "category": outcome.category,
+                "attempts": outcome.attempts,
+                "cached": outcome.cached,
+                "skipped": outcome.skipped,
+                "metrics": outcome.metrics.to_dict(),
+            }
+        )
+
+    @staticmethod
+    def _restore_outcome(payload: dict, outcome: CellOutcome) -> None:
+        """Rehydrate a journaled outcome onto a fresh CellOutcome."""
+        row = payload.get("row")
+        outcome.row = ResultRow.from_dict(row) if row else None
+        outcome.error = payload.get("error")
+        outcome.category = payload.get("category")
+        outcome.attempts = int(payload.get("attempts", 0))
+        outcome.cached = bool(payload.get("cached", False))
+        outcome.skipped = bool(payload.get("skipped", False))
+        # The journaled metrics describe work the *previous* run did;
+        # like a cache hit, a replayed cell executed nothing in this
+        # run, so its metrics stay empty (history lives in the file).
+        outcome.resumed = True
 
     # -- execution strategies ------------------------------------------
 
-    def _backoff(self, attempt_done: int) -> float:
-        """Delay before the attempt after ``attempt_done`` failed."""
-        if self.config.backoff_seconds <= 0:
+    def _backoff(self, attempt_done: int, token: tuple = ()) -> float:
+        """Delay before the attempt after ``attempt_done`` failed.
+
+        Decorrelated jitter (``sleep_n = U(base, 3 * sleep_{n-1})``,
+        capped) seeded per cell, so cells requeued together after a
+        worker death spread out instead of stampeding the pool in
+        lockstep. Deterministic in the sweep seed and cell identity.
+        """
+        base = self.config.backoff_seconds
+        if base <= 0:
             return 0.0
-        return self.config.backoff_seconds * 2 ** (attempt_done - 1)
+        cap = base * 32
+        sleep = base
+        for i in range(1, attempt_done + 1):
+            u = _jitter_unit(self.config.seed, "backoff", token, i)
+            sleep = min(cap, base + u * max(0.0, 3.0 * sleep - base))
+        return sleep
 
     def _finish(
         self,
@@ -299,13 +516,40 @@ class SweepExecutor:
             self.cache.put(key, outcome.row)
         if not outcome.ok:
             result.metrics.bump("error")
+            self._breaker.record_failure(outcome.application, outcome.category)
+        self._journal_outcome(key, outcome)
         result.outcomes.append(outcome)
 
-    def _skip(self, result: SweepResult, outcome: CellOutcome) -> None:
+    def _skip(
+        self,
+        result: SweepResult,
+        outcome: CellOutcome,
+        key: str | None = None,
+        error: str = SKIPPED_ERROR,
+        counter: str = "skipped",
+    ) -> None:
         outcome.skipped = True
-        outcome.error = SKIPPED_ERROR
-        result.metrics.bump("skipped")
+        outcome.error = error
+        result.metrics.bump(counter)
+        self._journal_outcome(key, outcome)
         result.outcomes.append(outcome)
+
+    def _skip_circuit(
+        self,
+        result: SweepResult,
+        outcome: CellOutcome,
+        key: str | None,
+    ) -> None:
+        self._skip(
+            result,
+            outcome,
+            key,
+            error=(
+                f"{CIRCUIT_ERROR_PREFIX}: {outcome.application} failed "
+                "deterministically too often"
+            ),
+            counter="circuit_open",
+        )
 
     def _run_serial(
         self,
@@ -320,17 +564,22 @@ class SweepExecutor:
                 config.error_budget is not None
                 and failures >= config.error_budget
             ):
-                self._skip(result, outcome)
+                self._skip(result, outcome, key)
+                continue
+            if self._breaker.is_open(app.name):
+                self._skip_circuit(result, outcome, key)
                 continue
             for _ in range(1 + config.retries):
                 if outcome.attempts > 0:
                     result.metrics.bump("retry")
-                    delay = self._backoff(outcome.attempts)
+                    delay = self._backoff(
+                        outcome.attempts, (app.name, outcome.cell.key)
+                    )
                     if delay > 0:
                         time.sleep(delay)
                 outcome.attempts += 1
                 start = time.monotonic()
-                row, error, metrics = _execute_cell(
+                row, error, category, metrics = _execute_cell(
                     app,
                     self.machine,
                     outcome.cell,
@@ -353,9 +602,25 @@ class SweepExecutor:
                         f"timeout: attempt took {elapsed:.3f}s "
                         f"(limit {config.timeout_seconds}s)"
                     )
+                    category = CATEGORY_TRANSIENT
                     outcome.metrics.bump("timeout")
+                elif (
+                    config.cell_deadline is not None
+                    and elapsed > config.cell_deadline
+                ):
+                    row = None
+                    error = (
+                        f"deadline: attempt took {elapsed:.3f}s "
+                        f"(limit {config.cell_deadline}s)"
+                    )
+                    category = CATEGORY_TRANSIENT
+                    outcome.metrics.bump("deadline_exceeded")
                 outcome.row, outcome.error = row, error
+                outcome.category = category
                 if row is not None:
+                    break
+                if category == CATEGORY_POISONED:
+                    # Re-running bad input reproduces the failure.
                     break
             if not outcome.ok:
                 failures += 1
@@ -406,11 +671,14 @@ class SweepExecutor:
                     self._finish(result, outcome, key)
                     return
                 if (
-                    outcome.attempts <= config.retries
+                    outcome.category != CATEGORY_POISONED
+                    and outcome.attempts <= config.retries
                     and not budget_exhausted()
                 ):
                     result.metrics.bump("retry")
-                    ready = time.monotonic() + self._backoff(outcome.attempts)
+                    ready = time.monotonic() + self._backoff(
+                        outcome.attempts, (app.name, outcome.cell.key)
+                    )
                     retry_queue.append((ready, app, outcome, key))
                     return
                 failures += 1
@@ -420,8 +688,8 @@ class SweepExecutor:
                 now = time.monotonic()
                 if budget_exhausted():
                     while queue:
-                        _, outcome, _key = queue.popleft()
-                        self._skip(result, outcome)
+                        _, outcome, key = queue.popleft()
+                        self._skip(result, outcome, key)
                     # A cell already waiting on a retry keeps its last
                     # captured error instead of being granted more
                     # attempts.
@@ -440,6 +708,9 @@ class SweepExecutor:
                         submit(app, outcome, key)
                     while queue and len(inflight) < 2 * jobs:
                         app, outcome, key = queue.popleft()
+                        if self._breaker.is_open(app.name):
+                            self._skip_circuit(result, outcome, key)
+                            continue
                         submit(app, outcome, key)
                 if not inflight:
                     if retry_queue:
@@ -461,14 +732,16 @@ class SweepExecutor:
                 for future in done:
                     outcome, key, app, _ = inflight.pop(future)
                     try:
-                        row, error, metrics = future.result()
-                    except Exception:
+                        row, error, category, metrics = future.result()
+                    except Exception as exc:
                         # BrokenProcessPool-class faults: the payload
                         # never came back; synthesise the error.
                         row, error = None, traceback.format_exc()
+                        category = classify_error(exc)
                         metrics = {}
                     outcome.metrics.merge(StageMetrics.from_dict(metrics))
                     outcome.row, outcome.error = row, error
+                    outcome.category = category
                     settle(outcome, key, app)
                 if config.timeout_seconds is not None:
                     now = time.monotonic()
@@ -486,8 +759,137 @@ class SweepExecutor:
                             f"timeout: attempt exceeded "
                             f"{config.timeout_seconds}s"
                         )
+                        outcome.category = CATEGORY_TRANSIENT
                         outcome.metrics.bump("timeout")
                         settle(outcome, key, app)
+
+    def _run_supervised(
+        self,
+        pending: list[tuple[SimApplication, CellOutcome, str | None]],
+        result: SweepResult,
+    ) -> None:
+        """Run cells under the worker supervisor (``cell_deadline``
+        set): hung/dead workers are killed and replaced, their cells
+        requeued within the requeue budget."""
+        config = self.config
+        jobs = min(config.jobs, len(pending))
+        queue = deque(pending)
+        retry_queue: list[tuple[float, SimApplication, CellOutcome, str | None]] = []
+        tasks: dict[int, tuple[SimApplication, CellOutcome, str | None]] = {}
+        failures = 0
+        supervisor = WorkerSupervisor(
+            jobs,
+            self.machine,
+            config.seed,
+            config.fault_plan,
+            cell_deadline=config.cell_deadline,
+            requeue_budget=config.requeue_budget,
+        )
+
+        def budget_exhausted() -> bool:
+            return (
+                config.error_budget is not None
+                and failures >= config.error_budget
+            )
+
+        def submit(app, outcome, key) -> None:
+            outcome.attempts += 1
+            task_id = supervisor.submit(app, outcome.cell, outcome.attempts)
+            tasks[task_id] = (app, outcome, key)
+
+        def settle_failure(app, outcome, key) -> None:
+            nonlocal failures
+            if (
+                outcome.category != CATEGORY_POISONED
+                and outcome.attempts <= config.retries
+                and not budget_exhausted()
+            ):
+                result.metrics.bump("retry")
+                ready = time.monotonic() + self._backoff(
+                    outcome.attempts, (app.name, outcome.cell.key)
+                )
+                retry_queue.append((ready, app, outcome, key))
+                return
+            failures += 1
+            self._finish(result, outcome, key)
+
+        with supervisor:
+            while queue or retry_queue or tasks:
+                now = time.monotonic()
+                if budget_exhausted():
+                    while queue:
+                        _, outcome, key = queue.popleft()
+                        self._skip(result, outcome, key)
+                    for _, _, outcome, key in retry_queue:
+                        failures += 1
+                        self._finish(result, outcome, key)
+                    retry_queue.clear()
+                else:
+                    retry_queue.sort(key=lambda item: item[0])
+                    while (
+                        retry_queue
+                        and retry_queue[0][0] <= now
+                        and supervisor.capacity > 0
+                    ):
+                        _, app, outcome, key = retry_queue.pop(0)
+                        if self._breaker.is_open(app.name):
+                            failures += 1
+                            self._finish(result, outcome, key)
+                            continue
+                        submit(app, outcome, key)
+                    while queue and supervisor.capacity > 0:
+                        app, outcome, key = queue.popleft()
+                        if self._breaker.is_open(app.name):
+                            self._skip_circuit(result, outcome, key)
+                            continue
+                        submit(app, outcome, key)
+                if not tasks:
+                    if retry_queue:
+                        retry_queue.sort(key=lambda item: item[0])
+                        time.sleep(max(0.0, retry_queue[0][0] - now))
+                        continue
+                    if queue:
+                        continue
+                    break
+                timeout = 0.25
+                if retry_queue:
+                    ready = min(item[0] for item in retry_queue)
+                    timeout = max(0.0, min(timeout, ready - now))
+                for event in supervisor.poll(timeout):
+                    if isinstance(event, CellResult):
+                        entry = tasks.pop(event.task_id, None)
+                        if entry is None:
+                            continue
+                        app, outcome, key = entry
+                        outcome.metrics.merge(
+                            StageMetrics.from_dict(event.metrics)
+                        )
+                        outcome.row = event.row
+                        outcome.error = event.error
+                        outcome.category = event.category
+                        if outcome.ok:
+                            self._finish(result, outcome, key)
+                        else:
+                            settle_failure(app, outcome, key)
+                    elif isinstance(event, CellRequeued):
+                        entry = tasks.get(event.task_id)
+                        if entry is None:
+                            continue
+                        _, outcome, _ = entry
+                        outcome.attempts += 1
+                        result.metrics.bump("requeue")
+                        result.metrics.bump(event.reason)
+                    elif isinstance(event, CellAborted):
+                        entry = tasks.pop(event.task_id, None)
+                        if entry is None:
+                            continue
+                        app, outcome, key = entry
+                        outcome.row = None
+                        outcome.error = event.error
+                        outcome.category = event.category
+                        result.metrics.bump(event.reason)
+                        failures += 1
+                        self._finish(result, outcome, key)
 
 
 def run_sweep(
@@ -502,6 +904,11 @@ def run_sweep(
     timeout_seconds: float | None = None,
     error_budget: int | None = None,
     fault_plan: FaultPlan | None = None,
+    journal_dir: str | Path | None = None,
+    resume: bool = False,
+    cell_deadline: float | None = None,
+    requeue_budget: int = 2,
+    circuit_threshold: int | None = None,
 ) -> SweepResult:
     """Convenience wrapper: sweep ``apps`` with the given knobs."""
     executor = SweepExecutor(
@@ -515,6 +922,11 @@ def run_sweep(
             timeout_seconds=timeout_seconds,
             error_budget=error_budget,
             fault_plan=fault_plan,
+            journal_dir=journal_dir,
+            resume=resume,
+            cell_deadline=cell_deadline,
+            requeue_budget=requeue_budget,
+            circuit_threshold=circuit_threshold,
         ),
     )
     return executor.run(apps, grid=grid)

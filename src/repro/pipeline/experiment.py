@@ -82,6 +82,25 @@ class GridCell:
         """Stable identity within one application's grid."""
         return (self.kind, self.label, self.budget_bytes)
 
+    # -- serialisation (the sweep journal stores cells as JSON) --------
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "label": self.label,
+            "budget_bytes": self.budget_bytes,
+            "advisor_budget_bytes": self.advisor_budget_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GridCell":
+        return cls(
+            kind=data["kind"],
+            label=data["label"],
+            budget_bytes=int(data.get("budget_bytes", 0)),
+            advisor_budget_bytes=int(data.get("advisor_budget_bytes", 0)),
+        )
+
 
 def default_budgets(app: SimApplication) -> tuple[int, ...]:
     """Per-paper budget axis for an application's parallelism."""

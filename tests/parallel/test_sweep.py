@@ -394,3 +394,332 @@ class TestFaultPlanSweeps:
         )
         assert warm.metrics.count("cache_hit") == 8
         assert warm.metrics.total_stage_executions == 0
+
+
+class SleepySweepApp(TinyApp):
+    """Hangs until a sentinel file exists (created on the first
+    profiling attempt), then behaves exactly like TinyApp."""
+
+    name = "sleepysweep"
+
+    def run_profiling(self, seed=0, tracer_config=None):
+        from pathlib import Path
+        import time
+
+        sentinel = Path(self.sentinel)
+        if not sentinel.exists():
+            sentinel.write_text("hung once")
+            time.sleep(60)
+        return super().run_profiling(seed=seed, tracer_config=tracer_config)
+
+
+class PoisonedApp(TinyApp):
+    """Fails with a poisoned-input error: retrying is pointless."""
+
+    name = "poisonedapp"
+
+    def run_profiling(self, seed=0, tracer_config=None):
+        raise ConfigError("the input itself is bad")
+
+
+class TestBackoffJitter:
+    def test_deterministic_and_bounded(self):
+        executor = SweepExecutor(
+            config=SweepConfig(backoff_seconds=0.1, seed=3)
+        )
+        token = ("tinyapp", ("grid", "density", 32 * MIB))
+        delays = [executor._backoff(n, token) for n in range(1, 8)]
+        assert delays == [executor._backoff(n, token) for n in range(1, 8)]
+        base, cap = 0.1, 0.1 * 32
+        assert all(base <= d <= cap for d in delays)
+
+    def test_jitter_decorrelates_cells(self):
+        """Different cells draw different delays for the same attempt,
+        so a requeued batch does not stampede in lockstep."""
+        executor = SweepExecutor(
+            config=SweepConfig(backoff_seconds=0.1, seed=3)
+        )
+        delays = {
+            executor._backoff(2, ("app", ("grid", s, 0)))
+            for s in ("a", "b", "c", "d")
+        }
+        assert len(delays) > 1
+
+    def test_seed_changes_schedule(self):
+        one = SweepExecutor(config=SweepConfig(backoff_seconds=0.1, seed=0))
+        two = SweepExecutor(config=SweepConfig(backoff_seconds=0.1, seed=1))
+        token = ("app", ("grid", "density", 0))
+        assert one._backoff(3, token) != two._backoff(3, token)
+
+    def test_zero_base_disables(self):
+        executor = SweepExecutor(config=SweepConfig(backoff_seconds=0.0))
+        assert executor._backoff(5, ("app", ())) == 0.0
+
+
+class TestCacheQuarantine:
+    def test_corrupt_entry_quarantined_and_repaired(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" + "0" * 62
+        row = ResultRow(
+            application="x", label="density", budget_bytes=0,
+            fom=1.0, hwm_bytes=0, total_time=1.0,
+        )
+        cache.put(key, row)
+        path = cache._path(key)
+        path.write_text('{"schema": 1, "row": {"trunca')
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+        # Evidence preserved, live name freed, store-then-hit works.
+        assert path.with_suffix(".corrupt").exists()
+        assert not path.exists()
+        assert len(cache) == 0
+        cache.put(key, row)
+        assert cache.get(key) == row
+
+    def test_missing_entry_is_not_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("ab" + "0" * 62) is None
+        assert cache.quarantined == 0
+
+    def test_sweep_survives_a_corrupted_cache_entry(self, tiny_app, tmp_path):
+        cold = run_sweep([tiny_app], grid=SMALL_GRID, cache_dir=tmp_path)
+        cache = ResultCache(tmp_path)
+        victim = next(tmp_path.glob("*/*.json"))
+        victim.write_text("torn {{{")
+        warm = run_sweep([tiny_app], grid=SMALL_GRID, cache_dir=tmp_path)
+        assert not warm.failures
+        assert warm.metrics.count("cache_hit") == 7
+        assert warm.metrics.count("cache_miss") == 1
+        assert warm.experiment(tiny_app).grid == cold.experiment(tiny_app).grid
+
+
+class TestJournalSweep:
+    def journal_path(self, directory):
+        from repro.parallel.journal import JOURNAL_FILENAME
+
+        return directory / JOURNAL_FILENAME
+
+    def test_cold_run_writes_complete_journal(self, tiny_app, tmp_path):
+        from repro.parallel.journal import read_journal
+
+        sweep = run_sweep([tiny_app], grid=SMALL_GRID, journal_dir=tmp_path)
+        assert not sweep.failures
+        replay = read_journal(self.journal_path(tmp_path))
+        assert len(replay.settled) == 8
+        assert replay.completed
+        assert replay.inflight == []
+        assert replay.damaged_records == 0
+
+    def test_resume_replays_everything_executes_nothing(
+        self, tiny_app, tmp_path
+    ):
+        cold = run_sweep([tiny_app], grid=SMALL_GRID, journal_dir=tmp_path)
+        warm = run_sweep(
+            [tiny_app], grid=SMALL_GRID, journal_dir=tmp_path, resume=True
+        )
+        assert warm.metrics.total_stage_executions == 0
+        assert warm.metrics.count("journal_replay") == 8
+        assert all(o.resumed for o in warm.outcomes)
+        assert len(warm.resumed) == 8
+        assert warm.experiment(tiny_app).grid == cold.experiment(tiny_app).grid
+        assert warm.experiment(tiny_app).baselines == cold.experiment(
+            tiny_app
+        ).baselines
+
+    @pytest.mark.parametrize("settled", [0, 1, 4, 7])
+    def test_partial_journal_resume_equals_uninterrupted(
+        self, tiny_app, tmp_path, settled
+    ):
+        """The resume invariant: replaying the first k settled cells
+        and executing the rest produces exactly the uninterrupted
+        sweep, for every prefix k a crash could have left behind."""
+        from repro.parallel.journal import (
+            RECORD_OUTCOME,
+            decode_record,
+            read_journal,
+        )
+
+        journal_dir = tmp_path / "journal"
+        full = run_sweep(
+            [tiny_app], grid=SMALL_GRID, journal_dir=journal_dir, seed=0
+        )
+        path = self.journal_path(journal_dir)
+        # Cut the journal after the first `settled` outcome records —
+        # the prefix a crash at that point would have made durable.
+        kept, outcomes_seen = [], 0
+        for line in path.read_text().splitlines():
+            record_type, _ = decode_record(line)
+            if record_type == RECORD_OUTCOME:
+                if outcomes_seen == settled:
+                    continue
+                outcomes_seen += 1
+            if record_type == "end":
+                continue
+            kept.append(line)
+        path.write_text("".join(line + "\n" for line in kept))
+        assert len(read_journal(path).settled) == settled
+
+        resumed = run_sweep(
+            [tiny_app], grid=SMALL_GRID, journal_dir=journal_dir, seed=0,
+            resume=True,
+        )
+        assert not resumed.failures
+        assert resumed.metrics.count("journal_replay") == settled
+        assert len(resumed.resumed) == settled
+        assert resumed.experiment(tiny_app).grid == full.experiment(
+            tiny_app
+        ).grid
+        assert resumed.experiment(tiny_app).baselines == full.experiment(
+            tiny_app
+        ).baselines
+        # The repaired journal is now complete for the whole sweep.
+        final = read_journal(path)
+        assert len(final.settled) == 8
+        assert final.completed
+
+    def test_failures_are_journaled_and_replayed(self, tmp_path):
+        run_sweep(
+            [BrokenApp()], grid=SMALL_GRID, journal_dir=tmp_path, retries=0
+        )
+        again = run_sweep(
+            [BrokenApp()], grid=SMALL_GRID, journal_dir=tmp_path,
+            retries=0, resume=True,
+        )
+        assert again.metrics.count("journal_replay") == 8
+        assert len(again.failures) == 8
+        assert all("injected worker fault" in o.error for o in again.failures)
+        assert all(o.resumed for o in again.outcomes)
+
+    def test_resume_against_different_sweep_refused(self, tiny_app, tmp_path):
+        from repro.errors import JournalError
+
+        run_sweep([tiny_app], grid=SMALL_GRID, journal_dir=tmp_path, seed=0)
+        with pytest.raises(JournalError, match="different sweep"):
+            run_sweep(
+                [tiny_app], grid=SMALL_GRID, journal_dir=tmp_path, seed=1,
+                resume=True,
+            )
+
+    def test_journal_and_cache_compose(self, tiny_app, tmp_path):
+        """Cache answers are journaled as outcomes, so a resume after
+        a cache-warm run replays instead of re-reading the cache."""
+        cache_dir, journal_dir = tmp_path / "cache", tmp_path / "j1"
+        run_sweep([tiny_app], grid=SMALL_GRID, cache_dir=cache_dir)
+        warm = run_sweep(
+            [tiny_app], grid=SMALL_GRID, cache_dir=cache_dir,
+            journal_dir=journal_dir,
+        )
+        assert warm.metrics.count("cache_hit") == 8
+        resumed = run_sweep(
+            [tiny_app], grid=SMALL_GRID, cache_dir=cache_dir,
+            journal_dir=journal_dir, resume=True,
+        )
+        assert resumed.metrics.count("journal_replay") == 8
+        assert resumed.metrics.count("cache_hit") == 0
+
+
+class TestCircuitBreakerSweep:
+    def test_circuit_opens_and_skips_remaining_cells(self):
+        sweep = run_sweep(
+            [BrokenApp()], grid=SMALL_GRID, retries=0, circuit_threshold=2
+        )
+        assert len(sweep.failures) == 2
+        assert len(sweep.skipped) == 6
+        assert all("circuit open" in o.error for o in sweep.skipped)
+        assert sweep.metrics.count("circuit_open") == 6
+
+    def test_circuit_is_per_application(self):
+        sweep = run_sweep(
+            [BrokenApp(), TinyApp()], grid=SMALL_GRID, retries=0,
+            circuit_threshold=2,
+        )
+        assert all(o.ok for o in sweep.outcomes if o.application == "tinyapp")
+        serial = run_figure4_experiment(TinyApp(), grid=SMALL_GRID, seed=0)
+        assert sweep.experiment(TinyApp()).grid == serial.grid
+
+    def test_transient_failures_do_not_trip_the_circuit(self):
+        plan = FaultPlan(seed=20, cell_kill_rate=0.4)
+        sweep = run_sweep(
+            [TinyApp()], grid=SMALL_GRID, seed=0, fault_plan=plan,
+            retries=3, circuit_threshold=1,
+        )
+        assert not sweep.failures
+        assert not sweep.skipped
+        assert sweep.metrics.count("circuit_open") == 0
+
+    def test_poisoned_input_fails_fast_without_retries(self):
+        sweep = run_sweep([PoisonedApp()], grid=SMALL_GRID, retries=3)
+        assert len(sweep.failures) == 8
+        assert all(o.attempts == 1 for o in sweep.failures)
+        assert sweep.metrics.count("retry") == 0
+
+    def test_breaker_disabled_by_default(self):
+        sweep = run_sweep([BrokenApp()], grid=SMALL_GRID, retries=0)
+        assert len(sweep.failures) == 8
+        assert not sweep.skipped
+
+
+class TestSupervisedSweep:
+    def test_matches_serial_rows(self, tiny_app):
+        serial = run_figure4_experiment(tiny_app, grid=SMALL_GRID, seed=0)
+        sweep = run_sweep(
+            [tiny_app], grid=SMALL_GRID, jobs=2, seed=0, cell_deadline=60.0
+        )
+        assert not sweep.failures
+        assert sweep.metrics.count("deadline_kill") == 0
+        result = sweep.experiment(tiny_app)
+        assert result.grid == serial.grid
+        assert result.baselines == serial.baselines
+
+    def test_hung_worker_is_killed_and_cell_requeued(self, tmp_path):
+        app = SleepySweepApp()
+        app.sentinel = str(tmp_path / "sentinel")
+        # Serial reference with the sentinel pre-created (no hang).
+        (tmp_path / "sentinel").write_text("pre")
+        serial = run_figure4_experiment(app, grid=FIVE_CELLS, seed=0)
+        (tmp_path / "sentinel").unlink()
+
+        sweep = run_sweep(
+            [app], grid=FIVE_CELLS, jobs=2, seed=0, cell_deadline=1.5,
+            requeue_budget=3,
+        )
+        assert not sweep.failures
+        assert sweep.metrics.count("deadline_kill") >= 1
+        assert sweep.metrics.count("requeue") >= 1
+        result = sweep.experiment(app)
+        assert result.grid == serial.grid
+        assert result.baselines == serial.baselines
+
+    def test_requeue_budget_exhaustion_is_an_honest_failure(self, tmp_path):
+        from tests.parallel.test_supervisor import AlwaysHangs
+
+        sweep = run_sweep(
+            [AlwaysHangs()], grid=FIVE_CELLS, jobs=2, seed=0,
+            cell_deadline=0.5, requeue_budget=0, retries=0,
+        )
+        assert len(sweep.failures) == 5
+        assert all("deadline" in o.error for o in sweep.failures)
+        assert sweep.metrics.count("deadline_kill") == 5
+
+    def test_serial_cell_deadline_enforced_post_hoc(self):
+        plan = FaultPlan(seed=1, cell_hang_rate=1.0, cell_hang_seconds=0.15)
+        sweep = run_sweep(
+            [TinyApp()], grid=FIVE_CELLS, jobs=1, seed=0, fault_plan=plan,
+            retries=0, cell_deadline=0.05,
+        )
+        assert len(sweep.failures) == 5
+        assert all("deadline" in o.error for o in sweep.failures)
+        assert sweep.metrics.count("deadline_exceeded") == 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cell_deadline": 0},
+            {"requeue_budget": -1},
+            {"circuit_threshold": 0},
+            {"resume": True},
+        ],
+    )
+    def test_rejects_bad_robustness_knobs(self, kwargs):
+        with pytest.raises(ConfigError):
+            SweepConfig(**kwargs)

@@ -40,3 +40,59 @@ class TestHierarchy:
 
         with pytest.raises(errors.ReproError):
             get_strategy("definitely-not-a-strategy")
+
+
+class TestFailureTaxonomy:
+    def test_every_category_is_named(self):
+        assert errors.CATEGORY_TRANSIENT in errors.CATEGORIES
+        assert errors.CATEGORY_DETERMINISTIC in errors.CATEGORIES
+        assert errors.CATEGORY_POISONED in errors.CATEGORIES
+
+    @pytest.mark.parametrize(
+        ("exc", "category"),
+        [
+            (errors.InjectedFaultError("x"), errors.CATEGORY_TRANSIENT),
+            (errors.WorkerCrashError("x"), errors.CATEGORY_TRANSIENT),
+            (errors.CellDeadlineError("x"), errors.CATEGORY_TRANSIENT),
+            (errors.OutOfMemoryError("x"), errors.CATEGORY_DETERMINISTIC),
+            (errors.CircuitOpenError("x"), errors.CATEGORY_DETERMINISTIC),
+            (errors.ConfigError("x"), errors.CATEGORY_POISONED),
+            (errors.FaultPlanError("x"), errors.CATEGORY_POISONED),
+            (errors.JournalError("x"), errors.CATEGORY_POISONED),
+        ],
+    )
+    def test_library_errors_carry_their_category(self, exc, category):
+        assert exc.category == category
+        assert errors.classify_error(exc) == category
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConnectionResetError("peer gone"),
+            BrokenPipeError("pipe"),
+            EOFError(),
+            TimeoutError(),
+            OSError(5, "I/O error"),
+        ],
+    )
+    def test_os_level_faults_are_transient(self, exc):
+        assert errors.classify_error(exc) == errors.CATEGORY_TRANSIENT
+
+    def test_unknown_exceptions_default_to_deterministic(self):
+        assert (
+            errors.classify_error(RuntimeError("model bug"))
+            == errors.CATEGORY_DETERMINISTIC
+        )
+        assert (
+            errors.classify_error(ZeroDivisionError())
+            == errors.CATEGORY_DETERMINISTIC
+        )
+
+    def test_bogus_category_attribute_ignored(self):
+        class Weird(Exception):
+            category = "not-a-real-category"
+
+        assert (
+            errors.classify_error(Weird())
+            == errors.CATEGORY_DETERMINISTIC
+        )
