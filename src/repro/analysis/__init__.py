@@ -9,6 +9,7 @@ time-binned view used for Figure 5.
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.objects import ObjectKey
 from repro.analysis.attribution import AttributionResult, attribute_samples
+from repro.analysis.vectorattr import attribute_samples_vector
 from repro.analysis.profile import ObjectProfile, ProfileSet
 from repro.analysis.paramedir import Paramedir, write_profiles_csv, read_profiles_csv
 from repro.analysis.folding import FoldedBin, FoldedTimeline, fold_trace
@@ -23,6 +24,7 @@ __all__ = [
     "ObjectKey",
     "AttributionResult",
     "attribute_samples",
+    "attribute_samples_vector",
     "ObjectProfile",
     "ProfileSet",
     "Paramedir",

@@ -56,12 +56,29 @@ class AttributionResult:
 _PRIORITY = {AllocEvent: 0, SampleEvent: 1, FreeEvent: 2}
 
 
+def stack_region_of(metadata: dict) -> tuple[int | None, int | None]:
+    """The ``(base, size)`` stack region recorded in trace metadata.
+
+    The tracer stores it as a two-element sequence; a JSON round-trip
+    turns tuples into lists, and a damaged/absent entry must read as
+    "no stack region" rather than crash the whole analysis — both
+    attribution engines share this normalisation.
+    """
+    region = metadata.get("stack_region")
+    if not isinstance(region, (list, tuple)) or len(region) != 2:
+        return (None, None)
+    base, size = region
+    if not isinstance(base, int) or not isinstance(size, int):
+        return (None, None)
+    return (base, size)
+
+
 def attribute_samples(trace: TraceFile) -> AttributionResult:
     """Replay ``trace`` and attribute every sample to an object."""
     result = AttributionResult()
     index: LiveRangeIndex[ObjectKey] = LiveRangeIndex()
 
-    stack_base, stack_size = trace.metadata.get("stack_region", (None, None))
+    stack_base, stack_size = stack_region_of(trace.metadata)
 
     for static in trace.statics:
         key = ObjectKey.static(static.name)

@@ -13,13 +13,18 @@ from repro.bench.harness import (
     compare_baseline,
     run_bench,
 )
-from repro.bench.scenarios import SCENARIOS, make_stream
+from repro.bench.scenarios import (
+    SCENARIOS,
+    make_attribution_trace,
+    make_stream,
+)
 
 __all__ = [
     "BenchRecord",
     "BenchReport",
     "SCENARIOS",
     "compare_baseline",
+    "make_attribution_trace",
     "make_stream",
     "run_bench",
 ]

@@ -27,10 +27,12 @@ from typing import Callable
 
 import numpy as np
 
+from repro.analysis.attribution import attribute_samples
 from repro.analysis.objects import ObjectKey, ObjectKind
 from repro.analysis.profile import ObjectProfile, ProfileSet
+from repro.analysis.vectorattr import attribute_samples_vector
 from repro.advisor.report import PlacementEntry, PlacementReport
-from repro.bench.scenarios import make_stream
+from repro.bench.scenarios import make_attribution_trace, make_stream
 from repro.cache.hierarchy import CacheHierarchy, CacheLevelSpec
 from repro.cache.setassoc import SetAssociativeCache
 from repro.cache.vectorkernels import VectorSetAssociativeCache
@@ -401,6 +403,38 @@ def _bench_replay(
     )
 
 
+def _bench_attribution(
+    report: BenchReport, n: int, seed: int, repeats: int
+) -> None:
+    from repro.trace.columnar import ColumnarTrace
+
+    trace = make_attribution_trace(n, seed)
+    columnar = ColumnarTrace.from_tracefile(trace)
+    # The oracle replays dataclass events one at a time — time it once
+    # (it *is* the slow path); the vectorised kernel consumes the
+    # prebuilt columnar view, matching how paramedir runs it.
+    ref_seconds, ref_result = _time(lambda: attribute_samples(trace), 1)
+    vec_seconds, vec_result = _time(
+        lambda: attribute_samples_vector(columnar), repeats
+    )
+    if vec_result != ref_result:
+        raise ReproError(
+            "vectorised attribution diverged from the replay oracle"
+        )
+    report.record(
+        BenchRecord(
+            stage="analysis_attribution",
+            scenario="alloc-sample-mix",
+            mode=report.mode,
+            n=n,
+            seconds=vec_seconds,
+            throughput=n / vec_seconds,
+            reference_seconds=ref_seconds,
+            speedup=ref_seconds / vec_seconds,
+        )
+    )
+
+
 # ---------------------------------------------------------------------------
 # Entry point + regression gate
 # ---------------------------------------------------------------------------
@@ -431,6 +465,7 @@ def run_bench(
     n_stream = 200_000 if quick else 1_000_000
     n_hierarchy = 20_000 if quick else 200_000
     n_objects = 2_000 if quick else 20_000
+    n_attr = 100_000 if quick else 1_000_000
     # Quick streams are noisy (chunk fixed costs, timer resolution,
     # transient machine load); best-of-7 spreads the timing window so
     # the CI gate does not trip on a single busy stretch.
@@ -442,6 +477,9 @@ def run_bench(
         for scenario in scenarios:
             bench(report, scenario, n, seed, repeats)
     _bench_replay(report, n_objects, seed, repeats)
+    # The oracle replay dominates this stage's wall time; one timed
+    # pass keeps the quick (CI) configuration honest but cheap.
+    _bench_attribution(report, n_attr, seed, repeats=1 if quick else repeats)
     return report
 
 

@@ -1,6 +1,7 @@
-"""Fixed-seed address-stream workloads for the kernel benchmarks.
+"""Fixed-seed workloads for the kernel benchmarks.
 
-Three shapes cover the problem space the simulators actually see:
+Address-stream shapes for the cache kernels — three cover the problem
+space the simulators actually see:
 
 * ``hotcold`` — the paper's own premise: a small set of hot objects
   receives most of the traffic (what makes placement worth doing).
@@ -9,6 +10,12 @@ Three shapes cover the problem space the simulators actually see:
   vectorised LRU kernel (nothing to elide, maximum rounds).
 * ``strided`` — sequential scans at element granularity, the STREAM-
   like shape where consecutive accesses share cache lines.
+
+Plus :func:`make_attribution_trace`, the analysis-stage workload: a
+full synthetic trace in the paper's shape (a few thousand alloc/free
+events under a sea of PEBS samples, with address reuse, same-instant
+ties, stack hits and wild pointers) for benchmarking sample
+attribution.
 
 Every generator is deterministic in ``seed`` so two benchmark runs on
 the same machine time identical work.
@@ -22,6 +29,14 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.runtime.callstack import CallStack, Frame
+from repro.trace.events import (
+    AllocEvent,
+    FreeEvent,
+    SampleEvent,
+    StaticVarRecord,
+)
+from repro.trace.tracefile import TraceFile
 from repro.units import KIB, MIB
 
 
@@ -88,3 +103,132 @@ def make_stream(scenario: str, n: int, seed: int = 0) -> np.ndarray:
     if n < 0:
         raise ConfigError(f"negative stream length: {n}")
     return spec.make(n, seed)
+
+
+# ---------------------------------------------------------------------------
+# Attribution workload
+# ---------------------------------------------------------------------------
+
+#: Slot windows for the attribution trace: each allocation lives in
+#: its own aligned window so reused addresses overlap in *time* (the
+#: interesting case) but never in space within one instant.
+_ATTR_SLOTS = 256
+_ATTR_SLOT_BASE = 1 << 28
+_ATTR_STACK_BASE = 1 << 40
+_ATTR_STACK_SIZE = 8 * MIB
+_ATTR_WILD_BASE = 1 << 45
+
+
+def make_attribution_trace(n: int, seed: int = 0) -> TraceFile:
+    """A fixed-seed trace in the paper's shape for the attribution bench.
+
+    ``n`` events: ~1% heap mutations (alloc/free over recycled slot
+    windows, 64 call sites, so addresses are reused with different
+    sizes) under a sea of samples. Samples mostly target live or
+    recently-freed slots (hits + stale-pointer misses), with small
+    shares landing on static variables, in the stack region, or at
+    wild addresses; ~30% carry Xeon-style latencies (zeros included).
+    ~10% of timestamps tie with their predecessor, exercising the
+    same-instant alloc/sample/free ordering rules.
+    """
+    if n < 0:
+        raise ConfigError(f"negative trace length: {n}")
+    rng = np.random.default_rng(seed)
+    sites = [
+        CallStack(
+            frames=(
+                Frame("bench", f"alloc_site_{i:02d}", "attr_bench.c", 100 + i),
+                Frame("bench", "main", "attr_bench.c", 10),
+            )
+        )
+        for i in range(64)
+    ]
+    statics = [
+        StaticVarRecord(
+            name=f"global_{i}",
+            rank=0,
+            address=(1 << 27) + i * 2 * (64 * KIB),
+            size=64 * KIB,
+        )
+        for i in range(4)
+    ]
+
+    kind_roll = rng.random(n)
+    slot_pick = rng.integers(0, _ATTR_SLOTS, size=n)
+    offset_frac = rng.random(n)
+    target_roll = rng.random(n)
+    lat_roll = rng.random(n)
+    lat_vals = rng.integers(0, 600, size=n)
+    size_vals = rng.integers(4 * KIB, MIB, size=n)
+    site_pick = rng.integers(0, len(sites), size=n)
+    ties = rng.random(n) < 0.10
+
+    events: list[AllocEvent | FreeEvent | SampleEvent] = []
+    live: dict[int, tuple[int, int]] = {}  # slot -> (address, size)
+    freed_at: dict[int, int] = {}  # slot -> time of its last free
+    now = 0
+    for i in range(n):
+        if not ties[i]:
+            now += 1
+        slot = int(slot_pick[i])
+        if kind_roll[i] < 0.01:
+            if slot in live:
+                address, _ = live.pop(slot)
+                events.append(FreeEvent(time=float(now), rank=0, address=address))
+                freed_at[slot] = now
+            else:
+                if freed_at.get(slot) == now:
+                    # A same-instant free has not applied yet (frees
+                    # order after allocs at one timestamp), so reusing
+                    # the window now would be an overlap.
+                    now += 1
+                address = _ATTR_SLOT_BASE + slot * MIB
+                size = int(size_vals[i])
+                events.append(
+                    AllocEvent(
+                        time=float(now),
+                        rank=0,
+                        address=address,
+                        size=size,
+                        callstack=sites[int(site_pick[i])],
+                    )
+                )
+                live[slot] = (address, size)
+        else:
+            roll = target_roll[i]
+            if roll < 0.03:
+                address = _ATTR_STACK_BASE + int(
+                    offset_frac[i] * _ATTR_STACK_SIZE
+                )
+            elif roll < 0.05:
+                address = _ATTR_WILD_BASE + int(offset_frac[i] * MIB)
+            elif roll < 0.08:
+                static = statics[i % len(statics)]
+                address = static.address + int(offset_frac[i] * static.size)
+            elif slot in live:
+                base, size = live[slot]
+                address = base + int(offset_frac[i] * size)
+            else:
+                # Stale pointer into a (possibly never-allocated) slot
+                # window — resolves only if history happens to cover it.
+                address = _ATTR_SLOT_BASE + slot * MIB + int(
+                    offset_frac[i] * 4 * KIB
+                )
+            latency = int(lat_vals[i]) if lat_roll[i] < 0.30 else None
+            events.append(
+                SampleEvent(
+                    time=float(now),
+                    rank=0,
+                    address=address,
+                    latency_cycles=latency,
+                )
+            )
+
+    return TraceFile(
+        application="attr-bench",
+        ranks=1,
+        sampling_period=1000,
+        events=events,
+        statics=statics,
+        metadata={"stack_region": (_ATTR_STACK_BASE, _ATTR_STACK_SIZE)},
+    )

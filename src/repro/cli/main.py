@@ -11,6 +11,7 @@ from repro.advisor.report import PlacementReport
 from repro.advisor.strategies import STRATEGY_NAMES, get_strategy
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.paramedir import (
+    ENGINES,
     Paramedir,
     read_profiles_csv,
     write_profiles_csv,
@@ -30,7 +31,7 @@ from repro.reporting.tables import (
     format_resilience,
     format_stage_metrics,
 )
-from repro.trace.tracefile import TraceFile
+from repro.trace.columnar import load_any_trace
 from repro.trace.tracer import TracerConfig
 from repro.units import GIB, KIB, MIB
 
@@ -93,18 +94,30 @@ def profile_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--latency", action="store_true",
                         help="record per-sample access latency "
                         "(Xeon-style PMU)")
+    parser.add_argument("--columnar", action="store_true",
+                        help="emit the binary columnar trace (.npz): "
+                        "samples stay NumPy columns end to end and the "
+                        "analysis stage skips JSONL parsing entirely")
 
     def run(args) -> None:
         app = get_app(args.app)
         config = TracerConfig(
             sampling_period=args.period or app.sampling_period,
             record_latency=args.latency,
+            columnar_samples=args.columnar,
         )
         profiling = app.run_profiling(seed=args.seed, tracer_config=config)
-        profiling.trace.save(args.output)
+        if args.columnar:
+            trace = profiling.tracer.columnar_trace()
+            trace.save(args.output)
+            n_allocs, n_samples = trace.n_allocs, trace.n_samples
+        else:
+            profiling.trace.save(args.output)
+            n_allocs = len(profiling.trace.alloc_events)
+            n_samples = len(profiling.trace.sample_events)
         print(
-            f"{args.app}: {len(profiling.trace.alloc_events)} allocations, "
-            f"{len(profiling.trace.sample_events)} samples -> {args.output}"
+            f"{args.app}: {n_allocs} allocations, "
+            f"{n_samples} samples -> {args.output}"
         )
 
     return _run(parser, run, argv)
@@ -139,9 +152,13 @@ def analyze_main(argv: list[str] | None = None) -> int:
                         help="recover every intact record from a "
                         "damaged trace instead of failing on the "
                         "first corrupt line")
+    parser.add_argument("--engine", choices=ENGINES, default="vector",
+                        help="attribution engine: the vectorised "
+                        "columnar kernel (default) or the per-event "
+                        "replay oracle it is proven against")
 
     def run(args) -> None:
-        trace = TraceFile.load(args.trace, salvage=args.salvage)
+        trace = load_any_trace(args.trace, salvage=args.salvage)
         if trace.salvage is not None and not trace.salvage.clean:
             report = trace.salvage
             print(
@@ -164,7 +181,7 @@ def analyze_main(argv: list[str] | None = None) -> int:
                 top_n=base.top_n,
                 include_statics=base.include_statics,
             )
-        profiles = Paramedir(config).analyze(trace)
+        profiles = Paramedir(config, engine=args.engine).analyze(trace)
         write_profiles_csv(profiles, args.output)
         table = AsciiTable(["object", "misses", "est. misses", "size MB",
                             "density"])
@@ -501,9 +518,9 @@ def bench_main(argv: list[str] | None = None) -> int:
         "fail on throughput regressions.",
     )
     parser.add_argument("-o", "--output", type=Path,
-                        default=Path("BENCH_PR3.json"),
+                        default=Path("BENCH_PR5.json"),
                         help="benchmark report to write "
-                        "(default BENCH_PR3.json)")
+                        "(default BENCH_PR5.json)")
     parser.add_argument("--quick", action="store_true",
                         help="~10x smaller streams (CI smoke mode)")
     parser.add_argument("--both", action="store_true",

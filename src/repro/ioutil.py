@@ -15,7 +15,9 @@ from __future__ import annotations
 
 import os
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
+from typing import IO, Iterator
 
 
 def fsync_dir(path: str | Path) -> None:
@@ -37,24 +39,27 @@ def fsync_dir(path: str | Path) -> None:
         os.close(fd)
 
 
-def atomic_write_text(path: str | Path, text: str) -> None:
-    """Write ``text`` to ``path`` atomically and durably.
+@contextmanager
+def atomic_writer(path: str | Path, mode: str = "w") -> Iterator[IO]:
+    """Stream a payload to ``path`` atomically and durably.
 
-    The temporary file lives in the destination directory so the final
-    ``os.replace`` never crosses a filesystem boundary; it is fsynced
-    before the rename and the directory is fsynced after it, so after
-    a crash the destination holds either the old or the new payload in
-    full, never a torn mix, and the rename cannot be lost. On any
-    failure the temporary file is removed and the destination is
-    untouched.
+    Yields a file handle onto a temporary sibling of ``path``; the
+    caller writes the payload in as many pieces as it likes (no full
+    in-memory materialisation needed). On clean exit the temporary is
+    fsynced, ``os.replace``d over the destination (atomic on POSIX
+    within one filesystem) and the containing directory fsynced, so
+    after a crash the destination holds either the old or the new
+    payload in full, never a torn mix, and the rename cannot be lost.
+    On any failure the temporary file is removed and the destination
+    is untouched.
     """
     path = Path(path)
     fd, tmp_name = tempfile.mkstemp(
         dir=path.parent or Path("."), prefix=f".{path.name}.", suffix=".tmp"
     )
     try:
-        with os.fdopen(fd, "w") as fh:
-            fh.write(text)
+        with os.fdopen(fd, mode) as fh:
+            yield fh
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp_name, path)
@@ -65,3 +70,15 @@ def atomic_write_text(path: str | Path, text: str) -> None:
         except OSError:
             pass
         raise
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically and durably."""
+    with atomic_writer(path, "w") as fh:
+        fh.write(text)
+
+
+def atomic_write_bytes(path: str | Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically and durably."""
+    with atomic_writer(path, "wb") as fh:
+        fh.write(payload)

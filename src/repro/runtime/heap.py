@@ -3,9 +3,20 @@
 Both the tracer ("which object does this sampled address belong to?")
 and the allocators ("is this ``free`` pointer one of mine?") need an
 efficient mapping from addresses to live allocations. The index keeps
-ranges sorted by base and offers scalar and vectorised batch queries
-(the batch path backs sample attribution, where hundreds of thousands
-of sampled addresses must be matched).
+ranges sorted by base and offers scalar, vectorised batch, and
+whole-table snapshot queries (the batch/snapshot paths back sample
+attribution, where hundreds of thousands of sampled addresses must be
+matched against the table).
+
+Storage is amortised: a large sorted *compacted* region (plain lists,
+never shifted by single-element ``insert``/``pop``) plus a small
+sorted *pending* buffer of fresh inserts and a tombstone set of
+removed compacted entries. Mutations touch only the small buffer
+(O(pending) memmove, O(log n) search), and the two regions are merged
+into one sorted table when the buffer grows past a threshold or when a
+batch query needs the dense arrays — replacing the old O(n)-per-insert
+``list.insert`` churn with O(n) per *compaction*. Overlap rejection is
+still checked eagerly on every insert, against both regions.
 """
 
 from __future__ import annotations
@@ -17,76 +28,211 @@ import numpy as np
 
 T = TypeVar("T")
 
+#: Pending-ops (inserts + tombstones) allowed before a compaction.
+#: Small enough that the O(pending) insert memmove stays trivial,
+#: large enough that compactions are rare. Patchable in tests.
+COMPACT_THRESHOLD = 512
+
 
 class LiveRangeIndex(Generic[T]):
     """Non-overlapping interval index over ``[base, base+size)`` ranges."""
 
     def __init__(self) -> None:
+        # Compacted region: sorted, mutually non-overlapping at the
+        # time each entry was inserted; removals only tombstone.
         self._bases: list[int] = []
         self._ends: list[int] = []
         self._values: list[T] = []
+        self._dead: set[int] = set()
+        # Pending region: sorted, small; removals delete directly.
+        self._pbases: list[int] = []
+        self._pends: list[int] = []
+        self._pvalues: list[T] = []
+        self._live_bytes = 0
+        # Dense snapshot (bases, ends, values) built by export_ranges;
+        # invalidated by any mutation.
+        self._snapshot: tuple[np.ndarray, np.ndarray, list[T]] | None = None
 
     def __len__(self) -> int:
-        return len(self._bases)
+        return len(self._bases) - len(self._dead) + len(self._pbases)
+
+    # -- internal ------------------------------------------------------------
+
+    def _compact(self) -> None:
+        """Fold tombstones and the pending buffer into one sorted table."""
+        if self._snapshot is None:
+            self._build_snapshot()
+        bases, ends, values = self._snapshot  # type: ignore[misc]
+        self._bases = bases.tolist()
+        self._ends = ends.tolist()
+        self._values = list(values)
+        self._dead = set()
+        self._pbases, self._pends, self._pvalues = [], [], []
+
+    def _maybe_compact(self) -> None:
+        if len(self._pbases) + len(self._dead) > COMPACT_THRESHOLD:
+            self._compact()
+
+    def _build_snapshot(self) -> None:
+        n = len(self._bases)
+        bases = np.fromiter(self._bases, dtype=np.int64, count=n)
+        ends = np.fromiter(self._ends, dtype=np.int64, count=n)
+        values = self._values
+        if self._dead:
+            alive = np.ones(n, dtype=bool)
+            alive[list(self._dead)] = False
+            keep = np.flatnonzero(alive)
+            bases, ends = bases[keep], ends[keep]
+            values = [self._values[i] for i in keep]
+        if self._pbases:
+            k = len(self._pbases)
+            bases = np.concatenate(
+                [bases, np.fromiter(self._pbases, dtype=np.int64, count=k)]
+            )
+            ends = np.concatenate(
+                [ends, np.fromiter(self._pends, dtype=np.int64, count=k)]
+            )
+            values = values + self._pvalues
+            order = np.argsort(bases, kind="stable")
+            bases, ends = bases[order], ends[order]
+            values = [values[i] for i in order]
+        elif values is self._values:
+            values = list(values)
+        self._snapshot = (bases, ends, values)
+
+    def _left_live(self, idx: int) -> int:
+        """Greatest live compacted index <= ``idx``, or -1."""
+        while idx >= 0 and idx in self._dead:
+            idx -= 1
+        return idx
+
+    def _right_live(self, idx: int) -> int:
+        """Smallest live compacted index >= ``idx``, or len(bases)."""
+        n = len(self._bases)
+        while idx < n and idx in self._dead:
+            idx += 1
+        return idx
+
+    # -- mutation ------------------------------------------------------------
 
     def insert(self, base: int, size: int, value: T) -> None:
         """Insert a live range; raises on overlap with an existing one."""
         if size <= 0:
             raise ValueError(f"range size must be positive, got {size}")
-        idx = bisect.bisect_right(self._bases, base)
-        if idx > 0 and self._ends[idx - 1] > base:
-            raise ValueError(
-                f"range [{base:#x},{base + size:#x}) overlaps a live range"
-            )
-        if idx < len(self._bases) and self._bases[idx] < base + size:
-            raise ValueError(
-                f"range [{base:#x},{base + size:#x}) overlaps a live range"
-            )
-        self._bases.insert(idx, base)
-        self._ends.insert(idx, base + size)
-        self._values.insert(idx, value)
+        end = base + size
+        overlap = ValueError(
+            f"range [{base:#x},{end:#x}) overlaps a live range"
+        )
+        # Pending neighbours (no tombstones there).
+        pidx = bisect.bisect_right(self._pbases, base)
+        if pidx > 0 and self._pends[pidx - 1] > base:
+            raise overlap
+        if pidx < len(self._pbases) and self._pbases[pidx] < end:
+            raise overlap
+        # Compacted neighbours: tombstoned entries do not constrain.
+        # Left: only the nearest live predecessor can reach past base
+        # (compacted entries are mutually non-overlapping).
+        cidx = bisect.bisect_right(self._bases, base)
+        left = self._left_live(cidx - 1)
+        if left >= 0 and self._ends[left] > base:
+            raise overlap
+        right = self._right_live(cidx)
+        if right < len(self._bases) and self._bases[right] < end:
+            raise overlap
+        self._pbases.insert(pidx, base)
+        self._pends.insert(pidx, end)
+        self._pvalues.insert(pidx, value)
+        self._live_bytes += size
+        self._snapshot = None
+        self._maybe_compact()
 
     def remove(self, base: int) -> T:
         """Remove the range starting exactly at ``base``; returns its value."""
-        idx = bisect.bisect_left(self._bases, base)
-        if idx == len(self._bases) or self._bases[idx] != base:
-            raise KeyError(f"no live range starts at {base:#x}")
-        self._bases.pop(idx)
-        self._ends.pop(idx)
-        return self._values.pop(idx)
+        pidx = bisect.bisect_left(self._pbases, base)
+        if pidx < len(self._pbases) and self._pbases[pidx] == base:
+            self._pbases.pop(pidx)
+            end = self._pends.pop(pidx)
+            value = self._pvalues.pop(pidx)
+            self._live_bytes -= end - base
+            self._snapshot = None
+            return value
+        cidx = bisect.bisect_left(self._bases, base)
+        if (
+            cidx < len(self._bases)
+            and self._bases[cidx] == base
+            and cidx not in self._dead
+        ):
+            value = self._values[cidx]
+            self._dead.add(cidx)
+            self._live_bytes -= self._ends[cidx] - base
+            self._snapshot = None
+            self._maybe_compact()
+            return value
+        raise KeyError(f"no live range starts at {base:#x}")
+
+    # -- queries -------------------------------------------------------------
 
     def lookup(self, address: int) -> T | None:
         """Value of the live range containing ``address``, or None."""
-        idx = bisect.bisect_right(self._bases, address) - 1
-        if idx >= 0 and address < self._ends[idx]:
-            return self._values[idx]
+        pidx = bisect.bisect_right(self._pbases, address) - 1
+        if pidx >= 0 and address < self._pends[pidx]:
+            return self._pvalues[pidx]
+        # A tombstoned predecessor cannot hide a live hit: compacted
+        # entries never overlap, so only the immediate predecessor can
+        # contain the address at all.
+        cidx = bisect.bisect_right(self._bases, address) - 1
+        if (
+            cidx >= 0
+            and cidx not in self._dead
+            and address < self._ends[cidx]
+        ):
+            return self._values[cidx]
         return None
 
     def lookup_base(self, base: int) -> T | None:
         """Value of the range starting exactly at ``base``, or None."""
-        idx = bisect.bisect_left(self._bases, base)
-        if idx < len(self._bases) and self._bases[idx] == base:
-            return self._values[idx]
+        pidx = bisect.bisect_left(self._pbases, base)
+        if pidx < len(self._pbases) and self._pbases[pidx] == base:
+            return self._pvalues[pidx]
+        cidx = bisect.bisect_left(self._bases, base)
+        if (
+            cidx < len(self._bases)
+            and self._bases[cidx] == base
+            and cidx not in self._dead
+        ):
+            return self._values[cidx]
         return None
+
+    def export_ranges(self) -> tuple[np.ndarray, np.ndarray, list[T]]:
+        """Dense snapshot ``(bases, ends, values)`` of all live ranges.
+
+        ``bases``/``ends`` are sorted int64 arrays, ``values`` the
+        matching payloads — the batch-attribution input shape, built
+        once and cached until the next mutation. The arrays are shared
+        with the cache: treat them as read-only.
+        """
+        if self._snapshot is None:
+            self._build_snapshot()
+        return self._snapshot  # type: ignore[return-value]
 
     def lookup_batch(self, addresses: np.ndarray) -> list[T | None]:
         """Vectorised point query for many addresses at once."""
         addresses = np.asarray(addresses, dtype=np.int64)
-        if len(self._bases) == 0:
+        bases, ends, values = self.export_ranges()
+        if bases.size == 0:
             return [None] * addresses.size
-        bases = np.asarray(self._bases, dtype=np.int64)
-        ends = np.asarray(self._ends, dtype=np.int64)
         idx = np.searchsorted(bases, addresses, side="right") - 1
         valid = (idx >= 0) & (addresses < ends[np.clip(idx, 0, None)])
         out: list[T | None] = [None] * addresses.size
         for i in np.flatnonzero(valid):
-            out[i] = self._values[int(idx[i])]
+            out[i] = values[int(idx[i])]
         return out
 
     def items(self) -> list[tuple[int, int, T]]:
         """All live ranges as ``(base, end, value)`` triples, sorted."""
-        return list(zip(self._bases, self._ends, self._values))
+        bases, ends, values = self.export_ranges()
+        return list(zip(bases.tolist(), ends.tolist(), values))
 
     @property
     def live_bytes(self) -> int:
-        return sum(e - b for b, e in zip(self._bases, self._ends))
+        return self._live_bytes

@@ -7,6 +7,11 @@ from repro.trace.events import (
     PhaseEvent,
     StaticVarRecord,
 )
+from repro.trace.columnar import (
+    ColumnarTrace,
+    is_columnar_trace,
+    load_any_trace,
+)
 from repro.trace.tracefile import TraceFile
 from repro.trace.tracer import Tracer, TracerConfig
 
@@ -16,6 +21,9 @@ __all__ = [
     "SampleEvent",
     "PhaseEvent",
     "StaticVarRecord",
+    "ColumnarTrace",
+    "is_columnar_trace",
+    "load_any_trace",
     "TraceFile",
     "Tracer",
     "TracerConfig",

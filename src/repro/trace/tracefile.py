@@ -24,7 +24,7 @@ from pathlib import Path
 from typing import Iterator, Union
 
 from repro.errors import TraceError
-from repro.ioutil import atomic_write_text
+from repro.ioutil import atomic_writer
 from repro.trace.events import (
     AllocEvent,
     FreeEvent,
@@ -95,16 +95,42 @@ class TraceFile:
     salvage: SalvageReport | None = field(
         default=None, compare=False, repr=False
     )
+    #: Cached time-sorted view (plus the event count it was built at,
+    #: so direct ``trace.events`` appends are caught too).
+    _sorted_cache: list[TraceEvent] | None = field(
+        default=None, init=False, compare=False, repr=False
+    )
+    _sorted_cache_len: int = field(
+        default=-1, init=False, compare=False, repr=False
+    )
 
     def append(self, event: TraceEvent) -> None:
         self.events.append(event)
+        self.invalidate_caches()
 
     def extend(self, events: list[TraceEvent]) -> None:
         self.events.extend(events)
+        self.invalidate_caches()
+
+    def invalidate_caches(self) -> None:
+        """Drop derived views after mutating :attr:`events` directly."""
+        self._sorted_cache = None
+        self._sorted_cache_len = -1
 
     def sorted_events(self) -> list[TraceEvent]:
-        """Events in time order (stable for equal timestamps)."""
-        return sorted(self.events, key=lambda e: e.time)
+        """Events in time order (stable for equal timestamps).
+
+        Cached between calls; :meth:`append`/:meth:`extend` (or any
+        mutation that changes the event count) invalidate the cache.
+        The returned list is shared — treat it as read-only.
+        """
+        if (
+            self._sorted_cache is None
+            or self._sorted_cache_len != len(self.events)
+        ):
+            self._sorted_cache = sorted(self.events, key=lambda e: e.time)
+            self._sorted_cache_len = len(self.events)
+        return self._sorted_cache
 
     def iter_type(self, event_type: type) -> Iterator[TraceEvent]:
         return (e for e in self.events if isinstance(e, event_type))
@@ -133,8 +159,8 @@ class TraceFile:
 
     # -- persistence ---------------------------------------------------------
 
-    def to_jsonl(self) -> str:
-        """The full checksummed JSONL payload (header + records)."""
+    def iter_jsonl_lines(self) -> Iterator[str]:
+        """Checksummed JSONL lines (header + records), one at a time."""
         header = {
             "type": "header",
             "application": self.application,
@@ -143,17 +169,28 @@ class TraceFile:
             "metadata": self.metadata,
             "n_records": len(self.statics) + len(self.events),
         }
-        lines = [_checksummed_line(header)]
+        yield _checksummed_line(header)
         for static in self.statics:
-            lines.append(_checksummed_line(static.to_dict()))
+            yield _checksummed_line(static.to_dict())
         for event in self.events:
-            lines.append(_checksummed_line(event.to_dict()))
-        return "\n".join(lines) + "\n"
+            yield _checksummed_line(event.to_dict())
+
+    def to_jsonl(self) -> str:
+        """The full checksummed JSONL payload (header + records)."""
+        return "\n".join(self.iter_jsonl_lines()) + "\n"
 
     def save(self, path: str | Path) -> None:
         """Write as JSON lines: a checksummed header record, then one
-        checksummed event per line — atomically (temp file + rename)."""
-        atomic_write_text(path, self.to_jsonl())
+        checksummed event per line — atomically (temp file + rename).
+
+        Lines are streamed to the temporary file as they are encoded;
+        the full multi-hundred-MB payload of a large trace is never
+        materialised as one string.
+        """
+        with atomic_writer(path, "w") as fh:
+            for line in self.iter_jsonl_lines():
+                fh.write(line)
+                fh.write("\n")
 
     @classmethod
     def load(cls, path: str | Path, salvage: bool = False) -> "TraceFile":

@@ -52,6 +52,12 @@ class TracerConfig:
     #: Record per-sample access latency (Xeon-style PEBS; the Xeon Phi
     #: PMU the paper uses does not provide it).
     record_latency: bool = False
+    #: Keep sampled misses as NumPy columns instead of per-sample
+    #: event objects. The sparse alloc/free/phase records still go
+    #: through :attr:`Tracer.trace`; samples — the bulk of any trace —
+    #: never exist as Python objects, and :meth:`Tracer.columnar_trace`
+    #: merges both into a :class:`~repro.trace.columnar.ColumnarTrace`.
+    columnar_samples: bool = False
 
 
 class Tracer:
@@ -77,6 +83,11 @@ class Tracer:
         self._process: SimProcess | None = None
         #: Seconds of perturbation the tracer added (Table I overhead).
         self.overhead_seconds = 0.0
+        #: Column chunks of picked samples (``columnar_samples`` mode):
+        #: (addresses, times, latencies-or-None) per fed chunk.
+        self._sample_chunks: list[
+            tuple[np.ndarray, np.ndarray, np.ndarray | None]
+        ] = []
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -148,6 +159,16 @@ class Tracer:
         picked_addrs, picked_times, picked_lats = (
             self.sampler.sample_chunk_arrays(addresses, times, latencies)
         )
+        if self.config.columnar_samples:
+            n_picked = int(picked_addrs.size)
+            if n_picked:
+                self._sample_chunks.append(
+                    (picked_addrs, picked_times, picked_lats)
+                )
+            self.overhead_seconds += (
+                n_picked * self.config.sample_cost_us * MICROSECOND
+            )
+            return n_picked
         rank = self.rank
         if picked_lats is None:
             events = [
@@ -174,6 +195,68 @@ class Tracer:
         """Mark entry into a code phase (for the Folding analysis)."""
         self.trace.append(
             PhaseEvent(time=clock, rank=self.rank, function=function)
+        )
+
+    def columnar_trace(self) -> "ColumnarTrace":
+        """Everything traced so far as one :class:`ColumnarTrace`.
+
+        In ``columnar_samples`` mode the buffered sample columns are
+        appended to the columnarised event records — samples go from
+        the PMU to the columnar trace without ever existing as Python
+        objects. Event order within the arrays is "records then
+        samples"; attribution orders by time/priority itself, so the
+        result is analysis-equivalent to the row-mode trace.
+        """
+        from repro.trace.columnar import (
+            KIND_SAMPLE,
+            NO_LATENCY,
+            ColumnarTrace,
+        )
+
+        base = ColumnarTrace.from_tracefile(self.trace)
+        if not self._sample_chunks:
+            return base
+        addr = np.concatenate([c[0] for c in self._sample_chunks])
+        times = np.concatenate([c[1] for c in self._sample_chunks])
+        lats = np.concatenate(
+            [
+                c[2]
+                if c[2] is not None
+                else np.full(c[0].size, NO_LATENCY, dtype=np.int64)
+                for c in self._sample_chunks
+            ]
+        )
+        n = addr.size
+        return ColumnarTrace(
+            application=base.application,
+            ranks=base.ranks,
+            sampling_period=base.sampling_period,
+            metadata=base.metadata,
+            times=np.concatenate([base.times, times.astype(np.float64)]),
+            kinds=np.concatenate(
+                [base.kinds, np.full(n, KIND_SAMPLE, dtype=np.uint8)]
+            ),
+            event_ranks=np.concatenate(
+                [base.event_ranks, np.full(n, self.rank, dtype=np.int32)]
+            ),
+            addresses=np.concatenate(
+                [base.addresses, addr.astype(np.int64)]
+            ),
+            sizes=np.concatenate([base.sizes, np.zeros(n, dtype=np.int64)]),
+            latencies=np.concatenate(
+                [base.latencies, lats.astype(np.int64)]
+            ),
+            aux=np.concatenate([base.aux, np.full(n, -1, dtype=np.int32)]),
+            allocator_ids=np.concatenate(
+                [base.allocator_ids, np.full(n, -1, dtype=np.int32)]
+            ),
+            callstacks=base.callstacks,
+            functions=base.functions,
+            allocators=base.allocators,
+            static_names=base.static_names,
+            static_ranks=base.static_ranks,
+            static_addresses=base.static_addresses,
+            static_sizes=base.static_sizes,
         )
 
     # -- summary -------------------------------------------------------------

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.attribution import attribute_samples
+from repro.analysis.attribution import attribute_samples, stack_region_of
 from repro.analysis.objects import ObjectKey
 from repro.runtime.callstack import CallStack, Frame
 from repro.trace.events import (
@@ -133,3 +133,32 @@ class TestSiteAggregation:
         result = attribute_samples(trace)
         assert result.miss_share(_key("a")) == pytest.approx(1.0)
         assert result.miss_share(_key("b")) == 0.0
+
+
+class TestStackRegionMetadata:
+    def test_stack_region_of_accepts_list_and_tuple(self):
+        assert stack_region_of({"stack_region": [0x7000, 64]}) == (0x7000, 64)
+        assert stack_region_of({"stack_region": (0x7000, 64)}) == (0x7000, 64)
+
+    def test_stack_region_of_rejects_damage(self):
+        assert stack_region_of({}) == (None, None)
+        assert stack_region_of({"stack_region": None}) == (None, None)
+        assert stack_region_of({"stack_region": [1]}) == (None, None)
+        assert stack_region_of({"stack_region": [1, 2, 3]}) == (None, None)
+        assert stack_region_of({"stack_region": ["a", "b"]}) == (None, None)
+        assert stack_region_of({"stack_region": "0x7000"}) == (None, None)
+
+    def test_load_then_attribute_equals_in_memory(self, tmp_path):
+        """Regression: the tracer stores ``stack_region`` as a tuple;
+        a JSON round-trip turns it into a list — the stack bucket must
+        survive the persistence hop."""
+        trace = _trace(stack_region=(0x7000, 0x1000))
+        trace.append(AllocEvent(0.0, 0, 0x1000, 100, _cs("a")))
+        trace.append(SampleEvent(0.1, 0, 0x1010))
+        trace.append(SampleEvent(0.2, 0, 0x7100))
+        in_memory = attribute_samples(trace)
+        assert in_memory.stack_samples == 1
+        path = tmp_path / "run.trace"
+        trace.save(path)
+        loaded = attribute_samples(TraceFile.load(path))
+        assert loaded == in_memory

@@ -2,15 +2,18 @@
 
 import pytest
 
+from repro.analysis.config import AnalysisConfig
 from repro.analysis.objects import ObjectKey
 from repro.analysis.paramedir import (
+    ENGINES,
     Paramedir,
     read_profiles_csv,
     write_profiles_csv,
 )
 from repro.analysis.profile import ObjectProfile, ProfileSet
-from repro.errors import AttributionError
+from repro.errors import AttributionError, ConfigError
 from repro.runtime.callstack import CallStack, Frame
+from repro.trace.columnar import ColumnarTrace
 from repro.trace.events import AllocEvent, SampleEvent
 from repro.trace.tracefile import TraceFile
 
@@ -47,6 +50,54 @@ class TestAnalyze:
             trace.append(SampleEvent(0.1, 0, 0x2000 + i))
         profiles = Paramedir().analyze(trace)
         assert profiles.profiles[0].key.label.startswith("hot")
+
+
+class TestEngines:
+    def _trace(self):
+        trace = TraceFile(application="demo", ranks=2, sampling_period=7)
+        trace.append(AllocEvent(0.0, 0, 0x1000, 256, _cs("site_a")))
+        trace.append(AllocEvent(0.0, 1, 0x2000, 512, _cs("site_b")))
+        for i in range(4):
+            trace.append(SampleEvent(0.1 + i * 0.1, i % 2, 0x1000 + i))
+        trace.append(SampleEvent(0.6, 1, 0x2000))
+        return trace
+
+    def test_vector_is_default_and_equals_oracle(self):
+        trace = self._trace()
+        assert Paramedir().engine == "vector"
+        assert Paramedir().analyze(trace) == Paramedir(
+            engine="oracle"
+        ).analyze(trace)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError, match="unknown attribution engine"):
+            Paramedir(engine="gpu")
+        assert ENGINES == ("vector", "oracle")
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_columnar_input_accepted(self, engine):
+        trace = self._trace()
+        cols = ColumnarTrace.from_tracefile(trace)
+        assert Paramedir(engine=engine).analyze(cols) == Paramedir(
+            engine=engine
+        ).analyze(trace)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_narrowing_agrees_across_forms(self, engine):
+        """Config-driven sample narrowing (time window + ranks) must
+        give one answer regardless of engine or trace form."""
+        trace = self._trace()
+        config = AnalysisConfig(time_window=(0.1, 0.5), ranks=[0])
+        want = Paramedir(config, engine="oracle").analyze(trace)
+        got = Paramedir(config, engine=engine).analyze(
+            ColumnarTrace.from_tracefile(trace)
+        )
+        assert got == want
+        # Narrowing never filters allocations, only samples.
+        assert {p.key for p in want} <= {
+            ObjectKey.dynamic(_cs("site_a")),
+            ObjectKey.dynamic(_cs("site_b")),
+        }
 
 
 class TestCsv:

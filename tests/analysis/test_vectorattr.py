@@ -1,0 +1,196 @@
+"""Vectorised attribution: bit-for-bit equality with the oracle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.attribution import attribute_samples
+from repro.analysis.objects import ObjectKey
+from repro.analysis.vectorattr import attribute_samples_vector
+from repro.runtime.callstack import CallStack, Frame
+from repro.trace.columnar import ColumnarTrace
+from repro.trace.events import (
+    AllocEvent,
+    FreeEvent,
+    PhaseEvent,
+    SampleEvent,
+    StaticVarRecord,
+)
+from repro.trace.tracefile import TraceFile
+
+
+def _cs(name: str, module: str = "app") -> CallStack:
+    return CallStack(frames=(Frame(module, name, "app.c", 1),))
+
+
+class TestUnits:
+    def test_accepts_both_trace_forms(self):
+        trace = TraceFile()
+        trace.append(AllocEvent(0.0, 0, 0x1000, 100, _cs("a")))
+        trace.append(SampleEvent(0.5, 0, 0x1010))
+        want = attribute_samples(trace)
+        assert attribute_samples_vector(trace) == want
+        assert (
+            attribute_samples_vector(ColumnarTrace.from_tracefile(trace))
+            == want
+        )
+
+    def test_empty_trace(self):
+        assert attribute_samples_vector(TraceFile()) == attribute_samples(
+            TraceFile()
+        )
+
+    def test_module_identity_merging(self):
+        """Two interned callstacks that differ only in module collapse
+        to one ObjectKey — the oracle's identity semantics."""
+        trace = TraceFile()
+        trace.append(AllocEvent(0.0, 0, 0x1000, 100, _cs("a", module="m1")))
+        trace.append(AllocEvent(0.1, 0, 0x2000, 100, _cs("a", module="m2")))
+        trace.append(SampleEvent(0.5, 0, 0x1010))
+        trace.append(SampleEvent(0.6, 0, 0x2010))
+        want = attribute_samples(trace)
+        got = attribute_samples_vector(trace)
+        assert got == want
+        assert got.n_allocs[ObjectKey.dynamic(_cs("a"))] == 2
+
+    def test_duplicate_static_names(self):
+        """Last same-name static wins the size fields but every record
+        counts an allocation (the oracle's exact bookkeeping)."""
+        trace = TraceFile()
+        trace.statics.append(StaticVarRecord("g", 0, 0x100, 16))
+        trace.statics.append(StaticVarRecord("g", 0, 0x200, 64))
+        want = attribute_samples(trace)
+        got = attribute_samples_vector(trace)
+        assert got == want
+        assert got.max_size[ObjectKey.static("g")] == 64
+        assert got.n_allocs[ObjectKey.static("g")] == 2
+
+    def test_zero_latency_counts_as_present(self):
+        trace = TraceFile()
+        trace.append(AllocEvent(0.0, 0, 0x1000, 100, _cs("a")))
+        trace.append(SampleEvent(0.5, 0, 0x1010, latency_cycles=0))
+        got = attribute_samples_vector(trace)
+        assert got == attribute_samples(trace)
+        assert got.latency_sum == {ObjectKey.dynamic(_cs("a")): 0}
+
+    def test_phase_events_ignored(self):
+        trace = TraceFile()
+        trace.append(PhaseEvent(0.0, 0, "loop"))
+        trace.append(AllocEvent(0.0, 0, 0x1000, 100, _cs("a")))
+        trace.append(SampleEvent(0.0, 0, 0x1010))
+        assert attribute_samples_vector(trace) == attribute_samples(trace)
+
+
+class TestErrorParity:
+    def test_overlapping_alloc_same_error(self):
+        trace = TraceFile()
+        trace.append(AllocEvent(0.0, 0, 100, 50, _cs("a")))
+        trace.append(AllocEvent(1.0, 0, 120, 10, _cs("b")))
+        with pytest.raises(ValueError, match="overlaps a live range") as want:
+            attribute_samples(trace)
+        with pytest.raises(ValueError, match="overlaps a live range") as got:
+            attribute_samples_vector(trace)
+        assert str(got.value) == str(want.value)
+
+    def test_unknown_free_same_error(self):
+        trace = TraceFile()
+        trace.append(FreeEvent(0.0, 0, 0x999))
+        with pytest.raises(KeyError) as want:
+            attribute_samples(trace)
+        with pytest.raises(KeyError) as got:
+            attribute_samples_vector(trace)
+        assert str(got.value) == str(want.value)
+
+    def test_same_instant_realloc_over_free_is_overlap(self):
+        """At one timestamp allocs apply before frees, so reusing a
+        just-freed range in the same instant is an overlap — on both
+        paths."""
+        trace = TraceFile()
+        trace.append(AllocEvent(0.0, 0, 0x1000, 100, _cs("a")))
+        trace.append(FreeEvent(1.0, 0, 0x1000))
+        trace.append(AllocEvent(1.0, 0, 0x1000, 50, _cs("b")))
+        with pytest.raises(ValueError, match="overlaps"):
+            attribute_samples(trace)
+        with pytest.raises(ValueError, match="overlaps"):
+            attribute_samples_vector(trace)
+
+
+# ---------------------------------------------------------------------------
+# Property: random alloc/free/sample interleavings
+# ---------------------------------------------------------------------------
+
+_SITES = tuple(_cs(f"s{i}", module=f"m{i % 2}") for i in range(4))
+_BASES = (1000, 1100, 1200, 1300)
+
+
+@st.composite
+def attribution_traces(draw) -> TraceFile:
+    """Valid traces with timestamp ties and address reuse after free.
+
+    Time advances by 0 or 1 per event, so same-instant
+    alloc/sample/free runs are common; freed bases are re-allocated
+    with different sizes, so samples must be attributed by time.
+    """
+    events = []
+    live: dict[int, int] = {}
+    freed: list[tuple[int, int, int]] = []  # (base, size, free time)
+    now = 0
+    for _ in range(draw(st.integers(0, 50))):
+        now += draw(st.integers(0, 1))
+        kind = draw(
+            st.sampled_from(["alloc", "alloc", "free", "sample", "sample"])
+        )
+        if kind == "alloc":
+            base = draw(st.sampled_from(_BASES))
+            size = draw(st.integers(1, 100))
+            overlaps_live = any(
+                b < base + size and base < b + s for b, s in live.items()
+            )
+            # A range freed at this same instant still blocks: the
+            # free orders after the alloc at equal timestamps.
+            overlaps_fresh_free = any(
+                b < base + size and base < b + s and t == now
+                for b, s, t in freed
+            )
+            if overlaps_live or overlaps_fresh_free:
+                continue
+            events.append(
+                AllocEvent(float(now), 0, base, size,
+                           draw(st.sampled_from(_SITES)))
+            )
+            live[base] = size
+        elif kind == "free" and live:
+            base = draw(st.sampled_from(sorted(live)))
+            events.append(FreeEvent(float(now), 0, base))
+            freed.append((base, live.pop(base), now))
+        elif kind == "sample":
+            events.append(
+                SampleEvent(
+                    float(now), 0,
+                    draw(st.integers(900, 1500)),
+                    draw(st.one_of(st.none(), st.integers(0, 500))),
+                )
+            )
+    statics = (
+        [StaticVarRecord("g", 0, 2000, 64)] if draw(st.booleans()) else []
+    )
+    metadata = (
+        {"stack_region": [900, 80]} if draw(st.booleans()) else {}
+    )
+    return TraceFile(
+        application="prop", events=events, statics=statics, metadata=metadata
+    )
+
+
+class TestEquivalenceProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(trace=attribution_traces())
+    def test_vector_equals_oracle(self, trace):
+        want = attribute_samples(trace)
+        assert attribute_samples_vector(trace) == want
+        assert (
+            attribute_samples_vector(ColumnarTrace.from_tracefile(trace))
+            == want
+        )

@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro.runtime.heap as heap_mod
 from repro.runtime.heap import LiveRangeIndex
 
 
@@ -101,3 +102,112 @@ class TestBatchLookup:
                 pass  # overlapping candidates are skipped
         qs = np.asarray(queries)
         assert idx.lookup_batch(qs) == [idx.lookup(int(q)) for q in qs]
+
+
+class TestExportRanges:
+    def test_sorted_and_aligned(self):
+        idx = LiveRangeIndex()
+        idx.insert(300, 10, "c")
+        idx.insert(100, 10, "a")
+        idx.insert(200, 10, "b")
+        bases, ends, values = idx.export_ranges()
+        assert bases.tolist() == [100, 200, 300]
+        assert ends.tolist() == [110, 210, 310]
+        assert values == ["a", "b", "c"]
+        assert bases.dtype == np.int64 and ends.dtype == np.int64
+
+    def test_matches_items(self):
+        idx = LiveRangeIndex()
+        for i in range(10):
+            idx.insert(i * 100, 10, i)
+        idx.remove(300)
+        bases, ends, values = idx.export_ranges()
+        assert list(zip(bases.tolist(), ends.tolist(), values)) == idx.items()
+
+    def test_snapshot_cached_until_mutation(self):
+        idx = LiveRangeIndex()
+        idx.insert(100, 10, "a")
+        first = idx.export_ranges()
+        assert idx.export_ranges() is first  # no mutation: cached
+        idx.insert(200, 10, "b")
+        second = idx.export_ranges()
+        assert second is not first
+        assert second[0].tolist() == [100, 200]
+        idx.remove(100)
+        third = idx.export_ranges()
+        assert third is not second
+        assert third[2] == ["b"]
+
+    def test_empty_index(self):
+        bases, ends, values = LiveRangeIndex().export_ranges()
+        assert bases.size == 0 and ends.size == 0 and values == []
+
+
+class TestCompaction:
+    """Differential test of the compacted/pending/tombstone storage.
+
+    Shrinking ``COMPACT_THRESHOLD`` forces frequent merges so every
+    path — pending hit, tombstoned compacted entry, merge of the two
+    regions — is exercised against a naive dict reference.
+    """
+
+    @pytest.mark.parametrize(
+        "threshold", [0, 3], ids=["compact-always", "compact-small"]
+    )
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "remove", "lookup"]),
+                st.integers(min_value=0, max_value=30),
+                st.integers(min_value=1, max_value=5),
+            ),
+            max_size=60,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_equals_naive_reference(self, threshold, ops):
+        old = heap_mod.COMPACT_THRESHOLD
+        heap_mod.COMPACT_THRESHOLD = threshold
+        try:
+            self._run(ops)
+        finally:
+            heap_mod.COMPACT_THRESHOLD = old
+
+    @staticmethod
+    def _run(ops):
+        idx = LiveRangeIndex()
+        ref: dict[int, tuple[int, int]] = {}  # base -> (size, value)
+        for serial, (op, base, size) in enumerate(ops):
+            if op == "insert":
+                overlaps = any(
+                    b < base + size and base < b + s
+                    for b, (s, _) in ref.items()
+                )
+                if overlaps:
+                    with pytest.raises(ValueError):
+                        idx.insert(base, size, serial)
+                else:
+                    idx.insert(base, size, serial)
+                    ref[base] = (size, serial)
+            elif op == "remove":
+                if base in ref:
+                    assert idx.remove(base) == ref.pop(base)[1]
+                else:
+                    with pytest.raises(KeyError):
+                        idx.remove(base)
+            else:
+                want = next(
+                    (v for b, (s, v) in ref.items() if b <= base < b + s),
+                    None,
+                )
+                assert idx.lookup(base) == want
+        # Final state agrees everywhere, across every query surface.
+        assert len(idx) == len(ref)
+        assert idx.live_bytes == sum(s for s, _ in ref.values())
+        assert idx.items() == sorted(
+            (b, b + s, v) for b, (s, v) in ref.items()
+        )
+        queries = np.arange(0, 40)
+        assert idx.lookup_batch(queries) == [
+            idx.lookup(int(q)) for q in queries
+        ]

@@ -128,6 +128,58 @@ class TestShellFlow:
             analyze_main([str(missing), "-o", str(tmp_path / "o.csv")])
 
 
+class TestColumnarFlow:
+    def test_analyze_engines_agree(self, tmp_path):
+        trace = tmp_path / "app.trace"
+        profile_main(["minife", "-o", str(trace)])
+        vec_csv = tmp_path / "vec.csv"
+        orc_csv = tmp_path / "orc.csv"
+        assert analyze_main(
+            [str(trace), "-o", str(vec_csv), "--engine", "vector"]
+        ) == 0
+        assert analyze_main(
+            [str(trace), "-o", str(orc_csv), "--engine", "oracle"]
+        ) == 0
+        assert vec_csv.read_text() == orc_csv.read_text()
+
+    def test_bad_engine_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            analyze_main(
+                [str(tmp_path / "x.trace"), "-o", str(tmp_path / "x.csv"),
+                 "--engine", "gpu"]
+            )
+
+    def test_profile_columnar_end_to_end(self, tmp_path):
+        """--columnar writes the binary trace; analysis of it must
+        match the JSONL path byte for byte."""
+        from repro.trace.columnar import is_columnar_trace
+
+        jsonl, npz = tmp_path / "row.trace", tmp_path / "col.npz"
+        assert profile_main(["minife", "-o", str(jsonl)]) == 0
+        assert profile_main(["minife", "-o", str(npz), "--columnar"]) == 0
+        assert not is_columnar_trace(jsonl)
+        assert is_columnar_trace(npz)
+        row_csv, col_csv = tmp_path / "row.csv", tmp_path / "col.csv"
+        assert analyze_main([str(jsonl), "-o", str(row_csv)]) == 0
+        assert analyze_main([str(npz), "-o", str(col_csv)]) == 0
+        assert col_csv.read_text() == row_csv.read_text()
+
+    def test_profile_columnar_with_latency(self, tmp_path):
+        from repro.trace.columnar import ColumnarTrace
+
+        npz = tmp_path / "lat.npz"
+        assert profile_main(
+            ["minife", "-o", str(npz), "--columnar", "--latency",
+             "--period", "9"]
+        ) == 0
+        loaded = ColumnarTrace.load(npz)
+        assert loaded.sampling_period == 9
+        assert any(
+            s.latency_cycles is not None
+            for s in loaded.to_tracefile().sample_events
+        )
+
+
 class TestFaultFlow:
     def test_analyze_salvages_damaged_trace(self, tmp_path, capsys):
         trace = tmp_path / "app.trace"

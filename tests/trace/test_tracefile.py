@@ -53,6 +53,41 @@ class TestContainer:
         assert len(trace.events) == 2
 
 
+class TestSortedCache:
+    def test_cached_between_calls(self):
+        trace = _trace()
+        assert trace.sorted_events() is trace.sorted_events()
+
+    def test_append_invalidates(self):
+        trace = _trace()
+        first = trace.sorted_events()
+        trace.append(SampleEvent(0.01, 0, 0x30))
+        second = trace.sorted_events()
+        assert second is not first
+        assert [e.time for e in second] == sorted(e.time for e in trace.events)
+
+    def test_extend_invalidates(self):
+        trace = _trace()
+        first = trace.sorted_events()
+        trace.extend([SampleEvent(0.05, 0, 0x40)])
+        assert trace.sorted_events() is not first
+        assert len(trace.sorted_events()) == len(trace.events)
+
+    def test_direct_events_append_caught(self):
+        """Mutating ``trace.events`` behind the API still invalidates
+        (the cache is keyed on the event count)."""
+        trace = _trace()
+        trace.sorted_events()
+        trace.events.append(SampleEvent(0.0, 0, 0x50))
+        assert len(trace.sorted_events()) == len(trace.events)
+
+    def test_invalidate_caches_explicit(self):
+        trace = _trace()
+        first = trace.sorted_events()
+        trace.invalidate_caches()
+        assert trace.sorted_events() is not first
+
+
 class TestPersistence:
     def test_round_trip(self, tmp_path):
         trace = _trace()
@@ -65,6 +100,14 @@ class TestPersistence:
         assert clone.metadata == {"stack_region": [0x7000, 0x1000]}
         assert clone.statics == trace.statics
         assert clone.events == trace.events
+
+    def test_streamed_save_equals_to_jsonl(self, tmp_path):
+        """``save`` streams lines; the bytes on disk must be exactly
+        the materialised payload."""
+        trace = _trace()
+        path = tmp_path / "run.trace"
+        trace.save(path)
+        assert path.read_text() == trace.to_jsonl()
 
     def test_empty_file_rejected(self, tmp_path):
         path = tmp_path / "empty.trace"

@@ -84,6 +84,81 @@ class TestSampling:
         assert tracer.trace.phase_events[0].function == "octsweep"
 
 
+class TestColumnarSamples:
+    def _tracer(self, **kwargs):
+        process = _process()
+        tracer = Tracer(
+            TracerConfig(min_alloc_size=4 * KIB, sampling_period=3,
+                         columnar_samples=True, **kwargs),
+            application="t", rank=0,
+        )
+        tracer.attach(process)
+        return process, tracer
+
+    def test_samples_bypass_event_objects(self):
+        _, tracer = self._tracer()
+        n = tracer.record_misses(np.arange(30, dtype=np.uint64) * 64,
+                                 np.linspace(0, 1, 30))
+        assert n == 10
+        assert tracer.trace.sample_events == []  # no row objects built
+        assert tracer.columnar_trace().n_samples == 10
+
+    def test_chunks_merged_across_calls(self):
+        _, tracer = self._tracer()
+        for start in range(0, 60, 20):
+            tracer.record_misses(
+                np.arange(start, start + 20, dtype=np.uint64) * 64,
+                np.linspace(start, start + 1, 20),
+            )
+        cols = tracer.columnar_trace()
+        assert cols.n_samples == 20  # 60 misses / period 3
+        assert cols.n_samples == sum(
+            1 for e in cols.to_tracefile().sample_events
+        )
+
+    def test_attribution_equivalent_to_row_mode(self):
+        """Columnar direct emission and row-mode tracing of the same
+        workload must attribute identically."""
+        from repro.analysis.attribution import attribute_samples
+        from repro.analysis.vectorattr import attribute_samples_vector
+
+        def run(columnar):
+            process = _process()
+            tracer = Tracer(
+                TracerConfig(min_alloc_size=4 * KIB, sampling_period=3,
+                             columnar_samples=columnar, record_latency=True),
+                application="t", rank=0,
+            )
+            tracer.attach(process)
+            with process.in_function("app", "main", 1):
+                address = process.malloc(8 * KIB)
+            misses = address + (np.arange(30, dtype=np.uint64) * 64) % (8 * KIB)
+            tracer.record_misses(misses, np.linspace(0.1, 0.9, 30),
+                                 np.full(30, 250, dtype=np.int64))
+            return tracer
+
+        row = run(columnar=False)
+        col = run(columnar=True)
+        assert attribute_samples_vector(col.columnar_trace()) == (
+            attribute_samples(row.trace)
+        )
+
+    def test_no_samples_returns_base_records(self):
+        process, tracer = self._tracer()
+        with process.in_function("app", "main", 1):
+            process.malloc(8 * KIB)
+        cols = tracer.columnar_trace()
+        assert cols.n_samples == 0
+        assert cols.n_allocs == 1
+        assert cols.to_tracefile() == tracer.trace
+
+    def test_overhead_still_accounted(self):
+        _, tracer = self._tracer()
+        tracer.record_misses(np.arange(30, dtype=np.uint64) * 64,
+                             np.linspace(0, 1, 30))
+        assert tracer.overhead_seconds > 0
+
+
 class TestMetadata:
     def test_statics_and_stack_exported(self):
         process = _process()
