@@ -196,6 +196,20 @@ class AppCalibration:
 STACK_LATENCY_CYCLES = 200
 
 
+@dataclass(frozen=True, slots=True)
+class WindowTruth:
+    """Full miss counts of one ``run_timeline`` window — the unit the
+    online evaluator scores placements against."""
+
+    t0: float
+    t1: float
+    misses_by_site: dict[str, int]
+
+    @property
+    def total_misses(self) -> int:
+        return sum(self.misses_by_site.values())
+
+
 @dataclass
 class GroundTruth:
     """What the simulated hardware knows (the framework only sees the
@@ -209,6 +223,8 @@ class GroundTruth:
     addresses: np.ndarray = field(default_factory=lambda: np.zeros(0, np.uint64))
     times: np.ndarray = field(default_factory=lambda: np.zeros(0, float))
     total_misses: int = 0
+    #: Per-window miss counts in timeline order (phase-resolved truth).
+    windows: list[WindowTruth] = field(default_factory=list)
 
     def miss_share(self, site: str) -> float:
         if self.total_misses == 0:
@@ -804,6 +820,9 @@ class SimApplication:
                     truth.latency_by_site.get(site, 0.0) + n * latency
                 )
             truth.total_misses += int(addresses.size)
+            truth.windows.append(
+                WindowTruth(t0=t0, t1=t1, misses_by_site=dict(counts))
+            )
             all_addresses.append(addresses)
             all_times.append(times)
             tracer.record_misses(addresses, times, latencies)

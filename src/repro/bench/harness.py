@@ -435,6 +435,59 @@ def _bench_attribution(
     )
 
 
+def _bench_online_readvise(
+    report: BenchReport, n: int, seed: int, repeats: int
+) -> None:
+    """Windowed incremental attribution vs the one-shot batch pass.
+
+    The online daemon advances a resumable cursor once per decision
+    window; this stage measures what the windowing costs over a whole
+    trace (16 cursor advances + snapshots) and asserts the final
+    snapshot is bit-for-bit the batch result.
+    """
+    from repro.analysis.vectorattr import IncrementalAttributor
+    from repro.trace.columnar import ColumnarTrace
+
+    trace = make_attribution_trace(n, seed)
+    columnar = ColumnarTrace.from_tracefile(trace)
+    ref_seconds, batch = _time(
+        lambda: attribute_samples_vector(columnar), repeats
+    )
+    n_windows = 16
+    times = columnar.times
+    boundaries = (
+        np.linspace(times[0], times[-1], n_windows + 1)[1:-1]
+        if times.size
+        else np.zeros(0)
+    )
+
+    def windowed():
+        attributor = IncrementalAttributor(columnar)
+        for boundary in boundaries:
+            attributor.advance_time(float(boundary))
+            attributor.result()  # per-window snapshot, like the daemon
+        attributor.advance_all()
+        return attributor.result()
+
+    vec_seconds, result = _time(windowed, repeats)
+    if result != batch:
+        raise ReproError(
+            "windowed attribution diverged from the batch vector pass"
+        )
+    report.record(
+        BenchRecord(
+            stage="online_readvise",
+            scenario=f"windowed-{n_windows}",
+            mode=report.mode,
+            n=n,
+            seconds=vec_seconds,
+            throughput=n / vec_seconds,
+            reference_seconds=ref_seconds,
+            speedup=ref_seconds / vec_seconds,
+        )
+    )
+
+
 # ---------------------------------------------------------------------------
 # Entry point + regression gate
 # ---------------------------------------------------------------------------
@@ -480,6 +533,9 @@ def run_bench(
     # The oracle replay dominates this stage's wall time; one timed
     # pass keeps the quick (CI) configuration honest but cheap.
     _bench_attribution(report, n_attr, seed, repeats=1 if quick else repeats)
+    _bench_online_readvise(
+        report, n_attr, seed, repeats=1 if quick else repeats
+    )
     return report
 
 

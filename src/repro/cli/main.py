@@ -504,6 +504,81 @@ def faults_main(argv: list[str] | None = None) -> int:
 
 
 # ---------------------------------------------------------------------------
+# repro-online
+# ---------------------------------------------------------------------------
+
+
+def online_main(argv: list[str] | None = None) -> int:
+    """Windowed mode: re-advise per sample window, emit migrations."""
+    parser = argparse.ArgumentParser(
+        prog="repro-online",
+        description="Run the online re-advising daemon over one "
+        "application: attribute each sample window incrementally, "
+        "re-solve placement, diff into promote/demote migrations, and "
+        "score the session (migration cost included) against the "
+        "matched one-shot placement.",
+    )
+    parser.add_argument("app", choices=(*APP_NAMES, "phaseshift"),
+                        help="application model")
+    parser.add_argument("--budget", type=parse_size, required=True,
+                        help="fast-tier budget per rank, e.g. 32M")
+    parser.add_argument("--strategy", default="misses-0%",
+                        choices=STRATEGY_NAMES)
+    parser.add_argument("--window", type=float, default=None,
+                        help="decision window in simulated seconds "
+                        "(default: the run divided into --windows)")
+    parser.add_argument("--windows", type=int, default=16,
+                        help="number of equal windows when --window "
+                        "is not given (default 16)")
+    parser.add_argument("--hysteresis", type=int, default=1,
+                        help="consecutive windows a site must win or "
+                        "lose its placement before migrating "
+                        "(default 1: act immediately)")
+    parser.add_argument("--migration-bw", type=parse_size, default=None,
+                        help="tier-to-tier migration bandwidth in "
+                        "bytes/s, e.g. 10G (default: the model's "
+                        "page-migration constant)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--journal", type=Path, default=None,
+                        help="write the per-window decision journal "
+                        "to this file (deterministic; what CI diffs)")
+
+    def run(args) -> None:
+        from repro.machine.performance import MIGRATION_BANDWIDTH_DEFAULT
+        from repro.online import OnlineConfig
+
+        config = OnlineConfig(
+            window_seconds=args.window,
+            n_windows=args.windows,
+            strategy=args.strategy,
+            confirm_windows=args.hysteresis,
+            migration_bandwidth=(
+                float(args.migration_bw)
+                if args.migration_bw is not None
+                else MIGRATION_BANDWIDTH_DEFAULT
+            ),
+        )
+        framework = HybridMemoryFramework(get_app(args.app), seed=args.seed)
+        outcome = framework.run_windowed(args.budget, config)
+        run_record = outcome.run
+        n_actions = len(run_record.actions)
+        print(f"{args.app}: {len(run_record.decisions)} windows, "
+              f"{n_actions} migrations, "
+              f"{run_record.migrated_bytes_real} bytes moved/rank")
+        print(f"one-shot FOM: {outcome.one_shot_fom:.2f}")
+        print(f"online   FOM: {outcome.online_fom:.2f} "
+              f"({percent_gain(outcome.online_fom, outcome.one_shot_fom):+.1f}% "
+              "vs one-shot, migration cost included)")
+        if args.journal is not None:
+            args.journal.write_text(
+                "\n".join(run_record.journal_lines()) + "\n"
+            )
+            print(f"journal -> {args.journal}")
+
+    return _run(parser, run, argv)
+
+
+# ---------------------------------------------------------------------------
 # repro-bench
 # ---------------------------------------------------------------------------
 
@@ -518,9 +593,9 @@ def bench_main(argv: list[str] | None = None) -> int:
         "fail on throughput regressions.",
     )
     parser.add_argument("-o", "--output", type=Path,
-                        default=Path("BENCH_PR5.json"),
+                        default=Path("BENCH_PR6.json"),
                         help="benchmark report to write "
-                        "(default BENCH_PR5.json)")
+                        "(default BENCH_PR6.json)")
     parser.add_argument("--quick", action="store_true",
                         help="~10x smaller streams (CI smoke mode)")
     parser.add_argument("--both", action="store_true",

@@ -42,12 +42,20 @@ class PlacedTraffic:
     mode. ``cached_bytes``/``cache_hit_ratio`` describe traffic routed
     through the MCDRAM cache instead (cache mode runs put everything
     there and leave ``by_tier`` empty).
+
+
+    ``migrated_bytes`` is traffic the run spent *moving* data between
+    tiers (online re-placement), charged at ``migration_bandwidth``
+    rather than a serving tier's streaming bandwidth — page migration
+    goes through the kernel move_pages path and runs well below peak.
     """
 
     by_tier: dict[str, float] = field(default_factory=dict)
     cached_bytes: float = 0.0
     cache_hit_ratio: float = 0.0
     cache_fill_amplification: float = 1.0
+    migrated_bytes: float = 0.0
+    migration_bandwidth: float = 0.0
 
     def __post_init__(self) -> None:
         for name, nbytes in self.by_tier.items():
@@ -58,6 +66,12 @@ class PlacedTraffic:
         if not 0.0 <= self.cache_hit_ratio <= 1.0:
             raise ConfigError(
                 f"cache hit ratio must be in [0,1], got {self.cache_hit_ratio}"
+            )
+        if self.migrated_bytes < 0:
+            raise ConfigError("negative migrated traffic")
+        if self.migrated_bytes > 0 and self.migration_bandwidth <= 0:
+            raise ConfigError(
+                "migrated traffic needs a positive migration bandwidth"
             )
 
     @property
@@ -108,6 +122,8 @@ class ExecutionModel:
             cache_bw = self.bandwidth.cache_mode_bandwidth(cores, hit_ratio=1.0)
             ddr_bw = self.bandwidth.tier_bandwidth(self.machine.slow_tier, cores)
             seconds += hit_bytes / cache_bw + miss_bytes / ddr_bw
+        if traffic.migrated_bytes > 0.0:
+            seconds += traffic.migrated_bytes / traffic.migration_bandwidth
         return seconds
 
     def cost(
@@ -147,6 +163,13 @@ class ExecutionModel:
             work=work,
         )
 
+
+#: Sustained tier-to-tier page-migration bandwidth. move_pages-style
+#: kernel migration copies 4 KiB pages one page-fault-quiesce at a
+#: time and lands an order of magnitude below streaming bandwidth on
+#: KNL-class parts; ~10 GiB/s is in line with published measurements
+#: on real two-tier systems.
+MIGRATION_BANDWIDTH_DEFAULT: float = 10 * 2**30
 
 #: memkind allocations between 1 MiB and 2 MiB are observed by the
 #: paper to be "more expensive than regular allocations" (Section

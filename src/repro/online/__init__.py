@@ -1,0 +1,39 @@
+"""Online re-advising: windowed attribution, migration, scoring."""
+
+from repro.online.daemon import (
+    OnlineConfig,
+    OnlineRun,
+    WindowDecision,
+    run_online,
+)
+from repro.online.migration import (
+    DEMOTE,
+    PROMOTE,
+    HysteresisFilter,
+    MigrationAction,
+    diff_placements,
+)
+from repro.online.scoring import (
+    OnlineOutcome,
+    evaluate_one_shot,
+    evaluate_online,
+    run_windowed,
+    windowed_cost,
+)
+
+__all__ = [
+    "DEMOTE",
+    "PROMOTE",
+    "HysteresisFilter",
+    "MigrationAction",
+    "OnlineConfig",
+    "OnlineOutcome",
+    "OnlineRun",
+    "WindowDecision",
+    "diff_placements",
+    "evaluate_one_shot",
+    "evaluate_online",
+    "run_online",
+    "run_windowed",
+    "windowed_cost",
+]

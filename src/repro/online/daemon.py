@@ -1,0 +1,267 @@
+"""The online re-advising loop: window → attribute → advise → diff →
+migrate.
+
+The batch pipeline runs profile → analyze → advise → re-execute once.
+The daemon modelled here instead watches the *same* sample stream
+arrive in wall-clock windows, and at every window boundary:
+
+1. advances a resumable :class:`IncrementalAttributor` cursor to the
+   boundary and takes a cumulative snapshot;
+2. forms the *window profile* — miss/latency deltas against the
+   previous snapshot, with cumulative sizes (an object's size is a
+   fact, not a rate);
+3. re-solves placement with the ordinary :class:`HmemAdvisor` under
+   the same budget and strategy the batch path would use;
+4. debounces the advised set through a :class:`HysteresisFilter` and
+   diffs it against the currently applied placement into promote and
+   demote :class:`MigrationAction`s.
+
+A decision made at the end of window *w* takes effect *during* window
+``w+1`` — the daemon cannot retroactively accelerate traffic it has
+already observed. Every migrated byte is accounted and later charged
+to the run's memory time by the scoring layer.
+
+The whole loop is deterministic given (trace, budget, config): the
+emitted decision journal is byte-stable across runs, which is what
+the CI online-smoke job asserts.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.advisor.advisor import HmemAdvisor
+from repro.advisor.strategies import get_strategy
+from repro.analysis.attribution import AttributionResult
+from repro.analysis.profile import ProfileSet
+from repro.analysis.vectorattr import IncrementalAttributor
+from repro.errors import ConfigError
+from repro.machine.performance import MIGRATION_BANDWIDTH_DEFAULT
+from repro.online.migration import (
+    DEMOTE,
+    PROMOTE,
+    HysteresisFilter,
+    MigrationAction,
+    diff_placements,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class OnlineConfig:
+    """Knobs of the re-advising daemon."""
+
+    #: Decision interval in simulated seconds; None derives it from
+    #: ``n_windows`` over the run's calibrated wall time.
+    window_seconds: float | None = None
+    #: Number of equal windows when ``window_seconds`` is None.
+    n_windows: int = 16
+    #: Selection strategy name (same registry as the batch advisor).
+    strategy: str = "misses-0%"
+    #: Consecutive windows a site must win/lose its placement before
+    #: the migration is issued (1 = act immediately).
+    confirm_windows: int = 1
+    #: Sustained tier-to-tier migration bandwidth, bytes/second.
+    migration_bandwidth: float = MIGRATION_BANDWIDTH_DEFAULT
+
+    def __post_init__(self) -> None:
+        if self.window_seconds is not None and self.window_seconds <= 0:
+            raise ConfigError("window_seconds must be positive")
+        if self.n_windows < 1:
+            raise ConfigError("need at least one window")
+        if self.confirm_windows < 1:
+            raise ConfigError("confirm_windows must be >= 1")
+        if self.migration_bandwidth <= 0:
+            raise ConfigError("migration bandwidth must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class WindowDecision:
+    """What the daemon decided at the end of one window."""
+
+    index: int
+    t0: float
+    t1: float
+    #: Sites the advisor selected from this window's profile.
+    advised: tuple[str, ...]
+    #: Sites actually placed fast after hysteresis.
+    applied: tuple[str, ...]
+    actions: tuple[MigrationAction, ...]
+
+
+@dataclass
+class OnlineRun:
+    """Full record of one online session (decisions + placement
+    schedule), ready for scoring and journaling."""
+
+    application: str
+    budget_real: int
+    config: OnlineConfig
+    decisions: list[WindowDecision] = field(default_factory=list)
+    #: ``(t0, t1, sites-fast-during-this-window)`` — the placement in
+    #: force while each window executed (decision lag included).
+    schedule: list[tuple[float, float, frozenset[str]]] = field(
+        default_factory=list
+    )
+    migrated_bytes_real: int = 0
+
+    @property
+    def actions(self) -> list[MigrationAction]:
+        return [a for d in self.decisions for a in d.actions]
+
+    def active_sites(self, t: float) -> frozenset[str]:
+        """Sites placed fast at simulated instant ``t``."""
+        if not self.schedule:
+            return frozenset()
+        starts = [t0 for t0, _, _ in self.schedule]
+        i = max(0, bisect_right(starts, t) - 1)
+        return self.schedule[i][2]
+
+    def journal_lines(self) -> list[str]:
+        """Deterministic one-line-per-window decision journal."""
+
+        def names(sites: tuple[str, ...]) -> str:
+            return ",".join(sites) if sites else "-"
+
+        lines = [
+            f"# repro-online {self.application} "
+            f"budget={self.budget_real} strategy={self.config.strategy} "
+            f"confirm={self.config.confirm_windows}"
+        ]
+        for d in self.decisions:
+            moves = (
+                " ".join(
+                    f"{a.direction}={a.site}:{a.bytes_real}"
+                    for a in d.actions
+                )
+                or "hold"
+            )
+            lines.append(
+                f"window {d.index} [{d.t0:.6f},{d.t1:.6f}) "
+                f"advised={names(d.advised)} applied={names(d.applied)} "
+                f"{moves}"
+            )
+        lines.append(f"migrated_bytes={self.migrated_bytes_real}")
+        return lines
+
+
+def _window_profile(
+    snapshot: AttributionResult,
+    previous: AttributionResult | None,
+    sampling_period: int,
+    application: str,
+) -> ProfileSet:
+    """Profile of one window: miss/latency *deltas* over cumulative
+    sizes (the advisor must still see every object that exists, at
+    its true size, even if it went cold this window)."""
+    if previous is None:
+        return ProfileSet.from_attribution(
+            snapshot, sampling_period=sampling_period, application=application
+        )
+    delta = AttributionResult(
+        misses={
+            key: count - previous.misses.get(key, 0)
+            for key, count in snapshot.misses.items()
+        },
+        max_size=dict(snapshot.max_size),
+        total_allocated=dict(snapshot.total_allocated),
+        n_allocs=dict(snapshot.n_allocs),
+        latency_sum={
+            key: total - previous.latency_sum.get(key, 0)
+            for key, total in snapshot.latency_sum.items()
+        },
+        unresolved_samples=snapshot.unresolved_samples
+        - previous.unresolved_samples,
+        stack_samples=snapshot.stack_samples - previous.stack_samples,
+        total_samples=snapshot.total_samples - previous.total_samples,
+    )
+    return ProfileSet.from_attribution(
+        delta, sampling_period=sampling_period, application=application
+    )
+
+
+def run_online(framework, budget_real: int, config: OnlineConfig | None = None):
+    """Drive one full online session over ``framework``'s application.
+
+    Returns the :class:`OnlineRun`. ``framework`` is a
+    :class:`~repro.pipeline.framework.HybridMemoryFramework`; its
+    cached profiling run provides the sample stream, so online and
+    batch modes see bit-identical traces.
+    """
+    config = config or OnlineConfig()
+    app = framework.app
+    machine = framework.machine
+    profiling = framework.profile()
+    strategy = get_strategy(config.strategy)
+    fast_tier = machine.fast_tier.name
+    site_of = {
+        identity: name for identity, name in app.key_to_site_name().items()
+    }
+
+    horizon = app.calibration.ddr_time
+    span = (
+        config.window_seconds
+        if config.window_seconds is not None
+        else horizon / config.n_windows
+    )
+    boundaries: list[tuple[float, float]] = []
+    t = 0.0
+    while t < horizon:
+        boundaries.append((t, min(t + span, horizon)))
+        t += span
+
+    attributor = IncrementalAttributor(profiling.trace)
+    advisor = HmemAdvisor(framework.memory_spec(budget_real))
+    hysteresis = HysteresisFilter(config.confirm_windows)
+    run = OnlineRun(
+        application=app.name, budget_real=budget_real, config=config
+    )
+
+    previous_snapshot: AttributionResult | None = None
+    active: frozenset[str] = frozenset()
+    for index, (t0, t1) in enumerate(boundaries):
+        run.schedule.append((t0, t1, active))
+        if index == len(boundaries) - 1:
+            attributor.advance_all()  # catch samples at exactly t=end
+        else:
+            attributor.advance_time(t1)
+        snapshot = attributor.result()
+        profiles = _window_profile(
+            snapshot,
+            previous_snapshot,
+            framework.tracer_config.sampling_period,
+            app.name,
+        )
+        previous_snapshot = snapshot
+
+        report = advisor.advise(profiles, strategy)
+        advised = frozenset(
+            site_of[identity]
+            for identity in report.selected_keys(fast_tier)
+            if identity in site_of
+        )
+        applied = hysteresis.update(advised)
+        promotions, demotions = diff_placements(active, applied)
+        actions = tuple(
+            MigrationAction(
+                site=site,
+                direction=direction,
+                bytes_real=app.find_object(site).size,
+                window=index,
+            )
+            for direction, sites in ((PROMOTE, promotions), (DEMOTE, demotions))
+            for site in sites
+        )
+        run.migrated_bytes_real += sum(a.bytes_real for a in actions)
+        run.decisions.append(
+            WindowDecision(
+                index=index,
+                t0=t0,
+                t1=t1,
+                advised=tuple(sorted(advised)),
+                applied=tuple(sorted(applied)),
+                actions=actions,
+            )
+        )
+        active = applied
+    return run

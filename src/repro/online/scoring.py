@@ -1,0 +1,154 @@
+"""Score a windowed placement schedule against the full ground truth.
+
+The execution model charges bytes to the tier that served them. The
+batch scorer (``compute_traffic``) splits the run's total traffic by
+*whole-run* miss shares; a time-varying placement needs the split per
+window instead: the run's calibrated traffic is distributed over the
+timeline's :class:`~repro.apps.base.WindowTruth` records in
+proportion to each window's true miss count, and within a window a
+site's bytes are fast exactly when the schedule had it placed fast
+*while that window executed*. Migration traffic rides on top through
+``PlacedTraffic.migrated_bytes``.
+
+One-shot placements are evaluated through the *same* windowed
+evaluator (a constant schedule), so the online-vs-batch FOM
+comparison differs only in what each mode decided — never in how it
+is scored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.machine.performance import ExecutionModel, PlacedTraffic, RunCost
+from repro.online.daemon import OnlineConfig, OnlineRun, run_online
+from repro.placement.policies import _total_traffic_bytes
+
+
+def windowed_cost(
+    app,
+    machine,
+    profiling,
+    schedule: list[tuple[float, float, frozenset[str]]],
+    migrated_bytes_real: int = 0,
+    migration_bandwidth: float = 0.0,
+) -> RunCost:
+    """Score a ``(t0, t1, fast-sites)`` schedule on the true miss
+    timeline. Stack and static traffic stays on the slow tier — the
+    migration mechanism (like auto-hbwmalloc) only reaches heap
+    objects."""
+    truth = profiling.ground_truth
+    if not truth.windows:
+        raise ConfigError("profiling run carries no per-window truth")
+    total = _total_traffic_bytes(app, machine)
+    cal = app.calibration
+
+    lookup = sorted(schedule)
+    fast = 0.0
+    if truth.total_misses > 0:
+        for window in truth.windows:
+            misses = window.total_misses
+            if misses == 0:
+                continue
+            midpoint = (window.t0 + window.t1) / 2.0
+            active: frozenset[str] = frozenset()
+            for t0, _, sites in lookup:
+                if t0 <= midpoint:
+                    active = sites
+                else:
+                    break
+            fast_misses = sum(
+                count
+                for site, count in window.misses_by_site.items()
+                if site in active
+            )
+            fast += (
+                total
+                * (misses / truth.total_misses)
+                * (fast_misses / misses)
+            )
+
+    traffic = PlacedTraffic(
+        by_tier={
+            machine.fast_tier.name: fast,
+            machine.slow_tier.name: total - fast,
+        },
+        migrated_bytes=float(migrated_bytes_real),
+        migration_bandwidth=migration_bandwidth,
+    )
+    model = ExecutionModel(machine)
+    return model.cost(
+        traffic, compute_time=cal.compute_time, work=cal.work
+    )
+
+
+def evaluate_online(framework, run: OnlineRun) -> RunCost:
+    """Score an online session, migration cost included."""
+    return windowed_cost(
+        framework.app,
+        framework.machine,
+        framework.profile(),
+        run.schedule,
+        migrated_bytes_real=run.migrated_bytes_real,
+        migration_bandwidth=run.config.migration_bandwidth,
+    )
+
+
+def evaluate_one_shot(
+    framework, budget_real: int, strategy: str = "misses-0%"
+) -> RunCost:
+    """Score the batch profile-once-advise-once placement through the
+    same windowed evaluator (constant schedule, no migrations —
+    one-shot binding happens at allocation time)."""
+    report = framework.advise(budget_real, strategy)
+    site_of = framework.app.key_to_site_name()
+    sites = frozenset(
+        site_of[identity]
+        for identity in report.selected_keys(framework.machine.fast_tier.name)
+        if identity in site_of
+    )
+    horizon = framework.app.calibration.ddr_time
+    return windowed_cost(
+        framework.app,
+        framework.machine,
+        framework.profile(),
+        [(0.0, horizon, sites)],
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class OnlineOutcome:
+    """One budget's online-vs-one-shot comparison."""
+
+    run: OnlineRun
+    online_cost: RunCost
+    one_shot_cost: RunCost
+
+    @property
+    def online_fom(self) -> float:
+        return self.online_cost.fom
+
+    @property
+    def one_shot_fom(self) -> float:
+        return self.one_shot_cost.fom
+
+    @property
+    def improvement(self) -> float:
+        """Relative FOM gain of re-advising online (can be negative)."""
+        return self.online_fom / self.one_shot_fom - 1.0
+
+
+def run_windowed(
+    framework, budget_real: int, config: OnlineConfig | None = None
+) -> OnlineOutcome:
+    """Full online session plus the matched one-shot baseline."""
+    config = config or OnlineConfig()
+    run = run_online(framework, budget_real, config)
+    return OnlineOutcome(
+        run=run,
+        online_cost=evaluate_online(framework, run),
+        one_shot_cost=evaluate_one_shot(
+            framework, budget_real, config.strategy
+        ),
+    )

@@ -286,7 +286,12 @@ def _execute_cell(
             classify_error(exc),
             framework.metrics.to_dict(),
         )
-    except Exception as exc:
+    except (KeyboardInterrupt, SystemExit):
+        # Control-flow signals, not cell failures: swallowing them
+        # would turn a Ctrl-C (or an exit()-ing workload) into a
+        # "transient" error that gets retried. Let them unwind.
+        raise
+    except BaseException as exc:
         return (
             None,
             traceback.format_exc(),
@@ -733,7 +738,11 @@ class SweepExecutor:
                     outcome, key, app, _ = inflight.pop(future)
                     try:
                         row, error, category, metrics = future.result()
-                    except Exception as exc:
+                    except (KeyboardInterrupt, SystemExit):
+                        # The *parent's* interrupt/exit, not a cell
+                        # outcome — never record it as a failure.
+                        raise
+                    except BaseException as exc:
                         # BrokenProcessPool-class faults: the payload
                         # never came back; synthesise the error.
                         row, error = None, traceback.format_exc()

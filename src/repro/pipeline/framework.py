@@ -122,15 +122,23 @@ class HybridMemoryFramework:
 
     def memory_spec(self, budget_real: int) -> MemorySpec:
         """Memory spec with the fast tier capped at ``budget_real``
-        bytes per rank (expressed in the simulation's scaled world,
-        where the trace's sizes live)."""
+        bytes per rank.
+
+        Every ``TierSpec.budget`` is expressed in the simulation's
+        *scaled* world, where the trace's object sizes live: the fast
+        tier carries the scaled experiment budget, and every other
+        tier carries its scaled hardware capacity. (Mixing worlds here
+        — a scaled fast budget against raw real capacities — would
+        make intermediate tiers of a three-tier machine effectively
+        bottomless, since real capacities dwarf scaled object sizes.)
+        """
         budget_scaled = self.app.scaled(budget_real)
         tiers = []
         for t in self.machine.tiers:
             budget = (
                 budget_scaled
                 if t is self.machine.fast_tier
-                else t.capacity
+                else self.app.scaled(t.capacity)
             )
             tiers.append(
                 TierSpec(
@@ -225,3 +233,15 @@ class HybridMemoryFramework:
             report=report,
             outcome=outcome,
         )
+
+    def run_windowed(self, budget_real: int, config=None):
+        """Windowed mode: re-advise per sample window and migrate,
+        instead of the batch advise-once ``run()``. Returns an
+        :class:`repro.online.OnlineOutcome` pairing the online session
+        with its matched one-shot baseline.
+        """
+        # Local import: repro.online drives this framework, so a
+        # module-level import would be circular.
+        from repro.online.scoring import run_windowed as _run_windowed
+
+        return _run_windowed(self, budget_real, config)

@@ -78,12 +78,24 @@ def compute_traffic(
     ``fast_fraction_by_site`` gives, per site name, the fraction of
     that object's traffic served from MCDRAM under the placement being
     scored (instances promoted / instances total).
+
+    A run with *zero* observed misses carries no per-site shares to
+    split by, so the calibrated traffic is returned as the explicit
+    all-slow split — not silently zeroed shares that would credit a
+    stack-fast placement with MCDRAM traffic it never measured.
     """
     truth = profiling.ground_truth
     total = _total_traffic_bytes(app, machine)
+    if truth.total_misses == 0:
+        return PlacedTraffic(
+            by_tier={
+                machine.fast_tier.name: 0.0,
+                machine.slow_tier.name: total,
+            }
+        )
     fast = 0.0
     for site, count in truth.misses_by_site.items():
-        share = count / max(truth.total_misses, 1)
+        share = count / truth.total_misses
         if site == "<stack>":
             frac = 1.0 if stack_fast else 0.0
         else:

@@ -194,3 +194,51 @@ class TestEquivalenceProperty:
             attribute_samples_vector(ColumnarTrace.from_tracefile(trace))
             == want
         )
+
+
+# ---------------------------------------------------------------------------
+# Property: windowed/incremental attribution over arbitrary partitions
+# ---------------------------------------------------------------------------
+
+
+class TestWindowedPartitionProperty:
+    """Consuming a trace through an :class:`IncrementalAttributor` in
+    ANY partition — event-count windows that split mutation epochs,
+    or time windows landing on timestamp ties — must end bit-for-bit
+    equal to the one-shot vector pass (and therefore the oracle)."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(trace=attribution_traces(), data=st.data())
+    def test_event_partition_equals_batch(self, trace, data):
+        from repro.analysis.vectorattr import IncrementalAttributor
+
+        batch = attribute_samples_vector(trace)
+        attributor = IncrementalAttributor(trace)
+        total = attributor.total_events
+        while not attributor.exhausted:
+            step = data.draw(st.integers(1, max(total, 1)))
+            attributor.advance_events(step)
+            attributor.result()  # snapshots must not move the cursor
+        final = attributor.result()
+        assert final == batch
+        assert final == attribute_samples(trace)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        trace=attribution_traces(),
+        cuts=st.lists(st.integers(0, 60), max_size=6),
+    )
+    def test_time_partition_equals_batch(self, trace, cuts):
+        from repro.analysis.vectorattr import IncrementalAttributor
+
+        columnar = ColumnarTrace.from_tracefile(trace)
+        batch = attribute_samples_vector(columnar)
+        attributor = IncrementalAttributor(columnar)
+        for cut in sorted(cuts):
+            attributor.advance_time(float(cut))
+            # Every intermediate snapshot equals the batch pass over
+            # the strict-past prefix of the trace.
+            prefix = columnar.select(columnar.times < float(cut))
+            assert attributor.result() == attribute_samples_vector(prefix)
+        attributor.advance_all()
+        assert attributor.result() == batch

@@ -1,0 +1,81 @@
+"""Migration diffing and hysteresis debouncing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.online.migration import (
+    DEMOTE,
+    PROMOTE,
+    HysteresisFilter,
+    MigrationAction,
+    diff_placements,
+)
+
+
+class TestDiffPlacements:
+    def test_promotes_and_demotes_sorted(self):
+        promote, demote = diff_placements(
+            frozenset({"a", "b"}), frozenset({"b", "d", "c"})
+        )
+        assert promote == ("c", "d")
+        assert demote == ("a",)
+
+    def test_identical_sets_hold(self):
+        assert diff_placements(frozenset({"a"}), frozenset({"a"})) == ((), ())
+
+    def test_cold_start_promotes_everything(self):
+        promote, demote = diff_placements(frozenset(), frozenset({"x"}))
+        assert promote == ("x",)
+        assert demote == ()
+
+
+class TestMigrationAction:
+    def test_rejects_unknown_direction(self):
+        with pytest.raises(ConfigError):
+            MigrationAction(site="a", direction="sideways", bytes_real=1,
+                            window=0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ConfigError):
+            MigrationAction(site="a", direction=PROMOTE, bytes_real=-1,
+                            window=0)
+
+    def test_directions(self):
+        assert {PROMOTE, DEMOTE} == {"promote", "demote"}
+
+
+class TestHysteresisFilter:
+    def test_confirm_one_acts_immediately(self):
+        h = HysteresisFilter(confirm_windows=1)
+        assert h.update(frozenset({"a"})) == frozenset({"a"})
+        assert h.update(frozenset()) == frozenset()
+
+    def test_confirm_two_needs_two_wins(self):
+        h = HysteresisFilter(confirm_windows=2)
+        assert h.update(frozenset({"a"})) == frozenset()
+        assert h.update(frozenset({"a"})) == frozenset({"a"})
+
+    def test_streak_resets_on_disagreement(self):
+        h = HysteresisFilter(confirm_windows=2)
+        h.update(frozenset({"a"}))          # streak 1
+        h.update(frozenset())               # reset
+        assert h.update(frozenset({"a"})) == frozenset()  # streak 1 again
+        assert h.update(frozenset({"a"})) == frozenset({"a"})
+
+    def test_eviction_debounced_symmetrically(self):
+        h = HysteresisFilter(confirm_windows=2)
+        h.update(frozenset({"a"}))
+        h.update(frozenset({"a"}))
+        assert h.applied == frozenset({"a"})
+        assert h.update(frozenset()) == frozenset({"a"})  # one miss: hold
+        assert h.update(frozenset()) == frozenset()       # two: evict
+
+    def test_flapping_advice_never_applies(self):
+        h = HysteresisFilter(confirm_windows=2)
+        for _ in range(6):
+            assert h.update(frozenset({"a"})) == frozenset()
+            assert h.update(frozenset()) == frozenset()
+
+    def test_rejects_zero_confirm(self):
+        with pytest.raises(ConfigError):
+            HysteresisFilter(confirm_windows=0)

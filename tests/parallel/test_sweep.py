@@ -723,3 +723,30 @@ class TestSupervisedSweep:
     def test_rejects_bad_robustness_knobs(self, kwargs):
         with pytest.raises(ConfigError):
             SweepConfig(**kwargs)
+
+
+class ExitingApp(TinyApp):
+    """Raises SystemExit from the workload (a sys.exit()-ing app)."""
+
+    name = "exitingapp"
+
+    def run_profiling(self, seed=0, tracer_config=None):
+        raise SystemExit(3)
+
+
+class TestControlFlowSignals:
+    """KeyboardInterrupt/SystemExit are control flow, not cell
+    failures — they must unwind instead of being classified and
+    retried as transient faults."""
+
+    def test_system_exit_escapes_execute_cell(self, machine):
+        from repro.parallel.sweep import _execute_cell
+
+        app = ExitingApp()
+        cell = enumerate_cells(app, SMALL_GRID)[0]
+        with pytest.raises(SystemExit):
+            _execute_cell(app, machine, cell, seed=0, frameworks={})
+
+    def test_system_exit_escapes_serial_sweep(self):
+        with pytest.raises(SystemExit):
+            run_sweep([ExitingApp()], grid=SMALL_GRID, jobs=1, seed=0)

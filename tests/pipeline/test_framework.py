@@ -85,3 +85,21 @@ class TestStages:
             if e.key.kind == ObjectKind.STATIC
         }
         assert "lookup_table" in names
+
+
+class TestMemorySpecUnits:
+    """Every TierSpec.budget must live in the scaled world — mixing a
+    scaled fast budget with raw real slow capacities would make slow
+    tiers effectively bottomless against scaled object sizes."""
+
+    def test_all_budgets_scaled(self, tiny_app, machine):
+        assert tiny_app.scale != 1  # precondition: worlds differ
+        fw = HybridMemoryFramework(tiny_app, machine)
+        spec = fw.memory_spec(64 * MIB)
+        assert spec.tier("MCDRAM").budget == tiny_app.scaled(64 * MIB)
+        ddr = machine.tier("DDR")
+        assert spec.tier("DDR").budget == tiny_app.scaled(ddr.capacity)
+        # And therefore scaled DDR no longer dwarfs the fast budget by
+        # the scale factor itself.
+        ratio = spec.tier("DDR").budget / spec.tier("MCDRAM").budget
+        assert ratio == pytest.approx(ddr.capacity / (64 * MIB), rel=0.05)

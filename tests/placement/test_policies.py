@@ -128,3 +128,28 @@ class TestFrameworkPolicy:
             tiny_app, machine, fw.profile(), report, budget_real=256 * MIB
         )
         assert outcome.replay.placements["lookup_table"] == ["static"]
+
+
+class TestComputeTrafficZeroMisses:
+    """A truth with zero observed misses must yield the explicit
+    all-slow split — not silently zeroed shares that let a stack-fast
+    placement claim zero slow-tier traffic."""
+
+    @pytest.fixture()
+    def no_miss_profiling(self, tiny_profiling):
+        from dataclasses import replace
+
+        from repro.apps.base import GroundTruth
+
+        return replace(tiny_profiling, ground_truth=GroundTruth())
+
+    def test_all_traffic_on_slow_tier(
+        self, tiny_app, machine, no_miss_profiling
+    ):
+        fractions = {o.name: 1.0 for o in tiny_app.objects}
+        traffic = compute_traffic(
+            tiny_app, machine, no_miss_profiling, fractions, stack_fast=True
+        )
+        assert traffic.by_tier["MCDRAM"] == 0.0
+        assert traffic.by_tier["DDR"] == traffic.total_bytes
+        assert traffic.total_bytes > 0.0
