@@ -542,8 +542,51 @@ def online_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--journal", type=Path, default=None,
                         help="write the per-window decision journal "
                         "to this file (deterministic; what CI diffs)")
+    parser.add_argument("--fault-plan", type=Path, default=None,
+                        help="FaultPlan JSON; its streaming fault "
+                        "kinds (window drop/corrupt/late, migration "
+                        "failures) degrade the serving loop")
+    parser.add_argument("--checkpoint-dir", type=Path, default=None,
+                        help="persist the daemon state here after "
+                        "every window; a killed session resumes with "
+                        "--resume")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay the checkpoint in "
+                        "--checkpoint-dir (if any) and execute only "
+                        "the remaining windows; the journal stays "
+                        "byte-identical to an uninterrupted run")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget per window decision; "
+                        "an overrun freezes the placement for that "
+                        "window (degraded, reason=deadline)")
+    parser.add_argument("--migration-retries", type=int, default=2,
+                        metavar="N",
+                        help="retries granted to a migration's "
+                        "transient failures (default 2)")
+    parser.add_argument("--migration-error-budget", type=int, default=16,
+                        metavar="N",
+                        help="per-run budget of migration retry "
+                        "attempts (default 16)")
+    parser.add_argument("--migration-backoff", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="base of the decorrelated-jitter delay "
+                        "between migration retries (default 0: "
+                        "retry immediately)")
+    parser.add_argument("--circuit-threshold", type=int, default=4,
+                        metavar="N",
+                        help="deterministic migration failures before "
+                        "the migration circuit opens — advice "
+                        "continues, movement freezes (default 4; "
+                        "0 disables the breaker)")
+    parser.add_argument("--window-pause", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="wall-clock pause before each window "
+                        "(stretches the run so chaos tests can kill "
+                        "it mid-session; never affects the journal)")
 
     def run(args) -> None:
+        from repro.ioutil import atomic_write_text
         from repro.machine.performance import MIGRATION_BANDWIDTH_DEFAULT
         from repro.online import OnlineConfig
 
@@ -557,21 +600,50 @@ def online_main(argv: list[str] | None = None) -> int:
                 if args.migration_bw is not None
                 else MIGRATION_BANDWIDTH_DEFAULT
             ),
+            decision_deadline_seconds=args.deadline,
+            migration_retries=args.migration_retries,
+            migration_backoff_seconds=args.migration_backoff,
+            migration_error_budget=args.migration_error_budget,
+            migration_circuit_threshold=(
+                args.circuit_threshold if args.circuit_threshold else None
+            ),
+            window_pause_seconds=args.window_pause,
         )
-        framework = HybridMemoryFramework(get_app(args.app), seed=args.seed)
-        outcome = framework.run_windowed(args.budget, config)
+        fault_plan = (
+            FaultPlan.load(args.fault_plan)
+            if args.fault_plan is not None
+            else None
+        )
+        framework = HybridMemoryFramework(
+            get_app(args.app), seed=args.seed, fault_plan=fault_plan
+        )
+        outcome = framework.run_windowed(
+            args.budget,
+            config,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+        )
         run_record = outcome.run
         n_actions = len(run_record.actions)
         print(f"{args.app}: {len(run_record.decisions)} windows, "
               f"{n_actions} migrations, "
               f"{run_record.migrated_bytes_real} bytes moved/rank")
+        if run_record.degraded_windows or run_record.migration_failures:
+            print(f"degraded: {run_record.degraded_windows} windows, "
+                  f"{run_record.migration_failures} migrations failed "
+                  f"({run_record.migration_retries_used} retries, "
+                  f"circuit "
+                  f"{'open' if run_record.circuit_open else 'closed'})")
         print(f"one-shot FOM: {outcome.one_shot_fom:.2f}")
         print(f"online   FOM: {outcome.online_fom:.2f} "
               f"({percent_gain(outcome.online_fom, outcome.one_shot_fom):+.1f}% "
               "vs one-shot, migration cost included)")
         if args.journal is not None:
-            args.journal.write_text(
-                "\n".join(run_record.journal_lines()) + "\n"
+            # Durable like the sweep journal: the chaos harness diffs
+            # this file, so a crash must never leave a torn tail.
+            atomic_write_text(
+                args.journal,
+                "\n".join(run_record.journal_lines()) + "\n",
             )
             print(f"journal -> {args.journal}")
 

@@ -184,6 +184,57 @@ class JournalError(ReproError):
     category = CATEGORY_POISONED
 
 
+class MigrationError(ReproError):
+    """A tier-to-tier page migration failed and will keep failing
+    (pinned pages, a poisoned destination range). The online daemon
+    rolls the affected site back to its prior tier instead of
+    retrying.
+
+    Carries the migration identity (site, direction, decision window)
+    so journals and diagnostics can name the exact move that failed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        site: str | None = None,
+        direction: str | None = None,
+        window: int | None = None,
+    ) -> None:
+        parts = [message]
+        if site is not None:
+            parts.append(f"site={site}")
+        if direction is not None:
+            parts.append(f"direction={direction}")
+        if window is not None:
+            parts.append(f"window={window}")
+        super().__init__(
+            parts[0]
+            if len(parts) == 1
+            else f"{parts[0]} ({', '.join(parts[1:])})"
+        )
+        self.site = site
+        self.direction = direction
+        self.window = window
+
+
+class TransientMigrationError(MigrationError):
+    """A migration attempt failed for reasons unrelated to the pages
+    being moved (bandwidth pressure, a busy migration engine); the
+    same move may well succeed if re-attempted, so the daemon retries
+    it with backoff under the per-run migration error budget."""
+
+    category = CATEGORY_TRANSIENT
+
+
+class CheckpointError(ReproError):
+    """An online-daemon checkpoint is unreadable, fails its checksum,
+    or belongs to a different session than the one being resumed."""
+
+    category = CATEGORY_POISONED
+
+
 def classify_error(exc: BaseException) -> str:
     """Map an exception to its failure-taxonomy category.
 

@@ -17,7 +17,18 @@ knobs to *produce* those conditions on purpose:
   (placement quality and degradation events vs. fault rate).
 """
 
-from repro.faults.injector import FaultInjector, damage_trace_file
+from repro.faults.injector import (
+    MIGRATION_DETERMINISTIC,
+    MIGRATION_OK,
+    MIGRATION_TRANSIENT,
+    WINDOW_CORRUPT,
+    WINDOW_DROP,
+    WINDOW_FATES,
+    WINDOW_LATE,
+    WINDOW_OK,
+    FaultInjector,
+    damage_trace_file,
+)
 from repro.faults.plan import (
     HBW_POLICY_BIND,
     HBW_POLICY_PREFERRED,
@@ -30,6 +41,14 @@ from repro.faults.resilience import (
 )
 
 __all__ = [
+    "MIGRATION_DETERMINISTIC",
+    "MIGRATION_OK",
+    "MIGRATION_TRANSIENT",
+    "WINDOW_CORRUPT",
+    "WINDOW_DROP",
+    "WINDOW_FATES",
+    "WINDOW_LATE",
+    "WINDOW_OK",
     "FaultPlan",
     "FaultInjector",
     "damage_trace_file",

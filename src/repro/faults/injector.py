@@ -17,7 +17,13 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import FaultPlanError, InjectedFaultError, OutOfMemoryError
+from repro.errors import (
+    FaultPlanError,
+    InjectedFaultError,
+    MigrationError,
+    OutOfMemoryError,
+    TransientMigrationError,
+)
 from repro.faults.plan import FaultPlan
 from repro.runtime.callstack import RawCallStack
 from repro.trace.events import SampleEvent
@@ -26,6 +32,18 @@ from repro.trace.events import SampleEvent
 FATE_OK = "ok"
 FATE_KILL = "kill"
 FATE_HANG = "hang"
+
+#: Per-window fates of the online daemon's sample stream.
+WINDOW_OK = "ok"
+WINDOW_DROP = "drop"
+WINDOW_CORRUPT = "corrupt"
+WINDOW_LATE = "late"
+WINDOW_FATES: tuple[str, ...] = (WINDOW_DROP, WINDOW_CORRUPT, WINDOW_LATE)
+
+#: Migration-attempt fates (mirrors the failure taxonomy buckets).
+MIGRATION_OK = "ok"
+MIGRATION_TRANSIENT = "transient"
+MIGRATION_DETERMINISTIC = "deterministic"
 
 
 def _unit(seed: int, *tokens: object) -> float:
@@ -119,6 +137,96 @@ class FaultInjector:
             )
             < self.plan.memkind_failure_rate
         )
+
+    # -- online serving loop: window degradation and migration faults --
+
+    def window_fate(self, application: str, window_index: int) -> str:
+        """``"ok"``, ``"drop"``, ``"corrupt"`` or ``"late"`` for one
+        decision window's sample batch.
+
+        Keyed on (seed, application, window index) only, so a resumed
+        session reaches the same verdicts as the run it replaces —
+        the checkpoint/restore byte-identity guarantee depends on it.
+        """
+        plan = self.plan
+        u = _unit(plan.seed, "window", application, window_index)
+        if u < plan.window_drop_rate:
+            return WINDOW_DROP
+        if u < plan.window_drop_rate + plan.window_corrupt_rate:
+            return WINDOW_CORRUPT
+        if (
+            u
+            < plan.window_drop_rate
+            + plan.window_corrupt_rate
+            + plan.window_late_rate
+        ):
+            return WINDOW_LATE
+        return WINDOW_OK
+
+    def migration_fate(
+        self,
+        application: str,
+        site: str,
+        direction: str,
+        window: int,
+        attempt: int,
+    ) -> str:
+        """Fate of one migration attempt.
+
+        A *deterministic* failure is decided per (site, direction,
+        window) — every attempt of that move fails, modelling pinned
+        pages, so the daemon must roll back. A *transient* failure is
+        decided per attempt — a retry draws fresh, modelling bandwidth
+        pressure, so the decorrelated-jitter retry loop can clear it.
+        """
+        plan = self.plan
+        rate = plan.migration_failure_rate
+        if rate <= 0:
+            return MIGRATION_OK
+        sticky = plan.migration_sticky_fraction
+        base = _unit(
+            plan.seed, "migration", application, site, direction, window
+        )
+        if base < rate * sticky:
+            return MIGRATION_DETERMINISTIC
+        u = _unit(
+            plan.seed,
+            "migration",
+            application,
+            site,
+            direction,
+            window,
+            attempt,
+        )
+        if u < rate * (1.0 - sticky):
+            return MIGRATION_TRANSIENT
+        return MIGRATION_OK
+
+    def check_migration(
+        self,
+        application: str,
+        site: str,
+        direction: str,
+        window: int,
+        attempt: int,
+    ) -> None:
+        """Raise the taxonomy-classified error for a failing attempt."""
+        fate = self.migration_fate(application, site, direction, window,
+                                   attempt)
+        if fate == MIGRATION_TRANSIENT:
+            raise TransientMigrationError(
+                "injected transient migration failure",
+                site=site,
+                direction=direction,
+                window=window,
+            )
+        if fate == MIGRATION_DETERMINISTIC:
+            raise MigrationError(
+                "injected deterministic migration failure",
+                site=site,
+                direction=direction,
+                window=window,
+            )
 
     # -- sweep scheduling: kills and hangs -----------------------------
 

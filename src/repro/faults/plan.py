@@ -34,6 +34,10 @@ _RATE_FIELDS = (
     "memkind_failure_rate",
     "cell_kill_rate",
     "cell_hang_rate",
+    "window_drop_rate",
+    "window_corrupt_rate",
+    "window_late_rate",
+    "migration_failure_rate",
 )
 
 
@@ -77,6 +81,26 @@ class FaultPlan:
     #: capacity accounting says it fits (fragmentation, NUMA pressure).
     memkind_failure_rate: float = 0.0
 
+    # -- online serving loop ------------------------------------------
+    #: Probability a decision window's sample batch never arrives (the
+    #: profiling agent missed the window entirely). The daemon freezes
+    #: the applied placement and the samples are lost for good.
+    window_drop_rate: float = 0.0
+    #: Probability a window's sample batch arrives truncated or
+    #: corrupted beyond use. Handled like a drop, but reported as
+    #: corruption (the data *existed* and was damaged in transit).
+    window_corrupt_rate: float = 0.0
+    #: Probability a window's samples arrive *after* its decision
+    #: deadline: the daemon freezes this window, and the late batch is
+    #: folded into the next window's delta profile instead.
+    window_late_rate: float = 0.0
+    #: Probability an individual page-migration action fails.
+    migration_failure_rate: float = 0.0
+    #: Fraction of migration failures that are deterministic (pinned
+    #: pages: every retry fails, the daemon must roll back); the rest
+    #: are transient (bandwidth pressure: a retry may succeed).
+    migration_sticky_fraction: float = 0.5
+
     # -- sweep scheduling ---------------------------------------------
     #: Probability a sweep cell's attempt dies with an injected error.
     cell_kill_rate: float = 0.0
@@ -92,7 +116,7 @@ class FaultPlan:
                     f"{name} must be an integer, got {getattr(self, name)!r}"
                 )
         for name in (*_RATE_FIELDS, "mcdram_capacity_factor",
-                     "cell_hang_seconds"):
+                     "cell_hang_seconds", "migration_sticky_fraction"):
             if not isinstance(getattr(self, name), (int, float)):
                 raise FaultPlanError(
                     f"{name} must be a number, got {getattr(self, name)!r}"
@@ -133,6 +157,11 @@ class FaultPlan:
             raise FaultPlanError(
                 f"cell_hang_seconds must be >= 0, got {self.cell_hang_seconds}"
             )
+        if not 0.0 <= self.migration_sticky_fraction <= 1.0:
+            raise FaultPlanError(
+                "migration_sticky_fraction must be in [0, 1], got "
+                f"{self.migration_sticky_fraction}"
+            )
 
     # -- derived views -------------------------------------------------
 
@@ -140,6 +169,16 @@ class FaultPlan:
     def degrades_profile(self) -> bool:
         """Does this plan touch the profiling stage's samples?"""
         return self.sample_drop_rate > 0 or self.sample_corrupt_rate > 0
+
+    @property
+    def degrades_online(self) -> bool:
+        """Does this plan touch the online daemon's serving loop?"""
+        return (
+            self.window_drop_rate > 0
+            or self.window_corrupt_rate > 0
+            or self.window_late_rate > 0
+            or self.migration_failure_rate > 0
+        )
 
     @property
     def degrades_replay(self) -> bool:

@@ -1,7 +1,17 @@
-"""Online re-advising: windowed attribution, migration, scoring."""
+"""Online re-advising: windowed attribution, migration, scoring —
+hardened with checkpoint/restore, degraded windows and migration
+rollback."""
 
+from repro.online.checkpoint import (
+    CHECKPOINT_FILENAME,
+    checkpoint_path,
+    load_checkpoint,
+    save_checkpoint,
+    session_key,
+)
 from repro.online.daemon import (
     OnlineConfig,
+    OnlineDaemon,
     OnlineRun,
     WindowDecision,
     run_online,
@@ -11,6 +21,7 @@ from repro.online.migration import (
     PROMOTE,
     HysteresisFilter,
     MigrationAction,
+    MigrationFailure,
     diff_placements,
 )
 from repro.online.scoring import (
@@ -22,18 +33,25 @@ from repro.online.scoring import (
 )
 
 __all__ = [
+    "CHECKPOINT_FILENAME",
     "DEMOTE",
     "PROMOTE",
     "HysteresisFilter",
     "MigrationAction",
+    "MigrationFailure",
     "OnlineConfig",
+    "OnlineDaemon",
     "OnlineOutcome",
     "OnlineRun",
     "WindowDecision",
+    "checkpoint_path",
     "diff_placements",
     "evaluate_one_shot",
     "evaluate_online",
+    "load_checkpoint",
     "run_online",
     "run_windowed",
+    "save_checkpoint",
+    "session_key",
     "windowed_cost",
 ]

@@ -1,0 +1,132 @@
+"""Crash-safe checkpointing of the online daemon's session state.
+
+The sweep executor's journal (PR 4, :mod:`repro.parallel.journal`)
+makes *batch* progress durable; this module does the same for the
+*serving loop*: after every decision window the daemon serialises its
+whole state — the :class:`~repro.analysis.vectorattr.IncrementalAttributor`
+cursor and tallies, the :class:`~repro.online.migration.HysteresisFilter`
+streaks, the applied placement, the decisions and schedule so far, and
+the migration failure counters — into one checkpoint file. A SIGKILL
+at any instant loses at most the window in flight: ``repro-online
+--resume`` replays the checkpoint and finishes the remaining windows,
+and the decision journal it finally emits is byte-identical to the one
+an uninterrupted run writes (CI's ``online-chaos`` job kills a live
+session and asserts exactly that).
+
+Durability discipline is the journal's, reused wholesale:
+
+* the record codec is the journal's CRC-checksummed canonical JSON
+  (:func:`repro.parallel.journal.encode_record`), so a bit-rotted
+  checkpoint is *detected* — :class:`~repro.errors.CheckpointError`,
+  a poisoned-input in the failure taxonomy — rather than trusted;
+* the file is written through :func:`repro.ioutil.atomic_write_text`
+  (write a temp sibling, fsync, rename, fsync the directory), so a
+  crash mid-checkpoint leaves the *previous* window's checkpoint
+  intact — there is never a torn tail to truncate because there is
+  never a torn file;
+* the payload pins the session identity (application, budget, seed,
+  full config, trace fingerprint); resuming against a checkpoint from
+  a different session refuses instead of mixing state, exactly like
+  the journal's foreign-sweep refusal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.errors import CheckpointError
+from repro.ioutil import atomic_write_text
+from repro.parallel.journal import decode_record, encode_record
+
+#: Bump when the checkpoint payload layout changes incompatibly.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+#: File name of the checkpoint inside its directory.
+CHECKPOINT_FILENAME = "online.checkpoint"
+
+#: Record type tag (shares the journal's line codec).
+RECORD_CHECKPOINT = "online-checkpoint"
+
+
+def session_key(
+    application: str,
+    budget_real: int,
+    seed: int,
+    config: dict,
+    trace_fingerprint: str,
+) -> str:
+    """Content hash pinning one online session's identity.
+
+    Any difference in application, budget, seed, configuration or the
+    profiled trace itself yields a different key, so a checkpoint can
+    only ever resume the exact session that wrote it.
+    """
+    canonical = json.dumps(
+        {
+            "application": application,
+            "budget_real": budget_real,
+            "seed": seed,
+            "config": config,
+            "trace": trace_fingerprint,
+            "schema": CHECKPOINT_SCHEMA_VERSION,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()[:32]
+
+
+def checkpoint_path(directory: str | Path) -> Path:
+    return Path(directory) / CHECKPOINT_FILENAME
+
+
+def save_checkpoint(directory: str | Path, payload: dict) -> Path:
+    """Atomically persist one checkpoint payload, fsynced end to end."""
+    directory = Path(directory)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+    except (FileExistsError, NotADirectoryError) as exc:
+        raise CheckpointError(
+            f"checkpoint dir {directory} is not a directory"
+        ) from exc
+    path = checkpoint_path(directory)
+    atomic_write_text(path, encode_record(RECORD_CHECKPOINT, payload) + "\n")
+    return path
+
+
+def load_checkpoint(directory: str | Path) -> dict | None:
+    """Read a checkpoint back; ``None`` when none exists yet.
+
+    A present-but-unreadable checkpoint (damaged JSON, CRC mismatch,
+    wrong record type) raises :class:`~repro.errors.CheckpointError`:
+    the atomic writer never leaves a torn file, so damage means the
+    checkpoint cannot be trusted at all, not that its tail is stale.
+    """
+    path = checkpoint_path(directory)
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return None
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot read checkpoint {path}: {exc}"
+        ) from exc
+    decoded = decode_record(raw.strip())
+    if decoded is None:
+        raise CheckpointError(
+            f"{path}: damaged checkpoint (bad JSON or checksum mismatch)"
+        )
+    record_type, payload = decoded
+    if record_type != RECORD_CHECKPOINT:
+        raise CheckpointError(
+            f"{path}: not an online checkpoint (record type {record_type!r})"
+        )
+    if payload.get("schema") != CHECKPOINT_SCHEMA_VERSION:
+        raise CheckpointError(
+            f"{path}: unsupported checkpoint schema "
+            f"{payload.get('schema')!r} (expected "
+            f"{CHECKPOINT_SCHEMA_VERSION})"
+        )
+    return payload

@@ -1,7 +1,7 @@
 """The online re-advising loop: window → attribute → advise → diff →
-migrate.
+migrate — hardened to survive what real online guidance survives.
 
-The batch pipeline runs profile → analyze → advise → re-execute once.
+The batch pipeline runs profile → analyze → advise → re-run once.
 The daemon modelled here instead watches the *same* sample stream
 arrive in wall-clock windows, and at every window boundary:
 
@@ -14,37 +14,107 @@ arrive in wall-clock windows, and at every window boundary:
    the same budget and strategy the batch path would use;
 4. debounces the advised set through a :class:`HysteresisFilter` and
    diffs it against the currently applied placement into promote and
-   demote :class:`MigrationAction`s.
+   demote :class:`MigrationAction`s, which are *executed* one by one.
 
 A decision made at the end of window *w* takes effect *during* window
 ``w+1`` — the daemon cannot retroactively accelerate traffic it has
 already observed. Every migrated byte is accounted and later charged
 to the run's memory time by the scoring layer.
 
-The whole loop is deterministic given (trace, budget, config): the
-emitted decision journal is byte-stable across runs, which is what
-the CI online-smoke job asserts.
+Three failure classes are first-class citizens of the loop (the
+robustness layer PRs 2 and 4 built for the batch path, at serving
+scale):
+
+* **Degraded sample windows.** A window's batch can be dropped,
+  corrupted or late (:meth:`FaultInjector.window_fate`), and a
+  decision can overrun its wall-clock budget
+  (``OnlineConfig.decision_deadline_seconds``). All four take the same
+  *freeze* path: the applied placement is held, the decision is
+  journalled as ``WindowDecision(degraded=True, reason=...)``, and
+  hysteresis streaks decay by one instead of folding garbage into the
+  advisor. Late batches surface in the next window's delta; dropped
+  and corrupt ones are excluded from every future delta.
+* **Migration failures with rollback.** Each action is attempted
+  individually; failures are classified through the
+  :func:`repro.errors.classify_error` taxonomy. Transient failures
+  retry with decorrelated jitter under a per-run retry budget;
+  deterministic ones (and budget-exhausted transients) roll the site
+  back to its prior tier — the applied placement, the hysteresis
+  filter and the charged ``migrated_bytes`` stay consistent by
+  construction. Repeated deterministic failures open a migration
+  circuit breaker (the PR 4 :class:`CircuitBreaker`): further
+  migrations freeze while advice continues.
+* **Crashes.** With a checkpoint directory the daemon persists its
+  full state after every window (:mod:`repro.online.checkpoint`);
+  ``resume=True`` replays the checkpoint and finishes the remaining
+  windows. The decision journal after a SIGKILL + resume is
+  byte-identical to an uninterrupted run's.
+
+The whole loop is deterministic given (trace, budget, config, fault
+plan): every fault verdict is keyed on stable identities (window
+index, site, direction, attempt), never on wall-clock time, so the
+emitted decision journal is byte-stable across runs *and* across
+kill/resume cycles — which is what the CI online-smoke and
+online-chaos jobs assert.
 """
 
 from __future__ import annotations
 
+import time
 from bisect import bisect_right
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 from repro.advisor.advisor import HmemAdvisor
 from repro.advisor.strategies import get_strategy
 from repro.analysis.attribution import AttributionResult
 from repro.analysis.profile import ProfileSet
 from repro.analysis.vectorattr import IncrementalAttributor
-from repro.errors import ConfigError
+from repro.errors import (
+    CATEGORY_TRANSIENT,
+    CheckpointError,
+    ConfigError,
+    ReproError,
+    classify_error,
+)
+from repro.faults.injector import (
+    WINDOW_CORRUPT,
+    WINDOW_DROP,
+    WINDOW_LATE,
+    WINDOW_OK,
+    FaultInjector,
+    _unit,
+)
 from repro.machine.performance import MIGRATION_BANDWIDTH_DEFAULT
+from repro.online.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    load_checkpoint,
+    save_checkpoint,
+    session_key,
+)
 from repro.online.migration import (
     DEMOTE,
     PROMOTE,
     HysteresisFilter,
     MigrationAction,
+    MigrationFailure,
     diff_placements,
 )
+from repro.parallel.supervisor import CircuitBreaker
+
+#: Default window count (referenced by the mutual-exclusion check:
+#: setting ``window_seconds`` together with a *non-default*
+#: ``n_windows`` is a configuration contradiction, not a preference).
+N_WINDOWS_DEFAULT = 16
+
+#: Degraded-window reasons, as they appear in decision journals.
+REASON_OF_FATE = {
+    WINDOW_DROP: "window-drop",
+    WINDOW_CORRUPT: "window-corrupt",
+    WINDOW_LATE: "window-late",
+}
+REASON_DEADLINE = "deadline"
+REASON_CIRCUIT = "circuit-open"
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,7 +125,7 @@ class OnlineConfig:
     #: ``n_windows`` over the run's calibrated wall time.
     window_seconds: float | None = None
     #: Number of equal windows when ``window_seconds`` is None.
-    n_windows: int = 16
+    n_windows: int = N_WINDOWS_DEFAULT
     #: Selection strategy name (same registry as the batch advisor).
     strategy: str = "misses-0%"
     #: Consecutive windows a site must win/lose its placement before
@@ -63,16 +133,66 @@ class OnlineConfig:
     confirm_windows: int = 1
     #: Sustained tier-to-tier migration bandwidth, bytes/second.
     migration_bandwidth: float = MIGRATION_BANDWIDTH_DEFAULT
+    #: Wall-clock budget for one window's attribute→advise decision;
+    #: an overrun freezes the window exactly like a degraded sample
+    #: batch (None: no watchdog).
+    decision_deadline_seconds: float | None = None
+    #: Retries granted to one migration action's *transient* failures
+    #: (deterministic failures never retry — they roll back).
+    migration_retries: int = 2
+    #: Base of the decorrelated-jitter delay between migration retries
+    #: (0: retry immediately; keeps tests and simulations fast).
+    migration_backoff_seconds: float = 0.0
+    #: Per-run budget of migration retry attempts; once spent, further
+    #: transient failures fail fast and roll back.
+    migration_error_budget: int = 16
+    #: Deterministic migration failures before the migration circuit
+    #: opens — further migrations freeze, advice continues (None:
+    #: breaker disabled).
+    migration_circuit_threshold: int | None = 4
+    #: Wall-clock pause before each window's decision work. Models the
+    #: real-time arrival of the sample stream; the chaos tests use it
+    #: to stretch the run so a SIGKILL lands mid-session. Never
+    #: affects the decision journal.
+    window_pause_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if self.window_seconds is not None and self.window_seconds <= 0:
             raise ConfigError("window_seconds must be positive")
         if self.n_windows < 1:
             raise ConfigError("need at least one window")
+        if (
+            self.window_seconds is not None
+            and self.n_windows != N_WINDOWS_DEFAULT
+        ):
+            raise ConfigError(
+                "window_seconds and n_windows both set: they are two "
+                "ways to cut the same run — pick one "
+                f"(got window_seconds={self.window_seconds}, "
+                f"n_windows={self.n_windows})"
+            )
         if self.confirm_windows < 1:
             raise ConfigError("confirm_windows must be >= 1")
         if self.migration_bandwidth <= 0:
             raise ConfigError("migration bandwidth must be positive")
+        if (
+            self.decision_deadline_seconds is not None
+            and self.decision_deadline_seconds <= 0
+        ):
+            raise ConfigError("decision deadline must be positive")
+        if self.migration_retries < 0:
+            raise ConfigError("migration_retries must be >= 0")
+        if self.migration_backoff_seconds < 0:
+            raise ConfigError("migration_backoff_seconds must be >= 0")
+        if self.migration_error_budget < 0:
+            raise ConfigError("migration_error_budget must be >= 0")
+        if (
+            self.migration_circuit_threshold is not None
+            and self.migration_circuit_threshold < 1
+        ):
+            raise ConfigError("migration_circuit_threshold must be >= 1")
+        if self.window_pause_seconds < 0:
+            raise ConfigError("window_pause_seconds must be >= 0")
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,9 +204,20 @@ class WindowDecision:
     t1: float
     #: Sites the advisor selected from this window's profile.
     advised: tuple[str, ...]
-    #: Sites actually placed fast after hysteresis.
+    #: Sites actually placed fast after hysteresis *and* after any
+    #: migration failures rolled back.
     applied: tuple[str, ...]
+    #: Migrations that actually completed this window.
     actions: tuple[MigrationAction, ...]
+    #: True when the window produced no usable decision input (lost
+    #: or corrupt sample batch, blown decision deadline): the applied
+    #: placement was frozen and ``reason`` says why.
+    degraded: bool = False
+    #: Freeze reason ("window-drop", "window-corrupt", "window-late",
+    #: "deadline", "circuit-open"); None on a healthy window.
+    reason: str | None = None
+    #: Migrations that finally failed and were rolled back.
+    failed: tuple[MigrationFailure, ...] = ()
 
 
 @dataclass
@@ -104,10 +235,24 @@ class OnlineRun:
         default_factory=list
     )
     migrated_bytes_real: int = 0
+    #: Migrations that finally failed and were rolled back.
+    migration_failures: int = 0
+    #: Transient retry attempts consumed from the error budget.
+    migration_retries_used: int = 0
+    #: True once the migration circuit breaker opened.
+    circuit_open: bool = False
 
     @property
     def actions(self) -> list[MigrationAction]:
         return [a for d in self.decisions for a in d.actions]
+
+    @property
+    def failures(self) -> list[MigrationFailure]:
+        return [f for d in self.decisions for f in d.failed]
+
+    @property
+    def degraded_windows(self) -> int:
+        return sum(1 for d in self.decisions if d.degraded)
 
     def active_sites(self, t: float) -> frozenset[str]:
         """Sites placed fast at simulated instant ``t``."""
@@ -136,12 +281,28 @@ class OnlineRun:
                 )
                 or "hold"
             )
-            lines.append(
+            line = (
                 f"window {d.index} [{d.t0:.6f},{d.t1:.6f}) "
                 f"advised={names(d.advised)} applied={names(d.applied)} "
                 f"{moves}"
             )
+            if d.degraded:
+                line += f" degraded={d.reason}"
+            elif d.reason is not None:
+                line += f" frozen={d.reason}"
+            for failure in d.failed:
+                line += (
+                    f" failed={failure.direction}:{failure.site}:"
+                    f"{failure.category}@{failure.attempts}"
+                )
+            lines.append(line)
         lines.append(f"migrated_bytes={self.migrated_bytes_real}")
+        lines.append(
+            f"migration_failures={self.migration_failures} "
+            f"retries={self.migration_retries_used} "
+            f"circuit={'open' if self.circuit_open else 'closed'} "
+            f"degraded_windows={self.degraded_windows}"
+        )
         return lines
 
 
@@ -180,88 +341,513 @@ def _window_profile(
     )
 
 
-def run_online(framework, budget_real: int, config: OnlineConfig | None = None):
-    """Drive one full online session over ``framework``'s application.
+# -- checkpoint (de)serialisation of decisions ------------------------------
 
-    Returns the :class:`OnlineRun`. ``framework`` is a
-    :class:`~repro.pipeline.framework.HybridMemoryFramework`; its
-    cached profiling run provides the sample stream, so online and
-    batch modes see bit-identical traces.
-    """
-    config = config or OnlineConfig()
-    app = framework.app
-    machine = framework.machine
-    profiling = framework.profile()
-    strategy = get_strategy(config.strategy)
-    fast_tier = machine.fast_tier.name
-    site_of = {
-        identity: name for identity, name in app.key_to_site_name().items()
+
+def _action_to_dict(action: MigrationAction) -> dict:
+    return {
+        "site": action.site,
+        "direction": action.direction,
+        "bytes_real": action.bytes_real,
+        "window": action.window,
     }
 
-    horizon = app.calibration.ddr_time
-    span = (
-        config.window_seconds
-        if config.window_seconds is not None
-        else horizon / config.n_windows
-    )
-    boundaries: list[tuple[float, float]] = []
-    t = 0.0
-    while t < horizon:
-        boundaries.append((t, min(t + span, horizon)))
-        t += span
 
-    attributor = IncrementalAttributor(profiling.trace)
-    advisor = HmemAdvisor(framework.memory_spec(budget_real))
-    hysteresis = HysteresisFilter(config.confirm_windows)
-    run = OnlineRun(
-        application=app.name, budget_real=budget_real, config=config
-    )
+def _failure_to_dict(failure: MigrationFailure) -> dict:
+    return {
+        "site": failure.site,
+        "direction": failure.direction,
+        "window": failure.window,
+        "attempts": failure.attempts,
+        "category": failure.category,
+    }
 
-    previous_snapshot: AttributionResult | None = None
-    active: frozenset[str] = frozenset()
-    for index, (t0, t1) in enumerate(boundaries):
-        run.schedule.append((t0, t1, active))
-        if index == len(boundaries) - 1:
-            attributor.advance_all()  # catch samples at exactly t=end
-        else:
-            attributor.advance_time(t1)
-        snapshot = attributor.result()
-        profiles = _window_profile(
-            snapshot,
-            previous_snapshot,
-            framework.tracer_config.sampling_period,
+
+def _decision_to_dict(decision: WindowDecision) -> dict:
+    return {
+        "index": decision.index,
+        "t0": decision.t0,
+        "t1": decision.t1,
+        "advised": list(decision.advised),
+        "applied": list(decision.applied),
+        "actions": [_action_to_dict(a) for a in decision.actions],
+        "degraded": decision.degraded,
+        "reason": decision.reason,
+        "failed": [_failure_to_dict(f) for f in decision.failed],
+    }
+
+
+def _decision_from_dict(data: dict) -> WindowDecision:
+    try:
+        return WindowDecision(
+            index=int(data["index"]),
+            t0=float(data["t0"]),
+            t1=float(data["t1"]),
+            advised=tuple(str(s) for s in data["advised"]),
+            applied=tuple(str(s) for s in data["applied"]),
+            actions=tuple(
+                MigrationAction(
+                    site=str(a["site"]),
+                    direction=str(a["direction"]),
+                    bytes_real=int(a["bytes_real"]),
+                    window=int(a["window"]),
+                )
+                for a in data["actions"]
+            ),
+            degraded=bool(data.get("degraded", False)),
+            reason=data.get("reason"),
+            failed=tuple(
+                MigrationFailure(
+                    site=str(f["site"]),
+                    direction=str(f["direction"]),
+                    window=int(f["window"]),
+                    attempts=int(f["attempts"]),
+                    category=str(f["category"]),
+                )
+                for f in data.get("failed", [])
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"malformed checkpointed decision: {exc}"
+        ) from exc
+
+
+class OnlineDaemon:
+    """One online session: the hardened serving loop plus its state.
+
+    ``framework`` is a
+    :class:`~repro.pipeline.framework.HybridMemoryFramework`; its
+    cached profiling run provides the sample stream (so online and
+    batch modes see bit-identical traces) and its ``fault_plan`` — if
+    it names streaming fault kinds — drives the degradation schedule.
+    """
+
+    def __init__(
+        self,
+        framework,
+        budget_real: int,
+        config: OnlineConfig | None = None,
+        *,
+        checkpoint_dir: str | Path | None = None,
+        resume: bool = False,
+        clock=time.monotonic,
+    ) -> None:
+        self.framework = framework
+        self.budget_real = budget_real
+        self.config = config or OnlineConfig()
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.resume = resume
+        self._clock = clock
+        plan = framework.fault_plan
+        self._injector = (
+            FaultInjector(plan)
+            if plan is not None and plan.degrades_online
+            else None
+        )
+        self._fault_seed = plan.seed if plan is not None else framework.seed
+
+    # -- setup ----------------------------------------------------------
+
+    def _boundaries(self, horizon: float) -> list[tuple[float, float]]:
+        config = self.config
+        span = (
+            config.window_seconds
+            if config.window_seconds is not None
+            else horizon / config.n_windows
+        )
+        boundaries: list[tuple[float, float]] = []
+        t = 0.0
+        while t < horizon:
+            boundaries.append((t, min(t + span, horizon)))
+            t += span
+        return boundaries
+
+    # -- checkpointing ---------------------------------------------------
+
+    def _checkpoint_payload(self, next_window: int, completed: bool) -> dict:
+        run = self.run_record
+        return {
+            "schema": CHECKPOINT_SCHEMA_VERSION,
+            "session": self._session,
+            "application": run.application,
+            "budget_real": run.budget_real,
+            "seed": self.framework.seed,
+            "config": asdict(self.config),
+            "next_window": next_window,
+            "completed": completed,
+            "active": sorted(self.active),
+            "hysteresis": self.hysteresis.to_state(),
+            "attributor": self.attributor.to_state(),
+            "prev_consumed": self._prev_consumed,
+            "decisions": [_decision_to_dict(d) for d in run.decisions],
+            "schedule": [
+                [t0, t1, sorted(sites)] for t0, t1, sites in run.schedule
+            ],
+            "migrated_bytes_real": run.migrated_bytes_real,
+            "migration_failures": run.migration_failures,
+            "migration_retries_used": run.migration_retries_used,
+            "retry_budget_left": self._retry_budget_left,
+            "circuit_failures": self._breaker.failures.get(
+                run.application, 0
+            ),
+            "circuit_open": run.circuit_open,
+        }
+
+    def _write_checkpoint(self, next_window: int, completed: bool) -> None:
+        if self.checkpoint_dir is None:
+            return
+        save_checkpoint(
+            self.checkpoint_dir,
+            self._checkpoint_payload(next_window, completed),
+        )
+
+    def _restore(self, payload: dict, trace) -> int:
+        """Rebuild session state from a checkpoint; returns the next
+        window index to execute."""
+        if payload.get("session") != self._session:
+            raise CheckpointError(
+                "checkpoint belongs to a different online session "
+                f"(checkpoint {payload.get('session')!r}, this session "
+                f"{self._session!r}); use a fresh --checkpoint-dir"
+            )
+        run = self.run_record
+        try:
+            run.decisions = [
+                _decision_from_dict(d) for d in payload["decisions"]
+            ]
+            run.schedule = [
+                (float(t0), float(t1), frozenset(str(s) for s in sites))
+                for t0, t1, sites in payload["schedule"]
+            ]
+            run.migrated_bytes_real = int(payload["migrated_bytes_real"])
+            run.migration_failures = int(payload["migration_failures"])
+            run.migration_retries_used = int(
+                payload["migration_retries_used"]
+            )
+            run.circuit_open = bool(payload["circuit_open"])
+            self.active = frozenset(
+                str(s) for s in payload["active"]
+            )
+            self._retry_budget_left = int(payload["retry_budget_left"])
+            circuit_failures = int(payload["circuit_failures"])
+            next_window = int(payload["next_window"])
+            prev_consumed = payload["prev_consumed"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed checkpoint payload: {exc}"
+            ) from exc
+        try:
+            self.hysteresis = HysteresisFilter.from_state(
+                payload["hysteresis"]
+            )
+            self.attributor = IncrementalAttributor.from_state(
+                trace, payload["attributor"]
+            )
+        except ReproError as exc:
+            raise CheckpointError(
+                f"checkpoint state does not restore: {exc}"
+            ) from exc
+        if circuit_failures:
+            self._breaker.failures[run.application] = circuit_failures
+        self._prev_consumed = prev_consumed
+        self._previous_snapshot = None
+        if prev_consumed is not None:
+            # The previous window's snapshot is a pure function of the
+            # cursor position it was taken at: replay a fresh cursor to
+            # that position instead of serialising ObjectKey tables.
+            replay = IncrementalAttributor(trace)
+            replay.advance_events(int(prev_consumed))
+            self._previous_snapshot = replay.result()
+        return next_window
+
+    # -- migration execution --------------------------------------------
+
+    def _retry_delay(
+        self, attempt_done: int, site: str, direction: str, window: int
+    ) -> float:
+        """Decorrelated-jitter delay before the next migration attempt
+        (the PR 4 sweep backoff, keyed per action)."""
+        base = self.config.migration_backoff_seconds
+        if base <= 0:
+            return 0.0
+        cap = base * 32
+        sleep = base
+        for i in range(1, attempt_done + 1):
+            u = _unit(
+                self._fault_seed, "migration-backoff", site, direction,
+                window, i,
+            )
+            sleep = min(cap, base + u * max(0.0, 3.0 * sleep - base))
+        return sleep
+
+    def _execute_migration(
+        self, site: str, direction: str, window: int
+    ) -> MigrationFailure | None:
+        """Attempt one migration; None on success, the failure record
+        (site rolled back by the caller) when it finally fails."""
+        run = self.run_record
+        application = run.application
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                if self._injector is not None:
+                    self._injector.check_migration(
+                        application, site, direction, window, attempt
+                    )
+                return None
+            except ReproError as exc:
+                category = classify_error(exc)
+                if (
+                    category == CATEGORY_TRANSIENT
+                    and attempt <= self.config.migration_retries
+                    and self._retry_budget_left > 0
+                ):
+                    self._retry_budget_left -= 1
+                    run.migration_retries_used += 1
+                    delay = self._retry_delay(
+                        attempt, site, direction, window
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                return MigrationFailure(
+                    site=site,
+                    direction=direction,
+                    window=window,
+                    attempts=attempt,
+                    category=category,
+                )
+
+    def _apply_placement(
+        self, advised: frozenset[str], index: int
+    ) -> tuple[
+        frozenset[str],
+        tuple[MigrationAction, ...],
+        tuple[MigrationFailure, ...],
+    ]:
+        """Debounce, diff and *execute* one window's migrations.
+
+        Returns ``(new_active, completed_actions, failures)``. A
+        failed action leaves its site in the prior tier, resyncs the
+        hysteresis filter (:meth:`HysteresisFilter.rollback`) and
+        charges nothing — the applied placement and
+        ``migrated_bytes_real`` cannot disagree.
+        """
+        run = self.run_record
+        app = self.framework.app
+        target = self.hysteresis.update(advised)
+        promotions, demotions = diff_placements(self.active, target)
+        completed: list[MigrationAction] = []
+        failures: list[MigrationFailure] = []
+        new_active = set(self.active)
+        for direction, sites in ((PROMOTE, promotions), (DEMOTE, demotions)):
+            for site in sites:
+                failure = self._execute_migration(site, direction, index)
+                if failure is None:
+                    size = app.find_object(site).size
+                    completed.append(
+                        MigrationAction(
+                            site=site,
+                            direction=direction,
+                            bytes_real=size,
+                            window=index,
+                        )
+                    )
+                    if direction == PROMOTE:
+                        new_active.add(site)
+                    else:
+                        new_active.discard(site)
+                    run.migrated_bytes_real += size
+                else:
+                    failures.append(failure)
+                    run.migration_failures += 1
+                    self.hysteresis.rollback(site)
+                    self._breaker.record_failure(
+                        run.application, failure.category
+                    )
+        if self._breaker.is_open(run.application):
+            run.circuit_open = True
+        return frozenset(new_active), tuple(completed), tuple(failures)
+
+    # -- the loop --------------------------------------------------------
+
+    def run(self) -> OnlineRun:
+        framework = self.framework
+        config = self.config
+        app = framework.app
+        machine = framework.machine
+        profiling = framework.profile()
+        strategy = get_strategy(config.strategy)
+        fast_tier = machine.fast_tier.name
+        site_of = dict(app.key_to_site_name())
+        boundaries = self._boundaries(app.calibration.ddr_time)
+
+        self.attributor = IncrementalAttributor(profiling.trace)
+        self.hysteresis = HysteresisFilter(config.confirm_windows)
+        self.active: frozenset[str] = frozenset()
+        self.run_record = OnlineRun(
+            application=app.name,
+            budget_real=self.budget_real,
+            config=config,
+        )
+        self._breaker = CircuitBreaker(config.migration_circuit_threshold)
+        self._retry_budget_left = config.migration_error_budget
+        self._previous_snapshot: AttributionResult | None = None
+        self._prev_consumed: int | None = None
+        # Wall-clock-only knobs (pauses, retry sleeps) never touch the
+        # decision stream, so they must not pin session identity — a
+        # run stretched for chaos testing resumes without them.
+        config_identity = {
+            key: value
+            for key, value in asdict(config).items()
+            if key not in ("window_pause_seconds",
+                           "migration_backoff_seconds")
+        }
+        self._session = session_key(
             app.name,
+            self.budget_real,
+            framework.seed,
+            config_identity,
+            self.attributor.fingerprint(),
         )
-        previous_snapshot = snapshot
 
-        report = advisor.advise(profiles, strategy)
-        advised = frozenset(
-            site_of[identity]
-            for identity in report.selected_keys(fast_tier)
-            if identity in site_of
-        )
-        applied = hysteresis.update(advised)
-        promotions, demotions = diff_placements(active, applied)
-        actions = tuple(
-            MigrationAction(
-                site=site,
-                direction=direction,
-                bytes_real=app.find_object(site).size,
-                window=index,
+        start_index = 0
+        if self.checkpoint_dir is not None and self.resume:
+            payload = load_checkpoint(self.checkpoint_dir)
+            if payload is not None:
+                start_index = self._restore(payload, profiling.trace)
+                if payload.get("completed"):
+                    return self.run_record
+
+        advisor = HmemAdvisor(framework.memory_spec(self.budget_real))
+        run = self.run_record
+        last = len(boundaries) - 1
+        for index in range(start_index, last + 1):
+            t0, t1 = boundaries[index]
+            run.schedule.append((t0, t1, self.active))
+            if config.window_pause_seconds > 0:
+                time.sleep(config.window_pause_seconds)
+            started = self._clock()
+            if index == last:
+                self.attributor.advance_all()  # samples at exactly t=end
+            else:
+                self.attributor.advance_time(t1)
+            snapshot = self.attributor.result()
+
+            fate = (
+                self._injector.window_fate(app.name, index)
+                if self._injector is not None
+                else WINDOW_OK
             )
-            for direction, sites in ((PROMOTE, promotions), (DEMOTE, demotions))
-            for site in sites
-        )
-        run.migrated_bytes_real += sum(a.bytes_real for a in actions)
-        run.decisions.append(
-            WindowDecision(
-                index=index,
-                t0=t0,
-                t1=t1,
-                advised=tuple(sorted(advised)),
-                applied=tuple(sorted(applied)),
-                actions=actions,
+            if fate != WINDOW_OK:
+                # Unusable sample batch: freeze the placement, decay
+                # streaks, journal the reason. Late samples stay
+                # pending (the next delta spans both windows); dropped
+                # and corrupt batches are excluded from every delta.
+                if fate != WINDOW_LATE:
+                    self._previous_snapshot = snapshot
+                    self._prev_consumed = self.attributor.consumed_events
+                decision = self._freeze(
+                    index, t0, t1, REASON_OF_FATE[fate]
+                )
+            else:
+                profiles = _window_profile(
+                    snapshot,
+                    self._previous_snapshot,
+                    framework.tracer_config.sampling_period,
+                    app.name,
+                )
+                report = advisor.advise(profiles, strategy)
+                advised = frozenset(
+                    site_of[identity]
+                    for identity in report.selected_keys(fast_tier)
+                    if identity in site_of
+                )
+                self._previous_snapshot = snapshot
+                self._prev_consumed = self.attributor.consumed_events
+                elapsed = self._clock() - started
+                if (
+                    config.decision_deadline_seconds is not None
+                    and elapsed > config.decision_deadline_seconds
+                ):
+                    # Watchdog: the decision took too long to still be
+                    # actionable — treat it exactly like a lost window.
+                    decision = self._freeze(
+                        index, t0, t1, REASON_DEADLINE
+                    )
+                elif self._breaker.is_open(app.name):
+                    # Migration circuit open: advice continues (and is
+                    # journalled), movement does not.
+                    decision = WindowDecision(
+                        index=index,
+                        t0=t0,
+                        t1=t1,
+                        advised=tuple(sorted(advised)),
+                        applied=tuple(sorted(self.active)),
+                        actions=(),
+                        reason=REASON_CIRCUIT,
+                    )
+                else:
+                    new_active, actions, failures = self._apply_placement(
+                        advised, index
+                    )
+                    decision = WindowDecision(
+                        index=index,
+                        t0=t0,
+                        t1=t1,
+                        advised=tuple(sorted(advised)),
+                        applied=tuple(sorted(new_active)),
+                        actions=actions,
+                        failed=failures,
+                    )
+                    self.active = new_active
+            run.decisions.append(decision)
+            self._write_checkpoint(
+                next_window=index + 1, completed=index == last
             )
+        return run
+
+    def _freeze(
+        self, index: int, t0: float, t1: float, reason: str
+    ) -> WindowDecision:
+        """The degraded-window path: hold placement, age streaks."""
+        self.hysteresis.decay()
+        return WindowDecision(
+            index=index,
+            t0=t0,
+            t1=t1,
+            advised=(),
+            applied=tuple(sorted(self.active)),
+            actions=(),
+            degraded=True,
+            reason=reason,
         )
-        active = applied
-    return run
+
+
+def run_online(
+    framework,
+    budget_real: int,
+    config: OnlineConfig | None = None,
+    *,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+) -> OnlineRun:
+    """Drive one full online session over ``framework``'s application.
+
+    Returns the :class:`OnlineRun`. With ``checkpoint_dir`` the
+    session state is persisted after every window; ``resume=True``
+    replays an existing checkpoint (if any) and executes only the
+    remaining windows — the decision journal is byte-identical either
+    way.
+    """
+    return OnlineDaemon(
+        framework,
+        budget_real,
+        config,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    ).run()

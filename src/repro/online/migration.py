@@ -44,6 +44,30 @@ class MigrationAction:
             raise ConfigError("negative migration size")
 
 
+@dataclass(frozen=True, slots=True)
+class MigrationFailure:
+    """One migration that finally failed (after any retries) and was
+    rolled back: the site stays in its prior tier and none of its
+    bytes are charged, so the applied placement and the accounted
+    ``migrated_bytes`` can never disagree."""
+
+    site: str
+    direction: str
+    #: Index of the decision window that issued the failing move.
+    window: int
+    #: Attempts consumed (1 = failed outright, no retry granted).
+    attempts: int
+    #: Failure-taxonomy bucket of the final error
+    #: (:func:`repro.errors.classify_error`).
+    category: str
+
+    def __post_init__(self) -> None:
+        if self.direction not in (PROMOTE, DEMOTE):
+            raise ConfigError(f"unknown direction {self.direction!r}")
+        if self.attempts < 1:
+            raise ConfigError("a failure consumes at least one attempt")
+
+
 def diff_placements(
     current: frozenset[str], target: frozenset[str]
 ) -> tuple[tuple[str, ...], tuple[str, ...]]:
@@ -95,3 +119,57 @@ class HysteresisFilter:
         self._streaks = streaks
         self._applied = frozenset(self._applied ^ flipped)
         return self._applied
+
+    def decay(self) -> None:
+        """Age every streak by one window without folding new advice.
+
+        The daemon calls this on a *degraded* window (dropped, corrupt
+        or late sample batch, or a blown decision deadline): the
+        window produced no usable evidence, so confirmation streaks
+        built before the gap must not survive it at full strength —
+        a site flapping across an outage would otherwise migrate on
+        stale evidence the moment the stream recovers.
+        """
+        self._streaks = {
+            site: streak - 1
+            for site, streak in self._streaks.items()
+            if streak > 1
+        }
+
+    def rollback(self, site: str) -> None:
+        """Undo one site's most recent flip after its migration failed.
+
+        The filter flipped ``site`` into (or out of) its applied set,
+        but the migration itself was rolled back — resync the filter
+        to physical reality and clear the site's streak so it must
+        re-earn the move from scratch.
+        """
+        self._applied = frozenset(self._applied ^ {site})
+        self._streaks.pop(site, None)
+
+    # -- checkpoint/restore --------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-serialisable snapshot (checkpointed every window)."""
+        return {
+            "confirm_windows": self.confirm_windows,
+            "applied": sorted(self._applied),
+            "streaks": dict(sorted(self._streaks.items())),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "HysteresisFilter":
+        try:
+            instance = cls(int(state["confirm_windows"]))
+            instance._applied = frozenset(
+                str(s) for s in state.get("applied", [])
+            )
+            instance._streaks = {
+                str(site): int(streak)
+                for site, streak in dict(state.get("streaks", {})).items()
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(
+                f"malformed hysteresis state: {exc}"
+            ) from exc
+        return instance

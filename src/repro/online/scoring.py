@@ -41,6 +41,13 @@ def windowed_cost(
     truth = profiling.ground_truth
     if not truth.windows:
         raise ConfigError("profiling run carries no per-window truth")
+    for window in truth.windows:
+        if window.t1 <= window.t0:
+            raise ConfigError(
+                "zero-length truth window "
+                f"[{window.t0},{window.t1}): its midpoint cannot place "
+                "it on the schedule and its misses would be misattributed"
+            )
     total = _total_traffic_bytes(app, machine)
     cal = app.calibration
 
@@ -140,11 +147,22 @@ class OnlineOutcome:
 
 
 def run_windowed(
-    framework, budget_real: int, config: OnlineConfig | None = None
+    framework,
+    budget_real: int,
+    config: OnlineConfig | None = None,
+    *,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> OnlineOutcome:
     """Full online session plus the matched one-shot baseline."""
     config = config or OnlineConfig()
-    run = run_online(framework, budget_real, config)
+    run = run_online(
+        framework,
+        budget_real,
+        config,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
     return OnlineOutcome(
         run=run,
         online_cost=evaluate_online(framework, run),

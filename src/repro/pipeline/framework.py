@@ -234,14 +234,22 @@ class HybridMemoryFramework:
             outcome=outcome,
         )
 
-    def run_windowed(self, budget_real: int, config=None):
+    def run_windowed(
+        self, budget_real: int, config=None, *, checkpoint_dir=None,
+        resume: bool = False,
+    ):
         """Windowed mode: re-advise per sample window and migrate,
         instead of the batch advise-once ``run()``. Returns an
         :class:`repro.online.OnlineOutcome` pairing the online session
-        with its matched one-shot baseline.
+        with its matched one-shot baseline. With ``checkpoint_dir`` the
+        session checkpoints after every window; ``resume=True`` picks
+        an interrupted session back up from that checkpoint.
         """
         # Local import: repro.online drives this framework, so a
         # module-level import would be circular.
         from repro.online.scoring import run_windowed as _run_windowed
 
-        return _run_windowed(self, budget_real, config)
+        return _run_windowed(
+            self, budget_real, config,
+            checkpoint_dir=checkpoint_dir, resume=resume,
+        )

@@ -242,3 +242,108 @@ class TestWindowedPartitionProperty:
             assert attributor.result() == attribute_samples_vector(prefix)
         attributor.advance_all()
         assert attributor.result() == batch
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint/restore of the incremental cursor
+# ---------------------------------------------------------------------------
+
+
+def _demo_trace() -> TraceFile:
+    trace = TraceFile(application="demo")
+    trace.append(AllocEvent(0.0, 0, 0x1000, 100, _cs("a")))
+    trace.append(AllocEvent(0.5, 0, 0x2000, 50, _cs("b")))
+    for i in range(10):
+        trace.append(SampleEvent(0.1 * i, 0, 0x1000 + 8 * i, i))
+    trace.append(FreeEvent(0.7, 0, 0x1000))
+    trace.append(SampleEvent(0.9, 0, 0x2010, 3))
+    return trace
+
+
+class TestAttributorState:
+    def test_round_trip_mid_stream(self):
+        from repro.analysis.vectorattr import IncrementalAttributor
+
+        trace = _demo_trace()
+        live = IncrementalAttributor(trace)
+        live.advance_events(7)
+        restored = IncrementalAttributor.from_state(trace, live.to_state())
+        assert restored.consumed_events == live.consumed_events
+        assert restored.result() == live.result()
+        live.advance_all()
+        restored.advance_all()
+        assert restored.result() == live.result()
+        assert live.result() == attribute_samples_vector(trace)
+
+    def test_state_survives_json(self):
+        import json
+
+        from repro.analysis.vectorattr import IncrementalAttributor
+
+        trace = _demo_trace()
+        live = IncrementalAttributor(trace)
+        live.advance_time(0.6)
+        state = json.loads(json.dumps(live.to_state()))
+        restored = IncrementalAttributor.from_state(trace, state)
+        assert restored.result() == live.result()
+
+    def test_refuses_foreign_trace(self):
+        from repro.analysis.vectorattr import IncrementalAttributor
+        from repro.errors import AttributionError
+
+        state = IncrementalAttributor(_demo_trace()).to_state()
+        other = TraceFile(application="demo")
+        other.append(AllocEvent(0.0, 0, 0x1000, 100, _cs("a")))
+        with pytest.raises(AttributionError, match="different trace"):
+            IncrementalAttributor.from_state(other, state)
+
+    def test_refuses_unknown_version(self):
+        from repro.analysis.vectorattr import IncrementalAttributor
+        from repro.errors import AttributionError
+
+        trace = _demo_trace()
+        state = IncrementalAttributor(trace).to_state()
+        state["version"] = 999
+        with pytest.raises(AttributionError, match="version"):
+            IncrementalAttributor.from_state(trace, state)
+
+    @pytest.mark.parametrize(
+        "mangle",
+        [
+            lambda s: s.pop("consumed"),
+            lambda s: s.update(consumed="many"),
+            lambda s: s.update(consumed=10_000),
+            lambda s: s.update(table_bases={"dtype": "int64", "data": "!"}),
+        ],
+    )
+    def test_refuses_malformed_state(self, mangle):
+        from repro.analysis.vectorattr import IncrementalAttributor
+        from repro.errors import AttributionError
+
+        trace = _demo_trace()
+        attributor = IncrementalAttributor(trace)
+        attributor.advance_events(5)
+        state = attributor.to_state()
+        mangle(state)
+        with pytest.raises(AttributionError):
+            IncrementalAttributor.from_state(trace, state)
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace=attribution_traces(), data=st.data())
+    def test_round_trip_property(self, trace, data):
+        """Serialise at an arbitrary cursor position, restore, finish:
+        bit-identical to the uninterrupted cursor and the batch pass."""
+        from repro.analysis.vectorattr import IncrementalAttributor
+
+        columnar = ColumnarTrace.from_tracefile(trace)
+        live = IncrementalAttributor(columnar)
+        cut = data.draw(st.integers(0, max(live.total_events, 1)))
+        live.advance_events(cut)
+        restored = IncrementalAttributor.from_state(
+            columnar, live.to_state()
+        )
+        assert restored.result() == live.result()
+        live.advance_all()
+        restored.advance_all()
+        assert restored.result() == live.result()
+        assert restored.result() == attribute_samples_vector(columnar)

@@ -4,11 +4,22 @@ import shutil
 
 import pytest
 
-from repro.errors import InjectedFaultError, OutOfMemoryError, TraceError
+from repro.errors import (
+    InjectedFaultError,
+    MigrationError,
+    OutOfMemoryError,
+    TraceError,
+    TransientMigrationError,
+)
 from repro.faults.injector import (
     FATE_HANG,
     FATE_KILL,
     FATE_OK,
+    MIGRATION_DETERMINISTIC,
+    MIGRATION_OK,
+    MIGRATION_TRANSIENT,
+    WINDOW_FATES,
+    WINDOW_OK,
     FaultInjector,
     damage_trace_file,
 )
@@ -212,3 +223,103 @@ class TestDamageTraceFile:
         damage_trace_file(path, plan)
         damage_trace_file(copy, plan)
         assert path.read_bytes() == copy.read_bytes()
+
+
+class TestWindowFate:
+    def test_clean_plan_never_degrades(self):
+        injector = FaultInjector(FaultPlan(seed=1))
+        assert all(
+            injector.window_fate("app", i) == WINDOW_OK for i in range(64)
+        )
+
+    def test_deterministic_per_identity(self):
+        plan = FaultPlan(
+            seed=4,
+            window_drop_rate=0.2,
+            window_corrupt_rate=0.2,
+            window_late_rate=0.2,
+        )
+        a = [FaultInjector(plan).window_fate("app", i) for i in range(64)]
+        b = [FaultInjector(plan).window_fate("app", i) for i in range(64)]
+        assert a == b
+        assert set(a) - {WINDOW_OK} <= set(WINDOW_FATES)
+        # At 60% total degradation over 64 windows every kind shows up.
+        for fate in WINDOW_FATES:
+            assert fate in a
+
+    def test_application_scopes_the_draw(self):
+        plan = FaultPlan(seed=4, window_drop_rate=0.5)
+        injector = FaultInjector(plan)
+        a = [injector.window_fate("alpha", i) for i in range(64)]
+        b = [injector.window_fate("beta", i) for i in range(64)]
+        assert a != b
+
+
+class TestMigrationFate:
+    STICKY = FaultPlan(
+        seed=2, migration_failure_rate=1.0, migration_sticky_fraction=1.0
+    )
+    FLAKY = FaultPlan(
+        seed=2, migration_failure_rate=0.6, migration_sticky_fraction=0.0
+    )
+
+    def test_clean_plan_never_fails(self):
+        injector = FaultInjector(FaultPlan(seed=1))
+        assert (
+            injector.migration_fate("app", "s", "promote", 0, 1)
+            == MIGRATION_OK
+        )
+
+    def test_sticky_failures_survive_every_attempt(self):
+        """A deterministic verdict is keyed per (site, direction,
+        window): retrying cannot clear it."""
+        injector = FaultInjector(self.STICKY)
+        for attempt in range(1, 6):
+            assert (
+                injector.migration_fate("app", "s", "promote", 3, attempt)
+                == MIGRATION_DETERMINISTIC
+            )
+
+    def test_transient_failures_redraw_per_attempt(self):
+        injector = FaultInjector(self.FLAKY)
+        fates = {
+            injector.migration_fate("app", "s", "promote", 3, attempt)
+            for attempt in range(1, 30)
+        }
+        assert fates == {MIGRATION_OK, MIGRATION_TRANSIENT}
+
+    def test_window_rescopes_a_sticky_verdict(self):
+        """The same move in a different window draws fresh — pinned
+        pages may unpin, so a later re-attempt can succeed."""
+        plan = FaultPlan(
+            seed=6, migration_failure_rate=0.5, migration_sticky_fraction=1.0
+        )
+        injector = FaultInjector(plan)
+        fates = {
+            injector.migration_fate("app", "s", "promote", w, 1)
+            for w in range(32)
+        }
+        assert fates == {MIGRATION_OK, MIGRATION_DETERMINISTIC}
+
+    def test_check_migration_raises_taxonomy_errors(self):
+        injector = FaultInjector(self.STICKY)
+        with pytest.raises(MigrationError) as err:
+            injector.check_migration("app", "s", "promote", 3, 1)
+        assert not isinstance(err.value, TransientMigrationError)
+        assert "site=s" in str(err.value)
+
+        flaky = FaultInjector(
+            FaultPlan(
+                seed=2,
+                migration_failure_rate=1.0,
+                migration_sticky_fraction=0.0,
+            )
+        )
+        with pytest.raises(TransientMigrationError):
+            flaky.check_migration("app", "s", "promote", 3, 1)
+
+    def test_check_migration_silent_on_ok(self):
+        injector = FaultInjector(FaultPlan(seed=1))
+        assert (
+            injector.check_migration("app", "s", "promote", 0, 1) is None
+        )

@@ -28,12 +28,34 @@ class TestValidation:
             "memkind_failure_rate",
             "cell_kill_rate",
             "cell_hang_rate",
+            "window_drop_rate",
+            "window_corrupt_rate",
+            "window_late_rate",
+            "migration_failure_rate",
+            "migration_sticky_fraction",
         ],
     )
     @pytest.mark.parametrize("value", [-0.1, 1.5])
     def test_rates_bounded(self, field, value):
         with pytest.raises(FaultPlanError):
             FaultPlan(**{field: value})
+
+    def test_degrades_online_property(self):
+        assert not FaultPlan().degrades_online
+        # The sticky split alone degrades nothing: it only shapes
+        # failures that a non-zero rate injects.
+        assert not FaultPlan(migration_sticky_fraction=1.0).degrades_online
+        for field in (
+            "window_drop_rate",
+            "window_corrupt_rate",
+            "window_late_rate",
+            "migration_failure_rate",
+        ):
+            assert FaultPlan(**{field: 0.1}).degrades_online
+
+    def test_batch_faults_do_not_degrade_online(self):
+        plan = FaultPlan(sample_drop_rate=0.2, cell_kill_rate=0.1)
+        assert not plan.degrades_online
 
     @pytest.mark.parametrize("value", [0.0, -0.5, 1.5])
     def test_capacity_factor_bounded(self, value):
@@ -163,3 +185,41 @@ class TestPersistence:
         assert plan.hbw_policy == HBW_POLICY_PREFERRED
         assert plan.degrades_profile
         assert plan.degrades_replay
+
+
+class TestStreamingFields:
+    def test_scaled_scales_streaming_rates_but_not_stickiness(self):
+        plan = FaultPlan(
+            seed=5,
+            window_drop_rate=0.2,
+            window_corrupt_rate=0.1,
+            window_late_rate=0.1,
+            migration_failure_rate=0.4,
+            migration_sticky_fraction=0.75,
+        )
+        half = plan.scaled(0.5)
+        assert half.window_drop_rate == pytest.approx(0.1)
+        assert half.window_corrupt_rate == pytest.approx(0.05)
+        assert half.window_late_rate == pytest.approx(0.05)
+        assert half.migration_failure_rate == pytest.approx(0.2)
+        # The sticky split is a shape, not an intensity.
+        assert half.migration_sticky_fraction == 0.75
+        assert not plan.scaled(0.0).degrades_online
+
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            seed=5,
+            window_drop_rate=0.2,
+            migration_failure_rate=0.4,
+            migration_sticky_fraction=0.25,
+        )
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_old_plans_load_with_clean_streaming_defaults(self):
+        """Plans written before the streaming fault kinds existed must
+        keep loading, with the serving loop untouched."""
+        plan = FaultPlan.from_dict({"seed": 3, "sample_drop_rate": 0.1})
+        assert not plan.degrades_online
+        assert plan.migration_sticky_fraction == 0.5

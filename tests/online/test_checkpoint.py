@@ -1,0 +1,217 @@
+"""Daemon checkpoint/restore: durability, identity, byte-equality."""
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.errors import CheckpointError
+from repro.faults import FaultPlan
+from repro.online import (
+    OnlineConfig,
+    checkpoint_path,
+    load_checkpoint,
+    run_online,
+    save_checkpoint,
+    session_key,
+)
+from repro.online import daemon as daemon_mod
+from repro.pipeline.framework import HybridMemoryFramework
+from repro.units import MIB
+
+BUDGET = 32 * MIB
+
+#: Streaming degradation on, so resume byte-equality is asserted on
+#: the *hard* path: fault verdicts must replay identically too.
+PLAN = FaultPlan(
+    seed=7,
+    window_drop_rate=0.05,
+    window_corrupt_rate=0.10,
+    window_late_rate=0.05,
+    migration_failure_rate=0.30,
+)
+
+
+def fresh_framework(plan=PLAN):
+    return HybridMemoryFramework(
+        get_app("phaseshift"), seed=0, fault_plan=plan
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline_journal():
+    run = run_online(fresh_framework(), BUDGET, OnlineConfig(confirm_windows=2))
+    return run.journal_lines()
+
+
+class _CrashAfter(Exception):
+    pass
+
+
+def run_until_checkpoint(k: int, directory, monkeypatch) -> None:
+    """Run a session but die (exception) right after the k-th
+    checkpoint write — state through window k is durable, the rest
+    never happened."""
+    real = daemon_mod.save_checkpoint
+    calls = {"n": 0}
+
+    def crashing(d, payload):
+        real(d, payload)
+        calls["n"] += 1
+        if calls["n"] == k:
+            raise _CrashAfter
+
+    monkeypatch.setattr(daemon_mod, "save_checkpoint", crashing)
+    with pytest.raises(_CrashAfter):
+        run_online(
+            fresh_framework(), BUDGET, OnlineConfig(confirm_windows=2),
+            checkpoint_dir=directory,
+        )
+    monkeypatch.setattr(daemon_mod, "save_checkpoint", real)
+
+
+class TestResume:
+    @pytest.mark.parametrize("k", [1, 5, 9, 15])
+    def test_resume_journal_byte_identical(
+        self, k, tmp_path, monkeypatch, baseline_journal
+    ):
+        """Die after any window; the resumed session's journal equals
+        the uninterrupted run's, byte for byte — faults included."""
+        run_until_checkpoint(k, tmp_path, monkeypatch)
+        resumed = run_online(
+            fresh_framework(), BUDGET, OnlineConfig(confirm_windows=2),
+            checkpoint_dir=tmp_path, resume=True,
+        )
+        assert resumed.journal_lines() == baseline_journal
+
+    def test_resume_skips_settled_windows(self, tmp_path, monkeypatch):
+        """After a crash at window k the resumed session re-executes
+        only the remaining windows (counted via checkpoint writes)."""
+        run_until_checkpoint(6, tmp_path, monkeypatch)
+        writes = []
+        real = daemon_mod.save_checkpoint
+
+        def counting(d, payload):
+            writes.append(payload["next_window"])
+            return real(d, payload)
+
+        monkeypatch.setattr(daemon_mod, "save_checkpoint", counting)
+        run_online(
+            fresh_framework(), BUDGET, OnlineConfig(confirm_windows=2),
+            checkpoint_dir=tmp_path, resume=True,
+        )
+        assert writes == list(range(7, 17))
+
+    def test_resume_from_completed_checkpoint_is_pure_replay(
+        self, tmp_path, baseline_journal
+    ):
+        config = OnlineConfig(confirm_windows=2)
+        run_online(
+            fresh_framework(), BUDGET, config, checkpoint_dir=tmp_path
+        )
+        replayed = run_online(
+            fresh_framework(), BUDGET, config,
+            checkpoint_dir=tmp_path, resume=True,
+        )
+        assert replayed.journal_lines() == baseline_journal
+        assert load_checkpoint(tmp_path)["completed"] is True
+
+    def test_without_resume_flag_checkpoint_is_overwritten(
+        self, tmp_path, monkeypatch, baseline_journal
+    ):
+        """checkpoint_dir without resume starts from scratch (and still
+        produces the same journal, because the loop is deterministic)."""
+        run_until_checkpoint(3, tmp_path, monkeypatch)
+        run = run_online(
+            fresh_framework(), BUDGET, OnlineConfig(confirm_windows=2),
+            checkpoint_dir=tmp_path,
+        )
+        assert run.journal_lines() == baseline_journal
+
+    def test_fresh_dir_resume_runs_from_scratch(
+        self, tmp_path, baseline_journal
+    ):
+        run = run_online(
+            fresh_framework(), BUDGET, OnlineConfig(confirm_windows=2),
+            checkpoint_dir=tmp_path / "empty", resume=True,
+        )
+        assert run.journal_lines() == baseline_journal
+
+
+class TestSessionIdentity:
+    def test_foreign_session_checkpoint_refused(self, tmp_path):
+        """A checkpoint written under one budget must not restore a
+        session with another — refuse, like the sweep journal does."""
+        config = OnlineConfig(confirm_windows=2)
+        run_online(
+            fresh_framework(), BUDGET, config, checkpoint_dir=tmp_path
+        )
+        with pytest.raises(CheckpointError, match="different online session"):
+            run_online(
+                fresh_framework(), 2 * BUDGET, config,
+                checkpoint_dir=tmp_path, resume=True,
+            )
+
+    def test_different_fault_plan_changes_nothing_but_key_inputs(self):
+        """session_key pins every identity input separately."""
+        base = dict(
+            application="a", budget_real=1, seed=0,
+            config={"x": 1}, trace_fingerprint="f",
+        )
+        key = session_key(**base)
+        assert key == session_key(**base)
+        for field, value in [
+            ("application", "b"),
+            ("budget_real", 2),
+            ("seed", 1),
+            ("config", {"x": 2}),
+            ("trace_fingerprint", "g"),
+        ]:
+            assert session_key(**{**base, field: value}) != key
+
+
+class TestDurability:
+    def test_missing_checkpoint_is_none(self, tmp_path):
+        assert load_checkpoint(tmp_path) is None
+
+    def test_corrupt_checkpoint_detected(self, tmp_path):
+        save_checkpoint(tmp_path, {"schema": 1, "x": 1})
+        path = checkpoint_path(tmp_path)
+        raw = path.read_text()
+        path.write_text(raw.replace('"x"', '"y"'))  # CRC now stale
+        with pytest.raises(CheckpointError, match="damaged"):
+            load_checkpoint(tmp_path)
+
+    def test_wrong_record_type_refused(self, tmp_path):
+        from repro.parallel.journal import encode_record
+
+        checkpoint_path(tmp_path).write_text(
+            encode_record("sweep-cell", {"schema": 1}) + "\n"
+        )
+        with pytest.raises(CheckpointError, match="not an online checkpoint"):
+            load_checkpoint(tmp_path)
+
+    def test_unsupported_schema_refused(self, tmp_path):
+        save_checkpoint(tmp_path, {"schema": 999})
+        with pytest.raises(CheckpointError, match="schema"):
+            load_checkpoint(tmp_path)
+
+    def test_checkpoint_dir_must_be_a_directory(self, tmp_path):
+        clash = tmp_path / "file"
+        clash.write_text("not a dir")
+        with pytest.raises(CheckpointError, match="not a directory"):
+            save_checkpoint(clash, {"schema": 1})
+
+    def test_malformed_payload_refused_on_restore(self, tmp_path):
+        """A structurally valid checkpoint whose payload lies about
+        its session is refused before any state is touched."""
+        config = OnlineConfig(confirm_windows=2)
+        run_online(
+            fresh_framework(), BUDGET, config, checkpoint_dir=tmp_path
+        )
+        payload = load_checkpoint(tmp_path)
+        payload["session"] = "0" * 32
+        save_checkpoint(tmp_path, payload)
+        with pytest.raises(CheckpointError, match="different online session"):
+            run_online(
+                fresh_framework(), BUDGET, config,
+                checkpoint_dir=tmp_path, resume=True,
+            )

@@ -30,11 +30,26 @@ class TestConfig:
             {"n_windows": 0},
             {"confirm_windows": 0},
             {"migration_bandwidth": 0.0},
+            {"decision_deadline_seconds": 0.0},
+            {"migration_retries": -1},
+            {"migration_backoff_seconds": -0.1},
+            {"migration_error_budget": -1},
+            {"migration_circuit_threshold": 0},
+            {"window_pause_seconds": -1.0},
         ],
     )
     def test_rejects_bad_knobs(self, kwargs):
         with pytest.raises(ConfigError):
             OnlineConfig(**kwargs)
+
+    def test_window_seconds_and_n_windows_are_mutually_exclusive(self):
+        """Both knobs cut the same run; setting both is a
+        contradiction, not a preference order."""
+        with pytest.raises(ConfigError, match="pick one"):
+            OnlineConfig(window_seconds=5.0, n_windows=8)
+        # Each alone is fine (default n_windows does not conflict).
+        OnlineConfig(window_seconds=5.0)
+        OnlineConfig(n_windows=8)
 
 
 class TestDaemon:
@@ -134,6 +149,30 @@ class TestScoring:
         with pytest.raises(ConfigError):
             windowed_cost(
                 phaseshift_fw.app, phaseshift_fw.machine, bare, []
+            )
+
+    def test_rejects_zero_length_truth_window(self, phaseshift_fw):
+        """A [t, t) truth window has no midpoint on the schedule; its
+        misses would be silently misattributed — refuse instead."""
+        from dataclasses import replace
+
+        profiling = phaseshift_fw.profile()
+        truth = profiling.ground_truth
+        degenerate = replace(
+            truth.windows[0], t1=truth.windows[0].t0
+        )
+        broken = replace(
+            profiling,
+            ground_truth=replace(
+                truth, windows=(degenerate, *truth.windows[1:])
+            ),
+        )
+        with pytest.raises(ConfigError, match="zero-length"):
+            windowed_cost(
+                phaseshift_fw.app,
+                phaseshift_fw.machine,
+                broken,
+                [(0.0, 1.0, frozenset())],
             )
 
 

@@ -1,0 +1,171 @@
+"""Degraded sample windows: freeze semantics, watchdog, acceptance."""
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.faults import (
+    WINDOW_CORRUPT,
+    WINDOW_DROP,
+    WINDOW_LATE,
+    WINDOW_OK,
+    FaultPlan,
+)
+from repro.online import OnlineConfig, OnlineDaemon, run_online
+from repro.online.scoring import run_windowed
+from repro.pipeline.framework import HybridMemoryFramework
+from repro.units import MIB
+
+BUDGET = 32 * MIB
+
+
+class ScriptedInjector:
+    """Deterministic fate script for targeted degradation tests."""
+
+    def __init__(self, fates: dict[int, str]):
+        self.fates = fates
+
+    def window_fate(self, application: str, window_index: int) -> str:
+        return self.fates.get(window_index, WINDOW_OK)
+
+    def check_migration(self, *args) -> None:
+        return None
+
+
+def scripted_run(fates: dict[int, str], config=None):
+    framework = HybridMemoryFramework(get_app("phaseshift"), seed=0)
+    daemon = OnlineDaemon(framework, BUDGET, config)
+    daemon._injector = ScriptedInjector(fates)
+    return daemon.run()
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    return run_online(
+        HybridMemoryFramework(get_app("phaseshift"), seed=0), BUDGET
+    )
+
+
+class TestFreezeSemantics:
+    @pytest.mark.parametrize(
+        "fate,reason",
+        [
+            (WINDOW_DROP, "window-drop"),
+            (WINDOW_CORRUPT, "window-corrupt"),
+            (WINDOW_LATE, "window-late"),
+        ],
+    )
+    def test_degraded_window_freezes_placement(self, fate, reason):
+        run = scripted_run({2: fate})
+        degraded = run.decisions[2]
+        assert degraded.degraded
+        assert degraded.reason == reason
+        assert degraded.advised == ()
+        assert degraded.actions == ()
+        # Frozen: the applied set is exactly the previous window's.
+        assert degraded.applied == run.decisions[1].applied
+
+    def test_degraded_windows_counted_and_journalled(self):
+        run = scripted_run({2: WINDOW_DROP, 5: WINDOW_CORRUPT})
+        assert run.degraded_windows == 2
+        lines = run.journal_lines()
+        assert any("degraded=window-drop" in line for line in lines)
+        assert any("degraded=window-corrupt" in line for line in lines)
+        assert lines[-1].endswith("degraded_windows=2")
+
+    def test_daemon_recovers_after_outage(self, clean_run):
+        """Three consecutive lost windows must not derail the session:
+        the daemon still lands on hot_black by the end."""
+        run = scripted_run(
+            {6: WINDOW_DROP, 7: WINDOW_CORRUPT, 8: WINDOW_DROP}
+        )
+        assert run.degraded_windows == 3
+        assert run.decisions[-1].applied == ("hot_black",)
+        assert clean_run.decisions[-1].applied == ("hot_black",)
+
+    def test_late_batch_folds_into_next_window(self):
+        """A late window's samples surface in the next delta instead
+        of vanishing: after a late window the daemon keeps tracking
+        the regime (drop discards evidence, late only defers it)."""
+        late = scripted_run({9: WINDOW_LATE})
+        # Window 9 froze; window 10's delta spans both windows and
+        # still detects the post-shift regime.
+        assert late.decisions[9].degraded
+        assert late.decisions[10].advised == ("hot_black",)
+        assert late.decisions[-1].applied == ("hot_black",)
+
+    def test_degraded_window_decays_hysteresis(self):
+        """A streak built before an outage must not survive it at full
+        strength: with confirm=3 a degraded window in the middle of
+        the confirmation run delays the first promotion by two windows
+        (the lost window plus the decayed streak step)."""
+        clean = scripted_run({}, OnlineConfig(confirm_windows=3))
+        degraded = scripted_run({1: WINDOW_DROP},
+                                OnlineConfig(confirm_windows=3))
+        first_clean = min(a.window for a in clean.actions)
+        first_degraded = min(a.window for a in degraded.actions)
+        assert first_degraded == first_clean + 2
+
+
+class TestDecisionDeadline:
+    def test_overrun_freezes_like_a_lost_window(self):
+        """A clock that jumps 100s per reading blows any sub-100s
+        deadline: every window degrades with reason=deadline and no
+        migration is ever issued."""
+        framework = HybridMemoryFramework(get_app("phaseshift"), seed=0)
+        ticks = iter(range(0, 100_000, 100))
+        daemon = OnlineDaemon(
+            framework,
+            BUDGET,
+            OnlineConfig(decision_deadline_seconds=1.0),
+            clock=lambda: float(next(ticks)),
+        )
+        run = daemon.run()
+        assert run.degraded_windows == len(run.decisions)
+        assert all(d.reason == "deadline" for d in run.decisions)
+        assert run.migrated_bytes_real == 0
+
+    def test_no_deadline_by_default(self, clean_run):
+        """Default config has no watchdog, so wall-clock never touches
+        the journal (the determinism guarantee)."""
+        assert OnlineConfig().decision_deadline_seconds is None
+        assert clean_run.degraded_windows == 0
+
+
+class TestAcceptance:
+    def test_faulted_session_still_beats_one_shot(self):
+        """The ISSUE acceptance bar: 10% corrupted windows plus 5%
+        migration failures — the daemon never crashes, never
+        double-charges migrated bytes, and still beats the one-shot
+        placement at the 32 MiB budget."""
+        plan = FaultPlan(
+            seed=7, window_corrupt_rate=0.10, migration_failure_rate=0.05
+        )
+        framework = HybridMemoryFramework(
+            get_app("phaseshift"), seed=0, fault_plan=plan
+        )
+        outcome = run_windowed(framework, BUDGET)
+        run = outcome.run
+        assert run.migrated_bytes_real == sum(
+            a.bytes_real for a in run.actions
+        )
+        assert outcome.online_fom > outcome.one_shot_fom
+
+    def test_applied_placement_drives_the_schedule(self):
+        """Under heavy degradation the schedule in force during window
+        w+1 is exactly what window w's decision applied — rollbacks
+        and freezes included."""
+        plan = FaultPlan(
+            seed=11,
+            window_drop_rate=0.10,
+            window_corrupt_rate=0.10,
+            window_late_rate=0.10,
+            migration_failure_rate=0.40,
+        )
+        framework = HybridMemoryFramework(
+            get_app("phaseshift"), seed=0, fault_plan=plan
+        )
+        run = run_online(framework, BUDGET)
+        for decision, (_, _, sites) in zip(
+            run.decisions[:-1], run.schedule[1:]
+        ):
+            assert frozenset(decision.applied) == sites

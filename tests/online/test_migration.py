@@ -79,3 +79,125 @@ class TestHysteresisFilter:
     def test_rejects_zero_confirm(self):
         with pytest.raises(ConfigError):
             HysteresisFilter(confirm_windows=0)
+
+    def test_site_vanishing_mid_streak_resets_streak(self):
+        """A site that disappears from the window profile entirely
+        (freed, or gone cold below the advisor's floor) mid-streak
+        must re-earn its placement from scratch when it returns."""
+        h = HysteresisFilter(confirm_windows=3)
+        h.update(frozenset({"a"}))          # streak 2 of 3
+        h.update(frozenset({"a"}))
+        h.update(frozenset({"b"}))          # "a" vanished: streak gone
+        assert h.update(frozenset({"a"})) == frozenset()  # streak 1
+        assert h.update(frozenset({"a"})) == frozenset()  # streak 2
+        assert h.update(frozenset({"a"})) == frozenset({"a"})
+
+    def test_applied_site_vanishing_counts_toward_eviction(self):
+        """An *applied* site absent from the profile starts an eviction
+        streak — absence is evidence for demotion, not a no-op."""
+        h = HysteresisFilter(confirm_windows=2)
+        h.update(frozenset({"a"}))
+        h.update(frozenset({"a"}))
+        assert h.applied == frozenset({"a"})
+        h.update(frozenset({"b"}))          # a absent: eviction streak 1
+        assert h.update(frozenset({"b"})) == frozenset({"b"})
+
+
+class TestHysteresisDecay:
+    def test_decay_ages_streaks_by_one(self):
+        h = HysteresisFilter(confirm_windows=3)
+        h.update(frozenset({"a"}))
+        h.update(frozenset({"a"}))          # streak 2
+        h.decay()                           # back to 1
+        h.update(frozenset({"a"}))          # 2 again
+        assert h.applied == frozenset()
+        assert h.update(frozenset({"a"})) == frozenset({"a"})
+
+    def test_decay_drops_single_step_streaks(self):
+        h = HysteresisFilter(confirm_windows=2)
+        h.update(frozenset({"a"}))          # streak 1
+        h.decay()                           # dropped
+        assert h.update(frozenset({"a"})) == frozenset()  # back to 1
+
+    def test_decay_never_flips_placement(self):
+        h = HysteresisFilter(confirm_windows=1)
+        h.update(frozenset({"a"}))
+        for _ in range(5):
+            h.decay()
+        assert h.applied == frozenset({"a"})
+
+
+class TestHysteresisRollback:
+    def test_rollback_undoes_a_promotion(self):
+        h = HysteresisFilter(confirm_windows=1)
+        h.update(frozenset({"a"}))
+        assert h.applied == frozenset({"a"})
+        h.rollback("a")
+        assert h.applied == frozenset()
+
+    def test_rollback_undoes_an_eviction(self):
+        h = HysteresisFilter(confirm_windows=1)
+        h.update(frozenset({"a"}))
+        h.update(frozenset())
+        assert h.applied == frozenset()
+        h.rollback("a")
+        assert h.applied == frozenset({"a"})
+
+    def test_rolled_back_site_must_re_earn_the_move(self):
+        h = HysteresisFilter(confirm_windows=2)
+        h.update(frozenset({"a"}))
+        h.update(frozenset({"a"}))
+        h.rollback("a")
+        assert h.update(frozenset({"a"})) == frozenset()  # streak 1 again
+        assert h.update(frozenset({"a"})) == frozenset({"a"})
+
+
+class TestHysteresisState:
+    def test_round_trip(self):
+        h = HysteresisFilter(confirm_windows=3)
+        h.update(frozenset({"a", "b"}))
+        h.update(frozenset({"a"}))
+        restored = HysteresisFilter.from_state(h.to_state())
+        assert restored.applied == h.applied
+        assert restored._streaks == h._streaks
+        assert restored.confirm_windows == h.confirm_windows
+        # And it keeps evolving identically.
+        advice = frozenset({"a", "c"})
+        assert restored.update(advice) == h.update(advice)
+
+    def test_state_is_json_stable(self):
+        import json
+
+        h = HysteresisFilter(confirm_windows=2)
+        h.update(frozenset({"b", "a"}))
+        state = json.loads(json.dumps(h.to_state()))
+        assert HysteresisFilter.from_state(state).applied == h.applied
+
+    @pytest.mark.parametrize(
+        "state",
+        [
+            {},
+            {"confirm_windows": 0},
+            {"confirm_windows": "many"},
+            {"confirm_windows": 2, "streaks": {"a": "x"}},
+        ],
+    )
+    def test_malformed_state_rejected(self, state):
+        with pytest.raises(ConfigError):
+            HysteresisFilter.from_state(state)
+
+
+class TestMigrationFailure:
+    def test_rejects_unknown_direction(self):
+        from repro.online.migration import MigrationFailure
+
+        with pytest.raises(ConfigError):
+            MigrationFailure(site="a", direction="sideways", window=0,
+                             attempts=1, category="transient")
+
+    def test_rejects_zero_attempts(self):
+        from repro.online.migration import MigrationFailure
+
+        with pytest.raises(ConfigError):
+            MigrationFailure(site="a", direction=PROMOTE, window=0,
+                             attempts=0, category="transient")

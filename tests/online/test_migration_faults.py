@@ -1,0 +1,168 @@
+"""Migration failure injection: retry, rollback, circuit, budget."""
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.errors import (
+    CATEGORY_DETERMINISTIC,
+    CATEGORY_TRANSIENT,
+    MigrationError,
+    TransientMigrationError,
+    classify_error,
+)
+from repro.faults import FaultPlan
+from repro.online import OnlineConfig, run_online
+from repro.pipeline.framework import HybridMemoryFramework
+from repro.units import MIB
+
+BUDGET = 32 * MIB
+
+
+def faulted_run(plan: FaultPlan, config=None, app="phaseshift"):
+    framework = HybridMemoryFramework(get_app(app), seed=0, fault_plan=plan)
+    return run_online(framework, BUDGET, config)
+
+
+class TestTaxonomy:
+    def test_migration_errors_classify(self):
+        deterministic = MigrationError(
+            "pinned", site="a", direction="promote", window=3
+        )
+        transient = TransientMigrationError(
+            "pressure", site="a", direction="promote", window=3
+        )
+        assert classify_error(deterministic) == CATEGORY_DETERMINISTIC
+        assert classify_error(transient) == CATEGORY_TRANSIENT
+        assert "site=a" in str(deterministic)
+        assert "window=3" in str(deterministic)
+
+
+class TestTransientRetry:
+    def test_retries_clear_transient_failures(self):
+        """sticky_fraction=0 makes every failure transient; each retry
+        draws fresh, so some migrations succeed on a later attempt."""
+        plan = FaultPlan(
+            seed=3, migration_failure_rate=0.8, migration_sticky_fraction=0.0
+        )
+        run = faulted_run(plan)
+        assert run.migration_retries_used > 0
+        assert run.actions  # retried moves actually landed
+        assert run.migrated_bytes_real == sum(
+            a.bytes_real for a in run.actions
+        )
+
+    def test_attempts_bounded_by_retry_knob(self):
+        plan = FaultPlan(
+            seed=3, migration_failure_rate=0.9, migration_sticky_fraction=0.0
+        )
+        config = OnlineConfig(migration_retries=1)
+        run = faulted_run(plan, config)
+        for failure in run.failures:
+            assert failure.attempts <= config.migration_retries + 1
+
+    def test_error_budget_zero_fails_fast(self):
+        plan = FaultPlan(
+            seed=3, migration_failure_rate=0.9, migration_sticky_fraction=0.0
+        )
+        run = faulted_run(plan, OnlineConfig(migration_error_budget=0))
+        assert run.migration_retries_used == 0
+        for failure in run.failures:
+            assert failure.attempts == 1
+
+    def test_retries_capped_by_error_budget(self):
+        plan = FaultPlan(
+            seed=3, migration_failure_rate=0.9, migration_sticky_fraction=0.0
+        )
+        run = faulted_run(plan, OnlineConfig(migration_error_budget=2))
+        assert run.migration_retries_used <= 2
+
+
+class TestDeterministicRollback:
+    #: Every migration fails deterministically; breaker disabled so
+    #: the rollback path is exercised on every window.
+    PLAN = FaultPlan(
+        seed=1, migration_failure_rate=1.0, migration_sticky_fraction=1.0
+    )
+    CONFIG = OnlineConfig(migration_circuit_threshold=None)
+
+    def test_rollback_keeps_placement_and_bytes_consistent(self):
+        run = faulted_run(self.PLAN, self.CONFIG)
+        assert run.actions == []
+        assert run.migrated_bytes_real == 0
+        assert run.migration_failures > 0
+        # Nothing ever moved: every applied set is empty.
+        assert all(d.applied == () for d in run.decisions)
+
+    def test_deterministic_failures_never_retry(self):
+        run = faulted_run(self.PLAN, self.CONFIG)
+        assert run.migration_retries_used == 0
+        for failure in run.failures:
+            assert failure.attempts == 1
+            assert failure.category == CATEGORY_DETERMINISTIC
+
+    def test_rolled_back_site_retried_next_window(self):
+        """Rollback clears the hysteresis streak, so a still-advised
+        site is re-attempted on later windows (with a fresh per-window
+        failure draw)."""
+        run = faulted_run(self.PLAN, self.CONFIG)
+        windows = {f.window for f in run.failures if f.site == "hot_red"}
+        assert len(windows) > 1
+
+    def test_failures_journalled(self):
+        run = faulted_run(self.PLAN, self.CONFIG)
+        lines = run.journal_lines()
+        assert any(
+            "failed=promote:hot_red:deterministic@1" in line
+            for line in lines
+        )
+        assert lines[-1].startswith(
+            f"migration_failures={run.migration_failures}"
+        )
+
+
+class TestCircuitBreaker:
+    PLAN = FaultPlan(
+        seed=1, migration_failure_rate=1.0, migration_sticky_fraction=1.0
+    )
+
+    def test_circuit_opens_and_freezes_migrations(self):
+        run = faulted_run(self.PLAN, OnlineConfig(migration_circuit_threshold=2))
+        assert run.circuit_open
+        assert run.migration_failures == 2  # exactly threshold, then frozen
+        frozen = [d for d in run.decisions if d.reason == "circuit-open"]
+        assert frozen
+        for decision in frozen:
+            assert decision.actions == ()
+            assert decision.failed == ()
+            assert not decision.degraded
+
+    def test_advice_continues_while_circuit_open(self):
+        run = faulted_run(self.PLAN, OnlineConfig(migration_circuit_threshold=2))
+        frozen = [d for d in run.decisions if d.reason == "circuit-open"]
+        assert any(d.advised for d in frozen)
+
+    def test_journal_reports_open_circuit(self):
+        run = faulted_run(self.PLAN, OnlineConfig(migration_circuit_threshold=2))
+        lines = run.journal_lines()
+        assert any("frozen=circuit-open" in line for line in lines)
+        assert "circuit=open" in lines[-1]
+
+    def test_breaker_disabled_with_none(self):
+        run = faulted_run(self.PLAN, OnlineConfig(migration_circuit_threshold=None))
+        assert not run.circuit_open
+        assert run.migration_failures > 2
+
+
+class TestBackoffDeterminism:
+    def test_backoff_never_touches_the_journal(self):
+        """Retry sleeps are wall-clock only: a run with backoff emits
+        the same journal as one without."""
+        plan = FaultPlan(
+            seed=3, migration_failure_rate=0.8, migration_sticky_fraction=0.0
+        )
+        fast = faulted_run(plan, OnlineConfig())
+        slow = faulted_run(
+            plan, OnlineConfig(migration_backoff_seconds=0.001)
+        )
+        assert fast.journal_lines() == slow.journal_lines()
+        assert fast.migration_retries_used > 0

@@ -274,3 +274,36 @@ class TestBenchFlow:
              "--baseline", str(tmp_path / "ghost.json")]
         ) == 1
         assert "cannot read baseline" in capsys.readouterr().err
+
+
+class TestOnlineFlow:
+    def test_online_journal_and_resume_flags(self, tmp_path, capsys):
+        from repro.cli.main import online_main
+
+        plan = tmp_path / "plan.json"
+        FaultPlan(
+            seed=7, window_corrupt_rate=0.10, migration_failure_rate=0.05
+        ).save(plan)
+        journal = tmp_path / "decisions.journal"
+        checkpoints = tmp_path / "ckpt"
+        args = [
+            "phaseshift", "--budget", "32M", "--fault-plan", str(plan),
+            "--journal", str(journal), "--checkpoint-dir", str(checkpoints),
+        ]
+        assert online_main(args) == 0
+        out = capsys.readouterr().out
+        assert "degraded:" in out
+        first = journal.read_bytes()
+        assert first.startswith(b"# repro-online phaseshift")
+        # Resuming a completed session replays it byte-identically.
+        assert online_main([*args, "--resume"]) == 0
+        assert journal.read_bytes() == first
+
+    def test_online_rejects_window_conflict(self, capsys):
+        from repro.cli.main import online_main
+
+        assert online_main(
+            ["phaseshift", "--budget", "32M",
+             "--window", "5.0", "--windows", "8"]
+        ) == 1
+        assert "pick one" in capsys.readouterr().err
