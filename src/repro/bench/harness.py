@@ -488,6 +488,180 @@ def _bench_online_readvise(
     )
 
 
+def _windowed_cost_reference(app, machine, profiling, schedule):
+    """The pre-bisect ``windowed_cost``: O(windows x schedule) linear
+    rescans. Kept verbatim as the oracle the bisect path must match
+    bit-for-bit (same accumulation order, so equality is exact)."""
+    from repro.machine.performance import ExecutionModel, PlacedTraffic
+    from repro.placement.policies import _total_traffic_bytes
+
+    truth = profiling.ground_truth
+    total = _total_traffic_bytes(app, machine)
+    cal = app.calibration
+    lookup = sorted(schedule)
+    fast = 0.0
+    if truth.total_misses > 0:
+        for window in truth.windows:
+            misses = window.total_misses
+            if misses == 0:
+                continue
+            midpoint = (window.t0 + window.t1) / 2.0
+            active = frozenset()
+            for t0, _, sites in lookup:
+                if t0 <= midpoint:
+                    active = sites
+                else:
+                    break
+            fast_misses = sum(
+                count
+                for site, count in window.misses_by_site.items()
+                if site in active
+            )
+            fast += total * (misses / truth.total_misses) * (fast_misses / misses)
+    traffic = PlacedTraffic(
+        by_tier={
+            machine.fast_tier.name: fast,
+            machine.slow_tier.name: total - fast,
+        }
+    )
+    return ExecutionModel(machine).cost(
+        traffic, compute_time=cal.compute_time, work=cal.work
+    )
+
+
+def _make_scoring_workload(n_windows: int, n_entries: int, seed: int):
+    """Synthetic truth timeline + placement schedule for the scorer."""
+    from types import SimpleNamespace
+
+    from repro.apps.base import WindowTruth
+    from repro.apps.registry import get_app
+
+    rng = np.random.default_rng(seed)
+    app = get_app("phaseshift")
+    horizon = app.calibration.ddr_time
+    site_pool = [o.name for o in app.objects if not o.static]
+    edges = np.linspace(0.0, horizon, n_windows + 1)
+    windows = [
+        WindowTruth(
+            t0=float(edges[i]),
+            t1=float(edges[i + 1]),
+            misses_by_site={
+                site: int(count)
+                for site, count in zip(
+                    site_pool,
+                    rng.integers(0, 500, size=len(site_pool)),
+                )
+            },
+        )
+        for i in range(n_windows)
+    ]
+    total = sum(w.total_misses for w in windows)
+    truth = SimpleNamespace(windows=windows, total_misses=total)
+    starts = np.sort(
+        rng.uniform(0.0, horizon, size=n_entries - 1)
+    )
+    schedule = [(0.0, float(starts[0]), frozenset(site_pool[:1]))]
+    for i, t0 in enumerate(starts):
+        t1 = float(starts[i + 1]) if i + 1 < starts.size else horizon
+        picks = rng.choice(
+            len(site_pool),
+            size=int(rng.integers(0, len(site_pool) + 1)),
+            replace=False,
+        )
+        schedule.append(
+            (float(t0), t1, frozenset(site_pool[int(p)] for p in picks))
+        )
+    return app, SimpleNamespace(ground_truth=truth), schedule
+
+
+def _bench_windowed_scoring(
+    report: BenchReport, n_windows: int, seed: int, repeats: int
+) -> None:
+    """Bisect schedule lookup vs the linear-rescan oracle.
+
+    The cluster layer scores thousands of (truth, schedule) pairs, so
+    ``windowed_cost``'s inner lookup is hot; this stage pins the
+    bisect rewrite to the scan's exact ``RunCost`` while timing it.
+    """
+    from repro.online.scoring import windowed_cost
+
+    n_entries = max(8, n_windows // 4)
+    app, profiling, schedule = _make_scoring_workload(
+        n_windows, n_entries, seed
+    )
+    machine = xeon_phi_7250()
+    ref_seconds, ref_cost = _time(
+        lambda: _windowed_cost_reference(app, machine, profiling, schedule),
+        1,
+    )
+    vec_seconds, vec_cost = _time(
+        lambda: windowed_cost(app, machine, profiling, schedule), repeats
+    )
+    if vec_cost != ref_cost:
+        raise ReproError(
+            "bisect windowed_cost diverged from the linear-scan oracle"
+        )
+    report.record(
+        BenchRecord(
+            stage="windowed_scoring",
+            scenario=f"windows-{n_windows}",
+            mode=report.mode,
+            n=n_windows,
+            seconds=vec_seconds,
+            throughput=n_windows / vec_seconds,
+            reference_seconds=ref_seconds,
+            speedup=ref_seconds / vec_seconds,
+        )
+    )
+
+
+def _bench_cluster_schedule(
+    report: BenchReport, n_arrivals: int, seed: int, repeats: int
+) -> None:
+    """End-to-end cluster event loop on a fixed-seed fleet.
+
+    No oracle exists (the simulator *is* the reference); instead the
+    stage asserts the run's own invariants — contention charged
+    (aggregate FOM bounded by the isolated sum) and a sane fairness
+    index — while timing arrivals through the full admit / contend /
+    depart / re-advise pipeline.
+    """
+    from repro.cluster import ArrivalStream, ClusterSim, make_fleet
+
+    fleet = make_fleet(2, 320 * MIB)
+    stream = ArrivalStream(
+        seed=seed,
+        n_arrivals=n_arrivals,
+        rate=0.2,
+        mix=("phaseshift", "minife", "cgpop"),
+    )
+
+    def run():
+        sim = ClusterSim(fleet, stream)
+        return sim.run()
+
+    seconds, run_report = _time(run, repeats)
+    if run_report.aggregate_fom > run_report.aggregate_fom_isolated:
+        raise ReproError(
+            "cluster bench: aggregate FOM exceeds the isolated bound "
+            "(contention not charged)"
+        )
+    if not 0.0 <= run_report.fairness <= 1.0:
+        raise ReproError(
+            f"cluster bench: fairness {run_report.fairness} outside [0,1]"
+        )
+    report.record(
+        BenchRecord(
+            stage="cluster_schedule",
+            scenario="fleet-2x320M",
+            mode=report.mode,
+            n=n_arrivals,
+            seconds=seconds,
+            throughput=n_arrivals / seconds,
+        )
+    )
+
+
 # ---------------------------------------------------------------------------
 # Entry point + regression gate
 # ---------------------------------------------------------------------------
@@ -535,6 +709,12 @@ def run_bench(
     _bench_attribution(report, n_attr, seed, repeats=1 if quick else repeats)
     _bench_online_readvise(
         report, n_attr, seed, repeats=1 if quick else repeats
+    )
+    n_windows = 2_000 if quick else 20_000
+    _bench_windowed_scoring(report, n_windows, seed, repeats)
+    n_arrivals = 24 if quick else 96
+    _bench_cluster_schedule(
+        report, n_arrivals, seed, repeats=1 if quick else min(repeats, 3)
     )
     return report
 

@@ -651,6 +651,118 @@ def online_main(argv: list[str] | None = None) -> int:
 
 
 # ---------------------------------------------------------------------------
+# repro-cluster
+# ---------------------------------------------------------------------------
+
+
+def cluster_main(argv: list[str] | None = None) -> int:
+    """Simulate multi-tenant placement on a fleet of hybrid nodes."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cluster",
+        description="Seeded discrete-event simulation of application "
+        "instances arriving on a fleet of hybrid-memory nodes: a "
+        "pluggable scheduler admits jobs to nodes, the knapsack "
+        "advisor packs each tenant's objects into its granted slice "
+        "of the node's MCDRAM budget, co-residents split delivered "
+        "bandwidth, and departures re-advise the freed capacity to "
+        "survivors. Reports aggregate FOM, HBW fragmentation, Jain "
+        "fairness and queueing delay.",
+    )
+    parser.add_argument("--nodes", type=int, default=4,
+                        help="fleet size (default 4)")
+    parser.add_argument("--node-budget", type=parse_size, default="512M",
+                        metavar="BYTES",
+                        help="schedulable MCDRAM per node "
+                        "(default 512M)")
+    parser.add_argument("--arrivals", type=int, default=32,
+                        help="jobs in the arrival trace (default 32)")
+    parser.add_argument("--rate", type=float, default=0.1,
+                        help="mean arrivals per simulated second "
+                        "(default 0.1)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scheduler", default="first-fit",
+                        help="node-selection policy "
+                        "(first-fit, best-fit, load-aware)")
+    parser.add_argument("--strategy", default="misses-0%",
+                        choices=STRATEGY_NAMES,
+                        help="object-selection strategy the advisor "
+                        "packs each grant with (default misses-0%%)")
+    parser.add_argument("--apps", default=None, metavar="A,B,...",
+                        help="comma-separated workload mix (default: "
+                        "all Table I apps plus phaseshift)")
+    parser.add_argument("--min-grant-fraction", type=float, default=0.5,
+                        metavar="F",
+                        help="smallest acceptable grant as a fraction "
+                        "of the demand (default 0.5)")
+    parser.add_argument("--hysteresis", type=int, default=1,
+                        metavar="N",
+                        help="re-advise confirmations before a "
+                        "survivor's sites actually move (default 1)")
+    parser.add_argument("--migration-bw", type=parse_size, default=None,
+                        metavar="BYTES/S",
+                        help="tier-to-tier migration bandwidth "
+                        "(default: the 10 GiB/s page-migration "
+                        "constant)")
+    parser.add_argument("--journal", type=Path, default=None,
+                        help="write the byte-deterministic decision "
+                        "journal to this file (what CI diffs)")
+    parser.add_argument("--report", type=Path, default=None,
+                        help="write the full ClusterReport JSON here")
+
+    def run(args) -> None:
+        from repro.cluster import ArrivalStream, ClusterSim, make_fleet
+        from repro.ioutil import atomic_write_text
+        from repro.machine.performance import MIGRATION_BANDWIDTH_DEFAULT
+
+        mix_kwargs = {}
+        if args.apps is not None:
+            mix_kwargs["mix"] = tuple(
+                name.strip() for name in args.apps.split(",") if name.strip()
+            )
+        stream = ArrivalStream(
+            seed=args.seed,
+            n_arrivals=args.arrivals,
+            rate=args.rate,
+            **mix_kwargs,
+        )
+        sim = ClusterSim(
+            make_fleet(args.nodes, args.node_budget),
+            stream,
+            scheduler=args.scheduler,
+            strategy=args.strategy,
+            min_grant_fraction=args.min_grant_fraction,
+            confirm_windows=args.hysteresis,
+            migration_bandwidth=(
+                float(args.migration_bw)
+                if args.migration_bw is not None
+                else MIGRATION_BANDWIDTH_DEFAULT
+            ),
+        )
+        report = sim.run()
+        print(f"{args.nodes} nodes x {args.arrivals} arrivals "
+              f"({sim.scheduler_name}/{args.strategy}, seed {args.seed}): "
+              f"{len(report.tenants)} completed, "
+              f"{report.n_rejected} rejected")
+        print(f"aggregate FOM {report.aggregate_fom:.1f} "
+              f"(isolated bound {report.aggregate_fom_isolated:.1f})")
+        print(f"fairness (Jain) {report.fairness:.4f}  "
+              f"fragmentation mean {report.mean_fragmentation:.4f} "
+              f"final {report.final_fragmentation:.4f}")
+        print(f"queueing delay {report.mean_queueing_delay:.2f}s  "
+              f"makespan {report.makespan:.1f}s  "
+              f"migrated {report.migrated_bytes} B  "
+              f"evicted {report.evicted_bytes} B")
+        if args.journal is not None:
+            atomic_write_text(args.journal, sim.journal_text())
+            print(f"journal -> {args.journal}")
+        if args.report is not None:
+            atomic_write_text(args.report, report.to_json())
+            print(f"report -> {args.report}")
+
+    return _run(parser, run, argv)
+
+
+# ---------------------------------------------------------------------------
 # repro-bench
 # ---------------------------------------------------------------------------
 
@@ -665,9 +777,9 @@ def bench_main(argv: list[str] | None = None) -> int:
         "fail on throughput regressions.",
     )
     parser.add_argument("-o", "--output", type=Path,
-                        default=Path("BENCH_PR6.json"),
+                        default=Path("BENCH_PR8.json"),
                         help="benchmark report to write "
-                        "(default BENCH_PR6.json)")
+                        "(default BENCH_PR8.json)")
     parser.add_argument("--quick", action="store_true",
                         help="~10x smaller streams (CI smoke mode)")
     parser.add_argument("--both", action="store_true",

@@ -1,0 +1,107 @@
+"""Trace-driven arrival stream: the cluster's load generator.
+
+The "millions of users" scenario (ROADMAP item 2) needs app instances
+arriving over time, each asking for a slice of some node's MCDRAM.
+:class:`ArrivalStream` synthesises that trace deterministically from a
+seed: exponential inter-arrival times (a Poisson process, the standard
+open-loop cluster load model), an app mix drawn over the registered
+workloads (the paper's Table I apps plus the synthetic ``phaseshift``
+churner), and an HBW demand drawn from the paper's budget ladder
+(Section IV's 32-256 MB per rank). The stream is a plain tuple of
+:class:`JobRequest` records, so a recorded production trace can be
+replayed through the same scheduler by constructing the requests
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.registry import APP_NAMES
+from repro.errors import ConfigError
+from repro.units import MIB
+
+#: Default workload mix: every Table I app plus the phase-shifting
+#: synthetic (its placement churns, which is what stresses survivor
+#: re-advising).
+DEFAULT_MIX: tuple[str, ...] = APP_NAMES + ("phaseshift",)
+
+#: The paper's per-rank budget ladder (Section IV-C).
+DEMAND_LADDER: tuple[int, ...] = (
+    32 * MIB,
+    64 * MIB,
+    128 * MIB,
+    256 * MIB,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class JobRequest:
+    """One tenant asking the cluster for a home."""
+
+    job_id: int
+    app: str
+    #: Simulated seconds since the run started.
+    arrival_time: float
+    #: Real bytes of fast memory the tenant asks for.
+    hbw_demand: int
+
+    def __post_init__(self) -> None:
+        if self.job_id < 0:
+            raise ConfigError(f"negative job id {self.job_id}")
+        if not self.app:
+            raise ConfigError("job needs an application name")
+        if self.arrival_time < 0:
+            raise ConfigError(f"negative arrival time {self.arrival_time}")
+        if self.hbw_demand <= 0:
+            raise ConfigError(
+                f"job {self.job_id}: demand must be positive"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class ArrivalStream:
+    """Seeded synthetic arrival trace.
+
+    ``rate`` is the mean arrivals per simulated second; one draw of
+    :meth:`generate` is fully determined by ``(seed, n_arrivals,
+    rate, mix, demands)`` — the cluster determinism guarantee starts
+    here.
+    """
+
+    seed: int = 0
+    n_arrivals: int = 32
+    rate: float = 0.1
+    mix: tuple[str, ...] = DEFAULT_MIX
+    demands: tuple[int, ...] = DEMAND_LADDER
+
+    def __post_init__(self) -> None:
+        if self.n_arrivals < 1:
+            raise ConfigError(
+                f"need at least one arrival, got {self.n_arrivals}"
+            )
+        if self.rate <= 0:
+            raise ConfigError(f"arrival rate must be positive: {self.rate}")
+        if not self.mix:
+            raise ConfigError("arrival mix needs at least one application")
+        if not self.demands or any(d <= 0 for d in self.demands):
+            raise ConfigError("demand ladder must be positive byte counts")
+
+    def generate(self) -> tuple[JobRequest, ...]:
+        """The arrival trace (sorted by time, ids in arrival order)."""
+        rng = np.random.default_rng(self.seed)
+        gaps = rng.exponential(scale=1.0 / self.rate, size=self.n_arrivals)
+        times = np.cumsum(gaps)
+        apps = rng.choice(len(self.mix), size=self.n_arrivals)
+        demands = rng.choice(len(self.demands), size=self.n_arrivals)
+        return tuple(
+            JobRequest(
+                job_id=i,
+                app=self.mix[int(apps[i])],
+                arrival_time=float(times[i]),
+                hbw_demand=int(self.demands[int(demands[i])]),
+            )
+            for i in range(self.n_arrivals)
+        )

@@ -1,0 +1,519 @@
+"""The cluster simulation: joint node + tier placement under churn.
+
+One :class:`ClusterSim` run processes an arrival trace through a
+discrete-event loop:
+
+* **arrival** — a scheduler policy picks the node (or queues the
+  job), the node grants the largest contiguous HBW extent up to the
+  demand, and the existing knapsack advisor decides *which objects*
+  of that tenant live in the granted fast budget;
+* **completion** — endogenous: each tenant carries its application's
+  calibrated work, and progresses at the FOM its current placement
+  and co-tenancy deliver, so departures emerge from the performance
+  model instead of an exogenous duration draw;
+* **contention** — co-resident tenants split each tier's delivered
+  bandwidth evenly. Charging tenant ``i`` of ``k`` co-residents its
+  traffic against ``B/k`` is identical to charging ``k x`` its
+  traffic against ``B``, which is how the existing
+  :class:`~repro.machine.performance.ExecutionModel` is reused
+  unchanged — and it guarantees co-located FOM never exceeds
+  isolated FOM;
+* **departure re-advising** — freed HBW first admits queued jobs
+  (arrivals outrank expansion), then surviving tenants whose grant
+  trails their demand re-run the advisor at the larger budget; the
+  placement diff goes through the online layer's
+  :class:`~repro.online.migration.HysteresisFilter` and
+  :func:`~repro.online.migration.diff_placements`, and promoted
+  bytes stall the survivor at the page-migration bandwidth.
+
+Every decision appends one line to a byte-deterministic journal
+(sorted site sets, fixed float formats, no wall-clock input), the
+cluster analogue of the online daemon's per-window journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.registry import get_app
+from repro.cluster.arrivals import ArrivalStream, JobRequest
+from repro.cluster.events import ARRIVAL, COMPLETE, EventQueue, SimClock
+from repro.cluster.metrics import (
+    ClusterReport,
+    FragmentationTracker,
+    TenantOutcome,
+)
+from repro.cluster.node import Extent, ExtentAllocator, NodeSpec
+from repro.cluster.scheduler import SchedulerPolicy, get_scheduler
+from repro.errors import ConfigError
+from repro.machine.performance import (
+    MIGRATION_BANDWIDTH_DEFAULT,
+    ExecutionModel,
+    PlacedTraffic,
+)
+from repro.online.migration import HysteresisFilter, diff_placements
+from repro.pipeline.framework import HybridMemoryFramework
+from repro.placement.policies import traffic_for_sites
+
+
+@dataclass
+class Tenant:
+    """One admitted job's live state."""
+
+    request: JobRequest
+    node: "NodeState"
+    extent: Extent
+    grant: int
+    sites: frozenset[str]
+    #: Single-tenant tier split of this tenant's calibrated traffic.
+    traffic: PlacedTraffic
+    #: Best contention-free FOM over the placements this tenant has
+    #: held (the fairness reference; achieved FOM can never beat it).
+    fom_isolated: float
+    hysteresis: HysteresisFilter
+    admission_time: float
+    progress: float = 0.0
+    rate: float = 0.0
+    last_update: float = 0.0
+    #: Migration stalls pause progress until this instant.
+    stall_until: float = 0.0
+    #: Bumped on every reschedule; stale completion events are skipped.
+    generation: int = 0
+
+    @property
+    def job_id(self) -> int:
+        return self.request.job_id
+
+    def sync(self, now: float) -> None:
+        """Fold progress up to ``now`` (stall time earns nothing)."""
+        start = max(self.last_update, min(self.stall_until, now))
+        if now > start:
+            self.progress += self.rate * (now - start)
+        self.last_update = now
+
+
+@dataclass
+class NodeState:
+    """One node's live tenancy and HBW hole structure."""
+
+    spec: NodeSpec
+    allocator: ExtentAllocator
+    tenants: dict[int, Tenant] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def largest_free(self) -> int:
+        return self.allocator.largest_free
+
+    @property
+    def total_free(self) -> int:
+        return self.allocator.total_free
+
+    @property
+    def n_tenants(self) -> int:
+        return len(self.tenants)
+
+    def residents(self) -> list[Tenant]:
+        """Tenants in deterministic (job id) order."""
+        return [self.tenants[j] for j in sorted(self.tenants)]
+
+
+def _fmt_sites(sites: frozenset[str] | tuple[str, ...]) -> str:
+    ordered = sorted(sites) if isinstance(sites, frozenset) else list(sites)
+    return ",".join(ordered) if ordered else "-"
+
+
+class ClusterSim:
+    """Seeded multi-tenant placement simulation over a node fleet."""
+
+    def __init__(
+        self,
+        nodes: tuple[NodeSpec, ...],
+        arrivals: ArrivalStream,
+        scheduler: SchedulerPolicy | str = "first-fit",
+        strategy: str = "misses-0%",
+        min_grant_fraction: float = 0.5,
+        confirm_windows: int = 1,
+        migration_bandwidth: float = MIGRATION_BANDWIDTH_DEFAULT,
+        clock: SimClock | None = None,
+    ) -> None:
+        if not nodes:
+            raise ConfigError("cluster needs at least one node")
+        names = [n.name for n in nodes]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate node names: {names}")
+        if not 0.0 < min_grant_fraction <= 1.0:
+            raise ConfigError(
+                f"min grant fraction must be in (0,1], got "
+                f"{min_grant_fraction}"
+            )
+        if migration_bandwidth <= 0:
+            raise ConfigError("migration bandwidth must be positive")
+        self.scheduler_name = (
+            scheduler if isinstance(scheduler, str) else scheduler.__name__
+        )
+        self.scheduler = (
+            get_scheduler(scheduler) if isinstance(scheduler, str) else scheduler
+        )
+        self.arrivals = arrivals
+        self.strategy = strategy
+        self.min_grant_fraction = min_grant_fraction
+        self.confirm_windows = confirm_windows
+        self.migration_bandwidth = migration_bandwidth
+        self.clock = clock or SimClock()
+        self.nodes = [
+            NodeState(spec=spec, allocator=ExtentAllocator(spec.hbw_budget))
+            for spec in nodes
+        ]
+        self.events = EventQueue()
+        self.queue: list[JobRequest] = []
+        self.journal: list[str] = []
+        self.outcomes: list[TenantOutcome] = []
+        self.rejected: list[int] = []
+        self.migrated_bytes = 0
+        self.evicted_bytes = 0
+        self.fragmentation = FragmentationTracker()
+        #: One framework per (app, machine) — profile/analyze once.
+        self._frameworks: dict[tuple[str, str], HybridMemoryFramework] = {}
+        #: Advisor decisions are pure in (app, machine, grant,
+        #: strategy); memoised so churny fleets stay cheap.
+        self._sites_cache: dict[tuple[str, str, int, str], frozenset[str]] = {}
+        self._models: dict[str, ExecutionModel] = {}
+
+    # -- shared per-app machinery ---------------------------------------
+
+    def _framework(self, app_name: str, node: NodeState) -> HybridMemoryFramework:
+        key = (app_name, node.spec.machine.name)
+        fw = self._frameworks.get(key)
+        if fw is None:
+            fw = HybridMemoryFramework(
+                get_app(app_name),
+                machine=node.spec.machine,
+                seed=self.arrivals.seed,
+            )
+            self._frameworks[key] = fw
+        return fw
+
+    def _placement_sites(
+        self, app_name: str, node: NodeState, grant: int
+    ) -> frozenset[str]:
+        key = (app_name, node.spec.machine.name, grant, self.strategy)
+        sites = self._sites_cache.get(key)
+        if sites is None:
+            fw = self._framework(app_name, node)
+            sites = fw.placement_sites(grant, self.strategy)
+            self._sites_cache[key] = sites
+        return sites
+
+    def _model(self, node: NodeState) -> ExecutionModel:
+        machine = node.spec.machine
+        model = self._models.get(machine.name)
+        if model is None:
+            model = ExecutionModel(machine)
+            self._models[machine.name] = model
+        return model
+
+    def _cost(self, tenant: Tenant, co_residents: int):
+        """Tenant's run cost when ``co_residents`` share its node.
+
+        An even bandwidth split ``B/k`` is charged by scaling the
+        tenant's traffic by ``k`` against the full-node saturation
+        curve — ``k * bytes / B == bytes / (B/k)``.
+        """
+        traffic = tenant.traffic
+        if co_residents > 1:
+            traffic = PlacedTraffic(
+                by_tier={
+                    name: nbytes * co_residents
+                    for name, nbytes in traffic.by_tier.items()
+                }
+            )
+        fw = self._framework(tenant.request.app, tenant.node)
+        cal = fw.app.calibration
+        return self._model(tenant.node).cost(
+            traffic,
+            compute_time=cal.compute_time,
+            work=cal.work,
+            cores=tenant.node.spec.machine.cores,
+        )
+
+    # -- journal ---------------------------------------------------------
+
+    def _log(self, line: str) -> None:
+        self.journal.append(f"t={self.clock.now:.6f} {line}")
+
+    def _observe_fragmentation(self) -> None:
+        self.fragmentation.observe(
+            {n.name: n.allocator.fragmentation for n in self.nodes}
+        )
+
+    # -- scheduling mechanics -------------------------------------------
+
+    def _min_grant(self, request: JobRequest) -> int:
+        return max(1, int(request.hbw_demand * self.min_grant_fraction))
+
+    def _retime_node(self, node: NodeState) -> None:
+        """Re-derive every resident's rate and completion time."""
+        now = self.clock.now
+        k = node.n_tenants
+        for tenant in node.residents():
+            tenant.sync(now)
+            tenant.rate = self._cost(tenant, k).fom
+            fw = self._framework(tenant.request.app, node)
+            remaining = max(0.0, fw.app.calibration.work - tenant.progress)
+            finish = max(now, tenant.stall_until) + remaining / tenant.rate
+            tenant.generation += 1
+            self.events.push(
+                finish, COMPLETE, (tenant.job_id, tenant.generation)
+            )
+
+    def _admit(self, request: JobRequest, node: NodeState) -> Tenant:
+        now = self.clock.now
+        grant = min(request.hbw_demand, node.largest_free)
+        extent = node.allocator.alloc(grant)
+        if extent is None:  # pragma: no cover - largest_free guarantees fit
+            raise ConfigError(
+                f"node {node.name} lost the hole for job {request.job_id}"
+            )
+        sites = self._placement_sites(request.app, node, grant)
+        fw = self._framework(request.app, node)
+        traffic = traffic_for_sites(
+            fw.app, node.spec.machine, fw.profile(), sites
+        )
+        hysteresis = HysteresisFilter(self.confirm_windows)
+        for _ in range(self.confirm_windows):
+            hysteresis.update(sites)
+        tenant = Tenant(
+            request=request,
+            node=node,
+            extent=extent,
+            grant=grant,
+            sites=sites,
+            traffic=traffic,
+            fom_isolated=0.0,
+            hysteresis=hysteresis,
+            admission_time=now,
+            last_update=now,
+        )
+        tenant.fom_isolated = self._cost(tenant, 1).fom
+        node.tenants[request.job_id] = tenant
+        self._log(
+            f"admit job={request.job_id} node={node.name} grant={grant} "
+            f"offset={extent.offset} sites={_fmt_sites(sites)}"
+        )
+        return tenant
+
+    def _try_admit(self, request: JobRequest, queued: bool) -> bool:
+        """Place one request; queue or reject it if no node fits now."""
+        node = self.scheduler(self.nodes, self._min_grant(request))
+        if node is not None:
+            if queued:
+                delay = self.clock.now - request.arrival_time
+                self._log(
+                    f"dequeue job={request.job_id} wait={delay:.6f}"
+                )
+            self._admit(request, node)
+            self._retime_node(node)
+            return True
+        if queued:
+            return False
+        if self._min_grant(request) > max(
+            n.spec.hbw_budget for n in self.nodes
+        ):
+            self.rejected.append(request.job_id)
+            self._log(
+                f"reject job={request.job_id} app={request.app} "
+                f"demand={request.hbw_demand} reason=never-fits"
+            )
+        else:
+            self.queue.append(request)
+            self._log(
+                f"queue job={request.job_id} app={request.app} "
+                f"demand={request.hbw_demand}"
+            )
+        return False
+
+    def _drain_queue(self) -> None:
+        """FIFO pass over waiting jobs after capacity was freed."""
+        still_waiting: list[JobRequest] = []
+        for request in self.queue:
+            if not self._try_admit(request, queued=True):
+                still_waiting.append(request)
+        self.queue = still_waiting
+
+    def _readvise_survivors(self, node: NodeState) -> None:
+        """Grow under-granted survivors into the freed HBW."""
+        for tenant in node.residents():
+            if tenant.grant >= tenant.request.hbw_demand:
+                continue
+            node.allocator.free(tenant.extent)
+            new_grant = min(tenant.request.hbw_demand, node.largest_free)
+            extent = node.allocator.alloc(max(new_grant, tenant.grant))
+            if extent is None:  # pragma: no cover - freed hole refits
+                raise ConfigError(
+                    f"node {node.name} cannot re-seat job {tenant.job_id}"
+                )
+            if extent.size == tenant.grant:
+                tenant.extent = extent
+                continue
+            old_grant, tenant.extent = tenant.grant, extent
+            tenant.grant = extent.size
+            advised = self._placement_sites(
+                tenant.request.app, node, tenant.grant
+            )
+            applied = tenant.hysteresis.update(advised)
+            promotions, demotions = diff_placements(tenant.sites, applied)
+            fw = self._framework(tenant.request.app, node)
+            moved = sum(
+                fw.app.find_object(site).size for site in promotions
+            )
+            tenant.sites = applied
+            tenant.traffic = traffic_for_sites(
+                fw.app, node.spec.machine, fw.profile(), applied
+            )
+            tenant.fom_isolated = max(
+                tenant.fom_isolated, self._cost(tenant, 1).fom
+            )
+            if moved:
+                self.migrated_bytes += moved
+                stall = moved / self.migration_bandwidth
+                tenant.stall_until = (
+                    max(tenant.stall_until, self.clock.now) + stall
+                )
+            self._log(
+                f"readvise job={tenant.job_id} node={node.name} "
+                f"grant={old_grant}->{tenant.grant} "
+                f"promote={_fmt_sites(promotions)} "
+                f"demote={_fmt_sites(demotions)} migrated={moved}"
+            )
+
+    # -- event handlers --------------------------------------------------
+
+    def _on_arrival(self, request: JobRequest) -> None:
+        self._log(
+            f"arrive job={request.job_id} app={request.app} "
+            f"demand={request.hbw_demand}"
+        )
+        self._try_admit(request, queued=False)
+
+    def _on_complete(self, job_id: int, generation: int) -> None:
+        node = next(
+            (n for n in self.nodes if job_id in n.tenants), None
+        )
+        if node is None:
+            return  # already departed (stale event)
+        tenant = node.tenants[job_id]
+        if tenant.generation != generation:
+            return  # superseded by a retime
+        now = self.clock.now
+        tenant.sync(now)
+        del node.tenants[job_id]
+        node.allocator.free(tenant.extent)
+        evicted = sum(
+            self._framework(tenant.request.app, node)
+            .app.find_object(site)
+            .size
+            for site in sorted(tenant.sites)
+        )
+        self.evicted_bytes += evicted
+        residence = now - tenant.admission_time
+        fw = self._framework(tenant.request.app, node)
+        achieved = (
+            fw.app.calibration.work / residence if residence > 0 else 0.0
+        )
+        self.outcomes.append(
+            TenantOutcome(
+                job_id=tenant.job_id,
+                app=tenant.request.app,
+                node=node.name,
+                hbw_demand=tenant.request.hbw_demand,
+                hbw_granted=tenant.grant,
+                arrival_time=tenant.request.arrival_time,
+                admission_time=tenant.admission_time,
+                completion_time=now,
+                fom_isolated=tenant.fom_isolated,
+                fom_achieved=achieved,
+            )
+        )
+        self._log(
+            f"depart job={job_id} node={node.name} evicted={evicted} "
+            f"fom={achieved:.6f}"
+        )
+        self._drain_queue()
+        self._readvise_survivors(node)
+        self._retime_node(node)
+
+    # -- run -------------------------------------------------------------
+
+    def run(self) -> ClusterReport:
+        """Process the whole trace; returns the populated report."""
+        trace = self.arrivals.generate()
+        self.journal.append(
+            f"# repro-cluster nodes={len(self.nodes)} "
+            f"arrivals={len(trace)} seed={self.arrivals.seed} "
+            f"scheduler={self.scheduler_name} strategy={self.strategy} "
+            f"rate={self.arrivals.rate:.6f}"
+        )
+        for request in trace:
+            self.events.push(request.arrival_time, ARRIVAL, request)
+        while self.events:
+            event = self.events.pop()
+            self.clock.advance(event.time)
+            if event.kind == ARRIVAL:
+                self._on_arrival(event.payload)
+            elif event.kind == COMPLETE:
+                self._on_complete(*event.payload)
+            else:  # pragma: no cover
+                raise ConfigError(f"unknown event kind {event.kind!r}")
+            self._observe_fragmentation()
+        report = ClusterReport(
+            n_nodes=len(self.nodes),
+            n_arrivals=len(trace),
+            scheduler=self.scheduler_name,
+            strategy=self.strategy,
+            seed=self.arrivals.seed,
+            tenants=tuple(
+                sorted(self.outcomes, key=lambda t: t.job_id)
+            ),
+            rejected=tuple(self.rejected),
+            mean_fragmentation=self.fragmentation.mean,
+            final_fragmentation=self.fragmentation.last,
+            migrated_bytes=self.migrated_bytes,
+            evicted_bytes=self.evicted_bytes,
+            makespan=self.clock.now,
+        )
+        self.journal.append(
+            f"fragmentation mean={report.mean_fragmentation:.6f} "
+            f"final={report.final_fragmentation:.6f}"
+        )
+        self.journal.append(
+            f"fairness={report.fairness:.6f} "
+            f"aggregate_fom={report.aggregate_fom:.6f} "
+            f"isolated={report.aggregate_fom_isolated:.6f} "
+            f"rejected={report.n_rejected} "
+            f"migrated_bytes={report.migrated_bytes} "
+            f"evicted_bytes={report.evicted_bytes}"
+        )
+        return report
+
+    def journal_text(self) -> str:
+        """The full decision journal (what CI byte-compares)."""
+        return "\n".join(self.journal) + "\n"
+
+
+def run_cluster(
+    nodes: tuple[NodeSpec, ...],
+    arrivals: ArrivalStream,
+    scheduler: str = "first-fit",
+    strategy: str = "misses-0%",
+    **kwargs,
+) -> tuple[ClusterReport, str]:
+    """One-call convenience: (report, journal text)."""
+    sim = ClusterSim(
+        nodes, arrivals, scheduler=scheduler, strategy=strategy, **kwargs
+    )
+    report = sim.run()
+    return report, sim.journal_text()

@@ -18,6 +18,7 @@ is scored.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
@@ -33,11 +34,21 @@ def windowed_cost(
     schedule: list[tuple[float, float, frozenset[str]]],
     migrated_bytes_real: int = 0,
     migration_bandwidth: float = 0.0,
+    cold_start: bool = False,
 ) -> RunCost:
     """Score a ``(t0, t1, fast-sites)`` schedule on the true miss
     timeline. Stack and static traffic stays on the slow tier — the
     migration mechanism (like auto-hbwmalloc) only reaches heap
-    objects."""
+    objects.
+
+    A truth window whose midpoint falls *before* the first schedule
+    entry is not covered by any decision. With ``cold_start=True`` the
+    schedule is treated as starting at t=0 with nothing placed fast
+    (everything slow until the first entry takes effect — the physical
+    cold start of a daemon attached mid-run); without the opt-in an
+    uncovered window is a :class:`ConfigError` naming the window, not
+    a silent all-slow score.
+    """
     truth = profiling.ground_truth
     if not truth.windows:
         raise ConfigError("profiling run carries no per-window truth")
@@ -52,6 +63,10 @@ def windowed_cost(
     cal = app.calibration
 
     lookup = sorted(schedule)
+    # The cluster layer scores thousands of schedules: one bisect per
+    # truth window over the pre-extracted start times replaces the
+    # O(windows x schedule) rescanning linear lookup.
+    starts = [t0 for t0, _, _ in lookup]
     fast = 0.0
     if truth.total_misses > 0:
         for window in truth.windows:
@@ -59,12 +74,19 @@ def windowed_cost(
             if misses == 0:
                 continue
             midpoint = (window.t0 + window.t1) / 2.0
-            active: frozenset[str] = frozenset()
-            for t0, _, sites in lookup:
-                if t0 <= midpoint:
-                    active = sites
-                else:
-                    break
+            i = bisect_right(starts, midpoint) - 1
+            if i < 0:
+                if not cold_start:
+                    raise ConfigError(
+                        f"truth window [{window.t0},{window.t1}) lies "
+                        "before the first schedule entry "
+                        f"(t0={starts[0] if starts else None}); pass "
+                        "cold_start=True to score it as an explicit "
+                        "all-slow cold start"
+                    )
+                active: frozenset[str] = frozenset()
+            else:
+                active = lookup[i][2]
             fast_misses = sum(
                 count
                 for site, count in window.misses_by_site.items()
@@ -108,13 +130,7 @@ def evaluate_one_shot(
     """Score the batch profile-once-advise-once placement through the
     same windowed evaluator (constant schedule, no migrations —
     one-shot binding happens at allocation time)."""
-    report = framework.advise(budget_real, strategy)
-    site_of = framework.app.key_to_site_name()
-    sites = frozenset(
-        site_of[identity]
-        for identity in report.selected_keys(framework.machine.fast_tier.name)
-        if identity in site_of
-    )
+    sites = framework.placement_sites(budget_real, strategy)
     horizon = framework.app.calibration.ddr_time
     return windowed_cost(
         framework.app,

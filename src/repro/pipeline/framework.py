@@ -162,6 +162,26 @@ class HybridMemoryFramework:
             advisor = HmemAdvisor(self.memory_spec(budget_real))
             return advisor.advise(profiles, strategy)
 
+    def placement_sites(
+        self,
+        budget_real: int,
+        strategy: SelectionStrategy | str = "misses-0%",
+    ) -> frozenset[str]:
+        """Site names the advisor fully promotes at this budget.
+
+        The report speaks in translated call-stack keys; migration and
+        cluster admission speak in site names. This is the one place
+        that translation happens (the windowed scorer and the cluster
+        scheduler both go through it).
+        """
+        report = self.advise(budget_real, strategy)
+        site_of = self.app.key_to_site_name()
+        return frozenset(
+            site_of[identity]
+            for identity in report.selected_keys(self.machine.fast_tier.name)
+            if identity in site_of
+        )
+
     # -- step 4 ---------------------------------------------------------
 
     def run_placed(

@@ -110,6 +110,23 @@ def compute_traffic(
     )
 
 
+def traffic_for_sites(
+    app: SimApplication,
+    machine: MachineConfig,
+    profiling: ProfilingRun,
+    fast_sites: frozenset[str] | set[str],
+) -> PlacedTraffic:
+    """Traffic split when ``fast_sites`` live wholly on the fast tier.
+
+    The cluster scheduler re-advises tenants as budgets shrink and
+    grow; every decision lands on a whole-site placement, so this is
+    the all-or-nothing specialisation of :func:`compute_traffic`.
+    """
+    return compute_traffic(
+        app, machine, profiling, {site: 1.0 for site in fast_sites}
+    )
+
+
 def _score(
     app: SimApplication,
     machine: MachineConfig,

@@ -1,0 +1,91 @@
+"""Extent allocator and node spec behaviour."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.node import Extent, ExtentAllocator, NodeSpec, make_fleet
+from repro.errors import ConfigError
+from repro.units import GIB, MIB
+
+
+class TestExtentAllocator:
+    def test_first_fit_carves_from_the_front(self):
+        alloc = ExtentAllocator(100)
+        a = alloc.alloc(30)
+        b = alloc.alloc(30)
+        assert (a.offset, a.size) == (0, 30)
+        assert (b.offset, b.size) == (30, 30)
+        assert alloc.total_free == 40
+        assert alloc.largest_free == 40
+
+    def test_free_coalesces_both_neighbours(self):
+        alloc = ExtentAllocator(100)
+        a, b, c = alloc.alloc(20), alloc.alloc(20), alloc.alloc(20)
+        alloc.free(a)
+        alloc.free(c)
+        # a-hole, b allocated, c-hole + tail: fragmented.
+        assert alloc.largest_free == 60  # the c+tail hole
+        assert alloc.total_free == 80
+        assert alloc.fragmentation > 0.0
+        alloc.free(b)
+        # Everything freed: one maximal hole again.
+        assert alloc.holes() == ((0, 100),)
+        assert alloc.fragmentation == 0.0
+
+    def test_fragmentation_blocks_large_allocations(self):
+        alloc = ExtentAllocator(100)
+        extents = [alloc.alloc(10) for _ in range(10)]
+        for e in extents[::2]:  # free every other extent
+            alloc.free(e)
+        assert alloc.total_free == 50
+        assert alloc.largest_free == 10
+        assert alloc.alloc(20) is None  # free bytes exist, no hole fits
+        assert alloc.fragmentation == pytest.approx(0.8)
+
+    def test_double_free_is_rejected(self):
+        alloc = ExtentAllocator(100)
+        extent = alloc.alloc(10)
+        alloc.free(extent)
+        with pytest.raises(ConfigError, match="double free"):
+            alloc.free(extent)
+
+    def test_foreign_extent_is_rejected(self):
+        alloc = ExtentAllocator(100)
+        with pytest.raises(ConfigError, match="exceeds"):
+            alloc.free(Extent(offset=90, size=20))
+
+    @given(
+        sizes=st.lists(st.integers(1, 40), min_size=1, max_size=30),
+        free_order_seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_alloc_free_cycle_restores_one_hole(
+        self, sizes, free_order_seed
+    ):
+        import random
+
+        alloc = ExtentAllocator(2000)
+        live = [e for e in (alloc.alloc(s) for s in sizes) if e is not None]
+        assert alloc.total_free == 2000 - sum(e.size for e in live)
+        random.Random(free_order_seed).shuffle(live)
+        for e in live:
+            alloc.free(e)
+        assert alloc.holes() == ((0, 2000),)
+
+
+class TestNodeSpec:
+    def test_budget_defaults_to_fast_tier_capacity(self):
+        node = NodeSpec(name="n0")
+        assert node.hbw_budget == node.machine.fast_tier.capacity
+
+    def test_budget_above_capacity_is_rejected(self):
+        with pytest.raises(ConfigError, match="exceeds"):
+            NodeSpec(name="n0", hbw_budget=32 * GIB)
+
+    def test_make_fleet_names_are_unique_and_ordered(self):
+        fleet = make_fleet(3, 256 * MIB)
+        assert [n.name for n in fleet] == ["node00", "node01", "node02"]
+        assert all(n.hbw_budget == 256 * MIB for n in fleet)

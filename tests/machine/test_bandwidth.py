@@ -1,13 +1,74 @@
 """Bandwidth saturation model (Figure 1 substrate)."""
 
+import math
+
+import numpy as np
 import pytest
 
-from repro.machine.bandwidth import BandwidthModel
+from repro.machine.bandwidth import BandwidthModel, _soft_min, _soft_min_scalar
 
 
 @pytest.fixture()
 def model(machine):
     return BandwidthModel(machine)
+
+
+class TestScalarSoftMin:
+    """The allocation-free scalar path the cluster event loop uses.
+
+    Pure-``float`` ``**`` (libm pow) and NumPy's array pow (SIMD loop)
+    round the last bit differently on ~5% of inputs, so the pin is
+    1-ulp equality, not ``==`` — any real divergence is orders of
+    magnitude larger.
+    """
+
+    @staticmethod
+    def assert_within_one_ulp(a: float, b: float) -> None:
+        assert abs(a - b) <= math.ulp(max(abs(a), abs(b)))
+
+    def test_pinned_to_array_path_across_the_domain(self):
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            linear = float(rng.uniform(1e8, 1e12))
+            peak = float(rng.uniform(1e9, 5e11))
+            self.assert_within_one_ulp(
+                _soft_min_scalar(linear, peak),
+                float(_soft_min(np.array([linear]), peak)[0]),
+            )
+
+    def test_pinned_on_every_preset_operating_point(self, machine):
+        """Every (tier, cores) pair a real model evaluates."""
+        for tier in machine.tiers:
+            for cores in range(1, machine.cores + 1):
+                linear = cores * tier.per_core_bandwidth
+                self.assert_within_one_ulp(
+                    _soft_min_scalar(linear, tier.peak_bandwidth),
+                    float(
+                        _soft_min(
+                            np.array([linear]), tier.peak_bandwidth
+                        )[0]
+                    ),
+                )
+
+    def test_tier_bandwidth_uses_the_scalar_path_exactly(
+        self, model, machine
+    ):
+        tier = machine.slow_tier
+        for cores in (1, 8, 34, 68):
+            assert model.tier_bandwidth(tier, cores) == _soft_min_scalar(
+                cores * tier.per_core_bandwidth, tier.peak_bandwidth
+            )
+
+    def test_returns_a_python_float(self):
+        assert type(_soft_min_scalar(1e10, 9e10)) is float
+
+    def test_soft_min_stays_below_both_arguments(self):
+        # Far from the knee the correction term is sub-ulp, so the
+        # bound is <=; at the knee itself it must strictly round off.
+        for linear, peak in ((1e9, 9e10), (9e10, 9e10), (5e11, 9e10)):
+            value = _soft_min_scalar(linear, peak)
+            assert value <= min(linear, peak)
+        assert _soft_min_scalar(9e10, 9e10) < 9e10
 
 
 class TestTierBandwidth:
