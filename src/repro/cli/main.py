@@ -17,7 +17,7 @@ from repro.analysis.paramedir import (
     write_profiles_csv,
 )
 from repro.apps import APP_NAMES, get_app
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.faults.plan import FaultPlan
 from repro.faults.resilience import run_resilience_sweep
 from repro.machine.config import xeon_phi_7250
@@ -708,12 +708,52 @@ def cluster_main(argv: list[str] | None = None) -> int:
                         "journal to this file (what CI diffs)")
     parser.add_argument("--report", type=Path, default=None,
                         help="write the full ClusterReport JSON here")
+    parser.add_argument("--fault-plan", type=Path, default=None,
+                        help="FaultPlan JSON with cluster fault kinds "
+                        "(node_crash/drain/recover, tenant_kill, "
+                        "overload burst)")
+    parser.add_argument("--rescue-budget", type=parse_size, default=None,
+                        metavar="BYTES",
+                        help="HBW each surviving node contributes to "
+                        "evacuating one crash's victims (default: "
+                        "unlimited)")
+    parser.add_argument("--max-queue-depth", type=int, default=None,
+                        metavar="N",
+                        help="backpressure: shed arrivals once the "
+                        "admission queue holds N requests")
+    parser.add_argument("--max-queue-delay", type=float, default=None,
+                        metavar="SECONDS",
+                        help="backpressure: shed queued requests that "
+                        "wait longer than this (simulated seconds)")
+    parser.add_argument("--down-grant-fraction", type=float, default=None,
+                        metavar="F",
+                        help="backpressure: retry failed admissions at "
+                        "F*demand before queueing")
+    parser.add_argument("--checkpoint-dir", type=Path, default=None,
+                        help="write a CRC-checksummed checkpoint here "
+                        "after every event batch (SIGKILL-safe)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from --checkpoint-dir instead of "
+                        "starting over (same session only)")
+    parser.add_argument("--checkpoint-every", type=int, default=1,
+                        metavar="N",
+                        help="events per checkpoint batch (default 1)")
+    parser.add_argument("--event-pause", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="wall-clock sleep after each event (chaos "
+                        "harness hook; simulated time is unaffected)")
 
     def run(args) -> None:
         from repro.cluster import ArrivalStream, ClusterSim, make_fleet
+        from repro.cluster.backpressure import BackpressurePolicy
         from repro.ioutil import atomic_write_text
         from repro.machine.performance import MIGRATION_BANDWIDTH_DEFAULT
 
+        if args.resume and args.checkpoint_dir is None:
+            raise ConfigError(
+                "--resume needs --checkpoint-dir: there is no checkpoint "
+                "to resume from without one"
+            )
         mix_kwargs = {}
         if args.apps is not None:
             mix_kwargs["mix"] = tuple(
@@ -724,6 +764,16 @@ def cluster_main(argv: list[str] | None = None) -> int:
             n_arrivals=args.arrivals,
             rate=args.rate,
             **mix_kwargs,
+        )
+        fault_plan = (
+            FaultPlan.load(args.fault_plan)
+            if args.fault_plan is not None
+            else None
+        )
+        backpressure = BackpressurePolicy(
+            max_queue_depth=args.max_queue_depth,
+            max_queue_delay=args.max_queue_delay,
+            down_grant_fraction=args.down_grant_fraction,
         )
         sim = ClusterSim(
             make_fleet(args.nodes, args.node_budget),
@@ -737,12 +787,33 @@ def cluster_main(argv: list[str] | None = None) -> int:
                 if args.migration_bw is not None
                 else MIGRATION_BANDWIDTH_DEFAULT
             ),
+            fault_plan=fault_plan,
+            backpressure=backpressure,
+            rescue_budget=(
+                int(args.rescue_budget)
+                if args.rescue_budget is not None
+                else None
+            ),
+            checkpoint_dir=(
+                str(args.checkpoint_dir)
+                if args.checkpoint_dir is not None
+                else None
+            ),
+            resume=args.resume,
+            checkpoint_every=args.checkpoint_every,
+            event_pause_seconds=args.event_pause,
         )
         report = sim.run()
         print(f"{args.nodes} nodes x {args.arrivals} arrivals "
               f"({sim.scheduler_name}/{args.strategy}, seed {args.seed}): "
               f"{len(report.tenants)} completed, "
               f"{report.n_rejected} rejected")
+        if report.n_casualties or report.n_rescued or report.n_shed:
+            print(f"fault domain: {report.n_rescued} rescued, "
+                  f"{report.n_casualties} casualties, "
+                  f"{report.n_shed} shed "
+                  f"({report.n_never_fits} never-fit), accounting "
+                  f"{'reconciled' if report.accounted else 'BROKEN'}")
         print(f"aggregate FOM {report.aggregate_fom:.1f} "
               f"(isolated bound {report.aggregate_fom_isolated:.1f})")
         print(f"fairness (Jain) {report.fairness:.4f}  "

@@ -76,6 +76,13 @@ class ArrivalStream:
     rate: float = 0.1
     mix: tuple[str, ...] = DEFAULT_MIX
     demands: tuple[int, ...] = DEMAND_LADDER
+    #: Overload burst: the central ``burst_fraction`` of the trace
+    #: arrives ``burst_factor`` times faster (a flash crowd in the
+    #: middle of the run). ``burst_factor == 1`` or
+    #: ``burst_fraction == 0`` leaves the stream bit-identical to the
+    #: burst-free draw — the same RNG consumption, untouched gaps.
+    burst_factor: float = 1.0
+    burst_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_arrivals < 1:
@@ -88,11 +95,33 @@ class ArrivalStream:
             raise ConfigError("arrival mix needs at least one application")
         if not self.demands or any(d <= 0 for d in self.demands):
             raise ConfigError("demand ladder must be positive byte counts")
+        if self.burst_factor < 1.0:
+            raise ConfigError(
+                f"burst factor must be >= 1, got {self.burst_factor}"
+            )
+        if not 0.0 <= self.burst_fraction <= 1.0:
+            raise ConfigError(
+                f"burst fraction must be in [0, 1], got {self.burst_fraction}"
+            )
+
+    @property
+    def bursty(self) -> bool:
+        return self.burst_factor > 1.0 and self.burst_fraction > 0.0
 
     def generate(self) -> tuple[JobRequest, ...]:
         """The arrival trace (sorted by time, ids in arrival order)."""
         rng = np.random.default_rng(self.seed)
         gaps = rng.exponential(scale=1.0 / self.rate, size=self.n_arrivals)
+        if self.bursty:
+            # Compress the central slice's inter-arrival gaps: an
+            # exponential divided by k is exponential at k times the
+            # rate, so the burst is a genuine Poisson surge while the
+            # RNG consumption (and hence every non-burst draw) stays
+            # identical to the burst-free stream.
+            k = int(round(self.n_arrivals * self.burst_fraction))
+            if k > 0:
+                start = (self.n_arrivals - k) // 2
+                gaps[start:start + k] /= self.burst_factor
         times = np.cumsum(gaps)
         apps = rng.choice(len(self.mix), size=self.n_arrivals)
         demands = rng.choice(len(self.demands), size=self.n_arrivals)

@@ -1,0 +1,102 @@
+"""Overload admission control: shed or down-grant before collapsing.
+
+Under an overload burst the FIFO admission queue grows without bound —
+every queued tenant eventually gets in, but mean queueing delay (and
+the report's fairness over it) is ruined for everyone. A production
+placement service applies *backpressure* instead: beyond a queue-depth
+or queue-delay threshold it sheds requests outright (a classified
+rejection, not a silent loss), and when a request almost fits it may
+*down-grant* — retry admission at a reduced demand — rather than hold
+a big hole hostage.
+
+The policy here is deliberately declarative: three thresholds, no
+internal state, every verdict a pure function of (policy, queue
+observation). That keeps the shed/down-grant decisions on the same
+deterministic footing as the rest of the simulation — a checkpointed
+run resumes to identical verdicts because the verdicts never depended
+on anything outside the event timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Rejection classifications the report distinguishes.
+REASON_NEVER_FITS = "never-fits"
+REASON_SHED_DEPTH = "shed-queue-depth"
+REASON_SHED_DELAY = "shed-queue-delay"
+REASON_SHED_STRANDED = "shed-stranded"
+REJECTION_REASONS: tuple[str, ...] = (
+    REASON_NEVER_FITS,
+    REASON_SHED_DEPTH,
+    REASON_SHED_DELAY,
+    REASON_SHED_STRANDED,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class BackpressurePolicy:
+    """Thresholds for shedding and down-granting queued admissions.
+
+    ``None`` disables a dial; the default-constructed policy is a
+    no-op (every request queues forever, exactly the pre-backpressure
+    behaviour).
+    """
+
+    #: Shed an arriving request when the queue already holds this many.
+    max_queue_depth: int | None = None
+    #: Shed a queued request once it has waited this many simulated
+    #: seconds without being admitted.
+    max_queue_delay: float | None = None
+    #: When a request cannot be admitted at its minimum grant, retry
+    #: at ``down_grant_fraction * demand`` before giving up on this
+    #: drain pass. ``None`` disables down-granting.
+    down_grant_fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ConfigError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.max_queue_delay is not None and self.max_queue_delay <= 0:
+            raise ConfigError(
+                f"max_queue_delay must be positive, got {self.max_queue_delay}"
+            )
+        if self.down_grant_fraction is not None and not (
+            0.0 < self.down_grant_fraction <= 1.0
+        ):
+            raise ConfigError(
+                "down_grant_fraction must be in (0, 1], got "
+                f"{self.down_grant_fraction}"
+            )
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.max_queue_depth is not None
+            or self.max_queue_delay is not None
+            or self.down_grant_fraction is not None
+        )
+
+    def sheds_at_depth(self, queue_depth: int) -> bool:
+        """Should a new arrival be shed given the current queue depth
+        (not counting the arrival itself)?"""
+        return (
+            self.max_queue_depth is not None
+            and queue_depth >= self.max_queue_depth
+        )
+
+    def overdue(self, arrival_time: float, now: float) -> bool:
+        """Has a queued request outlived the delay threshold?"""
+        return (
+            self.max_queue_delay is not None
+            and now - arrival_time > self.max_queue_delay
+        )
+
+    def down_grant(self, demand: int) -> int | None:
+        """The reduced demand to retry at, or ``None`` if disabled."""
+        if self.down_grant_fraction is None:
+            return None
+        return max(1, int(demand * self.down_grant_fraction))

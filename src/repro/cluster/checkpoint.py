@@ -1,0 +1,81 @@
+"""Crash-safe checkpointing of a cluster simulation in flight.
+
+Same durability discipline as the online daemon's checkpoint
+(:mod:`repro.online.checkpoint`, whose codec and atomic writer this
+module reuses): one CRC-checksummed, atomically-replaced file per
+checkpoint, written after every event batch. A SIGKILL at any instant
+loses at most the batch in flight; ``repro-cluster --resume`` restores
+the clock, the event heap (times *and* sequence numbers, so later
+pushes sort identically), every node's extent holes and tenant
+placements, the admission queue, the journal written so far, and the
+accounting ledgers — and then replays the remaining events to a
+byte-identical decision journal (CI's ``cluster-chaos`` job kills a
+live fleet and ``cmp``s exactly that).
+
+The simulation consumes no RNG after :meth:`ArrivalStream.generate`
+— every fault verdict is a seeded hash of stable identities — so
+"RNG state" in the checkpoint is the arrival stream's own identity:
+the session key pins ``(nodes, arrivals, scheduler, strategy, fault
+plan, backpressure, …)`` and a fingerprint of the generated trace,
+and resuming against any other session refuses, exactly like the
+daemon's foreign-session refusal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.online.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+#: File name of the cluster checkpoint inside its directory.
+CLUSTER_CHECKPOINT_FILENAME = "cluster.checkpoint"
+
+#: Record type tag (shares the journal's line codec).
+RECORD_CLUSTER_CHECKPOINT = "cluster-checkpoint"
+
+
+def cluster_session_key(identity: dict) -> str:
+    """Content hash pinning one cluster run's identity.
+
+    ``identity`` carries everything that shapes the event timeline:
+    node specs, the arrival stream (seed, rate, burst), scheduler and
+    strategy, grant/hysteresis/migration knobs, the fault plan and the
+    backpressure policy, plus a fingerprint of the generated arrival
+    trace. Wall-clock-only knobs (checkpoint cadence, chaos pauses)
+    are deliberately excluded so a chaos-stretched run resumes
+    cleanly.
+    """
+    canonical = json.dumps(
+        {"identity": identity, "schema": CHECKPOINT_SCHEMA_VERSION},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()[:32]
+
+
+def cluster_checkpoint_path(directory: str | Path) -> Path:
+    return Path(directory) / CLUSTER_CHECKPOINT_FILENAME
+
+
+def save_cluster_checkpoint(directory: str | Path, payload: dict) -> Path:
+    return save_checkpoint(
+        directory,
+        payload,
+        filename=CLUSTER_CHECKPOINT_FILENAME,
+        record_type=RECORD_CLUSTER_CHECKPOINT,
+    )
+
+
+def load_cluster_checkpoint(directory: str | Path) -> dict | None:
+    return load_checkpoint(
+        directory,
+        filename=CLUSTER_CHECKPOINT_FILENAME,
+        record_type=RECORD_CLUSTER_CHECKPOINT,
+        label="a cluster checkpoint",
+    )

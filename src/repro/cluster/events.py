@@ -22,6 +22,25 @@ from repro.errors import ConfigError
 ARRIVAL = "arrival"
 COMPLETE = "complete"
 
+#: Cluster fault-domain events (scheduled by the seeded
+#: :class:`~repro.faults.injector.FaultInjector`, first-class on the
+#: same heap as arrivals and completions).
+NODE_CRASH = "node_crash"
+NODE_DRAIN = "node_drain"
+NODE_RECOVER = "node_recover"
+TENANT_KILL = "tenant_kill"
+
+#: Every kind the cluster simulator dispatches (checkpoint payloads
+#: refuse anything else).
+EVENT_KINDS: tuple[str, ...] = (
+    ARRIVAL,
+    COMPLETE,
+    NODE_CRASH,
+    NODE_DRAIN,
+    NODE_RECOVER,
+    TENANT_KILL,
+)
+
 
 class SimClock:
     """Monotone simulated clock (seconds since run start)."""
@@ -79,3 +98,26 @@ class EventQueue:
 
     def __bool__(self) -> bool:
         return bool(self._heap)
+
+    # -- checkpoint/restore ---------------------------------------------
+
+    def snapshot(self) -> list[Event]:
+        """Pending events in pop order (what a checkpoint persists)."""
+        return [event for _, _, event in sorted(self._heap)]
+
+    @classmethod
+    def restore(cls, events: list[Event], next_seq: int) -> "EventQueue":
+        """Rebuild a queue from checkpointed events, preserving the
+        original ``(time, seq)`` ordering and the sequence counter so
+        later pushes sort exactly as they would have in the
+        uninterrupted run."""
+        queue = cls()
+        for event in events:
+            if event.seq >= next_seq:
+                raise ConfigError(
+                    f"event seq {event.seq} not below the restored "
+                    f"counter {next_seq}"
+                )
+            heapq.heappush(queue._heap, (event.time, event.seq, event))
+        queue._seq = next_seq
+        return queue

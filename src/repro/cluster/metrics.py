@@ -70,6 +70,56 @@ class TenantOutcome:
 
 
 @dataclass(frozen=True, slots=True)
+class Rejection:
+    """One request the cluster turned away, with its classification.
+
+    ``reason`` is one of
+    :data:`repro.cluster.backpressure.REJECTION_REASONS`:
+    ``never-fits`` (demand exceeds every node's whole budget),
+    ``shed-queue-depth`` / ``shed-queue-delay`` (backpressure), or
+    ``shed-stranded`` (still queued when the run ended).
+    """
+
+    job_id: int
+    app: str
+    time: float
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class TenantCasualty:
+    """An admitted tenant the cluster lost before completion.
+
+    Casualties are recorded, never silent: the report's accounting
+    reconciles arrivals = completed + rejected + casualties. ``reason``
+    is ``node-crash`` (home node died and no rescue landed) or
+    ``tenant-kill`` (injected mid-residence kill).
+    """
+
+    job_id: int
+    app: str
+    node: str
+    time: float
+    reason: str
+    #: Fraction of the tenant's work done when it was lost.
+    progress_fraction: float
+
+
+@dataclass(frozen=True, slots=True)
+class RescueRecord:
+    """One successful crash evacuation (tenant re-homed, not lost)."""
+
+    job_id: int
+    app: str
+    from_node: str
+    to_node: str
+    time: float
+    #: Real bytes re-promoted on the new node, charged at migration
+    #: bandwidth against the tenant's progress.
+    moved_bytes: int
+
+
+@dataclass(frozen=True, slots=True)
 class ClusterReport:
     """Everything one cluster run produced."""
 
@@ -79,7 +129,9 @@ class ClusterReport:
     strategy: str
     seed: int
     tenants: tuple[TenantOutcome, ...] = ()
-    rejected: tuple[int, ...] = ()
+    rejections: tuple[Rejection, ...] = ()
+    casualties: tuple[TenantCasualty, ...] = ()
+    rescues: tuple[RescueRecord, ...] = ()
     #: Event-time mean of the fleet-mean fragmentation.
     mean_fragmentation: float = 0.0
     final_fragmentation: float = 0.0
@@ -109,12 +161,56 @@ class ClusterReport:
         return sum(t.queueing_delay for t in self.tenants) / len(self.tenants)
 
     @property
+    def rejected(self) -> tuple[int, ...]:
+        """Rejected job ids, in rejection order (schema-1 compat view
+        over the classified :attr:`rejections`)."""
+        return tuple(r.job_id for r in self.rejections)
+
+    @property
     def n_rejected(self) -> int:
-        return len(self.rejected)
+        return len(self.rejections)
+
+    @property
+    def n_casualties(self) -> int:
+        return len(self.casualties)
+
+    @property
+    def n_rescued(self) -> int:
+        return len(self.rescues)
+
+    @property
+    def n_shed(self) -> int:
+        return sum(1 for r in self.rejections if r.reason != "never-fits")
+
+    @property
+    def n_never_fits(self) -> int:
+        return sum(1 for r in self.rejections if r.reason == "never-fits")
+
+    @property
+    def accounted(self) -> bool:
+        """Does every arrival reconcile to exactly one fate?
+
+        completed + rejected (never-fits and shed) + casualties must
+        equal the arrival count, and no job may appear under two
+        fates. Rescued tenants are not a fate of their own — a rescue
+        re-homes a tenant that then completes (a tenant) or dies
+        anyway (a casualty).
+        """
+        completed = {t.job_id for t in self.tenants}
+        rejected = {r.job_id for r in self.rejections}
+        lost = {c.job_id for c in self.casualties}
+        if completed & rejected or completed & lost or rejected & lost:
+            return False
+        return (
+            len(completed) + len(rejected) + len(lost) == self.n_arrivals
+            and len(completed) == len(self.tenants)
+            and len(rejected) == len(self.rejections)
+            and len(lost) == len(self.casualties)
+        )
 
     def to_dict(self) -> dict:
         return {
-            "schema": "repro-cluster/1",
+            "schema": "repro-cluster/2",
             "n_nodes": self.n_nodes,
             "n_arrivals": self.n_arrivals,
             "scheduler": self.scheduler,
@@ -127,6 +223,47 @@ class ClusterReport:
             "final_fragmentation": self.final_fragmentation,
             "mean_queueing_delay": self.mean_queueing_delay,
             "rejected": list(self.rejected),
+            "rejections": [
+                {
+                    "job_id": r.job_id,
+                    "app": r.app,
+                    "time": r.time,
+                    "reason": r.reason,
+                }
+                for r in self.rejections
+            ],
+            "casualties": [
+                {
+                    "job_id": c.job_id,
+                    "app": c.app,
+                    "node": c.node,
+                    "time": c.time,
+                    "reason": c.reason,
+                    "progress_fraction": c.progress_fraction,
+                }
+                for c in self.casualties
+            ],
+            "rescues": [
+                {
+                    "job_id": r.job_id,
+                    "app": r.app,
+                    "from_node": r.from_node,
+                    "to_node": r.to_node,
+                    "time": r.time,
+                    "moved_bytes": r.moved_bytes,
+                }
+                for r in self.rescues
+            ],
+            "accounting": {
+                "arrivals": self.n_arrivals,
+                "completed": len(self.tenants),
+                "rejected": self.n_rejected,
+                "never_fits": self.n_never_fits,
+                "shed": self.n_shed,
+                "casualties": self.n_casualties,
+                "rescued": self.n_rescued,
+                "reconciled": self.accounted,
+            },
             "migrated_bytes": self.migrated_bytes,
             "evicted_bytes": self.evicted_bytes,
             "makespan": self.makespan,
@@ -174,3 +311,23 @@ class FragmentationTracker:
         if self.samples == 0:
             return 0.0
         return self.accumulated / self.samples
+
+    # -- checkpoint/restore ---------------------------------------------
+
+    def to_state(self) -> dict:
+        return {
+            "samples": self.samples,
+            "accumulated": self.accumulated,
+            "last": self.last,
+            "per_node": dict(self._per_node),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FragmentationTracker":
+        tracker = cls(
+            samples=int(state["samples"]),
+            accumulated=float(state["accumulated"]),
+            last=float(state["last"]),
+        )
+        tracker._per_node = dict(state.get("per_node", {}))
+        return tracker

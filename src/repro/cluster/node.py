@@ -108,6 +108,46 @@ class ExtentAllocator:
         """Snapshot of the free list (deterministic, for journals)."""
         return tuple(self._free)
 
+    def reset(self) -> None:
+        """Forget every grant: back to one maximal hole.
+
+        A node crash loses its MCDRAM contents wholesale — the
+        simulator resets the allocator instead of freeing tenant
+        extents one by one, because the extents died with the node.
+        """
+        self._free = [(0, self.total)]
+
+    @classmethod
+    def restore(
+        cls, total: int, holes: tuple[tuple[int, int], ...] | list
+    ) -> "ExtentAllocator":
+        """Rebuild an allocator from a checkpointed :meth:`holes`
+        snapshot, validating the invariants a live allocator maintains
+        (sorted, disjoint, in-range, fully coalesced)."""
+        allocator = cls(total)
+        free: list[tuple[int, int]] = []
+        last_end = -1
+        for entry in holes:
+            offset, size = int(entry[0]), int(entry[1])
+            if offset < 0 or size <= 0 or offset + size > total:
+                raise ConfigError(
+                    f"checkpointed hole ({offset},{size}) outside "
+                    f"[0,{total})"
+                )
+            if offset < last_end:
+                raise ConfigError(
+                    f"checkpointed holes unsorted or overlapping at "
+                    f"({offset},{size})"
+                )
+            if offset == last_end:
+                raise ConfigError(
+                    f"checkpointed holes not coalesced at ({offset},{size})"
+                )
+            free.append((offset, size))
+            last_end = offset + size
+        allocator._free = free
+        return allocator
+
 
 @dataclass(frozen=True, slots=True)
 class NodeSpec:

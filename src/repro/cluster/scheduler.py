@@ -9,7 +9,9 @@ hole structure and tenancy and returns the node to admit into, or
 
 All three policies only admit a node whose *largest contiguous hole*
 clears the job's minimum acceptable grant — fragmentation, not just
-free bytes, decides admissibility.
+free bytes, decides admissibility. The simulator hands policies only
+*eligible* nodes (status ``up``): draining and crashed nodes never
+appear in the list, so policies stay fault-oblivious.
 """
 
 from __future__ import annotations

@@ -228,6 +228,58 @@ class FaultInjector:
                 window=window,
             )
 
+    # -- cluster fault domain: node churn and tenant kills -------------
+
+    def node_fault_schedule(
+        self, node_names: tuple[str, ...] | list[str], horizon: float
+    ) -> list[tuple[float, str, str]]:
+        """Seeded ``(time, kind, node)`` node-fault schedule for one
+        cluster run, sorted by time then node name.
+
+        Each node draws independently, keyed on (seed, node name)
+        only — the schedule is identical however the run is split
+        across kill/resume cycles, which the cluster checkpoint's
+        byte-identity guarantee depends on. ``kind`` is the event-kind
+        string (``"node_crash"`` / ``"node_drain"``); recovery events
+        are derived by the simulator from ``node_recover_seconds``.
+        """
+        if horizon <= 0:
+            raise FaultPlanError(
+                f"node-fault horizon must be positive, got {horizon}"
+            )
+        plan = self.plan
+        schedule: list[tuple[float, str, str]] = []
+        for name in node_names:
+            if _unit(plan.seed, "node-crash", name) < plan.node_crash_rate:
+                schedule.append((
+                    _unit(plan.seed, "node-crash-time", name) * horizon,
+                    "node_crash",
+                    name,
+                ))
+            if _unit(plan.seed, "node-drain", name) < plan.node_drain_rate:
+                schedule.append((
+                    _unit(plan.seed, "node-drain-time", name) * horizon,
+                    "node_drain",
+                    name,
+                ))
+        schedule.sort()
+        return schedule
+
+    def tenant_kill_fraction(self, job_id: int) -> float | None:
+        """``None``, or the fraction of the tenant's expected isolated
+        residence after which its kill fires.
+
+        Keyed on (seed, job id) only, so a rescued tenant carries its
+        death sentence to the new node and a resumed run reaches the
+        same verdict. The fraction stays inside (0.1, 0.9) so the kill
+        lands mid-residence rather than degenerating into an
+        at-admission rejection or a no-op after completion.
+        """
+        plan = self.plan
+        if _unit(plan.seed, "tenant-kill", job_id) >= plan.tenant_kill_rate:
+            return None
+        return 0.1 + 0.8 * _unit(plan.seed, "tenant-kill-at", job_id)
+
     # -- sweep scheduling: kills and hangs -----------------------------
 
     def cell_fate(self, application: str, cell_key: tuple, attempt: int) -> str:

@@ -38,6 +38,10 @@ _RATE_FIELDS = (
     "window_corrupt_rate",
     "window_late_rate",
     "migration_failure_rate",
+    "node_crash_rate",
+    "node_drain_rate",
+    "tenant_kill_rate",
+    "overload_burst_fraction",
 )
 
 
@@ -101,6 +105,28 @@ class FaultPlan:
     #: are transient (bandwidth pressure: a retry may succeed).
     migration_sticky_fraction: float = 0.5
 
+    # -- cluster fault domain -----------------------------------------
+    #: Probability each node of the fleet suffers one hard crash
+    #: during the run (MCDRAM contents lost, residents evacuated or
+    #: recorded as casualties). The crash instant is a seeded draw
+    #: over the arrival horizon.
+    node_crash_rate: float = 0.0
+    #: Probability each node is administratively drained during the
+    #: run: admissions stop, residents bleed out gracefully.
+    node_drain_rate: float = 0.0
+    #: Simulated seconds after a crash/drain at which the node returns
+    #: to service (a ``node_recover`` event). 0 means the node is lost
+    #: for the rest of the run.
+    node_recover_seconds: float = 0.0
+    #: Probability an admitted tenant is killed mid-residence (user
+    #: abort, cgroup OOM) — a recorded casualty, never a silent loss.
+    tenant_kill_rate: float = 0.0
+    #: Arrival-rate multiplier applied to the burst slice of the
+    #: arrival stream (>= 1; 1 disables the burst).
+    overload_burst_factor: float = 1.0
+    #: Central fraction of the arrival trace drawn at the burst rate.
+    overload_burst_fraction: float = 0.0
+
     # -- sweep scheduling ---------------------------------------------
     #: Probability a sweep cell's attempt dies with an injected error.
     cell_kill_rate: float = 0.0
@@ -116,7 +142,8 @@ class FaultPlan:
                     f"{name} must be an integer, got {getattr(self, name)!r}"
                 )
         for name in (*_RATE_FIELDS, "mcdram_capacity_factor",
-                     "cell_hang_seconds", "migration_sticky_fraction"):
+                     "cell_hang_seconds", "migration_sticky_fraction",
+                     "node_recover_seconds", "overload_burst_factor"):
             if not isinstance(getattr(self, name), (int, float)):
                 raise FaultPlanError(
                     f"{name} must be a number, got {getattr(self, name)!r}"
@@ -162,6 +189,16 @@ class FaultPlan:
                 "migration_sticky_fraction must be in [0, 1], got "
                 f"{self.migration_sticky_fraction}"
             )
+        if self.node_recover_seconds < 0:
+            raise FaultPlanError(
+                "node_recover_seconds must be >= 0, got "
+                f"{self.node_recover_seconds}"
+            )
+        if self.overload_burst_factor < 1.0:
+            raise FaultPlanError(
+                "overload_burst_factor must be >= 1, got "
+                f"{self.overload_burst_factor}"
+            )
 
     # -- derived views -------------------------------------------------
 
@@ -178,6 +215,20 @@ class FaultPlan:
             or self.window_corrupt_rate > 0
             or self.window_late_rate > 0
             or self.migration_failure_rate > 0
+        )
+
+    @property
+    def degrades_cluster(self) -> bool:
+        """Does this plan touch the cluster fault domain (node churn,
+        tenant kills or overload bursts)?"""
+        return (
+            self.node_crash_rate > 0
+            or self.node_drain_rate > 0
+            or self.tenant_kill_rate > 0
+            or (
+                self.overload_burst_factor > 1.0
+                and self.overload_burst_fraction > 0
+            )
         )
 
     @property
@@ -208,6 +259,11 @@ class FaultPlan:
             1e-6, 1.0 - min(1.0, shrink * factor)
         )
         data["aslr_offset"] = self.aslr_offset if factor > 0 else 0
+        # The burst is an intensity too: scale its excess over the
+        # neutral multiplier (factor 0 lands exactly on 1.0).
+        data["overload_burst_factor"] = (
+            1.0 + (self.overload_burst_factor - 1.0) * factor
+        )
         if factor == 0:
             data["hbw_policy"] = HBW_POLICY_PREFERRED
             data["trace_truncate_fraction"] = None

@@ -78,12 +78,24 @@ def session_key(
     return hashlib.sha256(canonical.encode()).hexdigest()[:32]
 
 
-def checkpoint_path(directory: str | Path) -> Path:
-    return Path(directory) / CHECKPOINT_FILENAME
+def checkpoint_path(
+    directory: str | Path, filename: str = CHECKPOINT_FILENAME
+) -> Path:
+    return Path(directory) / filename
 
 
-def save_checkpoint(directory: str | Path, payload: dict) -> Path:
-    """Atomically persist one checkpoint payload, fsynced end to end."""
+def save_checkpoint(
+    directory: str | Path,
+    payload: dict,
+    filename: str = CHECKPOINT_FILENAME,
+    record_type: str = RECORD_CHECKPOINT,
+) -> Path:
+    """Atomically persist one checkpoint payload, fsynced end to end.
+
+    The defaults write the online daemon's checkpoint; other
+    subsystems (the cluster simulator) reuse the same durability
+    discipline by naming their own ``filename``/``record_type``.
+    """
     directory = Path(directory)
     try:
         directory.mkdir(parents=True, exist_ok=True)
@@ -91,12 +103,17 @@ def save_checkpoint(directory: str | Path, payload: dict) -> Path:
         raise CheckpointError(
             f"checkpoint dir {directory} is not a directory"
         ) from exc
-    path = checkpoint_path(directory)
-    atomic_write_text(path, encode_record(RECORD_CHECKPOINT, payload) + "\n")
+    path = checkpoint_path(directory, filename)
+    atomic_write_text(path, encode_record(record_type, payload) + "\n")
     return path
 
 
-def load_checkpoint(directory: str | Path) -> dict | None:
+def load_checkpoint(
+    directory: str | Path,
+    filename: str = CHECKPOINT_FILENAME,
+    record_type: str = RECORD_CHECKPOINT,
+    label: str = "an online checkpoint",
+) -> dict | None:
     """Read a checkpoint back; ``None`` when none exists yet.
 
     A present-but-unreadable checkpoint (damaged JSON, CRC mismatch,
@@ -104,7 +121,7 @@ def load_checkpoint(directory: str | Path) -> dict | None:
     the atomic writer never leaves a torn file, so damage means the
     checkpoint cannot be trusted at all, not that its tail is stale.
     """
-    path = checkpoint_path(directory)
+    path = checkpoint_path(directory, filename)
     try:
         raw = path.read_text(encoding="utf-8")
     except FileNotFoundError:
@@ -118,10 +135,10 @@ def load_checkpoint(directory: str | Path) -> dict | None:
         raise CheckpointError(
             f"{path}: damaged checkpoint (bad JSON or checksum mismatch)"
         )
-    record_type, payload = decoded
-    if record_type != RECORD_CHECKPOINT:
+    found_type, payload = decoded
+    if found_type != record_type:
         raise CheckpointError(
-            f"{path}: not an online checkpoint (record type {record_type!r})"
+            f"{path}: not {label} (record type {found_type!r})"
         )
     if payload.get("schema") != CHECKPOINT_SCHEMA_VERSION:
         raise CheckpointError(

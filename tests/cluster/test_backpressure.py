@@ -1,0 +1,148 @@
+"""Overload admission control: shed policies and rejection taxonomy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ArrivalStream, BackpressurePolicy, ClusterSim, make_fleet
+from repro.cluster.backpressure import (
+    REASON_NEVER_FITS,
+    REASON_SHED_DELAY,
+    REASON_SHED_DEPTH,
+    REJECTION_REASONS,
+)
+from repro.errors import ConfigError
+from repro.units import MIB
+
+MIX = ("phaseshift", "minife")
+
+# One small node under a hot arrival stream: the queue backs up and
+# every shed policy has something to bite on.
+HOT_STREAM = dict(seed=11, n_arrivals=20, rate=2.0, mix=MIX)
+
+
+def run_hot(policy):
+    sim = ClusterSim(
+        make_fleet(1, 256 * MIB),
+        ArrivalStream(**HOT_STREAM),
+        backpressure=policy,
+    )
+    return sim, sim.run()
+
+
+class TestPolicyValidation:
+    def test_inactive_by_default(self):
+        policy = BackpressurePolicy()
+        assert not policy.active
+        assert not policy.sheds_at_depth(10**6)
+        assert not policy.overdue(0.0, 10**9)
+        assert policy.down_grant(1000) is None
+
+    def test_depth_must_be_at_least_one(self):
+        with pytest.raises(ConfigError):
+            BackpressurePolicy(max_queue_depth=0)
+
+    def test_delay_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            BackpressurePolicy(max_queue_delay=0.0)
+
+    @pytest.mark.parametrize("value", [0.0, -0.5, 1.5])
+    def test_down_grant_fraction_bounded(self, value):
+        with pytest.raises(ConfigError):
+            BackpressurePolicy(down_grant_fraction=value)
+
+    def test_thresholds_are_edge_exact(self):
+        policy = BackpressurePolicy(max_queue_depth=3, max_queue_delay=10.0)
+        assert not policy.sheds_at_depth(2)
+        assert policy.sheds_at_depth(3)
+        assert not policy.overdue(5.0, 15.0)  # exactly at the limit
+        assert policy.overdue(5.0, 15.1)
+
+    def test_down_grant_never_reaches_zero(self):
+        policy = BackpressurePolicy(down_grant_fraction=0.5)
+        assert policy.down_grant(100) == 50
+        assert policy.down_grant(1) == 1
+
+    def test_reason_vocabulary_is_closed(self):
+        assert REASON_NEVER_FITS in REJECTION_REASONS
+        assert len(REJECTION_REASONS) == 4
+
+
+class TestDepthShedding:
+    def test_queue_depth_cap_sheds_excess(self):
+        sim, report = run_hot(BackpressurePolicy(max_queue_depth=2))
+        shed = [r for r in report.rejections if r.reason == REASON_SHED_DEPTH]
+        assert len(shed) == 14
+        assert report.n_shed == 14
+        assert report.accounted
+        assert any(" shed " in f" {l} " for l in sim.journal)
+
+    def test_no_policy_queues_everything(self):
+        _, report = run_hot(None)
+        # Without backpressure the same stream just waits its turn.
+        assert report.n_shed == 0
+        assert len(report.tenants) == 20
+        assert report.accounted
+
+
+class TestDelayShedding:
+    def test_stale_queued_requests_are_shed(self):
+        _, report = run_hot(BackpressurePolicy(max_queue_delay=30.0))
+        shed = [r for r in report.rejections if r.reason == REASON_SHED_DELAY]
+        assert len(shed) == 16
+        assert report.accounted
+        # Sheds are timestamped after their arrival by more than the cap.
+        arrival_by_id = {
+            r.job_id: r.arrival_time
+            for r in ArrivalStream(**HOT_STREAM).generate()
+        }
+        for rejection in shed:
+            assert rejection.time - arrival_by_id[rejection.job_id] > 30.0
+
+
+class TestDownGranting:
+    def test_down_grant_admits_under_the_bar(self):
+        policy = BackpressurePolicy(down_grant_fraction=0.25)
+        sim, report = run_hot(policy)
+        downgrants = [l for l in sim.journal if " downgrant " in f" {l} "]
+        assert len(downgrants) == 4
+        assert report.accounted
+        # A down-granted run completes at least as many tenants as the
+        # unthrottled baseline — lowering the bar only admits more.
+        _, baseline = run_hot(None)
+        assert len(report.tenants) >= len(baseline.tenants)
+
+
+class TestNeverFits:
+    def test_never_fits_is_distinguished_from_shed(self):
+        # phaseshift's min grant cannot fit on a 16 MiB node: that is
+        # a capacity verdict, not an overload one.
+        sim = ClusterSim(
+            make_fleet(1, 16 * MIB),
+            ArrivalStream(seed=2, n_arrivals=4, rate=0.5,
+                          mix=("phaseshift",)),
+            backpressure=BackpressurePolicy(max_queue_depth=1),
+        )
+        report = sim.run()
+        assert report.n_never_fits == 4
+        assert report.n_shed == 0
+        assert {r.reason for r in report.rejections} == {REASON_NEVER_FITS}
+        assert report.accounted
+
+    def test_report_serialises_the_taxonomy(self):
+        _, report = run_hot(BackpressurePolicy(max_queue_depth=2))
+        data = report.to_dict()
+        assert data["schema"] == "repro-cluster/2"
+        accounting = data["accounting"]
+        assert accounting["reconciled"] is True
+        assert accounting["arrivals"] == 20
+        assert accounting["shed"] == 14
+        assert (
+            accounting["completed"]
+            + accounting["rejected"]
+            + accounting["casualties"]
+            == accounting["arrivals"]
+        )
+        assert len(data["rejections"]) == report.n_rejected
+        for entry in data["rejections"]:
+            assert entry["reason"] in REJECTION_REASONS

@@ -1,0 +1,331 @@
+"""Cluster fault domain: crashes, drains, kills, bursts, accounting.
+
+Every scenario asserts the hard invariant of the fault domain: no
+tenant is ever silently lost. Arrivals reconcile exactly into
+completed + rejected (never-fits and shed) + casualties, whatever the
+plan throws at the fleet.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ArrivalStream, ClusterSim, make_fleet
+from repro.errors import FaultPlanError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.units import MIB
+
+MIX = ("phaseshift", "minife")
+
+
+def run_sim(n_nodes, budget, stream, plan, **kwargs):
+    sim = ClusterSim(
+        make_fleet(n_nodes, budget), stream, fault_plan=plan, **kwargs
+    )
+    return sim, sim.run()
+
+
+class TestNodeFaultSchedule:
+    def test_schedule_is_deterministic_and_sorted(self):
+        plan = FaultPlan(seed=3, node_crash_rate=0.5, node_drain_rate=0.5)
+        names = ["node00", "node01", "node02", "node03"]
+        a = FaultInjector(plan).node_fault_schedule(names, 100.0)
+        b = FaultInjector(plan).node_fault_schedule(names, 100.0)
+        assert a == b
+        assert a == sorted(a)
+        assert all(0.0 <= t < 100.0 for t, _, _ in a)
+        assert all(kind in ("node_crash", "node_drain") for _, kind, _ in a)
+
+    def test_zero_rates_schedule_nothing(self):
+        schedule = FaultInjector(FaultPlan()).node_fault_schedule(
+            ["node00"], 50.0
+        )
+        assert schedule == []
+
+    def test_non_positive_horizon_rejected(self):
+        with pytest.raises(FaultPlanError, match="horizon"):
+            FaultInjector(FaultPlan()).node_fault_schedule(["n"], 0.0)
+
+    def test_kill_fraction_is_stable_and_bounded(self):
+        plan = FaultPlan(seed=9, tenant_kill_rate=1.0)
+        injector = FaultInjector(plan)
+        for job_id in range(20):
+            frac = injector.tenant_kill_fraction(job_id)
+            assert frac is not None
+            assert 0.1 <= frac <= 0.9
+            assert frac == FaultInjector(plan).tenant_kill_fraction(job_id)
+
+    def test_zero_kill_rate_spares_everyone(self):
+        injector = FaultInjector(FaultPlan(seed=9))
+        assert all(
+            injector.tenant_kill_fraction(j) is None for j in range(20)
+        )
+
+
+class TestNodeCrash:
+    def test_crash_rescues_survivors_when_capacity_allows(self):
+        # Seeded so node00 (first-fit's favourite) crashes while
+        # occupied and the rest of the fleet has room: every victim
+        # must be re-homed, charged for re-promoting its fast bytes.
+        plan = FaultPlan(seed=4, node_crash_rate=0.4)
+        sim, report = run_sim(
+            3,
+            1024 * MIB,
+            ArrivalStream(seed=4, n_arrivals=12, rate=0.3, mix=MIX),
+            plan,
+        )
+        assert report.n_rescued > 0
+        assert report.n_casualties == 0
+        assert len(report.tenants) == 12
+        assert report.accounted
+        rescue_lines = [l for l in sim.journal if " rescue " in f" {l} "]
+        assert len(rescue_lines) == report.n_rescued
+        for record in report.rescues:
+            assert record.from_node != record.to_node
+            assert record.moved_bytes > 0
+        # Re-promotion is charged like any other migration.
+        assert report.migrated_bytes >= sum(
+            r.moved_bytes for r in report.rescues
+        )
+
+    def test_crash_without_capacity_records_casualties(self):
+        # Crashes land when the surviving fleet is too full (or also
+        # down) to evacuate into: victims become recorded casualties.
+        plan = FaultPlan(seed=3, node_crash_rate=0.7,
+                         node_recover_seconds=100.0)
+        sim, report = run_sim(
+            4,
+            1024 * MIB,
+            ArrivalStream(seed=7, n_arrivals=16, rate=0.5, mix=MIX),
+            plan,
+        )
+        assert report.n_casualties > 0
+        assert all(c.reason == "node-crash" for c in report.casualties)
+        assert all(
+            0.0 <= c.progress_fraction < 1.0 for c in report.casualties
+        )
+        assert report.accounted
+        assert len(report.tenants) + report.n_casualties == 16
+
+    def test_rescue_budget_zero_capacity_is_rejected(self):
+        with pytest.raises(Exception, match="rescue budget"):
+            ClusterSim(
+                make_fleet(2, 256 * MIB),
+                ArrivalStream(seed=1, n_arrivals=4, mix=MIX),
+                rescue_budget=0,
+            )
+
+    def test_rescue_budget_bounds_evacuation(self):
+        # Same crash scenario as the rescue test, but with a rescue
+        # budget too small for any victim's minimum grant: everyone
+        # becomes a casualty instead.
+        plan = FaultPlan(seed=4, node_crash_rate=0.4)
+        _, unbounded = run_sim(
+            3,
+            1024 * MIB,
+            ArrivalStream(seed=4, n_arrivals=12, rate=0.3, mix=MIX),
+            plan,
+        )
+        _, bounded = run_sim(
+            3,
+            1024 * MIB,
+            ArrivalStream(seed=4, n_arrivals=12, rate=0.3, mix=MIX),
+            plan,
+            rescue_budget=1 * MIB,
+        )
+        assert bounded.n_rescued < unbounded.n_rescued
+        assert bounded.n_casualties > 0
+        assert bounded.accounted
+        # Every rescue that did land respected the per-node budget.
+        for record in bounded.rescues:
+            assert record.moved_bytes <= 1 * MIB
+
+    def test_all_nodes_down_strands_the_queue(self):
+        # The only node crashes before the first arrival and never
+        # recovers: every request queues forever and is shed as
+        # stranded at end of run — classified, never silent.
+        plan = FaultPlan(seed=20, node_crash_rate=1.0)
+        _, report = run_sim(
+            1,
+            512 * MIB,
+            ArrivalStream(seed=2, n_arrivals=6, rate=0.5,
+                          mix=("phaseshift",)),
+            plan,
+        )
+        assert report.n_rejected == 6
+        assert {r.reason for r in report.rejections} == {"shed-stranded"}
+        assert report.accounted
+
+
+class TestDrainAndRecover:
+    def test_drain_stops_admissions_until_recovery(self):
+        plan = FaultPlan(seed=1, node_drain_rate=0.9,
+                         node_recover_seconds=50.0)
+        sim, report = run_sim(
+            2,
+            512 * MIB,
+            ArrivalStream(seed=2, n_arrivals=10, rate=0.3, mix=MIX),
+            plan,
+        )
+        assert report.accounted
+        # Parse the journal: between a node's drain and its recovery,
+        # no admission may land on it.
+        draining: dict[str, float] = {}
+        windows: list[tuple[str, float, float]] = []
+        for line in sim.journal:
+            if not line.startswith("t="):
+                continue
+            t = float(line.split()[0].split("=")[1])
+            if " drain node=" in line:
+                draining[line.split("node=")[1].split()[0]] = t
+            elif " recover node=" in line:
+                name = line.split("node=")[1].split()[0]
+                windows.append((name, draining.pop(name), t))
+        assert windows, "the seeded plan must actually drain a node"
+        for line in sim.journal:
+            if " admit " not in line:
+                continue
+            t = float(line.split()[0].split("=")[1])
+            name = line.split("node=")[1].split()[0]
+            for drained, start, end in windows:
+                if name == drained:
+                    assert not (start <= t < end), (
+                        f"admission onto draining {name} at t={t}"
+                    )
+
+    def test_drained_residents_complete_gracefully(self):
+        plan = FaultPlan(seed=1, node_drain_rate=0.9)
+        _, report = run_sim(
+            2,
+            512 * MIB,
+            ArrivalStream(seed=2, n_arrivals=10, rate=0.3, mix=MIX),
+            plan,
+        )
+        # A drain bleeds tenants out; it never creates casualties.
+        assert report.n_casualties == 0
+        assert report.accounted
+
+
+class TestTenantKill:
+    def test_kill_rate_one_fells_every_admitted_tenant(self):
+        plan = FaultPlan(seed=0, tenant_kill_rate=1.0)
+        sim, report = run_sim(
+            2,
+            512 * MIB,
+            ArrivalStream(seed=2, n_arrivals=8, rate=0.5, mix=MIX),
+            plan,
+        )
+        assert len(report.tenants) == 0
+        assert report.n_casualties == 8
+        assert {c.reason for c in report.casualties} == {"tenant-kill"}
+        assert all(
+            0.0 < c.progress_fraction < 1.0 for c in report.casualties
+        )
+        assert report.accounted
+        assert any("schedule-kill" in line for line in sim.journal)
+
+    def test_kill_frees_capacity_for_the_queue(self):
+        # With kills on, HBW churns faster; the run still reconciles.
+        plan = FaultPlan(seed=5, tenant_kill_rate=0.5)
+        _, report = run_sim(
+            2,
+            256 * MIB,
+            ArrivalStream(seed=11, n_arrivals=16, rate=1.0, mix=MIX),
+            plan,
+        )
+        assert report.n_casualties > 0
+        assert len(report.tenants) > 0
+        assert report.accounted
+
+
+class TestOverloadBurst:
+    def test_burst_off_is_bit_identical_to_legacy_stream(self):
+        base = ArrivalStream(seed=11, n_arrivals=32, rate=0.2, mix=MIX)
+        explicit = ArrivalStream(
+            seed=11, n_arrivals=32, rate=0.2, mix=MIX,
+            burst_factor=1.0, burst_fraction=0.0,
+        )
+        assert base.generate() == explicit.generate()
+
+    def test_burst_compresses_only_the_central_slice(self):
+        base = ArrivalStream(seed=11, n_arrivals=32, rate=0.2, mix=MIX)
+        burst = ArrivalStream(
+            seed=11, n_arrivals=32, rate=0.2, mix=MIX,
+            burst_factor=4.0, burst_fraction=0.5,
+        )
+        a, b = base.generate(), burst.generate()
+        k = round(32 * 0.5)
+        start = (32 - k) // 2
+        # The prefix before the burst is untouched; everything after
+        # the burst begins is earlier; the mix/demand draws are the
+        # same stream.
+        for i in range(start):
+            assert b[i].arrival_time == a[i].arrival_time
+        assert b[-1].arrival_time < a[-1].arrival_time
+        assert [r.app for r in b] == [r.app for r in a]
+        assert [r.hbw_demand for r in b] == [r.hbw_demand for r in a]
+
+    def test_plan_burst_is_folded_into_the_stream(self):
+        plan = FaultPlan(
+            seed=0, overload_burst_factor=3.0, overload_burst_fraction=0.5
+        )
+        sim = ClusterSim(
+            make_fleet(2, 512 * MIB),
+            ArrivalStream(seed=11, n_arrivals=16, rate=0.2, mix=MIX),
+            fault_plan=plan,
+        )
+        assert sim.arrivals.bursty
+        assert sim.arrivals.burst_factor == 3.0
+        report = sim.run()
+        assert report.accounted
+        assert any(line.startswith("# burst") for line in sim.journal)
+
+    def test_burst_validation(self):
+        with pytest.raises(Exception, match="burst factor"):
+            ArrivalStream(seed=0, burst_factor=0.5)
+        with pytest.raises(Exception, match="burst fraction"):
+            ArrivalStream(seed=0, burst_fraction=1.5)
+
+
+class TestEverythingAtOnce:
+    def test_crash_kill_burst_run_reconciles(self):
+        """The acceptance scenario: crashes + kills + overload burst,
+        every tenant accounted for."""
+        plan = FaultPlan(
+            seed=5,
+            node_crash_rate=0.5,
+            tenant_kill_rate=0.2,
+            node_recover_seconds=40.0,
+            overload_burst_factor=3.0,
+            overload_burst_fraction=0.5,
+        )
+        sim, report = run_sim(
+            4,
+            256 * MIB,
+            ArrivalStream(seed=11, n_arrivals=24, rate=0.2, mix=MIX),
+            plan,
+        )
+        assert report.accounted
+        assert (
+            len(report.tenants) + report.n_rejected + report.n_casualties
+            == 24
+        )
+        assert report.n_casualties > 0
+        # The journal's accounting line agrees with the report.
+        closing = sim.journal[-1]
+        assert closing.startswith("accounting ")
+        assert "reconciled=true" in closing
+
+    def test_faulted_run_is_deterministic_across_instances(self):
+        plan = FaultPlan(seed=5, node_crash_rate=0.5, tenant_kill_rate=0.2)
+        stream = ArrivalStream(seed=11, n_arrivals=16, rate=0.3, mix=MIX)
+
+        def one():
+            sim = ClusterSim(
+                make_fleet(3, 256 * MIB), stream, fault_plan=plan
+            )
+            sim.run()
+            return sim.journal_text()
+
+        assert one() == one()

@@ -75,6 +75,101 @@ class TestExtentAllocator:
             alloc.free(e)
         assert alloc.holes() == ((0, 2000),)
 
+    @given(
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(0, 10**6)),
+            min_size=1,
+            max_size=80,
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_random_interleaving_invariants(self, ops):
+        """Arbitrary alloc/free interleavings: live extents never
+        overlap, extents + holes always tile [0, total) exactly, the
+        fragmentation metric stays inside [0, 1), and freeing every
+        survivor recovers the single maximal hole."""
+        total = 1000
+        alloc = ExtentAllocator(total)
+        live: list = []
+        for is_alloc, magnitude in ops:
+            if is_alloc or not live:
+                extent = alloc.alloc(magnitude % 120 + 1)
+                if extent is not None:
+                    live.append(extent)
+            else:
+                alloc.free(live.pop(magnitude % len(live)))
+            spans = sorted(
+                [(e.offset, e.size, "extent") for e in live]
+                + [(o, s, "hole") for o, s in alloc.holes()]
+            )
+            cursor = 0
+            for offset, size, _ in spans:
+                assert offset == cursor, "overlap or gap in the tiling"
+                cursor += size
+            assert cursor == total
+            assert 0.0 <= alloc.fragmentation < 1.0
+            assert alloc.largest_free <= alloc.total_free
+        for extent in live:
+            alloc.free(extent)
+        assert alloc.holes() == ((0, total),)
+        assert alloc.fragmentation == 0.0
+
+    def test_double_free_message_is_pinned(self):
+        alloc = ExtentAllocator(100)
+        extent = alloc.alloc(10)
+        alloc.free(extent)
+        with pytest.raises(
+            ConfigError,
+            match=r"double free: extent .* overlaps hole \(0,100\)",
+        ):
+            alloc.free(extent)
+
+    def test_foreign_extent_message_is_pinned(self):
+        alloc = ExtentAllocator(100)
+        with pytest.raises(
+            ConfigError, match=r"exceeds allocator size 100"
+        ):
+            alloc.free(Extent(offset=90, size=20))
+
+    def test_reset_forgets_every_grant(self):
+        alloc = ExtentAllocator(100)
+        alloc.alloc(30)
+        alloc.alloc(30)
+        alloc.reset()
+        assert alloc.holes() == ((0, 100),)
+        assert alloc.fragmentation == 0.0
+
+    def test_restore_round_trips_holes(self):
+        alloc = ExtentAllocator(100)
+        a = alloc.alloc(20)
+        b = alloc.alloc(20)
+        alloc.alloc(20)
+        alloc.free(a)
+        alloc.free(b)
+        restored = ExtentAllocator.restore(100, alloc.holes())
+        assert restored.holes() == alloc.holes()
+        assert restored.total_free == alloc.total_free
+
+    def test_restore_accepts_fully_allocated(self):
+        restored = ExtentAllocator.restore(100, ())
+        assert restored.total_free == 0
+        assert restored.largest_free == 0
+
+    @pytest.mark.parametrize(
+        "holes,message",
+        [
+            ([(0, 120)], "outside"),
+            ([(-5, 10)], "outside"),
+            ([(0, 0)], "outside"),
+            ([(20, 10), (0, 10)], "unsorted or overlapping"),
+            ([(0, 10), (5, 10)], "unsorted or overlapping"),
+            ([(0, 10), (10, 10)], "not coalesced"),
+        ],
+    )
+    def test_restore_rejects_corrupt_hole_lists(self, holes, message):
+        with pytest.raises(ConfigError, match=message):
+            ExtentAllocator.restore(100, holes)
+
 
 class TestNodeSpec:
     def test_budget_defaults_to_fast_tier_capacity(self):

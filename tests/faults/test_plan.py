@@ -223,3 +223,88 @@ class TestStreamingFields:
         plan = FaultPlan.from_dict({"seed": 3, "sample_drop_rate": 0.1})
         assert not plan.degrades_online
         assert plan.migration_sticky_fraction == 0.5
+
+
+class TestClusterFields:
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "node_crash_rate",
+            "node_drain_rate",
+            "tenant_kill_rate",
+            "overload_burst_fraction",
+        ],
+    )
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_cluster_rates_bounded(self, field, value):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(**{field: value})
+
+    def test_recover_seconds_must_be_non_negative(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(node_recover_seconds=-1.0)
+
+    def test_burst_factor_below_one_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(overload_burst_factor=0.5)
+
+    def test_degrades_cluster_property(self):
+        assert not FaultPlan().degrades_cluster
+        for field in (
+            "node_crash_rate",
+            "node_drain_rate",
+            "tenant_kill_rate",
+        ):
+            assert FaultPlan(**{field: 0.1}).degrades_cluster
+        # The burst needs both dials: a factor with no slice (or a
+        # slice at factor 1) is a no-op.
+        assert not FaultPlan(overload_burst_factor=2.0).degrades_cluster
+        assert not FaultPlan(overload_burst_fraction=0.5).degrades_cluster
+        assert FaultPlan(
+            overload_burst_factor=2.0, overload_burst_fraction=0.5
+        ).degrades_cluster
+
+    def test_streaming_faults_do_not_degrade_cluster(self):
+        plan = FaultPlan(window_drop_rate=0.2, migration_failure_rate=0.1)
+        assert not plan.degrades_cluster
+
+    def test_scaled_scales_cluster_rates_and_burst_excess(self):
+        plan = FaultPlan(
+            node_crash_rate=0.4,
+            node_drain_rate=0.2,
+            tenant_kill_rate=0.6,
+            node_recover_seconds=30.0,
+            overload_burst_factor=3.0,
+            overload_burst_fraction=0.5,
+        )
+        half = plan.scaled(0.5)
+        assert half.node_crash_rate == pytest.approx(0.2)
+        assert half.node_drain_rate == pytest.approx(0.1)
+        assert half.tenant_kill_rate == pytest.approx(0.3)
+        assert half.overload_burst_fraction == pytest.approx(0.25)
+        # The burst factor scales its excess over the neutral 1.0.
+        assert half.overload_burst_factor == pytest.approx(2.0)
+        # The recovery time is a shape, not an intensity.
+        assert half.node_recover_seconds == 30.0
+        clean = plan.scaled(0.0)
+        assert not clean.degrades_cluster
+        assert clean.overload_burst_factor == 1.0
+
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            seed=7,
+            node_crash_rate=0.25,
+            node_drain_rate=0.1,
+            node_recover_seconds=60.0,
+            tenant_kill_rate=0.05,
+            overload_burst_factor=4.0,
+            overload_burst_fraction=0.5,
+        )
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_old_plans_load_with_clean_cluster_defaults(self):
+        plan = FaultPlan.from_dict({"seed": 3, "window_drop_rate": 0.1})
+        assert not plan.degrades_cluster
+        assert plan.overload_burst_factor == 1.0
