@@ -234,12 +234,23 @@ class GroundTruth:
 
 @dataclass
 class ProfilingRun:
-    """Output of the instrumented (step 1) run of one rank."""
+    """Output of the instrumented (step 1) run of one rank.
 
-    trace: TraceFile
+    ``trace`` is either the row-oriented :class:`TraceFile` the tracer
+    emits or an already-columnarised
+    :class:`~repro.trace.columnar.ColumnarTrace` (the shared trace
+    plane publishes the latter); every downstream consumer of the
+    cell path accepts both. ``tracer``/``process`` are present only
+    when the run came from an in-process instrumented execution — a
+    run reconstructed from a shared plane has neither, since raw
+    tracer/process state is process-local and never crosses the
+    plane.
+    """
+
+    trace: "TraceFile | ColumnarTrace"
     ground_truth: GroundTruth
-    tracer: Tracer
-    process: SimProcess
+    tracer: Tracer | None = None
+    process: SimProcess | None = None
     #: site name -> ObjectSpec for convenience.
     sites: dict[str, ObjectSpec] = field(default_factory=dict)
 

@@ -32,6 +32,7 @@ from repro.analysis.objects import ObjectKey, ObjectKind
 from repro.analysis.profile import ObjectProfile, ProfileSet
 from repro.analysis.vectorattr import attribute_samples_vector
 from repro.advisor.report import PlacementEntry, PlacementReport
+from repro.apps.cgpop import CGPOP
 from repro.bench.scenarios import make_attribution_trace, make_stream
 from repro.cache.hierarchy import CacheHierarchy, CacheLevelSpec
 from repro.cache.setassoc import SetAssociativeCache
@@ -662,6 +663,223 @@ def _bench_cluster_schedule(
     )
 
 
+class _SweepBenchApp(CGPOP):
+    """Profile-heavy CGPOP variant for the sweep-throughput stage.
+
+    The shared trace plane pays off exactly when the per-worker
+    profiling run dominates a cell's cost, so the bench workload
+    inflates the miss stream (scaled per mode via the instance
+    attribute) while keeping the grid small. Module-level class: the
+    pool pickles the instance into its workers.
+    """
+
+    name = "benchsweep"
+
+
+def _private_rss_kib() -> int | None:
+    """This process's private RSS in KiB, or None off-Linux."""
+    total = 0
+    try:
+        with open("/proc/self/smaps_rollup") as fh:
+            for line in fh:
+                if line.startswith(
+                    ("Private_Clean:", "Private_Dirty:", "Private_Hugetlb:")
+                ):
+                    total += int(line.split()[1])
+    except OSError:
+        return None
+    return total
+
+
+def _sweep_rss_probe(queue, app, machine, cell, seed, plane) -> None:
+    """Forked probe: run one cell, report private RSS + any error."""
+    from repro.parallel.sweep import _execute_cell
+
+    payload = _execute_cell(
+        app, machine, cell, seed, {}, None, 1, plane=plane
+    )
+    queue.put((_private_rss_kib(), payload[1]))
+
+
+def _bench_sweep_rss(
+    report: BenchReport, app, machine, grid, seed: int
+) -> None:
+    """Per-worker private RSS, with and without the shared plane.
+
+    Four forked probes (matching the jobs=4 throughput stage) each
+    execute one grid cell and read ``/proc/self/smaps_rollup``; fork
+    keeps the interpreter's baseline copy-on-write-shared, so the
+    measured private bytes are dominated by what the cell itself
+    materialised — the whole row-mode trace privately, or a zero-copy
+    view of the plane. Skipped silently where smaps_rollup or the
+    fork start method is unavailable (non-Linux).
+    """
+    import multiprocessing
+
+    from repro.pipeline.experiment import enumerate_cells
+    from repro.pipeline.framework import HybridMemoryFramework
+    from repro.trace.shared import SharedTracePlane
+    from repro.trace.tracer import TracerConfig
+
+    if _private_rss_kib() is None:
+        return
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        return
+    cells = [c for c in enumerate_cells(app, grid) if c.kind == "grid"][:4]
+    framework = HybridMemoryFramework(
+        app,
+        machine,
+        tracer_config=TracerConfig(
+            sampling_period=app.sampling_period, columnar_samples=True
+        ),
+        seed=seed,
+    )
+    profiling = framework.profile()
+    columnar = profiling.tracer.columnar_trace()
+    means: dict[str, float] = {}
+    with SharedTracePlane() as plane:
+        handle = plane.publish(
+            "bench-sweep-rss", columnar, profiling.ground_truth
+        )
+        for scenario, plane_handle in (("private", None), ("plane", handle)):
+            queue = ctx.SimpleQueue()
+            procs = [
+                ctx.Process(
+                    target=_sweep_rss_probe,
+                    args=(queue, app, machine, cell, seed, plane_handle),
+                )
+                for cell in cells
+            ]
+            for proc in procs:
+                proc.start()
+            results = [queue.get() for _ in procs]
+            for proc in procs:
+                proc.join()
+            errors = [error for _, error in results if error]
+            if errors:
+                raise ReproError(
+                    f"sweep RSS probe ({scenario}) failed a cell:\n"
+                    + errors[0]
+                )
+            kibs = [kib for kib, _ in results if kib is not None]
+            if not kibs:
+                return
+            means[scenario] = sum(kibs) / len(kibs)
+    if means["plane"] >= 0.7 * means["private"]:
+        raise ReproError(
+            f"shared plane did not keep worker RSS flat: "
+            f"{means['plane']:.0f} KiB private with the plane vs "
+            f"{means['private']:.0f} KiB without"
+        )
+    for scenario in ("private", "plane"):
+        mean_kib = means[scenario]
+        report.record(
+            BenchRecord(
+                stage="sweep_worker_rss",
+                scenario=scenario,
+                mode=report.mode,
+                n=len(cells),
+                # Encoded so the regression gate's throughput floor
+                # catches RSS *growth*: throughput ~ 1/RSS.
+                seconds=mean_kib / 1e6,
+                throughput=1e6 / mean_kib,
+                reference_seconds=(
+                    means["private"] / 1e6 if scenario == "plane" else None
+                ),
+                speedup=(
+                    means["private"] / mean_kib
+                    if scenario == "plane"
+                    else None
+                ),
+            )
+        )
+
+
+def _bench_sweep_throughput(
+    report: BenchReport, stream_misses: int, seed: int
+) -> None:
+    """Pool sweep at jobs=4, without vs with the shared trace plane.
+
+    The workload is profile-dominated (inflated miss stream, small
+    grid), so the baseline pays one row-mode profiling run per worker
+    while the plane path profiles once in the parent via the columnar
+    tracer and workers attach zero-copy. Rows must be identical across
+    the two paths — the stage aborts on divergence, like every other
+    bench oracle. Wall time of a 4-worker pool is too expensive to
+    repeat, so each path is timed once.
+    """
+    from repro.parallel.sweep import run_sweep
+    from repro.pipeline.experiment import ExperimentGrid, enumerate_cells
+
+    app = _SweepBenchApp()
+    app.stream_misses = stream_misses
+    machine = xeon_phi_7250()
+    grid = ExperimentGrid(
+        budgets=(32 * MIB, 64 * MIB), strategies=("density", "misses-0%")
+    )
+    n_cells = len(enumerate_cells(app, grid))
+
+    def sweep(shared_plane: bool):
+        result = run_sweep(
+            [app],
+            machine=machine,
+            grid=grid,
+            jobs=4,
+            seed=seed,
+            shared_plane=shared_plane,
+        )
+        if result.failures or result.skipped:
+            raise ReproError(
+                f"sweep bench cells failed (shared_plane={shared_plane})"
+            )
+        return sorted(
+            (o.cell.key, o.row) for o in result.outcomes
+        ), result.metrics
+
+    base_seconds, (base_rows, _) = _time(lambda: sweep(False), 1)
+    plane_seconds, (plane_rows, plane_metrics) = _time(
+        lambda: sweep(True), 1
+    )
+    if base_rows != plane_rows:
+        raise ReproError(
+            "shared-plane sweep rows diverged from the private-profile "
+            "pool sweep"
+        )
+    if not plane_metrics.counters.get("plane_publish"):
+        raise ReproError("shared-plane sweep never published a plane")
+    speedup = base_seconds / plane_seconds
+    if report.mode == "full" and speedup < 3.0:
+        raise ReproError(
+            f"shared plane sped the profile-bound sweep up only "
+            f"{speedup:.2f}x (target >= 3x)"
+        )
+    report.record(
+        BenchRecord(
+            stage="sweep_throughput",
+            scenario="pool-jobs4",
+            mode=report.mode,
+            n=n_cells,
+            seconds=base_seconds,
+            throughput=n_cells / base_seconds,
+        )
+    )
+    report.record(
+        BenchRecord(
+            stage="sweep_throughput",
+            scenario="plane-jobs4",
+            mode=report.mode,
+            n=n_cells,
+            seconds=plane_seconds,
+            throughput=n_cells / plane_seconds,
+            reference_seconds=base_seconds,
+            speedup=speedup,
+        )
+    )
+    _bench_sweep_rss(report, app, machine, grid, seed)
+
+
 # ---------------------------------------------------------------------------
 # Entry point + regression gate
 # ---------------------------------------------------------------------------
@@ -716,6 +934,8 @@ def run_bench(
     _bench_cluster_schedule(
         report, n_arrivals, seed, repeats=1 if quick else min(repeats, 3)
     )
+    n_misses = 500_000 if quick else 2_000_000
+    _bench_sweep_throughput(report, n_misses, seed)
     return report
 
 

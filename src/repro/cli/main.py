@@ -348,6 +348,21 @@ def experiment_main(argv: list[str] | None = None) -> int:
                         help="open an application's circuit (skip its "
                         "remaining cells) after N deterministic "
                         "failures")
+    parser.add_argument("--shared-plane", action="store_true",
+                        help="with -j>1, profile each application once "
+                        "in the parent and publish the trace to a "
+                        "shared plane; workers attach zero-copy "
+                        "instead of re-profiling")
+    parser.add_argument("--plane-backend", choices=("shm", "mmap"),
+                        default="shm",
+                        help="shared-plane transport: POSIX shared "
+                        "memory segments (default) or mmap-able "
+                        "on-disk .npy directories")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        metavar="N",
+                        help="grid cells per pool submission (default: "
+                        "auto-sized from the grid and -j; 1 whenever "
+                        "--timeout is set)")
 
     def run(args) -> None:
         apps = [get_app(name) for name in args.apps]
@@ -371,6 +386,9 @@ def experiment_main(argv: list[str] | None = None) -> int:
             cell_deadline=args.cell_deadline,
             requeue_budget=args.requeue_budget,
             circuit_threshold=args.circuit_threshold,
+            shared_plane=args.shared_plane,
+            plane_backend=args.plane_backend,
+            batch_size=args.batch_size,
         )
         if sweep.resumed:
             print(
@@ -848,9 +866,9 @@ def bench_main(argv: list[str] | None = None) -> int:
         "fail on throughput regressions.",
     )
     parser.add_argument("-o", "--output", type=Path,
-                        default=Path("BENCH_PR8.json"),
+                        default=Path("BENCH_PR10.json"),
                         help="benchmark report to write "
-                        "(default BENCH_PR8.json)")
+                        "(default BENCH_PR10.json)")
     parser.add_argument("--quick", action="store_true",
                         help="~10x smaller streams (CI smoke mode)")
     parser.add_argument("--both", action="store_true",

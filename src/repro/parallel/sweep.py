@@ -28,19 +28,32 @@ profiling run) per application, while the parent
 * enforces an optional error budget: once the budget of failed cells
   is spent, remaining cells are recorded as skipped (fail-fast);
 * merges every per-cell :class:`StageMetrics` record into one
-  sweep-level roll-up.
+  sweep-level roll-up;
+* with ``shared_plane=True`` (and ``jobs > 1``), profiles each
+  application once in the parent and publishes the columnar trace +
+  ground truth on a :class:`~repro.trace.shared.SharedTracePlane`;
+  workers attach zero-copy read-only views and reconstruct their
+  frameworks from the shared profile instead of re-profiling. A
+  worker that finds the plane torn or missing falls back to private
+  materialisation (counted, never a failed cell);
+* batches several same-application cells per pool submission
+  (``batch_size``, auto-sized from grid and jobs) so IPC and
+  result-collection overhead amortise — journal intents, cache
+  answers, retries, deadlines and circuit breakers all stay per-cell.
 
 ``jobs=1`` runs the same scheduler in-process (no pool), so the
 serial and parallel paths share every line of cell-execution code.
 A :class:`~repro.faults.plan.FaultPlan` attached to the config is
 reconstructed identically inside every worker (it travels by value),
 so a faulted sweep is bit-reproducible across serial and parallel
-execution.
+execution — and across the shared-plane path, because the parent
+publishes the trace *after* applying the plan's profile degradation.
 """
 
 from __future__ import annotations
 
 import hashlib
+import math
 import time
 import traceback
 from collections import deque
@@ -54,6 +67,7 @@ from repro.errors import (
     CATEGORY_TRANSIENT,
     ConfigError,
     OutOfMemoryError,
+    PlaneError,
     classify_error,
 )
 from repro.faults.injector import FATE_HANG, FATE_KILL, FaultInjector
@@ -65,6 +79,7 @@ from repro.parallel.journal import (
 )
 from repro.parallel.result_cache import (
     ResultCache,
+    app_fingerprint,
     cell_cache_key,
     content_hash,
 )
@@ -85,6 +100,16 @@ from repro.pipeline.experiment import (
 from repro.pipeline.framework import HybridMemoryFramework
 from repro.pipeline.metrics import StageMetrics
 from repro.pipeline.results import ExperimentResult, ResultRow
+from repro.trace.columnar import ColumnarTrace
+from repro.parallel.watchdog import start_orphan_watchdog
+from repro.trace.shared import (
+    BACKENDS,
+    PlaneHandle,
+    SharedProfile,
+    SharedTracePlane,
+    attach_plane,
+)
+from repro.trace.tracer import TracerConfig
 
 #: Error text of cells the error budget prevented from running.
 SKIPPED_ERROR = "skipped: error budget exhausted"
@@ -138,6 +163,18 @@ class SweepConfig:
     #: accumulate before its circuit opens and its remaining cells are
     #: refused. None: breaker disabled.
     circuit_threshold: int | None = None
+    #: Publish each application's profiling products once per host on
+    #: a shared trace plane; workers (``jobs > 1`` only) reconstruct
+    #: their frameworks from zero-copy views instead of re-profiling.
+    shared_plane: bool = False
+    #: Plane transport: ``"shm"`` (POSIX shared memory) or ``"mmap"``
+    #: (uncompressed on-disk columnar container; the page cache shares
+    #: one physical copy).
+    plane_backend: str = "shm"
+    #: Cells per pool submission. ``None`` auto-sizes from grid and
+    #: jobs — and pins the batch to 1 whenever ``timeout_seconds`` is
+    #: set, so the per-attempt timeout keeps its per-cell meaning.
+    batch_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -158,6 +195,13 @@ class SweepConfig:
             raise ConfigError("circuit_threshold must be >= 1")
         if self.resume and self.journal_dir is None:
             raise ConfigError("resume requires a journal_dir")
+        if self.plane_backend not in BACKENDS:
+            raise ConfigError(
+                f"unknown plane backend {self.plane_backend!r}; "
+                f"have {BACKENDS}"
+            )
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ConfigError("batch_size must be >= 1")
 
 
 @dataclass
@@ -230,12 +274,45 @@ class SweepResult:
 # ---------------------------------------------------------------------------
 
 #: Per-worker-process framework memo: (app name, machine name, seed,
-#: fault plan) -> HybridMemoryFramework. Raw addresses and profiling
-#: runs are only meaningful within one process (ASLR), so the memo —
-#: like the paper's per-process decision cache — never crosses the
-#: pool. The plan is part of the key because it shapes the memoised
-#: (possibly degraded) profiling run.
+#: fault plan, plane key) -> HybridMemoryFramework. Raw addresses and
+#: profiling runs are only meaningful within one process (ASLR), so
+#: the memo — like the paper's per-process decision cache — never
+#: crosses the pool. The plan is part of the key because it shapes the
+#: memoised (possibly degraded) profiling run.
 _WORKER_FRAMEWORKS: dict[tuple, HybridMemoryFramework] = {}
+
+#: Entries the framework memo may hold before the least-recently-used
+#: one is evicted. Long sweeps over many apps × plans would otherwise
+#: pin every profiling run they ever materialised.
+_WORKER_MEMO_CAP = 4
+
+#: Per-worker-process cache of attached planes: plane key ->
+#: SharedProfile. Attachments are views, not copies, so this stays
+#: tiny and is deliberately *not* evicted with the framework memo —
+#: a re-created framework reattaches for free.
+_WORKER_PLANES: dict[str, SharedProfile] = {}
+
+
+def _memo_get(memo: dict, key: tuple) -> HybridMemoryFramework | None:
+    """LRU lookup: a hit is moved to the most-recent end."""
+    framework = memo.pop(key, None)
+    if framework is not None:
+        memo[key] = framework
+    return framework
+
+
+def _memo_put(memo: dict, key: tuple, framework: HybridMemoryFramework) -> int:
+    """Insert, evicting least-recently-used entries beyond the cap.
+
+    Returns the number of evictions (dict order is insertion order,
+    and :func:`_memo_get` reinserts on hit, so the first key is always
+    the least recently used)."""
+    memo[key] = framework
+    evictions = 0
+    while len(memo) > _WORKER_MEMO_CAP:
+        memo.pop(next(iter(memo)))
+        evictions += 1
+    return evictions
 
 
 def _execute_cell(
@@ -246,6 +323,7 @@ def _execute_cell(
     frameworks: dict | None = None,
     plan: FaultPlan | None = None,
     attempt: int = 1,
+    plane: PlaneHandle | None = None,
 ) -> tuple[ResultRow | None, str | None, str | None, dict]:
     """Run one cell; never raises (the pool must stay healthy).
 
@@ -256,16 +334,48 @@ def _execute_cell(
     sweep total. ``frameworks`` is the framework memo to use; pool
     workers default to the process-global one, the in-process serial
     path passes a per-sweep dict.
+
+    With a ``plane`` handle, a missing framework is reconstructed
+    around the host's shared trace instead of re-profiling
+    (``plane_attach`` counted); a torn or vanished plane degrades to
+    private materialisation (``plane_fallback`` counted) — never to a
+    failed cell.
     """
     memo = _WORKER_FRAMEWORKS if frameworks is None else frameworks
-    key = (app.name, machine.name, seed, plan)
-    framework = memo.get(key)
+    key = (
+        app.name,
+        machine.name,
+        seed,
+        plan,
+        plane.key if plane is not None else None,
+    )
+    framework = _memo_get(memo, key)
+    plane_counter = None
+    evictions = 0
     if framework is None:
-        framework = HybridMemoryFramework(
-            app, machine, seed=seed, fault_plan=plan
-        )
-        memo[key] = framework
+        if plane is not None:
+            shared = _WORKER_PLANES.get(plane.key)
+            if shared is None:
+                try:
+                    shared = attach_plane(plane)
+                    _WORKER_PLANES[plane.key] = shared
+                except PlaneError:
+                    plane_counter = "plane_fallback"
+            if shared is not None:
+                framework = HybridMemoryFramework.from_shared_profile(
+                    app, machine, shared, seed=seed, fault_plan=plan
+                )
+                plane_counter = "plane_attach"
+        if framework is None:
+            framework = HybridMemoryFramework(
+                app, machine, seed=seed, fault_plan=plan
+            )
+        evictions = _memo_put(memo, key, framework)
     framework.metrics = StageMetrics()
+    if plane_counter is not None:
+        framework.metrics.bump(plane_counter)
+    if evictions:
+        framework.metrics.bump("framework_evicted", evictions)
     try:
         if plan is not None:
             injector = FaultInjector(plan)
@@ -298,6 +408,33 @@ def _execute_cell(
             classify_error(exc),
             framework.metrics.to_dict(),
         )
+
+
+def _execute_batch(
+    app: SimApplication,
+    machine: MachineConfig,
+    cells: list[GridCell],
+    seed: int,
+    plan: FaultPlan | None = None,
+    attempts: list[int] | None = None,
+    plane: PlaneHandle | None = None,
+) -> list[tuple[ResultRow | None, str | None, str | None, dict]]:
+    """Run a batch of same-application cells in one worker call.
+
+    Batching amortises pool IPC — one submit and one result per batch
+    instead of per cell — without changing per-cell semantics: every
+    cell still runs through :func:`_execute_cell` and yields its own
+    ``(row, error, category, metrics)`` tuple, so the parent settles,
+    caches, journals and retries each cell individually.
+    """
+    if attempts is None:
+        attempts = [1] * len(cells)
+    return [
+        _execute_cell(
+            app, machine, cell, seed, None, plan, attempt, plane=plane
+        )
+        for cell, attempt in zip(cells, attempts)
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -414,10 +551,24 @@ class SweepExecutor:
             if pending:
                 if config.jobs == 1:
                     self._run_serial(pending, result)
-                elif config.cell_deadline is not None:
-                    self._run_supervised(pending, result)
                 else:
-                    self._run_pool(pending, result)
+                    plane: SharedTracePlane | None = None
+                    planes: dict[str, PlaneHandle] = {}
+                    if config.shared_plane:
+                        plane = SharedTracePlane(
+                            backend=config.plane_backend
+                        )
+                        planes = self._publish_planes(
+                            plane, pending, result
+                        )
+                    try:
+                        if config.cell_deadline is not None:
+                            self._run_supervised(pending, result, planes)
+                        else:
+                            self._run_pool(pending, result, planes)
+                    finally:
+                        if plane is not None:
+                            plane.close()
 
             result.outcomes.sort(key=lambda o: o.order)
             for outcome in result.outcomes:
@@ -556,6 +707,119 @@ class SweepExecutor:
             counter="circuit_open",
         )
 
+    # -- shared trace plane --------------------------------------------
+
+    def _plane_key(self, app: SimApplication) -> str:
+        """Content-derived identity of one application's plane — the
+        same inputs that pin a cell's cache key, minus the cell."""
+        config = self.config
+        return content_hash(
+            {
+                "kind": "trace-plane",
+                "app": app_fingerprint(app),
+                "machine": self.machine.name,
+                "seed": config.seed,
+                "fault_plan": (
+                    config.fault_plan.to_dict()
+                    if config.fault_plan is not None
+                    else None
+                ),
+            }
+        )
+
+    def _plane_profile(
+        self, app: SimApplication
+    ) -> tuple[HybridMemoryFramework, ColumnarTrace]:
+        """Profile ``app`` once, parent-side, and columnarise.
+
+        Clean runs use the tracer's ``columnar_samples`` fast path —
+        samples go from the PMU model straight into NumPy columns, so
+        publishing costs a fraction of a worker's row-mode profile
+        (attribution equality across the two modes is pinned by the
+        tracer tests). A profile-degrading fault plan forces the
+        row-mode path, because degradation operates on the row trace;
+        the published trace then matches what every worker would have
+        materialised privately, bit for bit.
+        """
+        config = self.config
+        degrades = (
+            config.fault_plan is not None
+            and config.fault_plan.degrades_profile
+        )
+        tracer_config = (
+            None
+            if degrades
+            else TracerConfig(
+                sampling_period=app.sampling_period, columnar_samples=True
+            )
+        )
+        framework = HybridMemoryFramework(
+            app,
+            self.machine,
+            tracer_config=tracer_config,
+            seed=config.seed,
+            fault_plan=config.fault_plan,
+        )
+        profiling = framework.profile()
+        if not degrades and profiling.tracer is not None:
+            columnar = profiling.tracer.columnar_trace()
+        elif isinstance(profiling.trace, ColumnarTrace):
+            columnar = profiling.trace
+        else:
+            columnar = ColumnarTrace.from_tracefile(profiling.trace)
+        return framework, columnar
+
+    def _publish_planes(
+        self,
+        plane: SharedTracePlane,
+        pending: list[tuple[SimApplication, CellOutcome, str | None]],
+        result: SweepResult,
+    ) -> dict[str, PlaneHandle]:
+        """Profile and export each pending application exactly once.
+
+        Publishing is an optimisation, never a gate: an application
+        whose profile run fails here simply gets no handle — its cells
+        run planeless and fail (or not) under the normal per-cell
+        retry taxonomy, with ``plane_publish_failed`` counted.
+        """
+        handles: dict[str, PlaneHandle] = {}
+        seen: set[str] = set()
+        for app, _, _ in pending:
+            if app.name in seen:
+                continue
+            seen.add(app.name)
+            try:
+                framework, columnar = self._plane_profile(app)
+                handles[app.name] = plane.publish(
+                    self._plane_key(app),
+                    columnar,
+                    framework.profile().ground_truth,
+                )
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException:
+                result.metrics.bump("plane_publish_failed")
+                continue
+            result.metrics.merge(framework.metrics)
+            result.metrics.bump("plane_publish")
+        return handles
+
+    def _batch_size(self, n_pending: int, jobs: int) -> int:
+        """Cells per pool submission.
+
+        Explicit ``batch_size`` wins. Auto mode targets four batches
+        per worker (enough slack for retries and stragglers to
+        interleave, few enough submissions to amortise IPC), capped at
+        32 — and stays at 1 while a per-attempt timeout is set, so the
+        timeout keeps meaning "per cell".
+        """
+        config = self.config
+        if config.batch_size is not None:
+            return config.batch_size
+        if config.timeout_seconds is not None:
+            return 1
+        return max(1, min(32, math.ceil(n_pending / (4 * jobs))))
+
     def _run_serial(
         self,
         pending: list[tuple[SimApplication, CellOutcome, str | None]],
@@ -635,14 +899,24 @@ class SweepExecutor:
         self,
         pending: list[tuple[SimApplication, CellOutcome, str | None]],
         result: SweepResult,
+        planes: dict[str, PlaneHandle] | None = None,
     ) -> None:
         config = self.config
+        planes = planes or {}
         jobs = min(config.jobs, len(pending))
+        batch_size = self._batch_size(len(pending), jobs)
         queue = deque(pending)
         #: (ready time, app, outcome, key) waiting out a backoff delay.
         retry_queue: list[tuple[float, SimApplication, CellOutcome, str | None]] = []
         failures = 0
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
+        # The initializer arms the orphan watchdog in every worker: if
+        # this parent is SIGKILL'd mid-sweep, workers self-terminate
+        # instead of idling forever — which is also what lets the
+        # resource tracker unlink a live shared trace plane.
+        with ProcessPoolExecutor(
+            max_workers=jobs, initializer=start_orphan_watchdog
+        ) as pool:
+            #: future -> (app, [(outcome, key), ...], deadline).
             inflight: dict = {}
 
             def budget_exhausted() -> bool:
@@ -651,24 +925,25 @@ class SweepExecutor:
                     and failures >= config.error_budget
                 )
 
-            def submit(app, outcome, key) -> None:
-                outcome.attempts += 1
+            def submit(app, items) -> None:
+                for outcome, _ in items:
+                    outcome.attempts += 1
                 future = pool.submit(
-                    _execute_cell,
+                    _execute_batch,
                     app,
                     self.machine,
-                    outcome.cell,
+                    [outcome.cell for outcome, _ in items],
                     config.seed,
-                    None,
                     config.fault_plan,
-                    outcome.attempts,
+                    [outcome.attempts for outcome, _ in items],
+                    planes.get(app.name),
                 )
                 deadline = (
-                    time.monotonic() + config.timeout_seconds
+                    time.monotonic() + config.timeout_seconds * len(items)
                     if config.timeout_seconds is not None
                     else None
                 )
-                inflight[future] = (outcome, key, app, deadline)
+                inflight[future] = (app, items, deadline)
 
             def settle(outcome, key, app) -> None:
                 nonlocal failures
@@ -709,20 +984,30 @@ class SweepExecutor:
                         and retry_queue[0][0] <= now
                         and len(inflight) < 2 * jobs
                     ):
+                        # Retries re-dispatch as singleton batches:
+                        # their backoff already de-batched them.
                         _, app, outcome, key = retry_queue.pop(0)
-                        submit(app, outcome, key)
+                        submit(app, [(outcome, key)])
                     while queue and len(inflight) < 2 * jobs:
                         app, outcome, key = queue.popleft()
                         if self._breaker.is_open(app.name):
                             self._skip_circuit(result, outcome, key)
                             continue
-                        submit(app, outcome, key)
+                        items = [(outcome, key)]
+                        while (
+                            len(items) < batch_size
+                            and queue
+                            and queue[0][0] is app
+                        ):
+                            _, next_outcome, next_key = queue.popleft()
+                            items.append((next_outcome, next_key))
+                        submit(app, items)
                 if not inflight:
                     if retry_queue:
                         time.sleep(max(0.0, retry_queue[0][0] - now))
                     continue
                 wake: float | None = None
-                for _, _, _, deadline in inflight.values():
+                for _, _, deadline in inflight.values():
                     if deadline is not None:
                         wake = deadline if wake is None else min(wake, deadline)
                 if retry_queue:
@@ -735,27 +1020,33 @@ class SweepExecutor:
                     inflight, timeout=timeout, return_when=FIRST_COMPLETED
                 )
                 for future in done:
-                    outcome, key, app, _ = inflight.pop(future)
+                    app, items, _ = inflight.pop(future)
                     try:
-                        row, error, category, metrics = future.result()
+                        payloads = future.result()
                     except (KeyboardInterrupt, SystemExit):
                         # The *parent's* interrupt/exit, not a cell
                         # outcome — never record it as a failure.
                         raise
                     except BaseException as exc:
-                        # BrokenProcessPool-class faults: the payload
-                        # never came back; synthesise the error.
-                        row, error = None, traceback.format_exc()
-                        category = classify_error(exc)
-                        metrics = {}
-                    outcome.metrics.merge(StageMetrics.from_dict(metrics))
-                    outcome.row, outcome.error = row, error
-                    outcome.category = category
-                    settle(outcome, key, app)
+                        # BrokenProcessPool-class faults: the payloads
+                        # never came back; synthesise the error for
+                        # every cell of the batch.
+                        error_text = traceback.format_exc()
+                        payloads = [
+                            (None, error_text, classify_error(exc), {})
+                        ] * len(items)
+                    for (outcome, key), payload in zip(items, payloads):
+                        row, error, category, metrics = payload
+                        outcome.metrics.merge(
+                            StageMetrics.from_dict(metrics)
+                        )
+                        outcome.row, outcome.error = row, error
+                        outcome.category = category
+                        settle(outcome, key, app)
                 if config.timeout_seconds is not None:
                     now = time.monotonic()
                     for future, payload in list(inflight.items()):
-                        outcome, key, app, deadline = payload
+                        app, items, deadline = payload
                         if deadline is None or now < deadline:
                             continue
                         # Cancel if still queued; a running attempt is
@@ -763,23 +1054,27 @@ class SweepExecutor:
                         # so the sweep never blocks on a hung cell.
                         future.cancel()
                         del inflight[future]
-                        outcome.row = None
-                        outcome.error = (
-                            f"timeout: attempt exceeded "
-                            f"{config.timeout_seconds}s"
-                        )
-                        outcome.category = CATEGORY_TRANSIENT
-                        outcome.metrics.bump("timeout")
-                        settle(outcome, key, app)
+                        for outcome, key in items:
+                            outcome.row = None
+                            outcome.error = (
+                                f"timeout: attempt exceeded "
+                                f"{config.timeout_seconds}s"
+                            )
+                            outcome.category = CATEGORY_TRANSIENT
+                            outcome.metrics.bump("timeout")
+                            settle(outcome, key, app)
 
     def _run_supervised(
         self,
         pending: list[tuple[SimApplication, CellOutcome, str | None]],
         result: SweepResult,
+        planes: dict[str, PlaneHandle] | None = None,
     ) -> None:
         """Run cells under the worker supervisor (``cell_deadline``
         set): hung/dead workers are killed and replaced, their cells
-        requeued within the requeue budget."""
+        requeued within the requeue budget. Dispatch stays per-cell —
+        the deadline's kill/requeue unit is one cell — but workers
+        still attach the shared plane when one is published."""
         config = self.config
         jobs = min(config.jobs, len(pending))
         queue = deque(pending)
@@ -793,6 +1088,7 @@ class SweepExecutor:
             config.fault_plan,
             cell_deadline=config.cell_deadline,
             requeue_budget=config.requeue_budget,
+            plane_handles=planes or None,
         )
 
         def budget_exhausted() -> bool:
@@ -918,6 +1214,9 @@ def run_sweep(
     cell_deadline: float | None = None,
     requeue_budget: int = 2,
     circuit_threshold: int | None = None,
+    shared_plane: bool = False,
+    plane_backend: str = "shm",
+    batch_size: int | None = None,
 ) -> SweepResult:
     """Convenience wrapper: sweep ``apps`` with the given knobs."""
     executor = SweepExecutor(
@@ -936,6 +1235,9 @@ def run_sweep(
             cell_deadline=cell_deadline,
             requeue_budget=requeue_budget,
             circuit_threshold=circuit_threshold,
+            shared_plane=shared_plane,
+            plane_backend=plane_backend,
+            batch_size=batch_size,
         ),
     )
     return executor.run(apps, grid=grid)

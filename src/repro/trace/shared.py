@@ -1,0 +1,443 @@
+"""Zero-copy shared trace plane for multi-process sweeps.
+
+A sweep grid is many (budget, strategy) cells over a handful of
+applications, and profiling is placement-invariant: every worker that
+executes a cell of application A needs exactly the same
+:class:`~repro.trace.columnar.ColumnarTrace` and the same ground
+truth. Without sharing, an N-worker pool pays N× the profiling time
+and N× the trace RSS ("On the Applicability of PEBS based Online
+Memory Access Tracking … at Scale" makes the same observation at the
+system level: sample *acquisition* is the cost to amortise, placement
+decisions are cheap).
+
+The :class:`SharedTracePlane` publishes each application's profiling
+products exactly once per host:
+
+* **shm backend** — the column arrays are packed, 64-byte aligned,
+  into one ``multiprocessing.shared_memory`` segment per application;
+  workers attach and wrap zero-copy read-only NumPy views around the
+  segment buffer.
+* **mmap backend** — the columns are written once as an uncompressed
+  directory container (:meth:`ColumnarTrace.save_dir`); workers load
+  with ``mmap=True`` and the page cache shares one physical copy.
+
+What travels to the worker is only a small picklable
+:class:`PlaneHandle` — segment name / directory path, per-column
+layout with CRC-32s, and the JSON-able scalars (trace header, ground
+truth counters). :func:`attach_plane` verifies every checksum before
+handing out views; anything torn, missing, or mismatched raises
+:class:`~repro.errors.PlaneError`, which callers treat as "materialise
+privately", never as a failed cell.
+
+Lifecycle is crash-safe by construction: the parent keeps its
+``resource_tracker`` registration, so segments of a SIGKILL'd parent
+are reaped by the tracker process, while workers attach *untracked*
+(otherwise every worker exit would try to double-unlink the segment
+and warn). Normal shutdown is ``close()``, which unlinks idempotently
+and tolerates segments that already disappeared.
+"""
+
+from __future__ import annotations
+
+import io
+import shutil
+import tempfile
+import zlib
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps.base import GroundTruth, WindowTruth
+from repro.errors import PlaneError, TraceError
+from repro.ioutil import atomic_write_bytes
+from repro.trace.columnar import ColumnarTrace
+
+BACKEND_SHM = "shm"
+BACKEND_MMAP = "mmap"
+BACKENDS: tuple[str, ...] = (BACKEND_SHM, BACKEND_MMAP)
+
+#: Columns of the ground-truth miss stream, published alongside the
+#: trace columns (placement runners replay them through the cache and
+#: bandwidth models).
+_TRUTH_COLUMNS = ("truth_addresses", "truth_times")
+_TRUTH_DTYPES = {"truth_addresses": np.uint64, "truth_times": np.float64}
+
+#: Alignment of each column inside an shm segment (cache-line friendly
+#: and safe for any column dtype).
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class PlaneColumn:
+    """Layout of one array inside a shared-memory segment."""
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+    crc: int
+
+
+@dataclass(frozen=True)
+class PlaneHandle:
+    """Everything a worker needs to attach one published plane.
+
+    Small and picklable — it crosses the pool/supervisor IPC boundary
+    with every batch; the arrays themselves never do.
+    """
+
+    #: Content-derived identity of the published profile (the sweep
+    #: executor keys its per-worker attach cache on this).
+    key: str
+    backend: str
+    #: shm: segment name. mmap: plane directory path.
+    location: str
+    total_bytes: int
+    #: shm only; the mmap backend carries its layout in the container.
+    columns: tuple[PlaneColumn, ...]
+    #: JSON-able scalars: ``header`` (trace header dict, shm only) and
+    #: ``truth`` (ground-truth counters/windows, both backends).
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass
+class SharedProfile:
+    """A worker-side view of one published plane: the shared trace plus
+    the reconstructed ground truth, pinning whatever OS resource backs
+    the arrays (shm segment or mmap) for as long as it is referenced."""
+
+    trace: ColumnarTrace
+    ground_truth: GroundTruth
+    #: Objects that must stay alive while the views are in use.
+    resources: tuple = ()
+
+    def close(self) -> None:
+        """Release the backing resources (views become invalid)."""
+        for resource in self.resources:
+            try:
+                resource.close()
+            except (BufferError, OSError):
+                # Views still outstanding or segment already gone —
+                # either way the GC finishes the job later.
+                pass
+
+
+def _truth_meta(truth: GroundTruth) -> dict:
+    return {
+        "misses_by_site": dict(truth.misses_by_site),
+        "latency_by_site": dict(truth.latency_by_site),
+        "total_misses": int(truth.total_misses),
+        "windows": [
+            {
+                "t0": w.t0,
+                "t1": w.t1,
+                "misses_by_site": dict(w.misses_by_site),
+            }
+            for w in truth.windows
+        ],
+    }
+
+
+def _truth_from_meta(
+    meta: dict, addresses: np.ndarray, times: np.ndarray
+) -> GroundTruth:
+    return GroundTruth(
+        misses_by_site=dict(meta["misses_by_site"]),
+        latency_by_site=dict(meta["latency_by_site"]),
+        addresses=addresses,
+        times=times,
+        total_misses=int(meta["total_misses"]),
+        windows=[
+            WindowTruth(
+                t0=w["t0"],
+                t1=w["t1"],
+                misses_by_site=dict(w["misses_by_site"]),
+            )
+            for w in meta["windows"]
+        ],
+    )
+
+
+def _untrack(segment: shared_memory.SharedMemory) -> None:
+    """Drop a worker-side segment from this process's resource
+    tracker, so worker exit does not unlink (or warn about) a segment
+    the parent still owns."""
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Open an existing segment without registering it for cleanup.
+
+    The publisher's process keeps the only tracker registration; an
+    attaching process must not add one (a worker exit would then
+    unlink a segment the parent still serves — or at best warn about
+    the double unlink).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        # Python < 3.13: no ``track`` parameter. Unregistering after
+        # the fact would also drop the publisher's registration when
+        # attaching in-process (tests), so suppress registration for
+        # the duration of the attach instead.
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class SharedTracePlane:
+    """Parent-side publisher of per-application profiling products.
+
+    Use as a context manager (or call :meth:`close`); every published
+    segment/directory is torn down idempotently on exit.
+    """
+
+    def __init__(
+        self,
+        backend: str = BACKEND_SHM,
+        directory: str | Path | None = None,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise PlaneError(
+                f"unknown plane backend {backend!r}; have {BACKENDS}"
+            )
+        self.backend = backend
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._directories: list[Path] = []
+        self._root: Path | None = None
+        self._owns_root = False
+        if backend == BACKEND_MMAP:
+            if directory is None:
+                self._root = Path(tempfile.mkdtemp(prefix="repro-plane-"))
+                self._owns_root = True
+            else:
+                self._root = Path(directory)
+                self._root.mkdir(parents=True, exist_ok=True)
+        self.handles: dict[str, PlaneHandle] = {}
+
+    # -- publishing ------------------------------------------------------
+
+    def publish(
+        self, key: str, trace: ColumnarTrace, truth: GroundTruth
+    ) -> PlaneHandle:
+        """Export one application's trace + ground truth; returns the
+        (picklable) handle workers attach with."""
+        if key in self.handles:
+            return self.handles[key]
+        arrays = dict(trace._columns())
+        arrays["truth_addresses"] = np.ascontiguousarray(
+            truth.addresses, dtype=np.uint64
+        )
+        arrays["truth_times"] = np.ascontiguousarray(
+            truth.times, dtype=np.float64
+        )
+        meta = {
+            "header": trace._header_dict(),
+            "truth": _truth_meta(truth),
+        }
+        if self.backend == BACKEND_SHM:
+            handle = self._publish_shm(key, arrays, meta)
+        else:
+            handle = self._publish_mmap(key, trace, truth, meta)
+        self.handles[key] = handle
+        return handle
+
+    def _publish_shm(
+        self, key: str, arrays: dict[str, np.ndarray], meta: dict
+    ) -> PlaneHandle:
+        columns: list[PlaneColumn] = []
+        blobs: dict[str, np.ndarray] = {}
+        offset = 0
+        for name, arr in arrays.items():
+            blob = np.ascontiguousarray(arr)
+            blobs[name] = blob
+            columns.append(
+                PlaneColumn(
+                    name=name,
+                    dtype=str(blob.dtype),
+                    shape=tuple(blob.shape),
+                    offset=offset,
+                    crc=zlib.crc32(blob.tobytes()),
+                )
+            )
+            offset += blob.nbytes
+            offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+        segment = shared_memory.SharedMemory(create=True, size=max(1, offset))
+        self._segments.append(segment)
+        for column in columns:
+            view = np.ndarray(
+                column.shape,
+                dtype=np.dtype(column.dtype),
+                buffer=segment.buf,
+                offset=column.offset,
+            )
+            np.copyto(view, blobs[column.name])
+        return PlaneHandle(
+            key=key,
+            backend=BACKEND_SHM,
+            location=segment.name,
+            total_bytes=offset,
+            columns=tuple(columns),
+            meta=meta,
+        )
+
+    def _publish_mmap(
+        self,
+        key: str,
+        trace: ColumnarTrace,
+        truth: GroundTruth,
+        meta: dict,
+    ) -> PlaneHandle:
+        assert self._root is not None
+        plane_dir = self._root / key[:24]
+        trace.save_dir(plane_dir / "trace")
+        total = sum(
+            f.stat().st_size for f in (plane_dir / "trace").iterdir()
+        )
+        for name in _TRUTH_COLUMNS:
+            source = getattr(truth, name.removeprefix("truth_"))
+            blob = np.ascontiguousarray(source, dtype=_TRUTH_DTYPES[name])
+            buf = io.BytesIO()
+            np.save(buf, blob)
+            atomic_write_bytes(plane_dir / f"{name}.npy", buf.getvalue())
+            total += blob.nbytes
+        self._directories.append(plane_dir)
+        return PlaneHandle(
+            key=key,
+            backend=BACKEND_MMAP,
+            location=str(plane_dir),
+            total_bytes=total,
+            columns=(),
+            meta=meta,
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Unlink every published segment/directory. Idempotent, and
+        tolerant of segments that already disappeared (a previous
+        close, or an external reaper) — the manual ``unregister`` in
+        that path is what keeps the resource tracker from warning
+        about a double unlink at interpreter exit."""
+        segments, self._segments = self._segments, []
+        for segment in segments:
+            try:
+                segment.close()
+            except (BufferError, OSError):
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                _untrack(segment)
+            except OSError:
+                pass
+        directories, self._directories = self._directories, []
+        if self._owns_root and self._root is not None:
+            shutil.rmtree(self._root, ignore_errors=True)
+            self._root = None
+        else:
+            for directory in directories:
+                shutil.rmtree(directory, ignore_errors=True)
+
+    def __enter__(self) -> "SharedTracePlane":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# -- worker side -----------------------------------------------------------
+
+
+def attach_plane(handle: PlaneHandle) -> SharedProfile:
+    """Attach a published plane read-only; zero copies either backend.
+
+    Raises :class:`PlaneError` — and only :class:`PlaneError` — when
+    the plane is missing, torn, truncated, or fails its checksums;
+    callers fall back to private materialisation.
+    """
+    try:
+        if handle.backend == BACKEND_SHM:
+            return _attach_shm(handle)
+        if handle.backend == BACKEND_MMAP:
+            return _attach_mmap(handle)
+        raise PlaneError(f"unknown plane backend {handle.backend!r}")
+    except PlaneError:
+        raise
+    except (OSError, ValueError, KeyError, TypeError, TraceError) as exc:
+        raise PlaneError(
+            f"plane {handle.key[:12]} unavailable: {exc}"
+        ) from exc
+
+
+def _attach_shm(handle: PlaneHandle) -> SharedProfile:
+    try:
+        segment = _attach_segment(handle.location)
+    except FileNotFoundError as exc:
+        raise PlaneError(
+            f"plane segment {handle.location} is gone: {exc}"
+        ) from exc
+    if segment.size < handle.total_bytes:
+        segment.close()
+        raise PlaneError(
+            f"plane segment {handle.location} truncated "
+            f"({segment.size} < {handle.total_bytes} bytes)"
+        )
+    views: dict[str, np.ndarray] = {}
+    for column in handle.columns:
+        view = np.ndarray(
+            column.shape,
+            dtype=np.dtype(column.dtype),
+            buffer=segment.buf,
+            offset=column.offset,
+        )
+        if zlib.crc32(view.tobytes()) != column.crc:
+            del view
+            segment.close()
+            raise PlaneError(
+                f"plane segment {handle.location}:{column.name} "
+                "failed its checksum (torn plane)"
+            )
+        view.flags.writeable = False
+        views[column.name] = view
+    trace = ColumnarTrace.from_header_and_columns(
+        handle.meta["header"],
+        {name: views[name] for name in views if name not in _TRUTH_COLUMNS},
+    )
+    truth = _truth_from_meta(
+        handle.meta["truth"],
+        views["truth_addresses"],
+        views["truth_times"],
+    )
+    return SharedProfile(trace=trace, ground_truth=truth, resources=(segment,))
+
+
+def _attach_mmap(handle: PlaneHandle) -> SharedProfile:
+    plane_dir = Path(handle.location)
+    trace = ColumnarTrace.load(plane_dir / "trace", mmap=True)
+    truth_arrays = {}
+    for name in _TRUTH_COLUMNS:
+        arr = np.load(
+            plane_dir / f"{name}.npy", mmap_mode="r", allow_pickle=False
+        )
+        truth_arrays[name] = arr.astype(_TRUTH_DTYPES[name], copy=False)
+    truth = _truth_from_meta(
+        handle.meta["truth"],
+        truth_arrays["truth_addresses"],
+        truth_arrays["truth_times"],
+    )
+    return SharedProfile(trace=trace, ground_truth=truth, resources=())

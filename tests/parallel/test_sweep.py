@@ -725,6 +725,259 @@ class TestSupervisedSweep:
             SweepConfig(**kwargs)
 
 
+def _row_signature(sweep):
+    return [
+        (o.application, o.cell.key, o.row, o.attempts, o.ok)
+        for o in sweep.outcomes
+    ]
+
+
+def _journal_payloads(journal_dir):
+    """Canonicalised settled outcomes of one sweep journal.
+
+    Keyed by the cell's content hash; the wall-clock ``metrics``
+    seconds and the settle *order* legitimately differ between serial
+    and pool runs, so equality is asserted on everything else."""
+    from repro.parallel.journal import (
+        JOURNAL_FILENAME,
+        RECORD_OUTCOME,
+        decode_record,
+    )
+
+    payloads = {}
+    lines = (journal_dir / JOURNAL_FILENAME).read_text().splitlines()
+    for line in lines:
+        record_type, payload = decode_record(line)
+        if record_type != RECORD_OUTCOME:
+            continue
+        payloads[payload["key"]] = {
+            field: payload.get(field)
+            for field in (
+                "application", "cell", "row", "error", "category",
+                "attempts", "cached", "skipped",
+            )
+        }
+    return payloads
+
+
+class TestSharedPlaneSweep:
+    """The zero-copy trace plane and batched dispatch must be pure
+    optimisations: identical rows, identical journals, counted (never
+    fatal) degradation."""
+
+    def test_equality_matrix(self, tmp_path):
+        """Serial, pool, pool+plane (both backends) and batched
+        dispatch settle identical rows and identical journals."""
+        apps = [TinyApp(), SecondApp()]
+        variants = {
+            "serial": dict(jobs=1),
+            "pool": dict(jobs=2),
+            "pool-batched": dict(jobs=2, batch_size=3),
+            "plane-shm": dict(jobs=2, shared_plane=True),
+            "plane-mmap": dict(
+                jobs=2, shared_plane=True, plane_backend="mmap"
+            ),
+            "plane-batched": dict(jobs=2, shared_plane=True, batch_size=4),
+        }
+        signatures, journals = {}, {}
+        for label, kwargs in variants.items():
+            sweep = run_sweep(
+                apps, grid=SMALL_GRID, seed=0,
+                journal_dir=tmp_path / label, **kwargs,
+            )
+            assert not sweep.failures, label
+            signatures[label] = _row_signature(sweep)
+            journals[label] = _journal_payloads(tmp_path / label)
+        reference_rows = signatures.pop("serial")
+        reference_journal = journals.pop("serial")
+        for label, signature in signatures.items():
+            assert signature == reference_rows, label
+        for label, journal in journals.items():
+            assert journal == reference_journal, label
+
+    def test_plane_metrics_account_publish_and_attach(self):
+        sweep = run_sweep(
+            [TinyApp(), SecondApp()], grid=SMALL_GRID, jobs=2, seed=0,
+            shared_plane=True,
+        )
+        assert not sweep.failures
+        assert sweep.metrics.count("plane_publish") == 2
+        assert sweep.metrics.count("plane_attach") >= 1
+        assert sweep.metrics.count("plane_fallback") == 0
+        # The parent's single profile run per app is the only profile
+        # work in the whole sweep.
+        assert sweep.metrics.count("profile") == 2
+
+    def test_faulted_plane_sweep_matches_private_paths(self):
+        """A profile-degrading plan forces the row-mode publish path;
+        rows must still match serial and planeless pools bit for bit."""
+        serial = run_sweep(
+            [TinyApp()], grid=SMALL_GRID, jobs=1, seed=0,
+            fault_plan=FAULTY_PLAN,
+        )
+        plane = run_sweep(
+            [TinyApp()], grid=SMALL_GRID, jobs=2, seed=0,
+            fault_plan=FAULTY_PLAN, shared_plane=True,
+        )
+        assert _row_signature(serial) == _row_signature(plane)
+
+    def test_lost_plane_degrades_to_private_not_failure(self, machine):
+        """A worker that finds the plane gone falls back to a private
+        profile run — the cell's row is identical, only the counter
+        tells the story."""
+        from repro.parallel.sweep import _execute_cell
+        from repro.pipeline.metrics import StageMetrics
+        from repro.trace.shared import SharedTracePlane
+        from repro.trace.tracer import TracerConfig
+
+        app = TinyApp()
+        cell = enumerate_cells(app, SMALL_GRID)[0]
+        framework_profile = app.run_profiling(
+            seed=0,
+            tracer_config=TracerConfig(
+                sampling_period=app.sampling_period, columnar_samples=True
+            ),
+        )
+        plane = SharedTracePlane()
+        handle = plane.publish(
+            "gone-plane",
+            framework_profile.tracer.columnar_trace(),
+            framework_profile.ground_truth,
+        )
+        plane.close()  # the plane vanishes before the worker attaches
+
+        row, error, category, metrics = _execute_cell(
+            app, machine, cell, 0, {}, None, 1, plane=handle
+        )
+        assert error is None and category is None
+        counters = StageMetrics.from_dict(metrics)
+        assert counters.count("plane_fallback") == 1
+        assert counters.count("plane_attach") == 0
+
+        private_row, _, _, _ = _execute_cell(
+            app, machine, cell, 0, {}, None, 1
+        )
+        assert row == private_row
+
+    def test_shared_plane_composes_with_result_cache(self, tmp_path):
+        cold = run_sweep(
+            [TinyApp()], grid=SMALL_GRID, jobs=2, seed=0,
+            shared_plane=True, cache_dir=tmp_path,
+        )
+        assert cold.metrics.count("plane_publish") == 1
+        warm = run_sweep(
+            [TinyApp()], grid=SMALL_GRID, jobs=2, seed=0,
+            shared_plane=True, cache_dir=tmp_path,
+        )
+        # Fully warm: nothing pending, so no plane is even published.
+        assert warm.metrics.total_stage_executions == 0
+        assert warm.metrics.count("cache_hit") == 8
+        assert warm.metrics.count("plane_publish") == 0
+
+    def test_supervised_sweep_uses_the_plane(self, tiny_app):
+        serial = run_figure4_experiment(tiny_app, grid=SMALL_GRID, seed=0)
+        sweep = run_sweep(
+            [tiny_app], grid=SMALL_GRID, jobs=2, seed=0,
+            cell_deadline=60.0, shared_plane=True,
+        )
+        assert not sweep.failures
+        assert sweep.metrics.count("plane_publish") == 1
+        assert sweep.metrics.count("plane_attach") >= 1
+        assert sweep.experiment(tiny_app).grid == serial.grid
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"batch_size": 0},
+            {"batch_size": -1},
+            {"plane_backend": "carrier-pigeon"},
+        ],
+    )
+    def test_rejects_bad_plane_knobs(self, kwargs):
+        with pytest.raises(ConfigError):
+            SweepConfig(**kwargs)
+
+
+class TestBatchSizing:
+    def test_explicit_batch_size_wins(self):
+        executor = SweepExecutor(config=SweepConfig(jobs=4, batch_size=7))
+        assert executor._batch_size(100, 4) == 7
+
+    def test_timeout_pins_batches_to_single_cells(self):
+        executor = SweepExecutor(
+            config=SweepConfig(jobs=4, timeout_seconds=1.0)
+        )
+        assert executor._batch_size(100, 4) == 1
+
+    def test_auto_targets_four_batches_per_worker(self):
+        executor = SweepExecutor(config=SweepConfig(jobs=4))
+        assert executor._batch_size(8, 4) == 1
+        assert executor._batch_size(64, 4) == 4
+        assert executor._batch_size(10_000, 4) == 32  # capped
+
+
+class TestWorkerMemoEviction:
+    def test_memo_never_exceeds_cap(self, machine):
+        from repro.parallel.sweep import (
+            _WORKER_MEMO_CAP,
+            _execute_cell,
+        )
+
+        classes = [
+            type(f"MemoApp{i}", (TinyApp,), {"name": f"memoapp{i}"})
+            for i in range(_WORKER_MEMO_CAP + 2)
+        ]
+        memo: dict = {}
+        evictions, peak = 0, 0
+        for cls in classes:
+            app = cls()
+            cell = enumerate_cells(app, SMALL_GRID)[0]
+            row, error, _, metrics = _execute_cell(
+                app, machine, cell, 0, memo
+            )
+            assert error is None
+            from repro.pipeline.metrics import StageMetrics
+
+            evictions += StageMetrics.from_dict(metrics).count(
+                "framework_evicted"
+            )
+            peak = max(peak, len(memo))
+        assert peak <= _WORKER_MEMO_CAP
+        assert evictions == 2
+
+    def test_lru_order_evicts_coldest_first(self):
+        from repro.parallel.sweep import (
+            _WORKER_MEMO_CAP,
+            _memo_get,
+            _memo_put,
+        )
+
+        memo: dict = {}
+        for i in range(_WORKER_MEMO_CAP):
+            _memo_put(memo, ("app", i), object())
+        assert _memo_get(memo, ("app", 0)) is not None  # refresh 0
+        evicted = _memo_put(memo, ("app", _WORKER_MEMO_CAP), object())
+        assert evicted == 1
+        assert ("app", 0) in memo  # refreshed entry survived
+        assert ("app", 1) not in memo  # coldest entry went
+
+    def test_evicted_framework_is_rebuilt_not_failed(self, machine):
+        """A sweep touching more apps than the cap still answers every
+        cell — eviction only costs a re-profile."""
+        classes = [
+            type(f"WideApp{i}", (TinyApp,), {"name": f"wideapp{i}"})
+            for i in range(6)
+        ]
+        sweep = run_sweep(
+            [cls() for cls in classes],
+            grid=ExperimentGrid(budgets=(32 * MIB,), strategies=("density",)),
+            jobs=1,
+            seed=0,
+        )
+        assert not sweep.failures
+        assert len(sweep.outcomes) == 6 * 5
+
+
 class ExitingApp(TinyApp):
     """Raises SystemExit from the workload (a sys.exit()-ing app)."""
 

@@ -1,0 +1,208 @@
+"""Shared trace plane: publish/attach, checksums, lifecycle."""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.apps.base import GroundTruth, WindowTruth
+from repro.errors import CATEGORY_TRANSIENT, PlaneError, ReproError
+from repro.runtime.callstack import CallStack, Frame
+from repro.trace.columnar import ColumnarTrace
+from repro.trace.events import AllocEvent, FreeEvent, SampleEvent
+from repro.trace.shared import (
+    BACKEND_MMAP,
+    BACKEND_SHM,
+    BACKENDS,
+    SharedTracePlane,
+    attach_plane,
+)
+from repro.trace.tracefile import TraceFile
+
+
+def _cs(name: str) -> CallStack:
+    return CallStack(frames=(Frame("app", name, "app.c", 1),))
+
+
+def _columnar() -> ColumnarTrace:
+    trace = TraceFile(application="demo", ranks=2, sampling_period=7)
+    trace.metadata["stack_region"] = [0x7000, 0x1000]
+    trace.append(AllocEvent(0.1, 0, 0x1000, 64, _cs("a")))
+    trace.append(SampleEvent(0.2, 0, 0x1010))
+    trace.append(SampleEvent(0.25, 1, 0x1020, latency_cycles=321))
+    trace.append(FreeEvent(0.3, 0, 0x1000))
+    return ColumnarTrace.from_tracefile(trace)
+
+
+def _truth() -> GroundTruth:
+    return GroundTruth(
+        misses_by_site={"a": 40, "<stack>": 2},
+        latency_by_site={"a": 12000.0},
+        addresses=np.arange(40, dtype=np.uint64) * 64 + 0x1000,
+        times=np.linspace(0.0, 0.3, 40),
+        total_misses=42,
+        windows=[
+            WindowTruth(t0=0.0, t1=0.15, misses_by_site={"a": 25}),
+            WindowTruth(t0=0.15, t1=0.3, misses_by_site={"a": 15}),
+        ],
+    )
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+class TestPublishAttach:
+    def test_round_trip(self, backend, tmp_path):
+        columnar, truth = _columnar(), _truth()
+        directory = tmp_path if backend == BACKEND_MMAP else None
+        with SharedTracePlane(backend=backend, directory=directory) as plane:
+            handle = plane.publish("k1", columnar, truth)
+            shared = attach_plane(handle)
+            try:
+                assert shared.trace.to_tracefile() == columnar.to_tracefile()
+                assert np.array_equal(
+                    shared.ground_truth.addresses, truth.addresses
+                )
+                assert np.array_equal(
+                    shared.ground_truth.times, truth.times
+                )
+                assert shared.ground_truth.misses_by_site == (
+                    truth.misses_by_site
+                )
+                assert shared.ground_truth.total_misses == 42
+                assert [
+                    (w.t0, w.t1, w.misses_by_site)
+                    for w in shared.ground_truth.windows
+                ] == [(w.t0, w.t1, w.misses_by_site) for w in truth.windows]
+            finally:
+                shared.close()
+
+    def test_views_are_read_only(self, backend, tmp_path):
+        directory = tmp_path if backend == BACKEND_MMAP else None
+        with SharedTracePlane(backend=backend, directory=directory) as plane:
+            handle = plane.publish("k1", _columnar(), _truth())
+            shared = attach_plane(handle)
+            try:
+                with pytest.raises(ValueError):
+                    shared.trace.addresses[0] = 0
+                with pytest.raises(ValueError):
+                    shared.ground_truth.addresses[0] = 0
+            finally:
+                shared.close()
+
+    def test_publish_is_idempotent_per_key(self):
+        with SharedTracePlane() as plane:
+            first = plane.publish("k1", _columnar(), _truth())
+            second = plane.publish("k1", _columnar(), _truth())
+            assert second is first
+            assert len(plane._segments) == 1
+
+    def test_handle_survives_pickling(self, backend, tmp_path):
+        directory = tmp_path if backend == BACKEND_MMAP else None
+        with SharedTracePlane(backend=backend, directory=directory) as plane:
+            handle = plane.publish("k1", _columnar(), _truth())
+            clone = pickle.loads(pickle.dumps(handle))
+            shared = attach_plane(clone)
+            try:
+                assert shared.trace.n_events == 4
+            finally:
+                shared.close()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(PlaneError, match="backend"):
+            SharedTracePlane(backend="carrier-pigeon")
+
+
+class TestFailureModes:
+    def test_error_taxonomy(self):
+        assert issubclass(PlaneError, ReproError)
+        assert PlaneError("x").category == CATEGORY_TRANSIENT
+
+    def test_attach_after_close_degrades(self, backend, tmp_path):
+        directory = tmp_path / "plane" if backend == BACKEND_MMAP else None
+        plane = SharedTracePlane(backend=backend, directory=directory)
+        handle = plane.publish("k1", _columnar(), _truth())
+        plane.close()
+        with pytest.raises(PlaneError):
+            attach_plane(handle)
+
+    def test_torn_segment_fails_checksum(self):
+        with SharedTracePlane() as plane:
+            handle = plane.publish("k1", _columnar(), _truth())
+            column = next(
+                c for c in handle.columns if c.name == "addresses"
+            )
+            segment = plane._segments[0]
+            segment.buf[column.offset] ^= 0xFF
+            with pytest.raises(PlaneError, match="checksum"):
+                attach_plane(handle)
+
+    def test_truncated_segment_detected(self):
+        with SharedTracePlane() as plane:
+            handle = plane.publish("k1", _columnar(), _truth())
+            fat = dataclasses.replace(
+                handle, total_bytes=handle.total_bytes + (1 << 20)
+            )
+            with pytest.raises(PlaneError, match="truncated"):
+                attach_plane(fat)
+
+    def test_corrupt_mmap_member_degrades(self, tmp_path):
+        with SharedTracePlane(
+            backend=BACKEND_MMAP, directory=tmp_path
+        ) as plane:
+            handle = plane.publish("k1", _columnar(), _truth())
+            member = tmp_path / handle.key[:24] / "trace" / "addresses.npy"
+            data = member.read_bytes()
+            member.write_bytes(data[:-1] + bytes([data[-1] ^ 0xFF]))
+            with pytest.raises(PlaneError):
+                attach_plane(handle)
+
+    def test_unknown_handle_backend_degrades(self):
+        with SharedTracePlane() as plane:
+            handle = plane.publish("k1", _columnar(), _truth())
+            weird = dataclasses.replace(handle, backend="bogus")
+            with pytest.raises(PlaneError, match="backend"):
+                attach_plane(weird)
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        plane = SharedTracePlane()
+        plane.publish("k1", _columnar(), _truth())
+        plane.close()
+        plane.close()
+
+    def test_mmap_owned_root_removed_on_close(self):
+        plane = SharedTracePlane(backend=BACKEND_MMAP)
+        handle = plane.publish("k1", _columnar(), _truth())
+        root = plane._root
+        assert root is not None and root.exists()
+        plane.close()
+        assert not root.exists()
+        with pytest.raises(PlaneError):
+            attach_plane(handle)
+
+    def test_mmap_external_directory_keeps_root(self, tmp_path):
+        plane = SharedTracePlane(backend=BACKEND_MMAP, directory=tmp_path)
+        handle = plane.publish("k1", _columnar(), _truth())
+        plane.close()
+        assert tmp_path.exists()  # caller's directory, not ours
+        with pytest.raises(PlaneError):
+            attach_plane(handle)  # but the plane itself is gone
+
+    def test_shm_attachment_outlives_publisher_close(self):
+        # POSIX semantics: unlink removes the name, not live mappings.
+        plane = SharedTracePlane()
+        handle = plane.publish("k1", _columnar(), _truth())
+        shared = attach_plane(handle)
+        try:
+            plane.close()
+            assert shared.trace.n_events == 4
+            assert int(shared.ground_truth.addresses[0]) == 0x1000
+        finally:
+            shared.close()
